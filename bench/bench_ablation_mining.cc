@@ -1,0 +1,74 @@
+// Ablation of the adaptive mining schema (§3.3, Eq. 4-5): trains the same
+// double-triplet model with adaptive normalisation (AdaMine) and with plain
+// gradient averaging (AdaMine_avg) and traces the informative-triplet
+// fraction per epoch. The adaptive strategy's automatic curriculum shows as
+// the active fraction decaying towards hard negatives while the update
+// magnitude stays constant; the averaging strategy's updates vanish
+// proportionally, which is why its final MedR is worse.
+
+#include <cstdio>
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace adamine {
+namespace {
+
+namespace core = adamine::core;
+
+int Run() {
+  auto pipeline = core::Pipeline::Create(bench::StandardPipelineConfig());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto& pipe = *pipeline.value();
+  std::printf("== Ablation: adaptive mining vs gradient averaging ==\n");
+
+  TablePrinter curve({"epoch", "active%% (adaptive)", "loss (adaptive)",
+                      "active%% (avg)", "loss (avg)"});
+  std::vector<core::EpochStats> adaptive_hist;
+  std::vector<core::EpochStats> average_hist;
+  TablePrinter results(bench::MetricsHeader("Strategy"));
+
+  for (auto scenario :
+       {core::Scenario::kAdaMine, core::Scenario::kAdaMineAvg}) {
+    auto run = pipe.Run(bench::StandardTrainConfig(scenario));
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    (scenario == core::Scenario::kAdaMine ? adaptive_hist : average_hist) =
+        run->history;
+    Rng rng(5);
+    auto result = eval::EvaluateBags(run->test_embeddings.image_emb,
+                                     run->test_embeddings.recipe_emb,
+                                     bench::kLargeBagSize,
+                                     bench::kLargeBagCount, rng);
+    std::vector<std::string> row = {core::ScenarioName(scenario)};
+    bench::AppendMetricsCells(result, row);
+    results.AddRow(row);
+    std::printf("  done: %s\n", core::ScenarioName(scenario).c_str());
+    std::fflush(stdout);
+  }
+
+  for (size_t e = 0; e < adaptive_hist.size(); e += 3) {
+    curve.AddRow(
+        {std::to_string(e),
+         TablePrinter::Num(100 * adaptive_hist[e].active_fraction_ins, 1),
+         TablePrinter::Num(adaptive_hist[e].instance_loss, 4),
+         TablePrinter::Num(100 * average_hist[e].active_fraction_ins, 1),
+         TablePrinter::Num(average_hist[e].instance_loss, 4)});
+  }
+  std::printf("\n-- informative-triplet fraction over training --\n");
+  curve.Print(std::cout);
+  std::printf("\n-- final retrieval quality --\n");
+  results.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamine
+
+int main() { return adamine::Run(); }

@@ -1,0 +1,143 @@
+// Reproduces Figure 3: t-SNE of the latent space learned by AdaMine_ins
+// versus full AdaMine, on matched pairs from the 5 most frequent classes.
+// The paper's figure shows (a) weaker class clusters and longer matched-
+// pair traces for the instance-only model and (b) tight class clusters and
+// short traces for AdaMine. We quantify both: the silhouette score of the
+// class clustering of the 2-D embedding and the mean matched-pair distance,
+// and write the coordinates as TSV for plotting.
+
+#include <cstdio>
+
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "tensor/ops.h"
+#include "viz/cluster_metrics.h"
+#include "viz/tsne.h"
+
+namespace adamine {
+namespace {
+
+namespace core = adamine::core;
+
+constexpr int64_t kPairsPerClass = 80;
+constexpr int64_t kNumClasses = 5;
+
+/// Selects up to kPairsPerClass test rows from each of the kNumClasses most
+/// frequent classes.
+std::vector<int64_t> SelectRows(const std::vector<int64_t>& classes,
+                                std::vector<int64_t>& row_class) {
+  std::map<int64_t, int64_t> counts;
+  for (int64_t c : classes) ++counts[c];
+  std::vector<std::pair<int64_t, int64_t>> by_count(counts.begin(),
+                                                    counts.end());
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<int64_t> keep_classes;
+  for (int64_t i = 0; i < kNumClasses &&
+                      i < static_cast<int64_t>(by_count.size());
+       ++i) {
+    keep_classes.push_back(by_count[static_cast<size_t>(i)].first);
+  }
+  std::vector<int64_t> rows;
+  std::map<int64_t, int64_t> taken;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    for (int64_t kc : keep_classes) {
+      if (classes[i] == kc && taken[kc] < kPairsPerClass) {
+        rows.push_back(static_cast<int64_t>(i));
+        row_class.push_back(kc);
+        ++taken[kc];
+      }
+    }
+  }
+  return rows;
+}
+
+/// Runs t-SNE on the stacked [image; recipe] embeddings of the selected
+/// pairs and reports cluster metrics.
+int Analyze(const char* name, const core::EmbeddedDataset& emb,
+            TablePrinter& table, const std::string& tsv_path) {
+  std::vector<int64_t> row_class;
+  std::vector<int64_t> rows = SelectRows(emb.true_classes, row_class);
+  Tensor img = GatherRows(emb.image_emb, rows);
+  Tensor rec = GatherRows(emb.recipe_emb, rows);
+  Tensor stacked = ConcatRows(img, rec);
+
+  viz::TsneConfig config;
+  config.perplexity = 25.0;
+  config.iterations = 350;
+  config.seed = 11;
+  auto coords = viz::Tsne(stacked, config);
+  if (!coords.ok()) {
+    std::fprintf(stderr, "t-SNE: %s\n", coords.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t n = static_cast<int64_t>(rows.size());
+  Tensor img2d = SliceRows(*coords, 0, n);
+  Tensor rec2d = SliceRows(*coords, n, 2 * n);
+
+  // Labels duplicated for both modalities.
+  std::vector<int64_t> labels = row_class;
+  labels.insert(labels.end(), row_class.begin(), row_class.end());
+
+  const double silhouette = viz::SilhouetteScore(*coords, labels);
+  const double trace = viz::MeanMatchedPairDistance(img2d, rec2d);
+  // Normalise the trace length by the embedding's spread so models are
+  // comparable.
+  const double spread = MaxAbs(*coords);
+  table.AddRow({name, TablePrinter::Num(silhouette, 3),
+                TablePrinter::Num(trace / spread, 3),
+                TablePrinter::Num(static_cast<double>(n), 0)});
+
+  std::ofstream tsv(tsv_path);
+  tsv << "modality\tclass\tx\ty\n";
+  for (int64_t i = 0; i < n; ++i) {
+    tsv << "image\t" << row_class[static_cast<size_t>(i)] << "\t"
+        << img2d.At(i, 0) << "\t" << img2d.At(i, 1) << "\n";
+    tsv << "recipe\t" << row_class[static_cast<size_t>(i)] << "\t"
+        << rec2d.At(i, 0) << "\t" << rec2d.At(i, 1) << "\n";
+  }
+  std::printf("  wrote %s\n", tsv_path.c_str());
+  return 0;
+}
+
+int Run() {
+  auto pipeline = core::Pipeline::Create(bench::StandardPipelineConfig());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto& pipe = *pipeline.value();
+  std::printf("== Figure 3: t-SNE of the learned latent space ==\n");
+  std::printf("(silhouette: higher = clearer class clusters; trace: mean "
+              "matched-pair distance / spread, lower = pairs closer)\n");
+
+  TablePrinter table({"Model", "silhouette", "pair trace", "pairs"});
+  for (auto scenario :
+       {core::Scenario::kAdaMineIns, core::Scenario::kAdaMine}) {
+    auto run = pipe.Run(bench::StandardTrainConfig(scenario));
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const std::string tsv =
+        std::string("figure3_") +
+        (scenario == core::Scenario::kAdaMine ? "adamine" : "adamine_ins") +
+        ".tsv";
+    if (int rc = Analyze(core::ScenarioName(scenario).c_str(),
+                         run->test_embeddings, table, tsv);
+        rc != 0) {
+      return rc;
+    }
+    std::printf("  done: %s\n", core::ScenarioName(scenario).c_str());
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamine
+
+int main() { return adamine::Run(); }

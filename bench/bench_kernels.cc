@@ -1,0 +1,142 @@
+// Microbenchmarks of the substrate kernels (google-benchmark): GEMM, LSTM
+// encoding, the batch triplet losses, retrieval ranking, and word2vec.
+// These are the building blocks whose cost dominates training and
+// evaluation; sizes mirror the defaults used by the table benches.
+
+#include <benchmark/benchmark.h>
+
+#include "core/losses.h"
+#include "eval/metrics.h"
+#include "nn/embedding.h"
+#include "nn/lstm.h"
+#include "tensor/ops.h"
+#include "text/word2vec.h"
+#include "util/rng.h"
+
+namespace adamine {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = Gemm(a, false, b, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = Gemm(a, false, b, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128);
+
+void BM_L2NormalizeRows(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({state.range(0), 32}, rng);
+  for (auto _ : state) {
+    Tensor n = L2NormalizeRows(a);
+    benchmark::DoNotOptimize(n.data());
+  }
+}
+BENCHMARK(BM_L2NormalizeRows)->Arg(100)->Arg(1000);
+
+void BM_BiLstmEncode(benchmark::State& state) {
+  // 100 sequences of 8 tokens, the ingredient-branch workload per batch.
+  Rng rng(2);
+  nn::Embedding emb(200, 24, rng);
+  nn::BiLstm bilstm(24, 24, rng);
+  std::vector<std::vector<int64_t>> seqs;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int64_t> s;
+    for (int t = 0; t < 8; ++t) s.push_back(rng.UniformInt(200));
+    seqs.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    ag::Var h = bilstm.EncodeIds(emb, seqs);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+}
+BENCHMARK(BM_BiLstmEncode);
+
+void BM_InstanceTripletLoss(benchmark::State& state) {
+  const int64_t b = state.range(0);
+  Rng rng(3);
+  Tensor img = L2NormalizeRows(Tensor::Randn({b, 32}, rng));
+  Tensor rec = L2NormalizeRows(Tensor::Randn({b, 32}, rng));
+  for (auto _ : state) {
+    auto result = core::InstanceTripletLoss(img, rec, 0.3f,
+                                            core::MiningStrategy::kAdaptive);
+    benchmark::DoNotOptimize(result.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * (b - 1));
+}
+BENCHMARK(BM_InstanceTripletLoss)->Arg(100)->Arg(200);
+
+void BM_SemanticTripletLoss(benchmark::State& state) {
+  const int64_t b = state.range(0);
+  Rng rng(4);
+  Tensor img = L2NormalizeRows(Tensor::Randn({b, 32}, rng));
+  Tensor rec = L2NormalizeRows(Tensor::Randn({b, 32}, rng));
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < b; ++i) {
+    labels.push_back(i % 2 == 0 ? rng.UniformInt(10) : -1);
+  }
+  Rng loss_rng(5);
+  for (auto _ : state) {
+    auto result =
+        core::SemanticTripletLoss(img, rec, labels, 0.3f,
+                                  core::MiningStrategy::kAdaptive, loss_rng);
+    benchmark::DoNotOptimize(result.loss);
+  }
+}
+BENCHMARK(BM_SemanticTripletLoss)->Arg(100)->Arg(200);
+
+void BM_MatchRanks(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor q = Tensor::Randn({n, 32}, rng);
+  Tensor c = Tensor::Randn({n, 32}, rng);
+  for (auto _ : state) {
+    auto ranks = eval::MatchRanks(q, c);
+    benchmark::DoNotOptimize(ranks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_MatchRanks)->Arg(250)->Arg(1000);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  text::Word2VecConfig config;
+  config.dim = 24;
+  config.epochs = 1;
+  config.seed = 7;
+  Rng rng(8);
+  std::vector<std::vector<int64_t>> corpus;
+  for (int s = 0; s < 500; ++s) {
+    std::vector<int64_t> sentence;
+    for (int t = 0; t < 8; ++t) sentence.push_back(rng.UniformInt(200));
+    corpus.push_back(std::move(sentence));
+  }
+  for (auto _ : state) {
+    auto w2v = text::Word2Vec::Create(200, config);
+    w2v->Train(corpus);
+    benchmark::DoNotOptimize(w2v->embeddings().data());
+  }
+}
+BENCHMARK(BM_Word2VecEpoch);
+
+}  // namespace
+}  // namespace adamine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Reproduces Table 3: "State-of-the-art comparison" — Random, CCA, PWC*,
+// PWC++ and every AdaMine scenario, on the scaled 1k setup (10 bags of 250)
+// and 10k setup (5 bags of 750), both retrieval directions.
+//
+// Paper shape to check: Random >> CCA > PWC* > PWC++ > AdaMine variants;
+// AdaMine_sem far worse than instance-based variants; AdaMine_avg worse
+// than AdaMine; AdaMine_ingr / AdaMine_instr much worse than the full
+// model, with instructions-only ahead of ingredients-only.
+
+#include <cstdio>
+
+#include <iostream>
+#include <optional>
+
+#include "baselines/cca.h"
+#include "baselines/cca_features.h"
+#include "bench_common.h"
+
+namespace adamine {
+namespace {
+
+namespace core = adamine::core;
+
+struct RowSpec {
+  std::string name;
+  std::optional<core::Scenario> scenario;  // nullopt = non-trained baseline.
+  bool use_ingredients = true;
+  bool use_instructions = true;
+};
+
+eval::CrossModalResult Evaluate(const Tensor& img, const Tensor& rec,
+                                int64_t bag, int64_t bags) {
+  Rng rng(5);
+  return eval::EvaluateBags(img, rec, bag, bags, rng);
+}
+
+int Run() {
+  auto pipeline = core::Pipeline::Create(bench::StandardPipelineConfig());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto& pipe = *pipeline.value();
+  std::printf("== Table 3: state-of-the-art comparison ==\n");
+  std::printf("(%zu train / %zu test pairs; small setup: %lldx%lld, large "
+              "setup: %lldx%lld)\n",
+              pipe.train_set().size(), pipe.test_set().size(),
+              static_cast<long long>(bench::kSmallBagCount),
+              static_cast<long long>(bench::kSmallBagSize),
+              static_cast<long long>(bench::kLargeBagCount),
+              static_cast<long long>(bench::kLargeBagSize));
+
+  TablePrinter small_table(bench::MetricsHeader("Model (1k-analogue)"));
+  TablePrinter large_table(bench::MetricsHeader("Model (10k-analogue)"));
+
+  const RowSpec rows[] = {
+      {"Random", std::nullopt},
+      {"CCA", std::nullopt},
+      {"PWC*", core::Scenario::kPwcStar},
+      {"PWC++", core::Scenario::kPwcPlusPlus},
+      {"AdaMine_sem", core::Scenario::kAdaMineSem},
+      {"AdaMine_ins", core::Scenario::kAdaMineIns},
+      {"AdaMine_ins+cls", core::Scenario::kAdaMineInsCls},
+      {"AdaMine_avg", core::Scenario::kAdaMineAvg},
+      {"AdaMine_ingr", core::Scenario::kAdaMine, true, false},
+      {"AdaMine_instr", core::Scenario::kAdaMine, false, true},
+      {"AdaMine", core::Scenario::kAdaMine},
+  };
+
+  for (const RowSpec& spec : rows) {
+    Tensor img_emb;
+    Tensor rec_emb;
+    if (!spec.scenario.has_value()) {
+      if (spec.name == "Random") {
+        Rng rng(99);
+        img_emb = Tensor::Randn(
+            {static_cast<int64_t>(pipe.test_set().size()), 32}, rng);
+        rec_emb = Tensor::Randn(
+            {static_cast<int64_t>(pipe.test_set().size()), 32}, rng);
+      } else {  // CCA: fit on train features, project test features.
+        Tensor train_img = baselines::BuildImageFeatures(pipe.train_set());
+        Tensor train_txt = baselines::BuildTextFeatures(
+            pipe.train_set(), pipe.word_embeddings());
+        baselines::CcaConfig config;
+        config.dim = 32;
+        auto cca = baselines::Cca::Fit(train_img, train_txt, config);
+        if (!cca.ok()) {
+          std::fprintf(stderr, "CCA: %s\n", cca.status().ToString().c_str());
+          return 1;
+        }
+        img_emb = cca->ProjectX(baselines::BuildImageFeatures(pipe.test_set()));
+        rec_emb = cca->ProjectY(baselines::BuildTextFeatures(
+            pipe.test_set(), pipe.word_embeddings()));
+      }
+    } else {
+      auto run = pipe.Run(bench::StandardTrainConfig(*spec.scenario),
+                          spec.use_ingredients, spec.use_instructions);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      img_emb = run->test_embeddings.image_emb;
+      rec_emb = run->test_embeddings.recipe_emb;
+    }
+
+    std::vector<std::string> small_row = {spec.name};
+    bench::AppendMetricsCells(Evaluate(img_emb, rec_emb, bench::kSmallBagSize,
+                                       bench::kSmallBagCount),
+                              small_row);
+    small_table.AddRow(small_row);
+    std::vector<std::string> large_row = {spec.name};
+    bench::AppendMetricsCells(Evaluate(img_emb, rec_emb, bench::kLargeBagSize,
+                                       bench::kLargeBagCount),
+                              large_row);
+    large_table.AddRow(large_row);
+    std::printf("  done: %s\n", spec.name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n-- scaled 1k setup --\n");
+  small_table.Print(std::cout);
+  std::printf("\n-- scaled 10k setup --\n");
+  large_table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamine
+
+int main() { return adamine::Run(); }

@@ -1,0 +1,63 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adamine::ag {
+
+namespace {
+
+/// Evaluates f at the given raw input tensors and returns the scalar value.
+double Eval(const std::function<Var(const std::vector<Var>&)>& f,
+            const std::vector<Tensor>& inputs) {
+  std::vector<Var> vars;
+  vars.reserve(inputs.size());
+  for (const auto& t : inputs) vars.emplace_back(t.Clone(), false);
+  Var out = f(vars);
+  ADAMINE_CHECK_EQ(out.value().numel(), 1);
+  return out.value()[0];
+}
+
+}  // namespace
+
+GradCheckResult GradCheck(
+    const std::function<Var(const std::vector<Var>&)>& f,
+    const std::vector<Tensor>& inputs, double eps, double tol) {
+  // Analytic gradients.
+  std::vector<Var> vars;
+  vars.reserve(inputs.size());
+  for (const auto& t : inputs) vars.emplace_back(t.Clone(), true);
+  Var out = f(vars);
+  ADAMINE_CHECK_EQ(out.value().numel(), 1);
+  Backward(out);
+
+  GradCheckResult result;
+  result.ok = true;
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    const Tensor& analytic = vars[k].grad();
+    const int64_t n = inputs[k].numel();
+    for (int64_t i = 0; i < n; ++i) {
+      std::vector<Tensor> plus;
+      std::vector<Tensor> minus;
+      for (const auto& t : inputs) {
+        plus.push_back(t.Clone());
+        minus.push_back(t.Clone());
+      }
+      plus[k][i] += static_cast<float>(eps);
+      minus[k][i] -= static_cast<float>(eps);
+      const double numeric =
+          (Eval(f, plus) - Eval(f, minus)) / (2.0 * eps);
+      const double err = std::fabs(numeric - analytic[i]);
+      if (err > result.max_abs_err) {
+        result.max_abs_err = err;
+        result.worst_input = static_cast<int>(k);
+        result.worst_elem = i;
+      }
+      if (err > tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace adamine::ag

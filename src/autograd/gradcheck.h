@@ -1,0 +1,35 @@
+#ifndef ADAMINE_AUTOGRAD_GRADCHECK_H_
+#define ADAMINE_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adamine::ag {
+
+/// Outcome of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = false;
+  /// Largest absolute difference between analytic and numeric gradient.
+  double max_abs_err = 0.0;
+  /// Index of the worst input tensor / element, for debugging.
+  int worst_input = -1;
+  int64_t worst_elem = -1;
+};
+
+/// Verifies the analytic gradient of `f` against central finite differences.
+///
+/// `f` is called with leaf Vars wrapping copies of `inputs` (all with
+/// requires_grad) and must return a scalar Var built from autograd ops. The
+/// check perturbs every element of every input by +-eps.
+///
+/// Tolerance is absolute: |analytic - numeric| <= tol for every element.
+/// float32 arithmetic makes ~1e-2 a reasonable default with eps ~ 1e-2.
+GradCheckResult GradCheck(
+    const std::function<Var(const std::vector<Var>&)>& f,
+    const std::vector<Tensor>& inputs, double eps = 1e-2, double tol = 1e-2);
+
+}  // namespace adamine::ag
+
+#endif  // ADAMINE_AUTOGRAD_GRADCHECK_H_

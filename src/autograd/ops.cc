@@ -1,0 +1,343 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::ag {
+
+namespace {
+
+/// Builds a result node from `value` with the given parents; wires
+/// requires_grad as the OR of the parents' flags.
+Var MakeResult(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+               std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    if (p && p->requires_grad) node->requires_grad = true;
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return Var(node);
+}
+
+/// Accumulates `delta` into `target`'s grad if it participates in autodiff.
+void Accumulate(const std::shared_ptr<Node>& target, const Tensor& delta) {
+  if (!target->requires_grad) return;
+  target->EnsureGrad();
+  AddInPlace(target->grad, delta);
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = adamine::Add(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return MakeResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+    Accumulate(pa, n.grad);
+    Accumulate(pb, n.grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = adamine::Sub(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return MakeResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+    Accumulate(pa, n.grad);
+    if (pb->requires_grad) {
+      Tensor neg = adamine::Scale(n.grad, -1.0f);
+      Accumulate(pb, neg);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = adamine::Mul(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return MakeResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+    if (pa->requires_grad) Accumulate(pa, adamine::Mul(n.grad, pb->value));
+    if (pb->requires_grad) Accumulate(pb, adamine::Mul(n.grad, pa->value));
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  Tensor out = adamine::Scale(a.value(), s);
+  auto pa = a.node();
+  return MakeResult(std::move(out), {pa}, [pa, s](Node& n) {
+    if (pa->requires_grad) Accumulate(pa, adamine::Scale(n.grad, s));
+  });
+}
+
+Var AddScalar(const Var& a, float s) {
+  Tensor out = adamine::AddScalar(a.value(), s);
+  auto pa = a.node();
+  return MakeResult(std::move(out), {pa},
+                    [pa](Node& n) { Accumulate(pa, n.grad); });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = Gemm(a.value(), false, b.value(), false);
+  auto pa = a.node();
+  auto pb = b.node();
+  return MakeResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+    if (pa->requires_grad) {
+      Tensor ga = Gemm(n.grad, false, pb->value, true);
+      Accumulate(pa, ga);
+    }
+    if (pb->requires_grad) {
+      Tensor gb = Gemm(pa->value, true, n.grad, false);
+      Accumulate(pb, gb);
+    }
+  });
+}
+
+Var AddRowBroadcast(const Var& x, const Var& bias) {
+  Tensor out = adamine::AddRowBroadcast(x.value(), bias.value());
+  auto px = x.node();
+  auto pb = bias.node();
+  return MakeResult(std::move(out), {px, pb}, [px, pb](Node& n) {
+    Accumulate(px, n.grad);
+    if (pb->requires_grad) {
+      Tensor gb = ColSum(n.grad);
+      gb = gb.Reshape(pb->value.shape());
+      Accumulate(pb, gb);
+    }
+  });
+}
+
+Var Tanh(const Var& a) {
+  Tensor out = adamine::Tanh(a.value());
+  auto pa = a.node();
+  Tensor y = out;  // Alias: captured for the backward formula.
+  return MakeResult(std::move(out), {pa}, [pa, y](Node& n) {
+    if (!pa->requires_grad) return;
+    // dx = g * (1 - y^2)
+    Tensor d(y.shape());
+    const float* gy = n.grad.data();
+    const float* py = y.data();
+    float* pd = d.data();
+    const int64_t m = y.numel();
+    for (int64_t i = 0; i < m; ++i) pd[i] = gy[i] * (1.0f - py[i] * py[i]);
+    Accumulate(pa, d);
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor out = adamine::Sigmoid(a.value());
+  auto pa = a.node();
+  Tensor y = out;
+  return MakeResult(std::move(out), {pa}, [pa, y](Node& n) {
+    if (!pa->requires_grad) return;
+    Tensor d(y.shape());
+    const float* gy = n.grad.data();
+    const float* py = y.data();
+    float* pd = d.data();
+    const int64_t m = y.numel();
+    for (int64_t i = 0; i < m; ++i) pd[i] = gy[i] * py[i] * (1.0f - py[i]);
+    Accumulate(pa, d);
+  });
+}
+
+Var Relu(const Var& a) {
+  Tensor out = adamine::Relu(a.value());
+  auto pa = a.node();
+  Tensor y = out;
+  return MakeResult(std::move(out), {pa}, [pa, y](Node& n) {
+    if (!pa->requires_grad) return;
+    Tensor d(y.shape());
+    const float* gy = n.grad.data();
+    const float* py = y.data();
+    float* pd = d.data();
+    const int64_t m = y.numel();
+    for (int64_t i = 0; i < m; ++i) pd[i] = py[i] > 0.0f ? gy[i] : 0.0f;
+    Accumulate(pa, d);
+  });
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  Tensor out = adamine::ConcatCols(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  const int64_t ca = a.value().cols();
+  const int64_t cb = b.value().cols();
+  return MakeResult(std::move(out), {pa, pb}, [pa, pb, ca, cb](Node& n) {
+    if (pa->requires_grad) {
+      Accumulate(pa, adamine::SliceCols(n.grad, 0, ca));
+    }
+    if (pb->requires_grad) {
+      Accumulate(pb, adamine::SliceCols(n.grad, ca, ca + cb));
+    }
+  });
+}
+
+Var SliceCols(const Var& a, int64_t c0, int64_t c1) {
+  Tensor out = adamine::SliceCols(a.value(), c0, c1);
+  auto pa = a.node();
+  return MakeResult(std::move(out), {pa}, [pa, c0, c1](Node& n) {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    const int64_t rows = n.grad.rows();
+    const int64_t w = c1 - c0;
+    const int64_t c = pa->value.cols();
+    for (int64_t i = 0; i < rows; ++i) {
+      const float* g = n.grad.data() + i * w;
+      float* dst = pa->grad.data() + i * c + c0;
+      for (int64_t j = 0; j < w; ++j) dst[j] += g[j];
+    }
+  });
+}
+
+Var ScaleRows(const Var& x, const Tensor& weights) {
+  ADAMINE_CHECK_EQ(x.value().ndim(), 2);
+  ADAMINE_CHECK_EQ(weights.numel(), x.value().rows());
+  const int64_t rows = x.value().rows();
+  const int64_t cols = x.value().cols();
+  Tensor out = x.value().Clone();
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = out.data() + i * cols;
+    const float w = weights[i];
+    for (int64_t j = 0; j < cols; ++j) row[j] *= w;
+  }
+  auto px = x.node();
+  Tensor w = weights;  // Alias capture.
+  return MakeResult(std::move(out), {px}, [px, w, cols](Node& n) {
+    if (!px->requires_grad) return;
+    Tensor d = n.grad.Clone();
+    const int64_t rows = d.rows();
+    for (int64_t i = 0; i < rows; ++i) {
+      float* row = d.data() + i * cols;
+      const float wi = w[i];
+      for (int64_t j = 0; j < cols; ++j) row[j] *= wi;
+    }
+    Accumulate(px, d);
+  });
+}
+
+Var Rows(const Var& table, const std::vector<int64_t>& indices) {
+  ADAMINE_CHECK_EQ(table.value().ndim(), 2);
+  const int64_t c = table.value().cols();
+  const int64_t v = table.value().rows();
+  Tensor out({static_cast<int64_t>(indices.size()), c});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    if (r < 0) continue;  // Padding row stays zero.
+    ADAMINE_CHECK_LT(r, v);
+    const float* src = table.value().data() + r * c;
+    std::copy(src, src + c, out.data() + static_cast<int64_t>(i) * c);
+  }
+  auto pt = table.node();
+  std::vector<int64_t> idx = indices;
+  return MakeResult(std::move(out), {pt}, [pt, idx, c](Node& n) {
+    if (!pt->requires_grad) return;
+    pt->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const int64_t r = idx[i];
+      if (r < 0) continue;
+      float* dst = pt->grad.data() + r * c;
+      const float* g = n.grad.data() + static_cast<int64_t>(i) * c;
+      for (int64_t j = 0; j < c; ++j) dst[j] += g[j];
+    }
+  });
+}
+
+Var L2NormalizeRows(const Var& x) {
+  ADAMINE_CHECK_EQ(x.value().ndim(), 2);
+  Tensor norms = RowNorms(x.value());
+  Tensor out = adamine::L2NormalizeRows(x.value());
+  auto px = x.node();
+  Tensor y = out;
+  return MakeResult(std::move(out), {px}, [px, y, norms](Node& n) {
+    if (!px->requires_grad) return;
+    // For row vectors: y = x / |x|; dx = (g - (g . y) y) / |x|.
+    const int64_t rows = y.rows();
+    const int64_t cols = y.cols();
+    Tensor d({rows, cols});
+    for (int64_t i = 0; i < rows; ++i) {
+      const float* g = n.grad.data() + i * cols;
+      const float* yr = y.data() + i * cols;
+      float* dr = d.data() + i * cols;
+      const float norm = norms[i];
+      if (norm < 1e-12f) continue;  // Zero row: gradient undefined, use 0.
+      double dot = 0.0;
+      for (int64_t j = 0; j < cols; ++j) dot += double(g[j]) * yr[j];
+      const float fd = static_cast<float>(dot);
+      const float inv = 1.0f / norm;
+      for (int64_t j = 0; j < cols; ++j) dr[j] = (g[j] - fd * yr[j]) * inv;
+    }
+    Accumulate(px, d);
+  });
+}
+
+Var SoftmaxCrossEntropy(const Var& logits,
+                        const std::vector<int64_t>& labels) {
+  ADAMINE_CHECK_EQ(logits.value().ndim(), 2);
+  ADAMINE_CHECK_EQ(static_cast<int64_t>(labels.size()),
+                   logits.value().rows());
+  const int64_t rows = logits.value().rows();
+  const int64_t classes = logits.value().cols();
+  Tensor probs = SoftmaxRows(logits.value());
+  int64_t count = 0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t label = labels[i];
+    if (label < 0) continue;
+    ADAMINE_CHECK_LT(label, classes);
+    ++count;
+    loss -= std::log(std::max(1e-12f, probs.At(i, label)));
+  }
+  Tensor out({1});
+  out[0] = count > 0 ? static_cast<float>(loss / count) : 0.0f;
+  auto pl = logits.node();
+  std::vector<int64_t> lab = labels;
+  return MakeResult(
+      std::move(out), {pl}, [pl, lab, probs, count](Node& n) {
+        if (!pl->requires_grad || count == 0) return;
+        const float scale = n.grad[0] / static_cast<float>(count);
+        const int64_t rows = probs.rows();
+        const int64_t classes = probs.cols();
+        Tensor d({rows, classes});
+        for (int64_t i = 0; i < rows; ++i) {
+          const int64_t label = lab[i];
+          if (label < 0) continue;
+          const float* p = probs.data() + i * classes;
+          float* dr = d.data() + i * classes;
+          for (int64_t j = 0; j < classes; ++j) dr[j] = scale * p[j];
+          dr[label] -= scale;
+        }
+        Accumulate(pl, d);
+      });
+}
+
+Var SumAllV(const Var& a) {
+  Tensor out({1});
+  out[0] = SumAll(a.value());
+  auto pa = a.node();
+  return MakeResult(std::move(out), {pa}, [pa](Node& n) {
+    if (!pa->requires_grad) return;
+    Tensor d(pa->value.shape());
+    d.Fill(n.grad[0]);
+    Accumulate(pa, d);
+  });
+}
+
+Var MeanAllV(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().numel());
+  Tensor out({1});
+  out[0] = SumAll(a.value()) * inv;
+  auto pa = a.node();
+  return MakeResult(std::move(out), {pa}, [pa, inv](Node& n) {
+    if (!pa->requires_grad) return;
+    Tensor d(pa->value.shape());
+    d.Fill(n.grad[0] * inv);
+    Accumulate(pa, d);
+  });
+}
+
+}  // namespace adamine::ag

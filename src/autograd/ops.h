@@ -1,0 +1,55 @@
+#ifndef ADAMINE_AUTOGRAD_OPS_H_
+#define ADAMINE_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adamine::ag {
+
+// Differentiable graph-building counterparts of the tensor kernels. Each
+// returns a new Var whose node records how to push gradients to its inputs.
+
+/// Elementwise a + b.
+Var Add(const Var& a, const Var& b);
+/// Elementwise a - b.
+Var Sub(const Var& a, const Var& b);
+/// Elementwise a * b.
+Var Mul(const Var& a, const Var& b);
+/// a * s.
+Var Scale(const Var& a, float s);
+/// a + s (elementwise).
+Var AddScalar(const Var& a, float s);
+/// Matrix product A [M,K] * B [K,N].
+Var MatMul(const Var& a, const Var& b);
+/// Adds a length-C bias row to every row of the [N, C] input.
+Var AddRowBroadcast(const Var& x, const Var& bias);
+/// Elementwise nonlinearities.
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var Relu(const Var& a);
+/// Horizontal concatenation of two [N, *] matrices.
+Var ConcatCols(const Var& a, const Var& b);
+/// Columns [c0, c1) of a 2-D input.
+Var SliceCols(const Var& a, int64_t c0, int64_t c1);
+/// Multiplies row i of x by weights[i] (weights is a constant [N] tensor,
+/// e.g. a sequence mask; no gradient flows into it).
+Var ScaleRows(const Var& x, const Tensor& weights);
+/// Stacks rows `indices[i]` of `table` into an [n, C] output. An index of -1
+/// produces a zero row (padding). Backward scatter-adds into the table, so
+/// this implements both embedding lookup and row regrouping.
+Var Rows(const Var& table, const std::vector<int64_t>& indices);
+/// Each row scaled to unit L2 norm.
+Var L2NormalizeRows(const Var& x);
+/// Mean softmax cross-entropy of logits [N, C] against integer labels;
+/// label -1 means "ignore this row". Returns a scalar [1]. If every label is
+/// -1 the result is 0 with zero gradient.
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int64_t>& labels);
+/// Sum / mean of all elements -> scalar [1].
+Var SumAllV(const Var& a);
+Var MeanAllV(const Var& a);
+
+}  // namespace adamine::ag
+
+#endif  // ADAMINE_AUTOGRAD_OPS_H_

@@ -1,0 +1,113 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::ag {
+
+void Node::EnsureGrad() {
+  if (!grad.defined()) grad = Tensor(value.shape());
+}
+
+Var::Var(Tensor value, bool requires_grad) : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  ADAMINE_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  ADAMINE_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Var::grad() const {
+  ADAMINE_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+bool Var::requires_grad() const {
+  ADAMINE_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Var::ZeroGrad() const {
+  ADAMINE_CHECK(defined());
+  if (node_->grad.defined()) node_->grad.Zero();
+}
+
+namespace {
+
+/// Depth-first post-order over the graph reachable from `roots`, restricted
+/// to nodes that require grad. Iterative to avoid stack overflow on long
+/// LSTM chains.
+void TopoSort(const std::vector<std::shared_ptr<Node>>& roots,
+              std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  for (const auto& root : roots) {
+    if (root == nullptr || !root->requires_grad) continue;
+    if (visited.count(root.get())) continue;
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next_parent < top.node->parents.size()) {
+        Node* parent = top.node->parents[top.next_parent++].get();
+        if (parent != nullptr && parent->requires_grad &&
+            !visited.count(parent)) {
+          visited.insert(parent);
+          stack.push_back({parent, 0});
+        }
+      } else {
+        order.push_back(top.node);
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const std::vector<Var>& roots,
+              const std::vector<Tensor>& root_grads) {
+  ADAMINE_CHECK_EQ(roots.size(), root_grads.size());
+  std::vector<std::shared_ptr<Node>> root_nodes;
+  root_nodes.reserve(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    ADAMINE_CHECK(roots[i].defined());
+    ADAMINE_CHECK(SameShape(roots[i].value(), root_grads[i]));
+    Node* n = roots[i].node().get();
+    if (!n->requires_grad) continue;  // Nothing reachable needs gradients.
+    n->EnsureGrad();
+    AddInPlace(n->grad, root_grads[i]);
+    root_nodes.push_back(roots[i].node());
+  }
+  std::vector<Node*> order;
+  TopoSort(root_nodes, order);
+  // Post-order puts leaves first; propagate from the roots backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.defined()) n->backward_fn(*n);
+  }
+}
+
+void Backward(const Var& root) {
+  ADAMINE_CHECK(root.defined());
+  ADAMINE_CHECK_EQ(root.value().numel(), 1);
+  Tensor seed(root.value().shape());
+  seed.Fill(1.0f);
+  Backward({root}, {seed});
+}
+
+}  // namespace adamine::ag

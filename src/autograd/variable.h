@@ -1,0 +1,69 @@
+#ifndef ADAMINE_AUTOGRAD_VARIABLE_H_
+#define ADAMINE_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adamine::ag {
+
+/// A node in the reverse-mode autodiff graph. Holds the forward value, the
+/// (lazily allocated) gradient accumulator, the parent nodes this value was
+/// computed from, and the closure that propagates `grad` into the parents.
+struct Node {
+  Tensor value;
+  Tensor grad;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this node's `grad` into `parents[*]->grad`. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Allocates `grad` as zeros of `value`'s shape if not yet allocated.
+  void EnsureGrad();
+};
+
+/// Handle to a Node. Vars are cheap to copy; two copies refer to the same
+/// graph node. The autodiff graph is built by the free functions in ops.h
+/// and torn down when the last Var referencing it goes out of scope.
+class Var {
+ public:
+  /// Undefined variable (no node).
+  Var() = default;
+
+  /// Leaf variable wrapping `value`. If `requires_grad`, gradients will be
+  /// accumulated into it during Backward (this is how parameters are made).
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  /// Wraps an existing node.
+  explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  /// Gradient accumulator; allocates zeros on first access.
+  Tensor& grad() const;
+  bool requires_grad() const;
+
+  /// Clears the gradient (sets to zeros if allocated).
+  void ZeroGrad() const;
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode differentiation seeding `root_grads[i]` at
+/// `roots[i]` and accumulating into every reachable leaf with
+/// requires_grad. Root gradients must match the root value shapes.
+void Backward(const std::vector<Var>& roots,
+              const std::vector<Tensor>& root_grads);
+
+/// Convenience for a scalar loss: seeds gradient 1 at `root` (numel()==1).
+void Backward(const Var& root);
+
+}  // namespace adamine::ag
+
+#endif  // ADAMINE_AUTOGRAD_VARIABLE_H_

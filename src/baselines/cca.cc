@@ -1,0 +1,88 @@
+#include "baselines/cca.h"
+
+#include <algorithm>
+
+#include "linalg/eigen.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::baselines {
+
+Status CcaConfig::Validate() const {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (ridge < 0.0) return Status::InvalidArgument("ridge must be >= 0");
+  return Status::Ok();
+}
+
+StatusOr<Cca> Cca::Fit(const Tensor& x, const Tensor& y,
+                       const CcaConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (x.ndim() != 2 || y.ndim() != 2) {
+    return Status::InvalidArgument("views must be 2-D");
+  }
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("views must have matched rows");
+  }
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("need at least 2 matched pairs");
+  }
+  if (config.dim > std::min(x.cols(), y.cols())) {
+    return Status::InvalidArgument("dim exceeds view dimensionality");
+  }
+
+  Tensor xc = x.Clone();
+  Tensor yc = y.Clone();
+  Cca cca;
+  cca.mean_x_ = linalg::CenterColumns(xc);
+  cca.mean_y_ = linalg::CenterColumns(yc);
+
+  const float inv_n = 1.0f / static_cast<float>(x.rows() - 1);
+  Tensor sxx = Gemm(xc, true, xc, false);
+  ScaleInPlace(sxx, inv_n);
+  Tensor syy = Gemm(yc, true, yc, false);
+  ScaleInPlace(syy, inv_n);
+  Tensor sxy = Gemm(xc, true, yc, false);
+  ScaleInPlace(sxy, inv_n);
+
+  Tensor sxx_isqrt = linalg::InverseSqrt(sxx, config.ridge);
+  Tensor syy_isqrt = linalg::InverseSqrt(syy, config.ridge);
+  // M = Sxx^{-1/2} Sxy Syy^{-1/2}; its SVD gives the canonical directions.
+  Tensor m = MatMul(MatMul(sxx_isqrt, sxy), syy_isqrt);
+  linalg::SvdResult svd = linalg::Svd(m);
+
+  Tensor u_k = SliceCols(svd.u, 0, config.dim);
+  Tensor v_k = SliceCols(svd.v, 0, config.dim);
+  cca.wx_ = MatMul(sxx_isqrt, u_k);
+  cca.wy_ = MatMul(syy_isqrt, v_k);
+  cca.correlations_ = Tensor({config.dim});
+  for (int64_t i = 0; i < config.dim; ++i) {
+    cca.correlations_[i] = std::min(1.0f, std::max(0.0f, svd.s[i]));
+  }
+  return cca;
+}
+
+namespace {
+
+Tensor CenterWith(const Tensor& a, const Tensor& mean) {
+  ADAMINE_CHECK_EQ(a.cols(), mean.numel());
+  Tensor out = a.Clone();
+  const int64_t n = out.rows();
+  const int64_t c = out.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * c;
+    for (int64_t j = 0; j < c; ++j) row[j] -= mean[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Cca::ProjectX(const Tensor& x) const {
+  return MatMul(CenterWith(x, mean_x_), wx_);
+}
+
+Tensor Cca::ProjectY(const Tensor& y) const {
+  return MatMul(CenterWith(y, mean_y_), wy_);
+}
+
+}  // namespace adamine::baselines

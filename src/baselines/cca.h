@@ -1,0 +1,52 @@
+#ifndef ADAMINE_BASELINES_CCA_H_
+#define ADAMINE_BASELINES_CCA_H_
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::baselines {
+
+/// Canonical Correlation Analysis configuration.
+struct CcaConfig {
+  /// Number of canonical components (shared-space dimension).
+  int64_t dim = 32;
+  /// Ridge added to both covariance matrices for stability.
+  double ridge = 1e-3;
+
+  Status Validate() const;
+};
+
+/// Classic CCA (Hotelling 1936) — the paper's global-alignment baseline.
+/// Finds projections of two views X [N, Dx] and Y [N, Dy] maximising the
+/// correlation of matched rows in the shared space; cross-modal retrieval
+/// then ranks by cosine distance between projected views.
+class Cca {
+ public:
+  /// Fits on matched view pairs (row i of x corresponds to row i of y).
+  /// Requires at least 2 rows and dim <= min(Dx, Dy).
+  static StatusOr<Cca> Fit(const Tensor& x, const Tensor& y,
+                           const CcaConfig& config);
+
+  /// Projects new X-view rows -> [N, dim] (centering with training means).
+  Tensor ProjectX(const Tensor& x) const;
+  /// Projects new Y-view rows -> [N, dim].
+  Tensor ProjectY(const Tensor& y) const;
+
+  /// Canonical correlations, descending, [dim].
+  const Tensor& correlations() const { return correlations_; }
+
+  int64_t dim() const { return wx_.cols(); }
+
+ private:
+  Cca() = default;
+
+  Tensor mean_x_;  // [Dx]
+  Tensor mean_y_;  // [Dy]
+  Tensor wx_;      // [Dx, dim]
+  Tensor wy_;      // [Dy, dim]
+  Tensor correlations_;
+};
+
+}  // namespace adamine::baselines
+
+#endif  // ADAMINE_BASELINES_CCA_H_

@@ -1,0 +1,61 @@
+#include "baselines/cca_features.h"
+
+#include "util/check.h"
+
+namespace adamine::baselines {
+
+namespace {
+
+/// Adds row `id` of `table` into `acc` and bumps the count; skips padding.
+void Accumulate(const Tensor& table, int64_t id, float* acc,
+                int64_t& count) {
+  if (id < 0) return;
+  ADAMINE_CHECK_LT(id, table.rows());
+  const int64_t d = table.cols();
+  const float* row = table.data() + id * d;
+  for (int64_t j = 0; j < d; ++j) acc[j] += row[j];
+  ++count;
+}
+
+}  // namespace
+
+Tensor BuildTextFeatures(const std::vector<data::EncodedRecipe>& recipes,
+                         const Tensor& word_embeddings) {
+  ADAMINE_CHECK(!recipes.empty());
+  const int64_t d = word_embeddings.cols();
+  Tensor out({static_cast<int64_t>(recipes.size()), 2 * d});
+  for (size_t i = 0; i < recipes.size(); ++i) {
+    float* row = out.data() + static_cast<int64_t>(i) * 2 * d;
+    int64_t ingr_count = 0;
+    for (int64_t id : recipes[i].ingredient_tokens) {
+      Accumulate(word_embeddings, id, row, ingr_count);
+    }
+    if (ingr_count > 0) {
+      for (int64_t j = 0; j < d; ++j) row[j] /= ingr_count;
+    }
+    int64_t word_count = 0;
+    for (const auto& sentence : recipes[i].instruction_sentences) {
+      for (int64_t id : sentence) {
+        Accumulate(word_embeddings, id, row + d, word_count);
+      }
+    }
+    if (word_count > 0) {
+      for (int64_t j = 0; j < d; ++j) row[d + j] /= word_count;
+    }
+  }
+  return out;
+}
+
+Tensor BuildImageFeatures(const std::vector<data::EncodedRecipe>& recipes) {
+  ADAMINE_CHECK(!recipes.empty());
+  const int64_t d = recipes[0].image.numel();
+  Tensor out({static_cast<int64_t>(recipes.size()), d});
+  for (size_t i = 0; i < recipes.size(); ++i) {
+    ADAMINE_CHECK_EQ(recipes[i].image.numel(), d);
+    std::copy(recipes[i].image.data(), recipes[i].image.data() + d,
+              out.data() + static_cast<int64_t>(i) * d);
+  }
+  return out;
+}
+
+}  // namespace adamine::baselines

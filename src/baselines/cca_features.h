@@ -1,0 +1,24 @@
+#ifndef ADAMINE_BASELINES_CCA_FEATURES_H_
+#define ADAMINE_BASELINES_CCA_FEATURES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace adamine::baselines {
+
+/// Engineered text features for the CCA baseline (the paper's CCA operates
+/// on fixed features, not learned encoders): mean word2vec vector of the
+/// ingredient tokens concatenated with the mean word2vec vector of all
+/// instruction words -> [N, 2 * word_dim]. Unknown/padding tokens are
+/// skipped; an empty field yields zeros.
+Tensor BuildTextFeatures(const std::vector<data::EncodedRecipe>& recipes,
+                         const Tensor& word_embeddings);
+
+/// Stacks the image feature vectors -> [N, image_dim].
+Tensor BuildImageFeatures(const std::vector<data::EncodedRecipe>& recipes);
+
+}  // namespace adamine::baselines
+
+#endif  // ADAMINE_BASELINES_CCA_FEATURES_H_

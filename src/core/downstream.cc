@@ -1,0 +1,64 @@
+#include "core/downstream.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::core {
+
+Tensor MeanInstructionFeature(CrossModalModel& model,
+                              const std::vector<data::EncodedRecipe>& recipes,
+                              int64_t chunk_size) {
+  ADAMINE_CHECK(!recipes.empty());
+  const int64_t n = static_cast<int64_t>(recipes.size());
+  Tensor sum({1, model.config().sentence_hidden});
+  for (int64_t start = 0; start < n; start += chunk_size) {
+    const int64_t end = std::min(n, start + chunk_size);
+    std::vector<const data::EncodedRecipe*> batch;
+    for (int64_t i = start; i < end; ++i) {
+      batch.push_back(&recipes[static_cast<size_t>(i)]);
+    }
+    Tensor features = model.InstructionFeatures(batch).value();
+    Tensor col = ColSum(features);
+    AddInPlace(sum, col.Reshape({1, sum.cols()}));
+  }
+  ScaleInPlace(sum, 1.0f / static_cast<float>(n));
+  return sum;
+}
+
+Tensor EmbedIngredientQuery(CrossModalModel& model,
+                            const text::Vocabulary& vocab,
+                            const std::string& ingredient,
+                            const Tensor& mean_instruction_feature) {
+  ADAMINE_CHECK(model.config().use_ingredients);
+  ADAMINE_CHECK(model.config().use_instructions);
+  data::EncodedRecipe query;
+  query.ingredient_tokens = {vocab.IdOf(ingredient)};
+  ag::Var ingr = model.IngredientFeatures({&query});
+  ag::Var instr(mean_instruction_feature.Clone(), /*requires_grad=*/false);
+  Tensor emb = model.FuseTextFeatures(ingr, instr).value();
+  return emb.Reshape({emb.numel()});
+}
+
+data::Recipe RemoveIngredient(const data::Recipe& recipe,
+                              const std::string& ingredient) {
+  data::Recipe out = recipe;
+  out.ingredients.clear();
+  out.ingredient_ids.clear();
+  for (size_t i = 0; i < recipe.ingredients.size(); ++i) {
+    if (recipe.ingredients[i] == ingredient) continue;
+    out.ingredients.push_back(recipe.ingredients[i]);
+    out.ingredient_ids.push_back(recipe.ingredient_ids[i]);
+  }
+  out.instructions.clear();
+  for (const auto& sentence : recipe.instructions) {
+    const bool mentions =
+        std::find(sentence.begin(), sentence.end(), ingredient) !=
+        sentence.end();
+    if (!mentions) out.instructions.push_back(sentence);
+  }
+  return out;
+}
+
+}  // namespace adamine::core

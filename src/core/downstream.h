@@ -1,0 +1,38 @@
+#ifndef ADAMINE_CORE_DOWNSTREAM_H_
+#define ADAMINE_CORE_DOWNSTREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "data/recipe.h"
+#include "text/vocabulary.h"
+
+namespace adamine::core {
+
+/// Mean instruction-branch feature over `recipes` -> [1, sentence_hidden].
+/// This is the paper's Table 4 trick: an ingredient-only query is completed
+/// with "the average of the instruction embeddings over all the training
+/// set" to stay in-distribution.
+Tensor MeanInstructionFeature(CrossModalModel& model,
+                              const std::vector<data::EncodedRecipe>& recipes,
+                              int64_t chunk_size = 256);
+
+/// Latent embedding [latent_dim] of an ingredient-word query: the
+/// ingredient branch sees only `ingredient`, the instruction branch is fed
+/// `mean_instruction_feature`. Requires both branches enabled.
+Tensor EmbedIngredientQuery(CrossModalModel& model,
+                            const text::Vocabulary& vocab,
+                            const std::string& ingredient,
+                            const Tensor& mean_instruction_feature);
+
+/// The paper's Table 5 edit: returns a copy of `recipe` with `ingredient`
+/// deleted from the ingredient list and every instruction sentence that
+/// mentions it dropped.
+data::Recipe RemoveIngredient(const data::Recipe& recipe,
+                              const std::string& ingredient);
+
+}  // namespace adamine::core
+
+#endif  // ADAMINE_CORE_DOWNSTREAM_H_

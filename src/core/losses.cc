@@ -1,0 +1,220 @@
+#include "core/losses.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::core {
+
+namespace {
+
+/// Adds `scale` * row `src_row` of `src` into row `dst_row` of `dst`.
+void AddRow(Tensor& dst, int64_t dst_row, const Tensor& src, int64_t src_row,
+            float scale) {
+  const int64_t d = dst.cols();
+  float* out = dst.data() + dst_row * d;
+  const float* in = src.data() + src_row * d;
+  for (int64_t k = 0; k < d; ++k) out[k] += scale * in[k];
+}
+
+/// Divides the accumulated loss/gradients by the strategy's normaliser.
+void Finalize(BatchLossResult& result, MiningStrategy strategy) {
+  const int64_t denom = std::max<int64_t>(
+      1, strategy == MiningStrategy::kAdaptive ? result.active_triplets
+                                               : result.total_triplets);
+  const float inv = 1.0f / static_cast<float>(denom);
+  result.loss *= inv;
+  ScaleInPlace(result.grad_image, inv);
+  ScaleInPlace(result.grad_recipe, inv);
+}
+
+}  // namespace
+
+BatchLossResult InstanceTripletLoss(const Tensor& image_emb,
+                                    const Tensor& recipe_emb, float margin,
+                                    MiningStrategy strategy) {
+  ADAMINE_CHECK(SameShape(image_emb, recipe_emb));
+  const int64_t b = image_emb.rows();
+  BatchLossResult result;
+  result.grad_image = Tensor(image_emb.shape());
+  result.grad_recipe = Tensor(recipe_emb.shape());
+  // Rows are unit-normalised, so cosine similarity is a plain GEMM.
+  Tensor sims = Gemm(image_emb, false, recipe_emb, true);  // [B, B]
+
+  for (int64_t q = 0; q < b; ++q) {
+    const float pos_i2r = sims.At(q, q);  // Image query q -> recipe q.
+    const float pos_r2i = sims.At(q, q);  // Recipe query q -> image q.
+    for (int64_t n = 0; n < b; ++n) {
+      if (n == q) continue;
+      // Image query: l = [S(q,n) - S(q,q) + margin]_+.
+      {
+        const float viol = sims.At(q, n) - pos_i2r + margin;
+        ++result.total_triplets;
+        if (viol > 0.0f) {
+          ++result.active_triplets;
+          result.loss += viol;
+          // d l / d img_q = rec_n - rec_q; d l / d rec_q = -img_q;
+          // d l / d rec_n = +img_q. (d(x,y) = 1 - x.y on unit rows.)
+          AddRow(result.grad_image, q, recipe_emb, n, 1.0f);
+          AddRow(result.grad_image, q, recipe_emb, q, -1.0f);
+          AddRow(result.grad_recipe, q, image_emb, q, -1.0f);
+          AddRow(result.grad_recipe, n, image_emb, q, 1.0f);
+        }
+      }
+      // Recipe query: l = [S(n,q) - S(q,q) + margin]_+.
+      {
+        const float viol = sims.At(n, q) - pos_r2i + margin;
+        ++result.total_triplets;
+        if (viol > 0.0f) {
+          ++result.active_triplets;
+          result.loss += viol;
+          AddRow(result.grad_recipe, q, image_emb, n, 1.0f);
+          AddRow(result.grad_recipe, q, image_emb, q, -1.0f);
+          AddRow(result.grad_image, q, recipe_emb, q, -1.0f);
+          AddRow(result.grad_image, n, recipe_emb, q, 1.0f);
+        }
+      }
+    }
+  }
+  Finalize(result, strategy);
+  return result;
+}
+
+BatchLossResult SemanticTripletLoss(const Tensor& image_emb,
+                                    const Tensor& recipe_emb,
+                                    const std::vector<int64_t>& labels,
+                                    float margin, MiningStrategy strategy,
+                                    Rng& rng) {
+  ADAMINE_CHECK(SameShape(image_emb, recipe_emb));
+  const int64_t b = image_emb.rows();
+  ADAMINE_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  BatchLossResult result;
+  result.grad_image = Tensor(image_emb.shape());
+  result.grad_recipe = Tensor(recipe_emb.shape());
+
+  // Labeled items and per-query candidate sets.
+  std::vector<int64_t> labeled;
+  for (int64_t i = 0; i < b; ++i) {
+    if (labels[static_cast<size_t>(i)] >= 0) labeled.push_back(i);
+  }
+  // Need a labeled query + labeled positive + any third item as negative.
+  if (labeled.size() < 2 || b < 3) return result;
+
+  struct Query {
+    int64_t index;
+    std::vector<int64_t> positives;  // Same class, other item.
+    std::vector<int64_t> negatives;  // Not of the query class.
+  };
+  std::vector<Query> queries;
+  int64_t min_negatives = b;
+  for (int64_t q : labeled) {
+    Query query{q, {}, {}};
+    const int64_t c = labels[static_cast<size_t>(q)];
+    // Positives: labeled items of the query class. Negatives: "the
+    // remaining items that do not belong to the query class" (§4.4) —
+    // unlabeled items count as negatives, exactly as in the paper's batch
+    // construction where only half the pairs carry a class.
+    for (int64_t j = 0; j < b; ++j) {
+      if (j == q) continue;
+      if (labels[static_cast<size_t>(j)] == c) {
+        query.positives.push_back(j);
+      } else {
+        query.negatives.push_back(j);
+      }
+    }
+    if (query.positives.empty() || query.negatives.empty()) continue;
+    min_negatives = std::min(
+        min_negatives, static_cast<int64_t>(query.negatives.size()));
+    queries.push_back(std::move(query));
+  }
+  if (queries.empty()) return result;
+
+  Tensor sims = Gemm(image_emb, false, recipe_emb, true);  // [B, B]
+
+  for (const Query& query : queries) {
+    const int64_t q = query.index;
+    // One random same-class positive (§4.4); negatives capped to the
+    // smallest negative-ensemble size in the batch for fairness.
+    const int64_t p = query.positives[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(query.positives.size())))];
+    std::vector<int64_t> negatives = query.negatives;
+    if (static_cast<int64_t>(negatives.size()) > min_negatives) {
+      rng.Shuffle(negatives);
+      negatives.resize(static_cast<size_t>(min_negatives));
+    }
+    for (int64_t n : negatives) {
+      // Image query q against recipe positive p and recipe negative n.
+      {
+        const float viol = sims.At(q, n) - sims.At(q, p) + margin;
+        ++result.total_triplets;
+        if (viol > 0.0f) {
+          ++result.active_triplets;
+          result.loss += viol;
+          AddRow(result.grad_image, q, recipe_emb, n, 1.0f);
+          AddRow(result.grad_image, q, recipe_emb, p, -1.0f);
+          AddRow(result.grad_recipe, p, image_emb, q, -1.0f);
+          AddRow(result.grad_recipe, n, image_emb, q, 1.0f);
+        }
+      }
+      // Recipe query q against image positive p and image negative n.
+      {
+        const float viol = sims.At(n, q) - sims.At(p, q) + margin;
+        ++result.total_triplets;
+        if (viol > 0.0f) {
+          ++result.active_triplets;
+          result.loss += viol;
+          AddRow(result.grad_recipe, q, image_emb, n, 1.0f);
+          AddRow(result.grad_recipe, q, image_emb, p, -1.0f);
+          AddRow(result.grad_image, p, recipe_emb, q, -1.0f);
+          AddRow(result.grad_image, n, recipe_emb, q, 1.0f);
+        }
+      }
+    }
+  }
+  Finalize(result, strategy);
+  return result;
+}
+
+BatchLossResult PairwiseLoss(const Tensor& image_emb,
+                             const Tensor& recipe_emb, float pos_margin,
+                             float neg_margin) {
+  ADAMINE_CHECK(SameShape(image_emb, recipe_emb));
+  const int64_t b = image_emb.rows();
+  BatchLossResult result;
+  result.grad_image = Tensor(image_emb.shape());
+  result.grad_recipe = Tensor(recipe_emb.shape());
+  Tensor sims = Gemm(image_emb, false, recipe_emb, true);
+
+  for (int64_t i = 0; i < b; ++i) {
+    // Positive pair (i, i): [d - pos_margin]_+ with d = 1 - S(i, i).
+    {
+      const float viol = (1.0f - sims.At(i, i)) - pos_margin;
+      ++result.total_triplets;
+      if (viol > 0.0f) {
+        ++result.active_triplets;
+        result.loss += viol;
+        // d d / d img_i = -rec_i, d d / d rec_i = -img_i.
+        AddRow(result.grad_image, i, recipe_emb, i, -1.0f);
+        AddRow(result.grad_recipe, i, image_emb, i, -1.0f);
+      }
+    }
+    // Negative pairs (i, j), j != i: [neg_margin - d]_+ = [S - (1 - nm)]_+.
+    for (int64_t j = 0; j < b; ++j) {
+      if (j == i) continue;
+      const float viol = neg_margin - (1.0f - sims.At(i, j));
+      ++result.total_triplets;
+      if (viol > 0.0f) {
+        ++result.active_triplets;
+        result.loss += viol;
+        AddRow(result.grad_image, i, recipe_emb, j, 1.0f);
+        AddRow(result.grad_recipe, j, image_emb, i, 1.0f);
+      }
+    }
+  }
+  // Pairwise methods use plain averaging over all pairs.
+  Finalize(result, MiningStrategy::kAverage);
+  return result;
+}
+
+}  // namespace adamine::core

@@ -1,0 +1,68 @@
+#ifndef ADAMINE_CORE_LOSSES_H_
+#define ADAMINE_CORE_LOSSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adamine::core {
+
+/// How per-triplet gradients are aggregated into the batch update (§3.3).
+enum class MiningStrategy {
+  /// AdaMine (Eq. 4-5): normalise by the number of *informative* (non-zero
+  /// loss) triplets, giving an automatic average-to-hard-negative
+  /// curriculum.
+  kAdaptive,
+  /// The common baseline: average over all triplets, informative or not
+  /// (the AdaMine_avg ablation).
+  kAverage,
+};
+
+/// Result of a batch loss evaluated on L2-normalised embedding matrices.
+/// Gradients are with respect to the (normalised) image / recipe embedding
+/// rows and are already divided by the strategy's normaliser, so callers
+/// seed them into the autograd graph unscaled.
+struct BatchLossResult {
+  /// Normalised loss value (sum over triplets / normaliser), for logging.
+  double loss = 0.0;
+  Tensor grad_image;   // [B, D]
+  Tensor grad_recipe;  // [B, D]
+  /// Number of triplets with non-zero loss.
+  int64_t active_triplets = 0;
+  /// Number of triplets considered.
+  int64_t total_triplets = 0;
+};
+
+/// Bidirectional instance triplet loss (Eq. 2): for every image query the
+/// positive is its matching recipe and the negatives are the other recipes
+/// in the batch, and symmetrically for recipe queries. Cosine distance on
+/// unit rows: d(x, y) = 1 - x.y.
+BatchLossResult InstanceTripletLoss(const Tensor& image_emb,
+                                    const Tensor& recipe_emb, float margin,
+                                    MiningStrategy strategy);
+
+/// Bidirectional semantic triplet loss (Eq. 3) over class labels
+/// (`labels[i]` < 0 means unlabeled; such items are neither queries,
+/// positives nor negatives). Following §4.4: the positive for a query is
+/// ONE randomly drawn same-class item in the other modality (excluding the
+/// matching pair), the negative set is every labeled different-class item
+/// in the other modality, and all negative sets in the batch are capped to
+/// the smallest negative-set size for fairness.
+BatchLossResult SemanticTripletLoss(const Tensor& image_emb,
+                                    const Tensor& recipe_emb,
+                                    const std::vector<int64_t>& labels,
+                                    float margin, MiningStrategy strategy,
+                                    Rng& rng);
+
+/// Pairwise loss of PWC / PWC++ (Eq. 6): positive pairs pay
+/// [d(q,p) - pos_margin]_+ and negative pairs pay [neg_margin - d(q,n)]_+,
+/// averaged over all pairs, both directions. PWC* is pos_margin = 0.
+BatchLossResult PairwiseLoss(const Tensor& image_emb,
+                             const Tensor& recipe_emb, float pos_margin,
+                             float neg_margin);
+
+}  // namespace adamine::core
+
+#endif  // ADAMINE_CORE_LOSSES_H_

@@ -1,0 +1,161 @@
+#include "core/model.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace adamine::core {
+
+namespace {
+
+/// Initial word table: the pretrained matrix if given, else random.
+Tensor InitialWordTable(const ModelConfig& config, const Tensor* pretrained,
+                        Rng& rng) {
+  if (pretrained != nullptr) {
+    ADAMINE_CHECK_EQ(pretrained->rows(), config.vocab_size);
+    ADAMINE_CHECK_EQ(pretrained->cols(), config.word_dim);
+    return pretrained->Clone();
+  }
+  return Tensor::Randn({config.vocab_size, config.word_dim}, rng, 0.1f);
+}
+
+}  // namespace
+
+Status ModelConfig::Validate() const {
+  if (vocab_size <= 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  for (int64_t d : {word_dim, ingredient_hidden, word_hidden, sentence_hidden,
+                    image_dim, latent_dim}) {
+    if (d <= 0) return Status::InvalidArgument("all dimensions must be > 0");
+  }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (!use_ingredients && !use_instructions) {
+    return Status::InvalidArgument(
+        "at least one of ingredients/instructions must be enabled");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<CrossModalModel>> CrossModalModel::Create(
+    const ModelConfig& config, const Tensor* pretrained_word_embeddings) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<CrossModalModel>(
+      new CrossModalModel(config, pretrained_word_embeddings));
+}
+
+CrossModalModel::CrossModalModel(const ModelConfig& config,
+                                 const Tensor* pretrained_word_embeddings)
+    : config_(config),
+      init_rng_(config.seed),
+      word_embeddings_(
+          InitialWordTable(config, pretrained_word_embeddings, init_rng_)),
+      ingredient_encoder_(config.word_dim, config.ingredient_hidden,
+                          init_rng_),
+      instruction_encoder_(config.word_dim, config.word_hidden,
+                           config.sentence_hidden, init_rng_),
+      recipe_fc_((config.use_ingredients ? 2 * config.ingredient_hidden : 0) +
+                     (config.use_instructions ? config.sentence_hidden : 0),
+                 config.latent_dim, init_rng_),
+      image_backbone_(config.image_dim, config.image_dim, init_rng_),
+      image_fc_(config.image_dim, config.latent_dim, init_rng_),
+      classifier_(config.latent_dim, config.num_classes, init_rng_) {
+  RegisterSubmodule("word_emb", &word_embeddings_);
+  RegisterSubmodule("ingr", &ingredient_encoder_);
+  RegisterSubmodule("instr", &instruction_encoder_);
+  RegisterSubmodule("recipe_fc", &recipe_fc_);
+  RegisterSubmodule("img_backbone", &image_backbone_);
+  RegisterSubmodule("img_fc", &image_fc_);
+  RegisterSubmodule("classifier", &classifier_);
+  if (!config.train_word_embeddings) {
+    word_embeddings_.SetTrainable(false);
+  }
+  // The word level of the instruction encoder stands in for the frozen
+  // skip-thought pretrained level (§3.2.1).
+  instruction_encoder_.FreezeWordLevel();
+}
+
+ag::Var CrossModalModel::EmbedImages(const Tensor& images) const {
+  ADAMINE_CHECK_EQ(images.ndim(), 2);
+  ADAMINE_CHECK_EQ(images.cols(), config_.image_dim);
+  ag::Var x(images, /*requires_grad=*/false);
+  ag::Var features = ag::Tanh(image_backbone_.Forward(x));
+  return ag::L2NormalizeRows(image_fc_.Forward(features));
+}
+
+ag::Var CrossModalModel::EmbedRecipes(
+    const std::vector<const data::EncodedRecipe*>& batch) const {
+  ADAMINE_CHECK(!batch.empty());
+  ag::Var ingredient_features;
+  ag::Var instruction_features;
+  if (config_.use_ingredients) {
+    ingredient_features = IngredientFeatures(batch);
+  }
+  if (config_.use_instructions) {
+    instruction_features = InstructionFeatures(batch);
+  }
+  return FuseTextFeatures(ingredient_features, instruction_features);
+}
+
+ag::Var CrossModalModel::IngredientFeatures(
+    const std::vector<const data::EncodedRecipe*>& batch) const {
+  ADAMINE_CHECK(config_.use_ingredients);
+  std::vector<std::vector<int64_t>> ingredient_seqs;
+  ingredient_seqs.reserve(batch.size());
+  for (const auto* r : batch) ingredient_seqs.push_back(r->ingredient_tokens);
+  return ingredient_encoder_.EncodeIds(word_embeddings_, ingredient_seqs);
+}
+
+ag::Var CrossModalModel::InstructionFeatures(
+    const std::vector<const data::EncodedRecipe*>& batch) const {
+  ADAMINE_CHECK(config_.use_instructions);
+  std::vector<nn::HierarchicalEncoder::Document> docs;
+  docs.reserve(batch.size());
+  for (const auto* r : batch) docs.push_back(r->instruction_sentences);
+  return instruction_encoder_.Encode(word_embeddings_, docs);
+}
+
+ag::Var CrossModalModel::FuseTextFeatures(
+    const ag::Var& ingredient_features,
+    const ag::Var& instruction_features) const {
+  ag::Var text_features;
+  if (config_.use_ingredients) {
+    ADAMINE_CHECK(ingredient_features.defined());
+    text_features = ingredient_features;
+  }
+  if (config_.use_instructions) {
+    ADAMINE_CHECK(instruction_features.defined());
+    text_features = text_features.defined()
+                        ? ag::ConcatCols(text_features, instruction_features)
+                        : instruction_features;
+  }
+  return ag::L2NormalizeRows(recipe_fc_.Forward(text_features));
+}
+
+ag::Var CrossModalModel::Classify(const ag::Var& latent_embeddings) const {
+  return classifier_.Forward(latent_embeddings);
+}
+
+void CrossModalModel::SetImageBackboneTrainable(bool trainable) {
+  image_backbone_.SetTrainable(trainable);
+}
+
+std::vector<Tensor> CrossModalModel::SnapshotParams() const {
+  std::vector<Tensor> snapshot;
+  for (const auto& p : Params()) snapshot.push_back(p.var.value().Clone());
+  return snapshot;
+}
+
+void CrossModalModel::RestoreParams(const std::vector<Tensor>& snapshot) {
+  auto params = Params();
+  ADAMINE_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = params[i].var.node()->value;
+    ADAMINE_CHECK(SameShape(value, snapshot[i]));
+    std::copy(snapshot[i].data(), snapshot[i].data() + snapshot[i].numel(),
+              value.data());
+  }
+}
+
+}  // namespace adamine::core

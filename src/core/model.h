@@ -1,0 +1,130 @@
+#ifndef ADAMINE_CORE_MODEL_H_
+#define ADAMINE_CORE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/embedding.h"
+#include "nn/hierarchical_encoder.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace adamine::core {
+
+/// Architecture hyper-parameters of the dual network (§3.2.1, scaled to the
+/// synthetic substrate).
+struct ModelConfig {
+  int64_t vocab_size = 0;
+  /// Word embedding dimension (word2vec output).
+  int64_t word_dim = 24;
+  /// Hidden size of the ingredient BiLSTM (output is 2x this).
+  int64_t ingredient_hidden = 24;
+  /// Hidden sizes of the hierarchical instruction encoder.
+  int64_t word_hidden = 24;
+  int64_t sentence_hidden = 32;
+  /// Dimension of the incoming image feature vectors.
+  int64_t image_dim = 48;
+  /// Dimension of the shared latent space F.
+  int64_t latent_dim = 32;
+  /// Number of classes for the (optional) classification head.
+  int64_t num_classes = 32;
+  /// Text-structure ablations (AdaMine_ingr / AdaMine_instr use one only).
+  bool use_ingredients = true;
+  bool use_instructions = true;
+  /// Whether the word embedding table is fine-tuned. The paper keeps
+  /// pretrained word vectors fixed.
+  bool train_word_embeddings = false;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// The dual deep network of Figure 2: an image branch (fine-tunable
+/// backbone adapter + FC, standing in for ResNet-50 + FC) and a recipe
+/// branch (ingredient BiLSTM ++ hierarchical instruction LSTM, concatenated
+/// into an FC), both mapping into a shared L2-normalised latent space where
+/// cosine distance compares modalities.
+class CrossModalModel : public nn::Module {
+ public:
+  /// `pretrained_word_embeddings`, if non-null, initialises the word table
+  /// (shape [vocab_size, word_dim], e.g. word2vec output); otherwise the
+  /// table is randomly initialised.
+  static StatusOr<std::unique_ptr<CrossModalModel>> Create(
+      const ModelConfig& config,
+      const Tensor* pretrained_word_embeddings = nullptr);
+
+  /// Embeds image feature rows [B, image_dim] -> unit rows [B, latent_dim].
+  ag::Var EmbedImages(const Tensor& images) const;
+
+  /// Embeds encoded recipes -> unit rows [B, latent_dim].
+  ag::Var EmbedRecipes(
+      const std::vector<const data::EncodedRecipe*>& batch) const;
+
+  /// Ingredient-branch features [B, 2 * ingredient_hidden]. Requires
+  /// use_ingredients.
+  ag::Var IngredientFeatures(
+      const std::vector<const data::EncodedRecipe*>& batch) const;
+
+  /// Instruction-branch features [B, sentence_hidden]. Requires
+  /// use_instructions.
+  ag::Var InstructionFeatures(
+      const std::vector<const data::EncodedRecipe*>& batch) const;
+
+  /// Fuses branch features (concatenation per the enabled branches,
+  /// FC, L2-normalise) into latent rows. Pass an undefined Var for a
+  /// disabled branch. This is the hook the paper's "ingredient query with
+  /// the training-mean instruction embedding" protocol (Table 4) needs.
+  ag::Var FuseTextFeatures(const ag::Var& ingredient_features,
+                           const ag::Var& instruction_features) const;
+
+  /// Shared classification head: latent embeddings -> class logits
+  /// [B, num_classes]. Used only by the ins+cls / PWC variants.
+  ag::Var Classify(const ag::Var& latent_embeddings) const;
+
+  /// Freezes / unfreezes the image backbone adapter, reproducing the
+  /// paper's schedule (ResNet frozen for the first epochs, then
+  /// fine-tuned). The FC heads stay trainable throughout.
+  void SetImageBackboneTrainable(bool trainable);
+
+  /// Mutable access to the instruction encoder, used to pretrain its word
+  /// level as a language model before training (the skip-thought
+  /// substitute; see Pipeline).
+  nn::HierarchicalEncoder& mutable_instruction_encoder() {
+    return instruction_encoder_;
+  }
+
+  /// The (frozen) word embedding table module.
+  const nn::Embedding& word_embedding_module() const {
+    return word_embeddings_;
+  }
+
+  /// Deep-copies all parameter values (for validation-MedR model
+  /// selection).
+  std::vector<Tensor> SnapshotParams() const;
+
+  /// Restores parameter values from a snapshot taken on this model.
+  void RestoreParams(const std::vector<Tensor>& snapshot);
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  CrossModalModel(const ModelConfig& config,
+                  const Tensor* pretrained_word_embeddings);
+
+  ModelConfig config_;
+  Rng init_rng_;
+  nn::Embedding word_embeddings_;
+  nn::BiLstm ingredient_encoder_;
+  nn::HierarchicalEncoder instruction_encoder_;
+  nn::Linear recipe_fc_;
+  nn::Linear image_backbone_;
+  nn::Linear image_fc_;
+  nn::Linear classifier_;
+};
+
+}  // namespace adamine::core
+
+#endif  // ADAMINE_CORE_MODEL_H_

@@ -1,0 +1,92 @@
+#include "core/pipeline.h"
+
+#include "util/check.h"
+
+namespace adamine::core {
+
+Status PipelineConfig::Validate() const {
+  if (train_fraction <= 0.0 || val_fraction < 0.0 ||
+      train_fraction + val_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "train/val fractions must be positive and leave room for test");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(
+    const PipelineConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  auto generator = data::RecipeGenerator::Create(config.generator);
+  if (!generator.ok()) return generator.status();
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->config_ = config;
+  pipeline->generator_ =
+      std::make_unique<data::RecipeGenerator>(std::move(generator.value()));
+
+  data::Dataset dataset = pipeline->generator_->Generate();
+  Rng split_rng(config.split_seed);
+  pipeline->splits_ = data::Split(dataset, config.train_fraction,
+                                  config.val_fraction, split_rng);
+
+  // Vocabulary and word2vec pretraining are built on the *training* split
+  // only (no test leakage through word statistics).
+  pipeline->vocab_ = data::BuildVocabulary(pipeline->splits_.train);
+  text::Word2VecConfig w2v_config = config.word2vec;
+  w2v_config.dim = config.model.word_dim;
+  auto w2v =
+      text::Word2Vec::Create(pipeline->vocab_.size(), w2v_config);
+  if (!w2v.ok()) return w2v.status();
+  w2v->Train(
+      data::BuildWord2VecCorpus(pipeline->splits_.train, pipeline->vocab_));
+  pipeline->word_embeddings_ = w2v->embeddings().Clone();
+
+  pipeline->train_ =
+      data::EncodeDataset(pipeline->splits_.train, pipeline->vocab_);
+  pipeline->val_ = data::EncodeDataset(pipeline->splits_.val, pipeline->vocab_);
+  pipeline->test_ =
+      data::EncodeDataset(pipeline->splits_.test, pipeline->vocab_);
+  return pipeline;
+}
+
+StatusOr<Pipeline::RunResult> Pipeline::Run(const TrainConfig& train_config,
+                                            bool use_ingredients,
+                                            bool use_instructions) {
+  ModelConfig model_config = config_.model;
+  model_config.vocab_size = vocab_.size();
+  model_config.image_dim = config_.generator.image_dim;
+  model_config.num_classes = config_.generator.num_classes;
+  model_config.use_ingredients = use_ingredients;
+  model_config.use_instructions = use_instructions;
+
+  auto model = CrossModalModel::Create(model_config, &word_embeddings_);
+  if (!model.ok()) return model.status();
+
+  RunResult result;
+  result.model = std::move(model.value());
+  if (config_.pretrain_instruction_lm && use_instructions) {
+    // Skip-thought substitute: language-model pretraining of the word
+    // level, then freeze it again (the model construction froze it; the
+    // pretrainer needs it trainable).
+    nn::HierarchicalEncoder& encoder =
+        result.model->mutable_instruction_encoder();
+    encoder.mutable_word_lstm().SetTrainable(true);
+    std::vector<std::vector<int64_t>> sentences;
+    for (const auto& r : train_) {
+      for (const auto& s : r.instruction_sentences) sentences.push_back(s);
+    }
+    auto lm_loss = nn::PretrainLanguageModel(
+        result.model->word_embedding_module(), encoder.mutable_word_lstm(),
+        sentences, config_.lm);
+    if (!lm_loss.ok()) return lm_loss.status();
+    encoder.mutable_word_lstm().SetTrainable(false);
+  }
+  Trainer trainer(result.model.get(), train_config);
+  auto history = trainer.Fit(train_, val_);
+  if (!history.ok()) return history.status();
+  result.history = std::move(history.value());
+  result.test_embeddings = EmbedDataset(*result.model, test_);
+  return result;
+}
+
+}  // namespace adamine::core

@@ -1,0 +1,86 @@
+#ifndef ADAMINE_CORE_PIPELINE_H_
+#define ADAMINE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/embedder.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "nn/lm_pretrainer.h"
+#include "text/word2vec.h"
+#include "util/status.h"
+
+namespace adamine::core {
+
+/// End-to-end experiment configuration: the synthetic dataset, the word2vec
+/// pretraining, the model architecture, and the train/val/test split.
+struct PipelineConfig {
+  data::GeneratorConfig generator;
+  text::Word2VecConfig word2vec;
+  /// vocab_size, word_dim, image_dim and num_classes are filled in by the
+  /// pipeline from the generated data.
+  ModelConfig model;
+  /// If set, the instruction encoder's word-level LSTM is pretrained as a
+  /// next-token language model on the training instructions before being
+  /// frozen (the substitute for the paper's skip-thought pretraining;
+  /// default off so results match the published benches).
+  bool pretrain_instruction_lm = false;
+  nn::LmPretrainConfig lm;
+  double train_fraction = 0.7;
+  double val_fraction = 0.15;
+  uint64_t split_seed = 31;
+
+  Status Validate() const;
+};
+
+/// Owns one synthetic dataset plus everything derived from it (splits,
+/// vocabulary, pretrained word vectors) and trains models on it. Every
+/// bench and example builds on this harness; see DESIGN.md's experiment
+/// index.
+class Pipeline {
+ public:
+  static StatusOr<std::unique_ptr<Pipeline>> Create(
+      const PipelineConfig& config);
+
+  /// One trained scenario: the model, its training history, and the test
+  /// set pushed through it.
+  struct RunResult {
+    std::unique_ptr<CrossModalModel> model;
+    std::vector<EpochStats> history;
+    EmbeddedDataset test_embeddings;
+  };
+
+  /// Trains a fresh model under `train_config`. `use_ingredients` /
+  /// `use_instructions` select the text-structure ablations.
+  StatusOr<RunResult> Run(const TrainConfig& train_config,
+                          bool use_ingredients = true,
+                          bool use_instructions = true);
+
+  const PipelineConfig& config() const { return config_; }
+  const data::RecipeGenerator& generator() const { return *generator_; }
+  const data::DatasetSplits& splits() const { return splits_; }
+  const text::Vocabulary& vocab() const { return vocab_; }
+  const Tensor& word_embeddings() const { return word_embeddings_; }
+  const std::vector<data::EncodedRecipe>& train_set() const { return train_; }
+  const std::vector<data::EncodedRecipe>& val_set() const { return val_; }
+  const std::vector<data::EncodedRecipe>& test_set() const { return test_; }
+
+ private:
+  Pipeline() = default;
+
+  PipelineConfig config_;
+  std::unique_ptr<data::RecipeGenerator> generator_;
+  data::DatasetSplits splits_;
+  text::Vocabulary vocab_;
+  Tensor word_embeddings_;
+  std::vector<data::EncodedRecipe> train_;
+  std::vector<data::EncodedRecipe> val_;
+  std::vector<data::EncodedRecipe> test_;
+};
+
+}  // namespace adamine::core
+
+#endif  // ADAMINE_CORE_PIPELINE_H_

@@ -1,0 +1,246 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "core/embedder.h"
+#include "data/batch_sampler.h"
+#include "eval/metrics.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace adamine::core {
+
+std::string ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kAdaMine:
+      return "AdaMine";
+    case Scenario::kAdaMineIns:
+      return "AdaMine_ins";
+    case Scenario::kAdaMineSem:
+      return "AdaMine_sem";
+    case Scenario::kAdaMineAvg:
+      return "AdaMine_avg";
+    case Scenario::kAdaMineInsCls:
+      return "AdaMine_ins+cls";
+    case Scenario::kPwcStar:
+      return "PWC*";
+    case Scenario::kPwcPlusPlus:
+      return "PWC++";
+    case Scenario::kAdaMineHier:
+      return "AdaMine_hier";
+  }
+  return "unknown";
+}
+
+Status TrainConfig::Validate() const {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (batch_size < 2) {
+    return Status::InvalidArgument("batch_size must be at least 2");
+  }
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (margin <= 0.0f) {
+    return Status::InvalidArgument("margin must be positive");
+  }
+  if (lambda < 0.0f || lambda_category < 0.0f) {
+    return Status::InvalidArgument("lambda weights must be non-negative");
+  }
+  if (pos_margin < 0.0f || neg_margin <= pos_margin) {
+    return Status::InvalidArgument(
+        "need 0 <= pos_margin < neg_margin for the pairwise losses");
+  }
+  if (cls_weight < 0.0) {
+    return Status::InvalidArgument("cls_weight must be non-negative");
+  }
+  if (freeze_fraction < 0.0 || freeze_fraction >= 1.0) {
+    return Status::InvalidArgument("freeze_fraction must be in [0, 1)");
+  }
+  if (clip_norm < 0.0) {
+    return Status::InvalidArgument("clip_norm must be non-negative");
+  }
+  if (val_bag_size <= 1 || val_num_bags <= 0) {
+    return Status::InvalidArgument("invalid validation bag settings");
+  }
+  return Status::Ok();
+}
+
+Trainer::Trainer(CrossModalModel* model, const TrainConfig& config)
+    : model_(model), config_(config) {
+  ADAMINE_CHECK(model != nullptr);
+}
+
+StatusOr<std::vector<EpochStats>> Trainer::Fit(
+    const std::vector<data::EncodedRecipe>& train,
+    const std::vector<data::EncodedRecipe>& val) {
+  ADAMINE_RETURN_IF_ERROR(config_.Validate());
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+
+  const Scenario scenario = config_.scenario;
+  const bool uses_instance = scenario != Scenario::kAdaMineSem &&
+                             scenario != Scenario::kPwcStar &&
+                             scenario != Scenario::kPwcPlusPlus;
+  const bool uses_semantic = scenario == Scenario::kAdaMine ||
+                             scenario == Scenario::kAdaMineAvg ||
+                             scenario == Scenario::kAdaMineHier;
+  const bool uses_category = scenario == Scenario::kAdaMineHier;
+  const bool uses_pairwise = scenario == Scenario::kPwcStar ||
+                             scenario == Scenario::kPwcPlusPlus;
+  const bool uses_cls = scenario == Scenario::kAdaMineInsCls ||
+                        scenario == Scenario::kPwcStar ||
+                        scenario == Scenario::kPwcPlusPlus;
+  const MiningStrategy strategy = scenario == Scenario::kAdaMineAvg
+                                      ? MiningStrategy::kAverage
+                                      : MiningStrategy::kAdaptive;
+  const float pair_pos_margin =
+      scenario == Scenario::kPwcPlusPlus ? config_.pos_margin : 0.0f;
+
+  std::vector<int64_t> labels;
+  labels.reserve(train.size());
+  for (const auto& r : train) labels.push_back(r.label);
+  data::BatchSampler sampler(labels, config_.batch_size, config_.seed);
+
+  optim::Adam adam(config_.learning_rate);
+  Rng rng(config_.seed ^ 0xABCDEF12ULL);
+  const int64_t image_dim = model_->config().image_dim;
+
+  const int64_t freeze_epochs =
+      static_cast<int64_t>(config_.freeze_fraction * config_.epochs);
+  const bool do_validation = config_.select_best_on_val && !val.empty();
+  double best_val_medr = 0.0;
+  std::vector<Tensor> best_snapshot;
+
+  std::vector<EpochStats> history;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Stopwatch watch;
+    model_->SetImageBackboneTrainable(epoch >= freeze_epochs);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    double ins_total = 0, ins_active = 0, sem_total = 0, sem_active = 0;
+    const int64_t batches = sampler.BatchesPerEpoch();
+    for (int64_t step = 0; step < batches; ++step) {
+      const std::vector<int64_t> batch_idx = sampler.NextBatch();
+      const int64_t b = static_cast<int64_t>(batch_idx.size());
+      if (b < 2) continue;
+
+      // Assemble batch inputs.
+      Tensor images({b, image_dim});
+      std::vector<const data::EncodedRecipe*> batch;
+      std::vector<int64_t> batch_labels;
+      std::vector<int64_t> batch_categories;
+      batch.reserve(static_cast<size_t>(b));
+      for (int64_t i = 0; i < b; ++i) {
+        const auto& r = train[static_cast<size_t>(batch_idx[i])];
+        std::copy(r.image.data(), r.image.data() + image_dim,
+                  images.data() + i * image_dim);
+        batch.push_back(&r);
+        batch_labels.push_back(r.label);
+        batch_categories.push_back(r.category_label);
+      }
+
+      model_->ZeroGrad();
+      ag::Var img_emb = model_->EmbedImages(images);
+      ag::Var rec_emb = model_->EmbedRecipes(batch);
+
+      // Accumulate analytic gradients at the embedding matrices.
+      Tensor grad_img(img_emb.value().shape());
+      Tensor grad_rec(rec_emb.value().shape());
+
+      if (uses_instance) {
+        BatchLossResult ins = InstanceTripletLoss(
+            img_emb.value(), rec_emb.value(), config_.margin, strategy);
+        AddInPlace(grad_img, ins.grad_image);
+        AddInPlace(grad_rec, ins.grad_recipe);
+        stats.instance_loss += ins.loss;
+        ins_total += static_cast<double>(ins.total_triplets);
+        ins_active += static_cast<double>(ins.active_triplets);
+      }
+      if (uses_semantic || scenario == Scenario::kAdaMineSem) {
+        BatchLossResult sem =
+            SemanticTripletLoss(img_emb.value(), rec_emb.value(),
+                                batch_labels, config_.margin, strategy, rng);
+        const float weight =
+            scenario == Scenario::kAdaMineSem ? 1.0f : config_.lambda;
+        AxpyInPlace(grad_img, weight, sem.grad_image);
+        AxpyInPlace(grad_rec, weight, sem.grad_recipe);
+        stats.semantic_loss += sem.loss;
+        sem_total += static_cast<double>(sem.total_triplets);
+        sem_active += static_cast<double>(sem.active_triplets);
+      }
+      if (uses_category) {
+        BatchLossResult cat = SemanticTripletLoss(
+            img_emb.value(), rec_emb.value(), batch_categories,
+            config_.margin, strategy, rng);
+        AxpyInPlace(grad_img, config_.lambda_category, cat.grad_image);
+        AxpyInPlace(grad_rec, config_.lambda_category, cat.grad_recipe);
+      }
+      if (uses_pairwise) {
+        BatchLossResult pw =
+            PairwiseLoss(img_emb.value(), rec_emb.value(), pair_pos_margin,
+                         config_.neg_margin);
+        AddInPlace(grad_img, pw.grad_image);
+        AddInPlace(grad_rec, pw.grad_recipe);
+        stats.instance_loss += pw.loss;
+        ins_total += static_cast<double>(pw.total_triplets);
+        ins_active += static_cast<double>(pw.active_triplets);
+      }
+
+      std::vector<ag::Var> roots = {img_emb, rec_emb};
+      std::vector<Tensor> root_grads = {grad_img, grad_rec};
+      if (uses_cls) {
+        ag::Var ce_img =
+            ag::SoftmaxCrossEntropy(model_->Classify(img_emb), batch_labels);
+        ag::Var ce_rec =
+            ag::SoftmaxCrossEntropy(model_->Classify(rec_emb), batch_labels);
+        Tensor w({1});
+        w[0] = static_cast<float>(config_.cls_weight);
+        roots.push_back(ce_img);
+        root_grads.push_back(w);
+        roots.push_back(ce_rec);
+        root_grads.push_back(w.Clone());
+        stats.cls_loss += ce_img.value()[0] + ce_rec.value()[0];
+      }
+
+      ag::Backward(roots, root_grads);
+      auto params = model_->ParamVars();
+      if (config_.clip_norm > 0.0) {
+        nn::ClipGradNorm(params, config_.clip_norm);
+      }
+      adam.Step(params);
+    }
+
+    stats.instance_loss /= static_cast<double>(batches);
+    stats.semantic_loss /= static_cast<double>(batches);
+    stats.cls_loss /= static_cast<double>(batches);
+    stats.active_fraction_ins = ins_total > 0 ? ins_active / ins_total : 0.0;
+    stats.active_fraction_sem = sem_total > 0 ? sem_active / sem_total : 0.0;
+
+    if (do_validation) {
+      EmbeddedDataset emb = EmbedDataset(*model_, val);
+      Rng val_rng(config_.seed ^ 0x77777777ULL);  // Same bags every epoch.
+      eval::CrossModalResult result =
+          eval::EvaluateBags(emb.image_emb, emb.recipe_emb,
+                             config_.val_bag_size, config_.val_num_bags,
+                             val_rng);
+      stats.val_medr = 0.5 * (result.image_to_recipe.medr.mean +
+                              result.recipe_to_image.medr.mean);
+      if (best_snapshot.empty() || stats.val_medr < best_val_medr) {
+        best_val_medr = stats.val_medr;
+        best_snapshot = model_->SnapshotParams();
+      }
+    }
+    stats.seconds = watch.ElapsedSeconds();
+    history.push_back(stats);
+  }
+
+  if (do_validation && !best_snapshot.empty()) {
+    model_->RestoreParams(best_snapshot);
+  }
+  return history;
+}
+
+}  // namespace adamine::core

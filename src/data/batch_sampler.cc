@@ -1,0 +1,65 @@
+#include "data/batch_sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adamine::data {
+
+BatchSampler::BatchSampler(const std::vector<int64_t>& labels,
+                           int64_t batch_size, uint64_t seed)
+    : batch_size_(batch_size), rng_(seed) {
+  ADAMINE_CHECK_GT(batch_size, 0);
+  ADAMINE_CHECK(!labels.empty());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) {
+      labeled_pool_.push_back(static_cast<int64_t>(i));
+    } else {
+      unlabeled_pool_.push_back(static_cast<int64_t>(i));
+    }
+  }
+  rng_.Shuffle(labeled_pool_);
+  rng_.Shuffle(unlabeled_pool_);
+}
+
+int64_t BatchSampler::Draw(std::vector<int64_t>& pool, size_t& cursor) {
+  if (cursor >= pool.size()) {
+    rng_.Shuffle(pool);
+    cursor = 0;
+  }
+  return pool[cursor++];
+}
+
+std::vector<int64_t> BatchSampler::NextBatch() {
+  const int64_t total =
+      static_cast<int64_t>(labeled_pool_.size() + unlabeled_pool_.size());
+  const int64_t want = std::min(batch_size_, total);
+  // Target half/half; adjust when one pool cannot supply its half.
+  int64_t want_unlabeled = want / 2;
+  int64_t want_labeled = want - want_unlabeled;
+  if (static_cast<int64_t>(labeled_pool_.size()) < want_labeled) {
+    want_labeled = static_cast<int64_t>(labeled_pool_.size());
+    want_unlabeled = want - want_labeled;
+  }
+  if (static_cast<int64_t>(unlabeled_pool_.size()) < want_unlabeled) {
+    want_unlabeled = static_cast<int64_t>(unlabeled_pool_.size());
+    want_labeled = want - want_unlabeled;
+  }
+  std::vector<int64_t> batch;
+  batch.reserve(static_cast<size_t>(want));
+  for (int64_t i = 0; i < want_unlabeled; ++i) {
+    batch.push_back(Draw(unlabeled_pool_, unlabeled_cursor_));
+  }
+  for (int64_t i = 0; i < want_labeled; ++i) {
+    batch.push_back(Draw(labeled_pool_, labeled_cursor_));
+  }
+  return batch;
+}
+
+int64_t BatchSampler::BatchesPerEpoch() const {
+  const int64_t total =
+      static_cast<int64_t>(labeled_pool_.size() + unlabeled_pool_.size());
+  return std::max<int64_t>(1, total / batch_size_);
+}
+
+}  // namespace adamine::data

@@ -1,0 +1,50 @@
+#ifndef ADAMINE_DATA_BATCH_SAMPLER_H_
+#define ADAMINE_DATA_BATCH_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace adamine::data {
+
+/// Mini-batch sampler implementing the paper's §4.4 scheme: every batch of
+/// `batch_size` pairs is half randomly chosen unlabeled pairs and half
+/// labeled pairs drawn so that the batch respects the empirical class
+/// distribution of the pool (achieved by walking a reshuffled labeled pool,
+/// which preserves the distribution in expectation). If one pool is too
+/// small the other tops the batch up, so the sampler also works on fully
+/// labeled or fully unlabeled datasets.
+class BatchSampler {
+ public:
+  /// `labels[i]` is the visible class of item i or -1. Items are referred
+  /// to by their index in this vector.
+  BatchSampler(const std::vector<int64_t>& labels, int64_t batch_size,
+               uint64_t seed);
+
+  /// Indices of the next mini-batch. Pools reshuffle automatically when
+  /// exhausted. The batch may be smaller than batch_size only if the whole
+  /// dataset is smaller.
+  std::vector<int64_t> NextBatch();
+
+  /// Number of batches that constitute one pass over the data.
+  int64_t BatchesPerEpoch() const;
+
+  int64_t batch_size() const { return batch_size_; }
+
+ private:
+  /// Pops the next index from a pool, reshuffling when exhausted.
+  int64_t Draw(std::vector<int64_t>& pool, size_t& cursor);
+
+  int64_t batch_size_;
+  std::vector<int64_t> labeled_pool_;
+  std::vector<int64_t> unlabeled_pool_;
+  size_t labeled_cursor_ = 0;
+  size_t unlabeled_cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace adamine::data
+
+#endif  // ADAMINE_DATA_BATCH_SAMPLER_H_

@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include "util/check.h"
+
+namespace adamine::data {
+
+DatasetSplits Split(const Dataset& dataset, double train_frac,
+                    double val_frac, Rng& rng) {
+  ADAMINE_CHECK_GT(train_frac, 0.0);
+  ADAMINE_CHECK_GE(val_frac, 0.0);
+  ADAMINE_CHECK_LT(train_frac + val_frac, 1.0 + 1e-9);
+  DatasetSplits splits;
+  for (Dataset* d : {&splits.train, &splits.val, &splits.test}) {
+    d->class_names = dataset.class_names;
+    d->num_classes = dataset.num_classes;
+    d->image_dim = dataset.image_dim;
+    d->latent_dim = dataset.latent_dim;
+  }
+  const int64_t n = dataset.size();
+  auto perm = rng.Permutation(n);
+  const int64_t n_train = static_cast<int64_t>(train_frac * n);
+  const int64_t n_val = static_cast<int64_t>(val_frac * n);
+  for (int64_t i = 0; i < n; ++i) {
+    const Recipe& r = dataset.recipes[static_cast<size_t>(perm[i])];
+    if (i < n_train) {
+      splits.train.recipes.push_back(r);
+    } else if (i < n_train + n_val) {
+      splits.val.recipes.push_back(r);
+    } else {
+      splits.test.recipes.push_back(r);
+    }
+  }
+  return splits;
+}
+
+text::Vocabulary BuildVocabulary(const Dataset& dataset) {
+  text::Vocabulary vocab;
+  for (const Recipe& r : dataset.recipes) {
+    vocab.AddAll(r.ingredients);
+    for (const auto& sentence : r.instructions) vocab.AddAll(sentence);
+  }
+  return vocab;
+}
+
+EncodedRecipe EncodeRecipe(const Recipe& recipe,
+                           const text::Vocabulary& vocab) {
+  EncodedRecipe e;
+  e.ingredient_tokens = vocab.Encode(recipe.ingredients);
+  e.instruction_sentences.reserve(recipe.instructions.size());
+  for (const auto& sentence : recipe.instructions) {
+    e.instruction_sentences.push_back(vocab.Encode(sentence));
+  }
+  e.label = recipe.label;
+  e.category_label = recipe.category_label;
+  e.true_class = recipe.true_class;
+  e.true_category = recipe.true_category;
+  e.image = recipe.image;
+  return e;
+}
+
+std::vector<EncodedRecipe> EncodeDataset(const Dataset& dataset,
+                                         const text::Vocabulary& vocab) {
+  std::vector<EncodedRecipe> encoded;
+  encoded.reserve(dataset.recipes.size());
+  for (const Recipe& r : dataset.recipes) {
+    encoded.push_back(EncodeRecipe(r, vocab));
+  }
+  return encoded;
+}
+
+std::vector<std::vector<int64_t>> BuildWord2VecCorpus(
+    const Dataset& dataset, const text::Vocabulary& vocab) {
+  std::vector<std::vector<int64_t>> corpus;
+  for (const Recipe& r : dataset.recipes) {
+    corpus.push_back(vocab.Encode(r.ingredients));
+    for (const auto& sentence : r.instructions) {
+      corpus.push_back(vocab.Encode(sentence));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace adamine::data

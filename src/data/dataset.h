@@ -1,0 +1,72 @@
+#ifndef ADAMINE_DATA_DATASET_H_
+#define ADAMINE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace adamine::data {
+
+/// A collection of recipe-image pairs plus dataset-level metadata.
+struct Dataset {
+  std::vector<Recipe> recipes;
+  std::vector<std::string> class_names;
+  int64_t num_classes = 0;
+  int64_t image_dim = 0;
+  int64_t latent_dim = 0;
+
+  int64_t size() const { return static_cast<int64_t>(recipes.size()); }
+};
+
+/// Train/validation/test partition.
+struct DatasetSplits {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+/// Randomly partitions `dataset` into train/val/test with the given
+/// fractions (test gets the remainder). Shares metadata across splits.
+DatasetSplits Split(const Dataset& dataset, double train_frac,
+                    double val_frac, Rng& rng);
+
+/// A recipe converted to vocabulary token ids, ready for the text branch.
+struct EncodedRecipe {
+  /// Ingredient list as one token sequence (for the BiLSTM encoder).
+  std::vector<int64_t> ingredient_tokens;
+  /// Instruction sentences as token sequences (hierarchical encoder input).
+  std::vector<std::vector<int64_t>> instruction_sentences;
+  /// Visible class label (-1 if unlabeled).
+  int64_t label = -1;
+  /// Visible super-category label (-1 if unlabeled).
+  int64_t category_label = -1;
+  /// Generator ground truth class (evaluation only).
+  int64_t true_class = -1;
+  /// Generator ground truth super-category (evaluation only).
+  int64_t true_category = -1;
+  Tensor image;
+};
+
+/// Builds the word vocabulary over ingredient names and instruction words.
+text::Vocabulary BuildVocabulary(const Dataset& dataset);
+
+/// Encodes one recipe against `vocab` (unknown words become padding).
+EncodedRecipe EncodeRecipe(const Recipe& recipe,
+                           const text::Vocabulary& vocab);
+
+/// Encodes every recipe against `vocab`.
+std::vector<EncodedRecipe> EncodeDataset(const Dataset& dataset,
+                                         const text::Vocabulary& vocab);
+
+/// Sentence corpus for word2vec pretraining: all instruction sentences plus
+/// each ingredient list as a pseudo-sentence, as vocab ids.
+std::vector<std::vector<int64_t>> BuildWord2VecCorpus(
+    const Dataset& dataset, const text::Vocabulary& vocab);
+
+}  // namespace adamine::data
+
+#endif  // ADAMINE_DATA_DATASET_H_

@@ -1,0 +1,315 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "vision/backbone.h"
+
+namespace adamine::data {
+
+namespace {
+
+/// Draws a unit-norm random direction.
+Tensor RandomDirection(int64_t dim, Rng& rng) {
+  Tensor v = Tensor::Randn({dim}, rng);
+  Tensor m = v.Reshape({1, dim});
+  return L2NormalizeRows(m).Reshape({dim});
+}
+
+/// Opening instruction sentence per preparation style (style verb first so
+/// the word-level encoder sees it early).
+std::vector<std::string> StyleOpening(const std::string& style) {
+  if (style == "baked") return {"preheat", "the", "oven", "and", "bake"};
+  if (style == "grilled") return {"heat", "the", "grill", "until", "hot"};
+  if (style == "pan_fried") {
+    return {"fry", "in", "a", "skillet", "over", "medium", "heat"};
+  }
+  if (style == "simmered") {
+    return {"simmer", "the", "pot", "gently", "on", "low"};
+  }
+  if (style == "boiled") {
+    return {"boil", "a", "large", "pot", "of", "salted", "water"};
+  }
+  if (style == "raw") return {"chill", "the", "serving", "bowl"};
+  if (style == "steamed") return {"steam", "in", "the", "steamer", "basket"};
+  if (style == "sauteed") return {"saute", "in", "a", "hot", "pan"};
+  if (style == "stir_fried") {
+    return {"stir", "fry", "in", "the", "wok", "until", "smoking"};
+  }
+  if (style == "slow_cooked") {
+    return {"slow", "cook", "on", "the", "low", "setting"};
+  }
+  if (style == "blended") return {"blend", "until", "smooth"};
+  return {"prepare", "the", "kitchen"};
+}
+
+}  // namespace
+
+Status GeneratorConfig::Validate(const Inventory& inventory) const {
+  if (num_recipes <= 0) {
+    return Status::InvalidArgument("num_recipes must be positive");
+  }
+  if (num_classes <= 0 || num_classes > inventory.num_classes()) {
+    return Status::InvalidArgument("num_classes out of range");
+  }
+  if (latent_dim <= 0) {
+    return Status::InvalidArgument("latent_dim must be positive");
+  }
+  if (image_dim <= 0) {
+    return Status::InvalidArgument("image_dim must be positive");
+  }
+  if (label_fraction < 0.0 || label_fraction > 1.0) {
+    return Status::InvalidArgument("label_fraction must be in [0, 1]");
+  }
+  if (class_zipf_exponent < 0.0) {
+    return Status::InvalidArgument("class_zipf_exponent must be >= 0");
+  }
+  if (latent_noise < 0.0 || photo_noise < 0.0) {
+    return Status::InvalidArgument("noise scales must be non-negative");
+  }
+  if (core_drop_prob < 0.0 || core_drop_prob >= 1.0) {
+    return Status::InvalidArgument("core_drop_prob must be in [0, 1)");
+  }
+  if (ingredient_invisible_prob < 0.0 || ingredient_invisible_prob >= 1.0) {
+    return Status::InvalidArgument(
+        "ingredient_invisible_prob must be in [0, 1)");
+  }
+  if (min_extras < 0 || max_extras < min_extras) {
+    return Status::InvalidArgument("invalid extras range");
+  }
+  return Status::Ok();
+}
+
+StatusOr<RecipeGenerator> RecipeGenerator::Create(
+    const GeneratorConfig& config) {
+  Inventory inventory(std::max<int64_t>(
+      0, config.num_classes - Inventory::kNumCuratedClasses));
+  ADAMINE_RETURN_IF_ERROR(config.Validate(inventory));
+  return RecipeGenerator(config);
+}
+
+RecipeGenerator::RecipeGenerator(const GeneratorConfig& config)
+    : config_(config),
+      inventory_(std::max<int64_t>(
+          0, config.num_classes - Inventory::kNumCuratedClasses)) {
+  Rng rng(config.seed);
+  const int64_t d = config.latent_dim;
+  class_latents_ = Tensor({config.num_classes, d});
+  for (int64_t c = 0; c < config.num_classes; ++c) {
+    Tensor dir = RandomDirection(d, rng);
+    for (int64_t j = 0; j < d; ++j) class_latents_.At(c, j) = dir[j];
+  }
+  category_latents_ = Tensor({inventory_.num_categories(), d});
+  for (int64_t c = 0; c < inventory_.num_categories(); ++c) {
+    Tensor dir = RandomDirection(d, rng);
+    for (int64_t j = 0; j < d; ++j) category_latents_.At(c, j) = dir[j];
+  }
+  ingredient_latents_ = Tensor({inventory_.num_ingredients(), d});
+  for (int64_t g = 0; g < inventory_.num_ingredients(); ++g) {
+    Tensor dir = RandomDirection(d, rng);
+    for (int64_t j = 0; j < d; ++j) ingredient_latents_.At(g, j) = dir[j];
+  }
+  style_latents_ = Tensor({inventory_.num_styles(), d});
+  for (int64_t s = 0; s < inventory_.num_styles(); ++s) {
+    Tensor dir = RandomDirection(d, rng);
+    for (int64_t j = 0; j < d; ++j) style_latents_.At(s, j) = dir[j];
+  }
+}
+
+Tensor RecipeGenerator::RenderImage(const Tensor& latent, Rng& rng) const {
+  vision::BackboneConfig bc;
+  bc.latent_dim = config_.latent_dim;
+  bc.feature_dim = config_.image_dim;
+  bc.photo_noise = config_.photo_noise;
+  bc.seed = config_.seed ^ 0xB0B0B0B0ULL;
+  auto backbone = vision::SyntheticBackbone::Create(bc);
+  ADAMINE_CHECK(backbone.ok());
+  return backbone->Render(latent, rng);
+}
+
+Tensor RecipeGenerator::IngredientDirection(int64_t inventory_id) const {
+  ADAMINE_CHECK_GE(inventory_id, 0);
+  ADAMINE_CHECK_LT(inventory_id, inventory_.num_ingredients());
+  return GatherRows(ingredient_latents_, {inventory_id})
+      .Reshape({config_.latent_dim});
+}
+
+std::vector<std::vector<std::string>> RecipeGenerator::MakeInstructions(
+    const std::vector<std::string>& ingredients, const std::string& style,
+    Rng& rng) const {
+  std::vector<std::vector<std::string>> sentences;
+  sentences.push_back(StyleOpening(style));
+  // One sentence per one-or-two ingredients, with varied templates.
+  size_t i = 0;
+  while (i < ingredients.size()) {
+    const bool pair_up =
+        (i + 1 < ingredients.size()) && rng.Bernoulli(0.45);
+    std::vector<std::string> s;
+    switch (rng.UniformInt(4)) {
+      case 0:
+        s = {"add", "the", ingredients[i]};
+        break;
+      case 1:
+        s = {"mix", "in", "the", ingredients[i]};
+        break;
+      case 2:
+        s = {"combine", "with", "the", ingredients[i]};
+        break;
+      default:
+        s = {"stir", "in", "the", ingredients[i]};
+        break;
+    }
+    if (pair_up) {
+      s.push_back("and");
+      s.push_back(ingredients[i + 1]);
+      i += 2;
+    } else {
+      i += 1;
+    }
+    sentences.push_back(std::move(s));
+  }
+  sentences.push_back(rng.Bernoulli(0.5)
+                          ? std::vector<std::string>{"serve", "and", "enjoy"}
+                          : std::vector<std::string>{"season", "to", "taste",
+                                                     "and", "serve", "warm"});
+  return sentences;
+}
+
+Recipe RecipeGenerator::MakeRecipe(int64_t id, int64_t class_id,
+                                   Rng& rng) const {
+  const ClassArchetype& arche =
+      inventory_.classes()[static_cast<size_t>(class_id)];
+  Recipe r;
+  r.id = id;
+  r.true_class = class_id;
+  r.true_category = inventory_.CategoryOfClass(class_id);
+  r.class_name = arche.name;
+
+  // Ingredients: cores (with dropout, keeping at least two) plus extras.
+  std::vector<std::string> picked;
+  for (const auto& core : arche.core_ingredients) {
+    if (!rng.Bernoulli(config_.core_drop_prob)) picked.push_back(core);
+  }
+  while (picked.size() < 2 && picked.size() < arche.core_ingredients.size()) {
+    picked.push_back(arche.core_ingredients[picked.size()]);
+  }
+  const int64_t n_extras =
+      config_.min_extras +
+      rng.UniformInt(config_.max_extras - config_.min_extras + 1);
+  if (!arche.extra_ingredients.empty() && n_extras > 0) {
+    const int64_t take = std::min<int64_t>(
+        n_extras, static_cast<int64_t>(arche.extra_ingredients.size()));
+    for (int64_t idx : rng.SampleWithoutReplacement(
+             static_cast<int64_t>(arche.extra_ingredients.size()), take)) {
+      picked.push_back(arche.extra_ingredients[static_cast<size_t>(idx)]);
+    }
+  }
+  rng.Shuffle(picked);
+  r.ingredients = picked;
+  for (const auto& name : picked) {
+    const int64_t gid = inventory_.IngredientId(name);
+    ADAMINE_CHECK_GE(gid, 0);
+    r.ingredient_ids.push_back(gid);
+  }
+
+  // Style.
+  const std::string& style = arche.styles[static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(arche.styles.size())))];
+  r.style_id = inventory_.StyleId(style);
+  ADAMINE_CHECK_GE(r.style_id, 0);
+
+  r.instructions = MakeInstructions(picked, style, rng);
+
+  // Dish latent (Eq. in generator.h). The photographed latent drops each
+  // ingredient with ingredient_invisible_prob: real photos show a subset
+  // of the listed ingredients, so image and text carry asymmetric
+  // information.
+  const int64_t d = config_.latent_dim;
+  Tensor z({d});
+  Tensor z_img({d});
+  const int64_t category = r.true_category;
+  for (int64_t j = 0; j < d; ++j) {
+    const float base = static_cast<float>(config_.class_scale) *
+                           class_latents_.At(class_id, j) +
+                       static_cast<float>(config_.category_scale) *
+                           category_latents_.At(category, j);
+    z[j] = base;
+    z_img[j] = base;
+  }
+  for (int64_t gid : r.ingredient_ids) {
+    const bool visible = !rng.Bernoulli(config_.ingredient_invisible_prob);
+    for (int64_t j = 0; j < d; ++j) {
+      const float contrib = static_cast<float>(config_.ingredient_scale) *
+                            ingredient_latents_.At(gid, j);
+      z[j] += contrib;
+      if (visible) z_img[j] += contrib;
+    }
+  }
+  for (int64_t j = 0; j < d; ++j) {
+    const float style = static_cast<float>(config_.style_scale) *
+                        style_latents_.At(r.style_id, j);
+    const float noise =
+        static_cast<float>(rng.Normal(0.0, config_.latent_noise));
+    z[j] += style + noise;
+    z_img[j] += style + noise;
+  }
+  r.latent = z;
+  r.image_latent = z_img;
+  return r;
+}
+
+Dataset RecipeGenerator::Generate() const {
+  Rng rng(config_.seed ^ 0x5EEDFACEULL);
+  vision::BackboneConfig bc;
+  bc.latent_dim = config_.latent_dim;
+  bc.feature_dim = config_.image_dim;
+  bc.photo_noise = config_.photo_noise;
+  bc.seed = config_.seed ^ 0xB0B0B0B0ULL;
+  auto backbone = vision::SyntheticBackbone::Create(bc);
+  ADAMINE_CHECK(backbone.ok());
+
+  Dataset dataset;
+  dataset.num_classes = config_.num_classes;
+  dataset.image_dim = config_.image_dim;
+  dataset.latent_dim = config_.latent_dim;
+  for (int64_t c = 0; c < config_.num_classes; ++c) {
+    dataset.class_names.push_back(
+        inventory_.classes()[static_cast<size_t>(c)].name);
+  }
+
+  // Exactly label_fraction of the recipes carry a visible label, spread
+  // uniformly (Recipe1M: about half the pairs have a parsed class).
+  const int64_t n = config_.num_recipes;
+  std::vector<bool> labeled(static_cast<size_t>(n), false);
+  const int64_t n_labeled =
+      static_cast<int64_t>(config_.label_fraction * n);
+  for (int64_t idx : rng.SampleWithoutReplacement(n, n_labeled)) {
+    labeled[static_cast<size_t>(idx)] = true;
+  }
+
+  // Zipfian class frequencies: curated classes occupy the head ranks, so
+  // the named dishes (pizza, cupcake, ...) are well represented.
+  std::vector<double> class_weights(
+      static_cast<size_t>(config_.num_classes));
+  for (int64_t c = 0; c < config_.num_classes; ++c) {
+    class_weights[static_cast<size_t>(c)] =
+        1.0 / std::pow(static_cast<double>(c + 1),
+                       config_.class_zipf_exponent);
+  }
+
+  dataset.recipes.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t class_id = rng.Categorical(class_weights);
+    Recipe r = MakeRecipe(i, class_id, rng);
+    r.label = labeled[static_cast<size_t>(i)] ? r.true_class : -1;
+    r.category_label =
+        labeled[static_cast<size_t>(i)] ? r.true_category : -1;
+    r.image = backbone->Render(r.image_latent, rng);
+    dataset.recipes.push_back(std::move(r));
+  }
+  return dataset;
+}
+
+}  // namespace adamine::data

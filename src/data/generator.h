@@ -1,0 +1,109 @@
+#ifndef ADAMINE_DATA_GENERATOR_H_
+#define ADAMINE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/inventory.h"
+#include "util/status.h"
+
+namespace adamine::data {
+
+/// Parameters of the synthetic Recipe1M-like generative model. See DESIGN.md
+/// ("Hardware / data gates and substitutions") for the rationale.
+///
+/// Generative story per recipe:
+///   1. Draw class c (uniform over the first `num_classes` archetypes) and a
+///      preparation style s from the class's styles.
+///   2. Choose ingredients: each core ingredient is kept with probability
+///      (1 - core_drop_prob), plus `min_extras..max_extras` extras.
+///   3. Dish latent z = class_scale * mu_c
+///                    + ingredient_scale * sum_g phi_g
+///                    + style_scale * psi_s
+///                    + N(0, latent_noise^2)
+///      with mu, phi, psi fixed unit-norm random vectors.
+///   4. Recipe text: an ingredient list plus templated instruction sentences
+///      that mention every ingredient and the style verb; the image is
+///      SyntheticBackbone::Render(z) (photo noise inside the backbone).
+///
+/// The latent structure gives both losses their signal: fine-grained
+/// (ingredients/style -> instance retrieval) and high-level (class -> the
+/// semantic loss), matching the two levels Hypotheses H1/H2 of the paper
+/// rely on.
+struct GeneratorConfig {
+  int64_t num_recipes = 2000;
+  /// Number of class archetypes used (<= Inventory::num_classes()).
+  int64_t num_classes = 32;
+  int64_t latent_dim = 24;
+  /// Image feature dimension emitted by the synthetic backbone.
+  int64_t image_dim = 48;
+  /// Fraction of recipes carrying a visible class label (Recipe1M: ~0.5).
+  double label_fraction = 0.5;
+  /// Zipf exponent of the class frequency distribution: p(class with rank
+  /// r) proportional to 1 / (r + 1)^exponent. 0 gives uniform classes;
+  /// Recipe1M's title-parsed classes are heavily skewed, which is what
+  /// gives the semantic loss dense same-class pairs in every batch.
+  double class_zipf_exponent = 1.0;
+  double class_scale = 1.2;
+  /// Strength of the super-category direction in the dish latent (the
+  /// hierarchy level the AdaMine_hier extension exploits).
+  double category_scale = 0.45;
+  double ingredient_scale = 0.85;
+  double style_scale = 0.5;
+  double latent_noise = 0.12;
+  double photo_noise = 0.10;
+  double core_drop_prob = 0.12;
+  /// Probability that a listed ingredient is NOT visible in the photo (its
+  /// latent contribution is dropped from the *image* side only). Real food
+  /// photos show a subset of the recipe's ingredients; this asymmetry makes
+  /// some images genuinely ambiguous between classes, which is the failure
+  /// mode the paper's semantic loss exists to fix.
+  double ingredient_invisible_prob = 0.3;
+  int64_t min_extras = 1;
+  int64_t max_extras = 4;
+  uint64_t seed = 7;
+
+  Status Validate(const Inventory& inventory) const;
+};
+
+/// Generates synthetic recipe-image datasets from the built-in Inventory.
+class RecipeGenerator {
+ public:
+  static StatusOr<RecipeGenerator> Create(const GeneratorConfig& config);
+
+  /// Generates a full dataset (deterministic given config.seed).
+  Dataset Generate() const;
+
+  /// Renders a fresh image for an arbitrary latent (used by tests and the
+  /// ingredient-removal experiment).
+  Tensor RenderImage(const Tensor& latent, Rng& rng) const;
+
+  /// Ground-truth latent direction of ingredient `inventory_id`.
+  Tensor IngredientDirection(int64_t inventory_id) const;
+
+  const Inventory& inventory() const { return inventory_; }
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  explicit RecipeGenerator(const GeneratorConfig& config);
+
+  /// Builds one recipe of class `class_id`.
+  Recipe MakeRecipe(int64_t id, int64_t class_id, Rng& rng) const;
+
+  /// Builds the instruction sentences for a drawn recipe.
+  std::vector<std::vector<std::string>> MakeInstructions(
+      const std::vector<std::string>& ingredients, const std::string& style,
+      Rng& rng) const;
+
+  GeneratorConfig config_;
+  Inventory inventory_;
+  Tensor class_latents_;       // [num_classes, latent_dim]
+  Tensor category_latents_;    // [num_categories, latent_dim]
+  Tensor ingredient_latents_;  // [num_ingredients, latent_dim]
+  Tensor style_latents_;       // [num_styles, latent_dim]
+};
+
+}  // namespace adamine::data
+
+#endif  // ADAMINE_DATA_GENERATOR_H_

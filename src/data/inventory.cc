@@ -1,0 +1,281 @@
+#include "data/inventory.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adamine::data {
+
+namespace {
+
+std::vector<ClassArchetype> BuildClasses() {
+  return {
+      {"pizza",
+       {"pizza_dough", "tomato_sauce", "mozzarella", "olive_oil", "basil"},
+       {"pepperoni", "mushrooms", "pineapple", "olives", "bell_pepper",
+        "onion", "ham", "strawberries", "arugula", "feta_cheese"},
+       {"baked", "grilled"}},
+      {"cupcake",
+       {"flour", "sugar", "butter", "eggs", "vanilla_extract", "milk"},
+       {"chocolate_chips", "sprinkles", "cream_cheese", "strawberries",
+        "cocoa_powder", "lemon_zest"},
+       {"baked"}},
+      {"hamburger",
+       {"ground_beef", "burger_buns", "lettuce", "tomato", "onion"},
+       {"cheddar", "bacon", "pickles", "ketchup", "mustard", "avocado"},
+       {"grilled", "pan_fried"}},
+      {"green_beans",
+       {"green_beans", "butter", "garlic", "salt", "black_pepper"},
+       {"almonds", "bacon", "lemon_juice", "parmesan", "shallots"},
+       {"steamed", "sauteed"}},
+      {"pork_chops",
+       {"pork_chops", "olive_oil", "garlic", "salt", "black_pepper"},
+       {"rosemary", "apples", "honey", "mustard", "thyme", "butter"},
+       {"grilled", "baked", "pan_fried"}},
+      {"salad",
+       {"lettuce", "tomato", "cucumber", "olive_oil", "vinegar"},
+       {"feta_cheese", "olives", "croutons", "avocado", "red_onion",
+        "chicken_breast", "broccoli"},
+       {"raw"}},
+      {"brownies",
+       {"flour", "sugar", "butter", "eggs", "cocoa_powder"},
+       {"chocolate_chips", "walnuts", "vanilla_extract", "espresso_powder"},
+       {"baked"}},
+      {"pancakes",
+       {"flour", "milk", "eggs", "baking_powder", "sugar"},
+       {"blueberries", "maple_syrup", "butter", "bananas", "cinnamon"},
+       {"pan_fried"}},
+      {"chicken_soup",
+       {"chicken_breast", "carrots", "celery", "onion", "chicken_broth"},
+       {"noodles", "garlic", "thyme", "parsley", "rice", "broccoli"},
+       {"simmered"}},
+      {"beef_stew",
+       {"beef_chuck", "potatoes", "carrots", "onion", "beef_broth"},
+       {"red_wine", "peas", "tomato_paste", "bay_leaf", "mushrooms"},
+       {"simmered", "slow_cooked"}},
+      {"lasagna",
+       {"lasagna_noodles", "ground_beef", "tomato_sauce", "ricotta",
+        "mozzarella"},
+       {"parmesan", "spinach", "garlic", "onion", "basil"},
+       {"baked"}},
+      {"tacos",
+       {"tortillas", "ground_beef", "lettuce", "cheddar", "salsa"},
+       {"sour_cream", "avocado", "jalapenos", "lime", "cilantro",
+        "black_beans"},
+       {"pan_fried"}},
+      {"sushi",
+       {"sushi_rice", "nori", "rice_vinegar", "soy_sauce", "sugar"},
+       {"salmon", "tuna", "avocado", "cucumber", "wasabi", "sesame_seeds"},
+       {"raw"}},
+      {"omelette",
+       {"eggs", "butter", "salt", "black_pepper", "milk"},
+       {"cheddar", "mushrooms", "ham", "spinach", "chives", "bell_pepper"},
+       {"pan_fried"}},
+      {"apple_pie",
+       {"apples", "flour", "sugar", "butter", "cinnamon"},
+       {"lemon_juice", "nutmeg", "vanilla_extract", "caramel"},
+       {"baked"}},
+      {"banana_bread",
+       {"bananas", "flour", "sugar", "eggs", "butter", "baking_soda"},
+       {"walnuts", "chocolate_chips", "cinnamon", "vanilla_extract"},
+       {"baked"}},
+      {"fried_rice",
+       {"rice", "eggs", "soy_sauce", "peas", "carrots"},
+       {"garlic", "ginger", "shrimp", "chicken_breast", "sesame_oil",
+        "scallions", "broccoli"},
+       {"stir_fried"}},
+      {"mashed_potatoes",
+       {"potatoes", "butter", "milk", "salt", "black_pepper"},
+       {"garlic", "sour_cream", "chives", "parmesan", "cream_cheese"},
+       {"boiled"}},
+      {"meatloaf",
+       {"ground_beef", "breadcrumbs", "eggs", "onion", "ketchup"},
+       {"garlic", "worcestershire", "bell_pepper", "brown_sugar", "bacon"},
+       {"baked"}},
+      {"chili",
+       {"ground_beef", "kidney_beans", "tomato_sauce", "onion",
+        "chili_powder"},
+       {"garlic", "bell_pepper", "cumin", "jalapenos", "corn", "cheddar"},
+       {"simmered", "slow_cooked"}},
+      {"coleslaw",
+       {"cabbage", "carrots", "mayonnaise", "vinegar", "sugar"},
+       {"celery_seed", "mustard", "apples", "raisins", "lemon_juice"},
+       {"raw"}},
+      {"french_toast",
+       {"bread", "eggs", "milk", "cinnamon", "vanilla_extract"},
+       {"maple_syrup", "butter", "powdered_sugar", "strawberries", "nutmeg"},
+       {"pan_fried"}},
+      {"grilled_cheese",
+       {"bread", "cheddar", "butter"},
+       {"tomato", "ham", "mozzarella", "mustard", "bacon"},
+       {"grilled", "pan_fried"}},
+      {"tomato_soup",
+       {"tomato", "onion", "garlic", "vegetable_broth", "olive_oil"},
+       {"basil", "heavy_cream", "croutons", "parmesan", "thyme"},
+       {"simmered"}},
+      {"roast_chicken",
+       {"whole_chicken", "olive_oil", "garlic", "salt", "black_pepper"},
+       {"lemons", "thyme", "rosemary", "butter", "potatoes", "carrots"},
+       {"baked"}},
+      {"spaghetti",
+       {"spaghetti_pasta", "tomato_sauce", "garlic", "olive_oil",
+        "parmesan"},
+       {"ground_beef", "basil", "onion", "mushrooms", "red_pepper_flakes"},
+       {"boiled", "simmered"}},
+      {"waffles",
+       {"flour", "milk", "eggs", "baking_powder", "sugar", "butter"},
+       {"maple_syrup", "blueberries", "vanilla_extract", "whipped_cream"},
+       {"baked"}},
+      {"burrito",
+       {"tortillas", "rice", "black_beans", "cheddar", "salsa"},
+       {"chicken_breast", "sour_cream", "avocado", "corn", "cilantro",
+        "lime"},
+       {"pan_fried"}},
+      {"quiche",
+       {"eggs", "heavy_cream", "pie_crust", "cheese_gruyere", "salt"},
+       {"bacon", "spinach", "onion", "mushrooms", "ham"},
+       {"baked"}},
+      {"smoothie",
+       {"bananas", "yogurt", "milk", "honey"},
+       {"strawberries", "blueberries", "spinach", "peanut_butter", "mango",
+        "ice"},
+       {"blended"}},
+      {"muffins",
+       {"flour", "sugar", "eggs", "milk", "baking_powder", "butter"},
+       {"blueberries", "chocolate_chips", "bananas", "cinnamon", "walnuts"},
+       {"baked"}},
+      {"tofu_saute",
+       {"tofu", "olive_oil", "garlic", "soy_sauce", "onion"},
+       {"broccoli", "bell_pepper", "zucchini", "ginger", "oregano",
+        "mushrooms", "carrots"},
+       {"stir_fried", "sauteed"}},
+  };
+}
+
+/// Super-category of each curated class.
+const char* CuratedCategory(const std::string& class_name) {
+  static constexpr std::pair<const char*, const char*> kMap[] = {
+      {"pizza", "main"},          {"cupcake", "dessert"},
+      {"hamburger", "main"},      {"green_beans", "side"},
+      {"pork_chops", "main"},     {"salad", "side"},
+      {"brownies", "dessert"},    {"pancakes", "breakfast"},
+      {"chicken_soup", "soup"},   {"beef_stew", "soup"},
+      {"lasagna", "main"},        {"tacos", "main"},
+      {"sushi", "main"},          {"omelette", "breakfast"},
+      {"apple_pie", "dessert"},   {"banana_bread", "dessert"},
+      {"fried_rice", "main"},     {"mashed_potatoes", "side"},
+      {"meatloaf", "main"},       {"chili", "soup"},
+      {"coleslaw", "side"},       {"french_toast", "breakfast"},
+      {"grilled_cheese", "main"}, {"tomato_soup", "soup"},
+      {"roast_chicken", "main"},  {"spaghetti", "main"},
+      {"waffles", "breakfast"},   {"burrito", "main"},
+      {"quiche", "breakfast"},    {"smoothie", "drink"},
+      {"muffins", "dessert"},     {"tofu_saute", "main"},
+  };
+  for (const auto& [name, category] : kMap) {
+    if (class_name == name) return category;
+  }
+  return "main";
+}
+
+}  // namespace
+
+Inventory::Inventory(int64_t num_procedural_classes, uint64_t seed)
+    : classes_(BuildClasses()) {
+  std::set<std::string> ingredient_set;
+  std::set<std::string> style_set;
+  for (const auto& c : classes_) {
+    ingredient_set.insert(c.core_ingredients.begin(),
+                          c.core_ingredients.end());
+    ingredient_set.insert(c.extra_ingredients.begin(),
+                          c.extra_ingredients.end());
+    style_set.insert(c.styles.begin(), c.styles.end());
+  }
+  ingredients_.assign(ingredient_set.begin(), ingredient_set.end());
+  styles_.assign(style_set.begin(), style_set.end());
+
+  // Procedurally composed classes: random ingredient subsets from the
+  // curated pool, so the global ingredient inventory stays fixed.
+  Rng rng(seed);
+  for (int64_t i = 0; i < num_procedural_classes; ++i) {
+    ClassArchetype c;
+    c.name = "dish_" + std::to_string(i);
+    const int64_t n_core = 4 + rng.UniformInt(3);   // 4-6 cores.
+    const int64_t n_extra = 5 + rng.UniformInt(4);  // 5-8 extras.
+    auto picks = rng.SampleWithoutReplacement(
+        static_cast<int64_t>(ingredients_.size()), n_core + n_extra);
+    for (int64_t k = 0; k < n_core; ++k) {
+      c.core_ingredients.push_back(
+          ingredients_[static_cast<size_t>(picks[static_cast<size_t>(k)])]);
+    }
+    for (int64_t k = n_core; k < n_core + n_extra; ++k) {
+      c.extra_ingredients.push_back(
+          ingredients_[static_cast<size_t>(picks[static_cast<size_t>(k)])]);
+    }
+    const int64_t n_styles = 1 + rng.UniformInt(2);  // 1-2 styles.
+    auto style_picks = rng.SampleWithoutReplacement(
+        static_cast<int64_t>(styles_.size()), n_styles);
+    for (int64_t s : style_picks) {
+      c.styles.push_back(styles_[static_cast<size_t>(s)]);
+    }
+    classes_.push_back(std::move(c));
+  }
+
+  // Super-categories: curated classes use the hand-written map; procedural
+  // classes draw a category at random (from the same seed stream, so the
+  // assignment is stable).
+  categories_ = {"breakfast", "dessert", "drink", "main", "side", "soup"};
+  class_category_.reserve(classes_.size());
+  Rng category_rng(seed ^ 0xCA7E60FFULL);
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    std::string category;
+    if (static_cast<int64_t>(i) < kNumCuratedClasses) {
+      category = CuratedCategory(classes_[i].name);
+    } else {
+      category = categories_[static_cast<size_t>(
+          category_rng.UniformInt(static_cast<int64_t>(categories_.size())))];
+    }
+    const auto it =
+        std::find(categories_.begin(), categories_.end(), category);
+    ADAMINE_CHECK(it != categories_.end());
+    class_category_.push_back(
+        static_cast<int64_t>(it - categories_.begin()));
+  }
+}
+
+int64_t Inventory::CategoryOfClass(int64_t class_id) const {
+  ADAMINE_CHECK_GE(class_id, 0);
+  ADAMINE_CHECK_LT(class_id, num_classes());
+  return class_category_[static_cast<size_t>(class_id)];
+}
+
+const std::string& Inventory::CategoryName(int64_t category_id) const {
+  ADAMINE_CHECK_GE(category_id, 0);
+  ADAMINE_CHECK_LT(category_id, num_categories());
+  return categories_[static_cast<size_t>(category_id)];
+}
+
+int64_t Inventory::IngredientId(const std::string& name) const {
+  auto it = std::lower_bound(ingredients_.begin(), ingredients_.end(), name);
+  if (it == ingredients_.end() || *it != name) return -1;
+  return static_cast<int64_t>(it - ingredients_.begin());
+}
+
+int64_t Inventory::StyleId(const std::string& name) const {
+  auto it = std::lower_bound(styles_.begin(), styles_.end(), name);
+  if (it == styles_.end() || *it != name) return -1;
+  return static_cast<int64_t>(it - styles_.begin());
+}
+
+int64_t Inventory::ClassId(const std::string& name) const {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace adamine::data

@@ -1,0 +1,83 @@
+#ifndef ADAMINE_DATA_INVENTORY_H_
+#define ADAMINE_DATA_INVENTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adamine::data {
+
+/// Static description of one recipe class (e.g. "pizza"): the ingredients a
+/// recipe of that class always uses, the optional extras it may add, and the
+/// preparation styles (verb families) it can be cooked in.
+struct ClassArchetype {
+  std::string name;
+  std::vector<std::string> core_ingredients;
+  std::vector<std::string> extra_ingredients;
+  std::vector<std::string> styles;  // e.g. "baked", "grilled".
+};
+
+/// The fixed food-domain inventory behind the synthetic Recipe1M generator:
+/// 32 dish classes with realistic ingredient lists (heavily overlapping, as
+/// on allrecipes.com), plus the global ingredient list derived from them.
+class Inventory {
+ public:
+  /// Number of curated (hand-written) class archetypes.
+  static constexpr int64_t kNumCuratedClasses = 32;
+
+  /// Builds the inventory: the 32 curated archetypes plus
+  /// `num_procedural_classes` procedurally composed classes ("dish_<i>",
+  /// random core/extra ingredient subsets drawn from the curated pool and
+  /// 1-2 styles). Procedural classes let experiments approach Recipe1M's
+  /// ~1000-class regime, where a 100-pair batch rarely contains two labeled
+  /// items of the same class; the curated classes always come first, so
+  /// name-based experiments (pizza, tofu_saute, ...) are unaffected.
+  explicit Inventory(int64_t num_procedural_classes = 0,
+                     uint64_t seed = 0xC1A55E5ULL);
+
+  const std::vector<ClassArchetype>& classes() const { return classes_; }
+  int64_t num_classes() const {
+    return static_cast<int64_t>(classes_.size());
+  }
+
+  /// All distinct ingredient names, sorted; index in this vector is the
+  /// global ingredient id used by the generator's latent model.
+  const std::vector<std::string>& ingredients() const { return ingredients_; }
+  int64_t num_ingredients() const {
+    return static_cast<int64_t>(ingredients_.size());
+  }
+
+  /// All distinct style names across classes, sorted.
+  const std::vector<std::string>& styles() const { return styles_; }
+  int64_t num_styles() const { return static_cast<int64_t>(styles_.size()); }
+
+  /// Super-categories (the hierarchical level above classes — "dessert",
+  /// "main", ...; the paper's future-work extension groups classes by
+  /// them). Every class belongs to exactly one category.
+  const std::vector<std::string>& categories() const { return categories_; }
+  int64_t num_categories() const {
+    return static_cast<int64_t>(categories_.size());
+  }
+  /// Category id of a class id.
+  int64_t CategoryOfClass(int64_t class_id) const;
+  /// Name of a category id.
+  const std::string& CategoryName(int64_t category_id) const;
+
+  /// Id of an ingredient name, or -1.
+  int64_t IngredientId(const std::string& name) const;
+  /// Id of a style name, or -1.
+  int64_t StyleId(const std::string& name) const;
+  /// Id of a class name, or -1.
+  int64_t ClassId(const std::string& name) const;
+
+ private:
+  std::vector<ClassArchetype> classes_;
+  std::vector<std::string> ingredients_;
+  std::vector<std::string> styles_;
+  std::vector<std::string> categories_;
+  std::vector<int64_t> class_category_;  // class id -> category id.
+};
+
+}  // namespace adamine::data
+
+#endif  // ADAMINE_DATA_INVENTORY_H_

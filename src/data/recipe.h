@@ -1,0 +1,58 @@
+#ifndef ADAMINE_DATA_RECIPE_H_
+#define ADAMINE_DATA_RECIPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adamine::data {
+
+/// One recipe-image pair of the synthetic Recipe1M-like dataset.
+struct Recipe {
+  int64_t id = -1;
+  /// Generator ground-truth class (always set; used only for evaluation
+  /// ground truth and by the semantic loss when `label` is set).
+  int64_t true_class = -1;
+  /// The class label visible to training: true_class for the labeled half
+  /// of the dataset, -1 for the unlabeled half (as in Recipe1M, where only
+  /// ~half the pairs carry a parsed class).
+  int64_t label = -1;
+  std::string class_name;
+  /// Ingredient list as name tokens (e.g. "olive_oil").
+  std::vector<std::string> ingredients;
+  /// Cooking instructions: sentences of word tokens.
+  std::vector<std::vector<std::string>> instructions;
+  /// Generator truth: global inventory ids of the ingredients used.
+  std::vector<int64_t> ingredient_ids;
+  /// Generator truth: preparation-style id.
+  int64_t style_id = -1;
+  /// Generator truth: super-category of the class (hierarchy level above
+  /// classes; the paper's future-work extension).
+  int64_t true_category = -1;
+  /// Visible category label: true_category when the class label is
+  /// visible, else -1.
+  int64_t category_label = -1;
+  /// Synthetic image features [feature_dim] (backbone output).
+  Tensor image;
+  /// Generator truth: the full dish latent (class + all ingredients +
+  /// style + noise).
+  Tensor latent;
+  /// Generator truth: the latent actually photographed — like `latent` but
+  /// with invisible ingredients dropped (see
+  /// GeneratorConfig::ingredient_invisible_prob).
+  Tensor image_latent;
+
+  /// True if the recipe lists ingredient `inventory_id`.
+  bool HasIngredient(int64_t inventory_id) const {
+    for (int64_t g : ingredient_ids) {
+      if (g == inventory_id) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace adamine::data
+
+#endif  // ADAMINE_DATA_RECIPE_H_

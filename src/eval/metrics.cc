@@ -1,0 +1,112 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::eval {
+
+std::vector<int64_t> MatchRanks(const Tensor& queries,
+                                const Tensor& candidates) {
+  ADAMINE_CHECK_EQ(queries.ndim(), 2);
+  ADAMINE_CHECK(SameShape(queries, candidates));
+  const int64_t n = queries.rows();
+  // Cosine similarity: higher = closer; rank counts strictly closer items
+  // (ties broken by candidate index).
+  Tensor sims = CosineSimilarityMatrix(queries, candidates);
+  std::vector<int64_t> ranks(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float match_sim = sims.At(i, i);
+    int64_t rank = 1;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float s = sims.At(i, j);
+      if (s > match_sim || (s == match_sim && j < i)) ++rank;
+    }
+    ranks[static_cast<size_t>(i)] = rank;
+  }
+  return ranks;
+}
+
+RetrievalMetrics MetricsFromRanks(const std::vector<int64_t>& ranks) {
+  ADAMINE_CHECK(!ranks.empty());
+  RetrievalMetrics m;
+  m.num_queries = static_cast<int64_t>(ranks.size());
+  std::vector<int64_t> sorted = ranks;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  m.medr = (n % 2 == 1)
+               ? static_cast<double>(sorted[n / 2])
+               : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  int64_t r1 = 0, r5 = 0, r10 = 0;
+  for (int64_t r : ranks) {
+    if (r <= 1) ++r1;
+    if (r <= 5) ++r5;
+    if (r <= 10) ++r10;
+  }
+  const double denom = static_cast<double>(n);
+  m.r_at_1 = 100.0 * r1 / denom;
+  m.r_at_5 = 100.0 * r5 / denom;
+  m.r_at_10 = 100.0 * r10 / denom;
+  return m;
+}
+
+Stat MeanStd(const std::vector<double>& samples) {
+  ADAMINE_CHECK(!samples.empty());
+  Stat s;
+  for (double v : samples) s.mean += v;
+  s.mean /= static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.std = std::sqrt(sq / static_cast<double>(samples.size()));
+  return s;
+}
+
+namespace {
+
+BaggedMetrics Aggregate(const std::vector<RetrievalMetrics>& per_bag) {
+  std::vector<double> medr, r1, r5, r10;
+  for (const auto& m : per_bag) {
+    medr.push_back(m.medr);
+    r1.push_back(m.r_at_1);
+    r5.push_back(m.r_at_5);
+    r10.push_back(m.r_at_10);
+  }
+  BaggedMetrics out;
+  out.medr = MeanStd(medr);
+  out.r_at_1 = MeanStd(r1);
+  out.r_at_5 = MeanStd(r5);
+  out.r_at_10 = MeanStd(r10);
+  return out;
+}
+
+}  // namespace
+
+CrossModalResult EvaluateBags(const Tensor& image_emb,
+                              const Tensor& recipe_emb, int64_t bag_size,
+                              int64_t num_bags, Rng& rng) {
+  ADAMINE_CHECK(SameShape(image_emb, recipe_emb));
+  ADAMINE_CHECK_GT(num_bags, 0);
+  const int64_t n = image_emb.rows();
+  const int64_t size = std::min(bag_size, n);
+  ADAMINE_CHECK_GT(size, 0);
+
+  std::vector<RetrievalMetrics> i2r, r2i;
+  for (int64_t b = 0; b < num_bags; ++b) {
+    auto idx = rng.SampleWithoutReplacement(n, size);
+    Tensor img = GatherRows(image_emb, idx);
+    Tensor rec = GatherRows(recipe_emb, idx);
+    i2r.push_back(MetricsFromRanks(MatchRanks(img, rec)));
+    r2i.push_back(MetricsFromRanks(MatchRanks(rec, img)));
+  }
+  CrossModalResult result;
+  result.image_to_recipe = Aggregate(i2r);
+  result.recipe_to_image = Aggregate(r2i);
+  result.bag_size = size;
+  result.num_bags = num_bags;
+  return result;
+}
+
+}  // namespace adamine::eval

@@ -1,0 +1,68 @@
+#ifndef ADAMINE_EVAL_METRICS_H_
+#define ADAMINE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adamine::eval {
+
+/// Cross-modal retrieval quality over one query set.
+struct RetrievalMetrics {
+  /// Median rank of the true match (1-based; 1.0 is perfect).
+  double medr = 0.0;
+  /// Recall@K in percent (0-100).
+  double r_at_1 = 0.0;
+  double r_at_5 = 0.0;
+  double r_at_10 = 0.0;
+  int64_t num_queries = 0;
+};
+
+/// Rank (1-based) of each query's true match. `queries` and `candidates`
+/// are [N, D] with row i of `candidates` being the match of query i; items
+/// are compared by cosine distance. Ties are broken by candidate index so
+/// results are deterministic.
+std::vector<int64_t> MatchRanks(const Tensor& queries,
+                                const Tensor& candidates);
+
+/// Aggregates match ranks into MedR / R@K.
+RetrievalMetrics MetricsFromRanks(const std::vector<int64_t>& ranks);
+
+/// Mean and standard deviation of a set of samples.
+struct Stat {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+Stat MeanStd(const std::vector<double>& samples);
+
+/// Aggregated metrics over several test bags (mean +- std per metric).
+struct BaggedMetrics {
+  Stat medr;
+  Stat r_at_1;
+  Stat r_at_5;
+  Stat r_at_10;
+};
+
+/// Both retrieval directions of the paper's protocol.
+struct CrossModalResult {
+  BaggedMetrics image_to_recipe;
+  BaggedMetrics recipe_to_image;
+  int64_t bag_size = 0;
+  int64_t num_bags = 0;
+};
+
+/// The paper's §4.2 protocol: samples `num_bags` subsets of `bag_size`
+/// matching pairs from the embedded test set (rows of `image_emb` /
+/// `recipe_emb` are aligned pairs), computes MedR and R@{1,5,10} per bag in
+/// both directions, and reports mean +- std over bags. `bag_size` is capped
+/// at the number of pairs available.
+CrossModalResult EvaluateBags(const Tensor& image_emb,
+                              const Tensor& recipe_emb, int64_t bag_size,
+                              int64_t num_bags, Rng& rng);
+
+}  // namespace adamine::eval
+
+#endif  // ADAMINE_EVAL_METRICS_H_

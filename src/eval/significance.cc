@@ -1,0 +1,54 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+namespace adamine::eval {
+
+StatusOr<BootstrapResult> PairedBootstrap(
+    const std::vector<int64_t>& ranks_a, const std::vector<int64_t>& ranks_b,
+    int64_t resamples, Rng& rng) {
+  if (ranks_a.empty() || ranks_a.size() != ranks_b.size()) {
+    return Status::InvalidArgument(
+        "paired bootstrap needs equal-length, non-empty rank lists");
+  }
+  if (resamples <= 0) {
+    return Status::InvalidArgument("resamples must be positive");
+  }
+  const int64_t n = static_cast<int64_t>(ranks_a.size());
+  std::vector<double> diffs(static_cast<size_t>(n));
+  double mean = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    diffs[static_cast<size_t>(i)] = static_cast<double>(
+        ranks_b[static_cast<size_t>(i)] - ranks_a[static_cast<size_t>(i)]);
+    mean += diffs[static_cast<size_t>(i)];
+  }
+  mean /= static_cast<double>(n);
+
+  BootstrapResult result;
+  result.mean_diff = mean;
+  result.resamples = resamples;
+  if (mean == 0.0) {
+    result.p_value = 1.0;
+    return result;
+  }
+  // Count resampled means whose sign flips relative to the observed mean.
+  int64_t flips = 0;
+  for (int64_t s = 0; s < resamples; ++s) {
+    double resampled = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      resampled += diffs[static_cast<size_t>(rng.UniformInt(n))];
+    }
+    resampled /= static_cast<double>(n);
+    if ((mean > 0.0 && resampled <= 0.0) ||
+        (mean < 0.0 && resampled >= 0.0)) {
+      ++flips;
+    }
+  }
+  // Two-sided with the +1 smoothing that keeps p > 0.
+  result.p_value = std::min(
+      1.0, 2.0 * (static_cast<double>(flips) + 1.0) /
+               (static_cast<double>(resamples) + 1.0));
+  return result;
+}
+
+}  // namespace adamine::eval

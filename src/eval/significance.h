@@ -1,0 +1,32 @@
+#ifndef ADAMINE_EVAL_SIGNIFICANCE_H_
+#define ADAMINE_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adamine::eval {
+
+/// Result of a paired bootstrap comparison of two retrieval systems on the
+/// same queries.
+struct BootstrapResult {
+  /// Mean rank difference (b - a); positive means system A ranks matches
+  /// better (lower).
+  double mean_diff = 0.0;
+  /// Two-sided p-value: probability, under resampling, that the observed
+  /// direction of the difference reverses.
+  double p_value = 1.0;
+  int64_t resamples = 0;
+};
+
+/// Paired bootstrap over per-query match ranks of two systems evaluated on
+/// identical queries (same order). Requires equal, non-empty rank lists.
+StatusOr<BootstrapResult> PairedBootstrap(
+    const std::vector<int64_t>& ranks_a, const std::vector<int64_t>& ranks_b,
+    int64_t resamples, Rng& rng);
+
+}  // namespace adamine::eval
+
+#endif  // ADAMINE_EVAL_SIGNIFICANCE_H_

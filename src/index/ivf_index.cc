@@ -1,0 +1,135 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "linalg/kmeans.h"
+#include "util/check.h"
+
+namespace adamine::index {
+
+Status IvfConfig::Validate() const {
+  if (num_lists <= 0) {
+    return Status::InvalidArgument("num_lists must be positive");
+  }
+  if (num_probes <= 0 || num_probes > num_lists) {
+    return Status::InvalidArgument("need 0 < num_probes <= num_lists");
+  }
+  if (kmeans_iterations <= 0) {
+    return Status::InvalidArgument("kmeans_iterations must be positive");
+  }
+  return Status::Ok();
+}
+
+StatusOr<IvfIndex> IvfIndex::Build(Tensor items, const IvfConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (items.ndim() != 2) {
+    return Status::InvalidArgument("items must be 2-D");
+  }
+  if (config.num_lists > items.rows()) {
+    return Status::InvalidArgument("num_lists exceeds the number of items");
+  }
+  linalg::KMeansConfig kmeans_config;
+  kmeans_config.k = config.num_lists;
+  kmeans_config.max_iterations = config.kmeans_iterations;
+  kmeans_config.seed = config.seed;
+  auto kmeans = linalg::KMeans(items, kmeans_config);
+  if (!kmeans.ok()) return kmeans.status();
+
+  IvfIndex index;
+  index.config_ = config;
+  index.items_ = std::move(items);
+  index.centroids_ = std::move(kmeans->centroids);
+  index.lists_.resize(static_cast<size_t>(config.num_lists));
+  for (size_t i = 0; i < kmeans->assignments.size(); ++i) {
+    index.lists_[static_cast<size_t>(kmeans->assignments[i])].push_back(
+        static_cast<int64_t>(i));
+  }
+  return index;
+}
+
+std::vector<int64_t> IvfIndex::Search(const Tensor& query, int64_t k,
+                                      int64_t probes) const {
+  const int64_t d = items_.cols();
+  ADAMINE_CHECK_EQ(query.numel(), d);
+
+  // Rank centroids by inner product with the query.
+  const int64_t lists = centroids_.rows();
+  std::vector<std::pair<float, int64_t>> centroid_sims;
+  centroid_sims.reserve(static_cast<size_t>(lists));
+  for (int64_t c = 0; c < lists; ++c) {
+    const float* row = centroids_.data() + c * d;
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) acc += double(row[j]) * query[j];
+    centroid_sims.emplace_back(static_cast<float>(acc), c);
+  }
+  const int64_t probe = std::min(probes, lists);
+  std::partial_sort(centroid_sims.begin(), centroid_sims.begin() + probe,
+                    centroid_sims.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
+
+  // Scan the probed lists.
+  std::vector<std::pair<float, int64_t>> candidates;
+  for (int64_t p = 0; p < probe; ++p) {
+    for (int64_t item :
+         lists_[static_cast<size_t>(centroid_sims[static_cast<size_t>(p)]
+                                        .second)]) {
+      const float* row = items_.data() + item * d;
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) acc += double(row[j]) * query[j];
+      candidates.emplace_back(static_cast<float>(acc), item);
+    }
+  }
+  const int64_t take =
+      std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    result.push_back(candidates[static_cast<size_t>(i)].second);
+  }
+  return result;
+}
+
+std::vector<int64_t> IvfIndex::Query(const Tensor& query, int64_t k) const {
+  return Search(query, k, config_.num_probes);
+}
+
+std::vector<int64_t> IvfIndex::QueryExact(const Tensor& query,
+                                          int64_t k) const {
+  return Search(query, k, centroids_.rows());
+}
+
+double IvfIndex::RecallAtK(const Tensor& queries, int64_t k) const {
+  ADAMINE_CHECK_EQ(queries.ndim(), 2);
+  const int64_t n = queries.rows();
+  const int64_t d = queries.cols();
+  double recall = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor q({d});
+    std::copy(queries.data() + i * d, queries.data() + (i + 1) * d, q.data());
+    auto approx = Query(q, k);
+    auto exact = QueryExact(q, k);
+    std::set<int64_t> truth(exact.begin(), exact.end());
+    int64_t hits = 0;
+    for (int64_t item : approx) {
+      if (truth.count(item)) ++hits;
+    }
+    if (!truth.empty()) {
+      recall += static_cast<double>(hits) /
+                static_cast<double>(truth.size());
+    }
+  }
+  return recall / static_cast<double>(n);
+}
+
+}  // namespace adamine::index

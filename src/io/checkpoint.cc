@@ -1,0 +1,52 @@
+#include "io/checkpoint.h"
+
+#include <unordered_map>
+
+#include "io/serialize.h"
+
+namespace adamine::io {
+
+Status SaveModel(const std::string& path,
+                 const core::CrossModalModel& model) {
+  std::vector<NamedTensor> bundle;
+  for (const auto& p : model.Params()) {
+    bundle.push_back({p.name, p.var.value()});
+  }
+  return SaveTensorBundle(path, bundle);
+}
+
+Status LoadModel(const std::string& path, core::CrossModalModel& model) {
+  auto bundle = LoadTensorBundle(path);
+  if (!bundle.ok()) return bundle.status();
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const auto& entry : *bundle) {
+    if (!by_name.emplace(entry.name, &entry.tensor).second) {
+      return Status::InvalidArgument("duplicate checkpoint entry: " +
+                                     entry.name);
+    }
+  }
+  auto params = model.Params();
+  if (params.size() != bundle->size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count does not match the model");
+  }
+  // Validate everything before mutating anything.
+  for (const auto& p : params) {
+    auto it = by_name.find(p.name);
+    if (it == by_name.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + p.name);
+    }
+    if (!SameShape(p.var.value(), *it->second)) {
+      return Status::InvalidArgument("shape mismatch for parameter: " +
+                                     p.name);
+    }
+  }
+  for (const auto& p : params) {
+    const Tensor& src = *by_name.at(p.name);
+    Tensor& dst = p.var.node()->value;
+    std::copy(src.data(), src.data() + src.numel(), dst.data());
+  }
+  return Status::Ok();
+}
+
+}  // namespace adamine::io

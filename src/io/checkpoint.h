@@ -1,0 +1,23 @@
+#ifndef ADAMINE_IO_CHECKPOINT_H_
+#define ADAMINE_IO_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "util/status.h"
+
+namespace adamine::io {
+
+/// Writes every named parameter of `model` as a tensor bundle at `path`.
+Status SaveModel(const std::string& path,
+                 const core::CrossModalModel& model);
+
+/// Loads a bundle written by SaveModel into `model`. Every parameter of the
+/// model must be present with the exact name and shape (i.e. the model must
+/// have been constructed with the same ModelConfig); extra entries in the
+/// file are an error too, so silent architecture drift is caught.
+Status LoadModel(const std::string& path, core::CrossModalModel& model);
+
+}  // namespace adamine::io
+
+#endif  // ADAMINE_IO_CHECKPOINT_H_

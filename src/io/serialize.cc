@@ -1,0 +1,161 @@
+#include "io/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace adamine::io {
+
+namespace {
+
+constexpr char kTensorMagic[4] = {'A', 'D', 'M', 'T'};
+constexpr char kBundleMagic[4] = {'A', 'D', 'M', 'B'};
+
+void WriteI64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+StatusOr<int64_t> ReadI64(std::istream& is) {
+  int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) return Status::InvalidArgument("truncated stream reading i64");
+  return v;
+}
+
+Status ExpectMagic(std::istream& is, const char expected[4],
+                   const char* what) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || !std::equal(magic, magic + 4, expected)) {
+    return Status::InvalidArgument(std::string("bad magic for ") + what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteTensor(std::ostream& os, const Tensor& tensor) {
+  if (!tensor.defined()) {
+    return Status::InvalidArgument("cannot serialise an undefined tensor");
+  }
+  os.write(kTensorMagic, 4);
+  WriteI64(os, tensor.ndim());
+  for (int64_t d = 0; d < tensor.ndim(); ++d) WriteI64(os, tensor.dim(d));
+  os.write(reinterpret_cast<const char*>(tensor.data()),
+           static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!os) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<Tensor> ReadTensor(std::istream& is) {
+  ADAMINE_RETURN_IF_ERROR(ExpectMagic(is, kTensorMagic, "tensor"));
+  auto ndim = ReadI64(is);
+  if (!ndim.ok()) return ndim.status();
+  if (*ndim <= 0 || *ndim > 8) {
+    return Status::InvalidArgument("implausible tensor rank");
+  }
+  std::vector<int64_t> shape;
+  int64_t numel = 1;
+  for (int64_t d = 0; d < *ndim; ++d) {
+    auto extent = ReadI64(is);
+    if (!extent.ok()) return extent.status();
+    if (*extent <= 0 || *extent > (int64_t{1} << 32)) {
+      return Status::InvalidArgument("implausible tensor extent");
+    }
+    shape.push_back(*extent);
+    numel *= *extent;
+  }
+  Tensor tensor(shape);
+  is.read(reinterpret_cast<char*>(tensor.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  if (!is) return Status::InvalidArgument("truncated tensor data");
+  return tensor;
+}
+
+Status WriteTensorBundle(std::ostream& os,
+                         const std::vector<NamedTensor>& bundle) {
+  os.write(kBundleMagic, 4);
+  WriteI64(os, static_cast<int64_t>(bundle.size()));
+  for (const auto& entry : bundle) {
+    WriteI64(os, static_cast<int64_t>(entry.name.size()));
+    os.write(entry.name.data(),
+             static_cast<std::streamsize>(entry.name.size()));
+    ADAMINE_RETURN_IF_ERROR(WriteTensor(os, entry.tensor));
+  }
+  if (!os) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<NamedTensor>> ReadTensorBundle(std::istream& is) {
+  ADAMINE_RETURN_IF_ERROR(ExpectMagic(is, kBundleMagic, "bundle"));
+  auto count = ReadI64(is);
+  if (!count.ok()) return count.status();
+  if (*count < 0 || *count > 1'000'000) {
+    return Status::InvalidArgument("implausible bundle entry count");
+  }
+  std::vector<NamedTensor> bundle;
+  bundle.reserve(static_cast<size_t>(*count));
+  for (int64_t i = 0; i < *count; ++i) {
+    auto name_len = ReadI64(is);
+    if (!name_len.ok()) return name_len.status();
+    if (*name_len < 0 || *name_len > 4096) {
+      return Status::InvalidArgument("implausible name length");
+    }
+    std::string name(static_cast<size_t>(*name_len), '\0');
+    is.read(name.data(), *name_len);
+    if (!is) return Status::InvalidArgument("truncated entry name");
+    auto tensor = ReadTensor(is);
+    if (!tensor.ok()) return tensor.status();
+    bundle.push_back({std::move(name), std::move(tensor.value())});
+  }
+  return bundle;
+}
+
+Status SaveTensorBundle(const std::string& path,
+                        const std::vector<NamedTensor>& bundle) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::NotFound("cannot open for writing: " + path);
+  return WriteTensorBundle(os, bundle);
+}
+
+StatusOr<std::vector<NamedTensor>> LoadTensorBundle(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open for reading: " + path);
+  return ReadTensorBundle(is);
+}
+
+Status WriteVocabulary(std::ostream& os, const text::Vocabulary& vocab) {
+  for (int64_t id = 0; id < vocab.size(); ++id) {
+    os << vocab.WordOf(id) << '\t' << vocab.CountOf(id) << '\n';
+  }
+  if (!os) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<text::Vocabulary> ReadVocabulary(std::istream& is) {
+  text::Vocabulary vocab;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("vocabulary line missing tab: " + line);
+    }
+    const std::string word = line.substr(0, tab);
+    int64_t count = 0;
+    try {
+      count = std::stoll(line.substr(tab + 1));
+    } catch (...) {
+      return Status::InvalidArgument("bad count in line: " + line);
+    }
+    if (word.empty() || count <= 0) {
+      return Status::InvalidArgument("bad vocabulary entry: " + line);
+    }
+    vocab.AddCount(word, count);
+  }
+  return vocab;
+}
+
+}  // namespace adamine::io

@@ -1,0 +1,42 @@
+#ifndef ADAMINE_IO_SERIALIZE_H_
+#define ADAMINE_IO_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace adamine::io {
+
+/// Binary tensor format: magic "ADMT", i64 ndim, i64 dims..., f32 data.
+/// All integers little-endian (the only platform this library targets).
+Status WriteTensor(std::ostream& os, const Tensor& tensor);
+StatusOr<Tensor> ReadTensor(std::istream& is);
+
+/// Named tensor bundle: magic "ADMB", i64 count, then per entry a
+/// length-prefixed name and a tensor record. This is the on-disk form of a
+/// model checkpoint (CrossModalModel::SnapshotParams + names).
+struct NamedTensor {
+  std::string name;
+  Tensor tensor;
+};
+
+Status WriteTensorBundle(std::ostream& os,
+                         const std::vector<NamedTensor>& bundle);
+StatusOr<std::vector<NamedTensor>> ReadTensorBundle(std::istream& is);
+
+/// File-path conveniences.
+Status SaveTensorBundle(const std::string& path,
+                        const std::vector<NamedTensor>& bundle);
+StatusOr<std::vector<NamedTensor>> LoadTensorBundle(const std::string& path);
+
+/// Vocabulary as text: one "word<TAB>count" line per id, in id order.
+Status WriteVocabulary(std::ostream& os, const text::Vocabulary& vocab);
+StatusOr<text::Vocabulary> ReadVocabulary(std::istream& is);
+
+}  // namespace adamine::io
+
+#endif  // ADAMINE_IO_SERIALIZE_H_

@@ -1,0 +1,178 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::linalg {
+
+EigenResult SymmetricEigen(const Tensor& a, int max_sweeps, double tol) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_EQ(a.rows(), a.cols());
+  const int64_t n = a.rows();
+
+  // Work in double precision: covariance spectra span many decades.
+  std::vector<double> m(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n * n; ++i) m[static_cast<size_t>(i)] = a[i];
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i * n + i)] = 1.0;
+
+  auto at = [&](std::vector<double>& mat, int64_t r, int64_t c) -> double& {
+    return mat[static_cast<size_t>(r * n + c)];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += at(m, p, q) * at(m, p, q);
+    }
+    if (std::sqrt(off) < tol) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = at(m, p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = at(m, p, p);
+        const double aqq = at(m, q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of m.
+        for (int64_t k = 0; k < n; ++k) {
+          const double mkp = at(m, k, p);
+          const double mkq = at(m, k, q);
+          at(m, k, p) = c * mkp - s * mkq;
+          at(m, k, q) = s * mkp + c * mkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double mpk = at(m, p, k);
+          const double mqk = at(m, q, k);
+          at(m, p, k) = c * mpk - s * mqk;
+          at(m, q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = at(v, k, p);
+          const double vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return at(m, x, x) > at(m, y, y);
+  });
+
+  EigenResult result;
+  result.values = Tensor({n});
+  result.vectors = Tensor({n, n});
+  for (int64_t c = 0; c < n; ++c) {
+    const int64_t src = order[static_cast<size_t>(c)];
+    result.values[c] = static_cast<float>(at(m, src, src));
+    for (int64_t r = 0; r < n; ++r) {
+      result.vectors.At(r, c) = static_cast<float>(at(v, r, src));
+    }
+  }
+  return result;
+}
+
+SvdResult Svd(const Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  const int64_t mrows = a.rows();
+  const int64_t ncols = a.cols();
+  SvdResult out;
+  if (mrows >= ncols) {
+    // Eigen of A^T A gives V and s^2; U = A V / s.
+    Tensor gram = Gemm(a, true, a, false);
+    EigenResult eig = SymmetricEigen(gram);
+    out.v = eig.vectors;  // [n, n]
+    out.s = Tensor({ncols});
+    for (int64_t i = 0; i < ncols; ++i) {
+      out.s[i] = std::sqrt(std::max(0.0f, eig.values[i]));
+    }
+    Tensor av = Gemm(a, false, out.v, false);  // [m, n]
+    out.u = Tensor({mrows, ncols});
+    for (int64_t j = 0; j < ncols; ++j) {
+      const float s = out.s[j];
+      const float inv = s > 1e-12f ? 1.0f / s : 0.0f;
+      for (int64_t i = 0; i < mrows; ++i) {
+        out.u.At(i, j) = av.At(i, j) * inv;
+      }
+    }
+  } else {
+    // Mirror case via A A^T.
+    Tensor gram = Gemm(a, false, a, true);
+    EigenResult eig = SymmetricEigen(gram);
+    out.u = eig.vectors;  // [m, m]
+    out.s = Tensor({mrows});
+    for (int64_t i = 0; i < mrows; ++i) {
+      out.s[i] = std::sqrt(std::max(0.0f, eig.values[i]));
+    }
+    Tensor atu = Gemm(a, true, out.u, false);  // [n, m]
+    out.v = Tensor({ncols, mrows});
+    for (int64_t j = 0; j < mrows; ++j) {
+      const float s = out.s[j];
+      const float inv = s > 1e-12f ? 1.0f / s : 0.0f;
+      for (int64_t i = 0; i < ncols; ++i) {
+        out.v.At(i, j) = atu.At(i, j) * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor InverseSqrt(const Tensor& a, double ridge, double floor) {
+  ADAMINE_CHECK_EQ(a.rows(), a.cols());
+  const int64_t n = a.rows();
+  Tensor ridged = a.Clone();
+  for (int64_t i = 0; i < n; ++i) {
+    ridged.At(i, i) += static_cast<float>(ridge);
+  }
+  EigenResult eig = SymmetricEigen(ridged);
+  // V diag(1/sqrt(lambda)) V^T.
+  Tensor scaled = eig.vectors.Clone();  // Columns scaled by 1/sqrt(lambda).
+  for (int64_t c = 0; c < n; ++c) {
+    const double lambda = std::max<double>(eig.values[c], floor);
+    const float inv = static_cast<float>(1.0 / std::sqrt(lambda));
+    for (int64_t r = 0; r < n; ++r) scaled.At(r, c) *= inv;
+  }
+  return Gemm(scaled, false, eig.vectors, true);
+}
+
+Tensor CenterColumns(Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  Tensor means = ColMean(a);
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = a.data() + i * c;
+    for (int64_t j = 0; j < c; ++j) row[j] -= means[j];
+  }
+  return means;
+}
+
+Tensor PcaProject(const Tensor& a, int64_t k) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_LE(k, a.cols());
+  Tensor centered = a.Clone();
+  CenterColumns(centered);
+  Tensor cov = Gemm(centered, true, centered, false);
+  ScaleInPlace(cov, 1.0f / static_cast<float>(std::max<int64_t>(
+                        1, a.rows() - 1)));
+  EigenResult eig = SymmetricEigen(cov);
+  Tensor top = SliceCols(eig.vectors, 0, k);
+  return Gemm(centered, false, top, false);
+}
+
+}  // namespace adamine::linalg

@@ -1,0 +1,46 @@
+#ifndef ADAMINE_LINALG_EIGEN_H_
+#define ADAMINE_LINALG_EIGEN_H_
+
+#include "tensor/tensor.h"
+
+namespace adamine::linalg {
+
+/// Eigendecomposition of a symmetric matrix.
+struct EigenResult {
+  /// Eigenvalues in descending order, [n].
+  Tensor values;
+  /// Corresponding eigenvectors as *columns*, [n, n].
+  Tensor vectors;
+};
+
+/// Cyclic Jacobi eigendecomposition of symmetric `a` [n, n]. Converges to
+/// machine precision for the small covariance matrices this library needs
+/// (n up to a few hundred).
+EigenResult SymmetricEigen(const Tensor& a, int max_sweeps = 64,
+                           double tol = 1e-10);
+
+/// Thin SVD of a general [m, n] matrix via the eigendecomposition of the
+/// smaller Gram matrix: a = U diag(s) V^T with k = min(m, n) columns.
+struct SvdResult {
+  Tensor u;  // [m, k]
+  Tensor s;  // [k], descending, non-negative
+  Tensor v;  // [n, k]
+};
+
+SvdResult Svd(const Tensor& a);
+
+/// Symmetric inverse square root (a + ridge I)^(-1/2); eigenvalues clamped
+/// at `floor` before the inverse sqrt for numerical safety.
+Tensor InverseSqrt(const Tensor& a, double ridge = 1e-6,
+                   double floor = 1e-10);
+
+/// Centers columns of `a` in place and returns the removed column means [C].
+Tensor CenterColumns(Tensor& a);
+
+/// PCA projection of rows of `a` [n, d] onto the top `k` principal
+/// components -> [n, k]. Columns of `a` are centered internally.
+Tensor PcaProject(const Tensor& a, int64_t k);
+
+}  // namespace adamine::linalg
+
+#endif  // ADAMINE_LINALG_EIGEN_H_

@@ -1,0 +1,123 @@
+#include "linalg/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adamine::linalg {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = double(a[j]) - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Status KMeansConfig::Validate() const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  return Status::Ok();
+}
+
+StatusOr<KMeansResult> KMeans(const Tensor& points,
+                              const KMeansConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (points.ndim() != 2) {
+    return Status::InvalidArgument("points must be 2-D");
+  }
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+  if (config.k > n) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+
+  Rng rng(config.seed);
+  KMeansResult result;
+  result.centroids = Tensor({config.k, d});
+  result.assignments.assign(static_cast<size_t>(n), 0);
+
+  // k-means++ seeding: first centre uniform, then proportional to the
+  // squared distance to the nearest chosen centre.
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::max());
+  int64_t first = rng.UniformInt(n);
+  std::copy(points.data() + first * d, points.data() + (first + 1) * d,
+            result.centroids.data());
+  for (int64_t c = 1; c < config.k; ++c) {
+    const float* last_centre = result.centroids.data() + (c - 1) * d;
+    std::vector<double> weights(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)],
+                   SquaredDistance(points.data() + i * d, last_centre, d));
+      weights[static_cast<size_t>(i)] = min_dist[static_cast<size_t>(i)];
+    }
+    double total = 0.0;
+    for (double w : weights) total += w;
+    int64_t pick;
+    if (total <= 0.0) {
+      pick = rng.UniformInt(n);  // All points identical.
+    } else {
+      pick = rng.Categorical(weights);
+    }
+    std::copy(points.data() + pick * d, points.data() + (pick + 1) * d,
+              result.centroids.data() + c * d);
+  }
+
+  // Lloyd iterations.
+  std::vector<int64_t> counts(static_cast<size_t>(config.k));
+  for (int64_t iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* p = points.data() + i * d;
+      double best = std::numeric_limits<double>::max();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < config.k; ++c) {
+        const double dist =
+            SquaredDistance(p, result.centroids.data() + c * d, d);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best_c) {
+        result.assignments[static_cast<size_t>(i)] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centres; empty clusters keep their previous centre.
+    Tensor sums({config.k, d});
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      const float* p = points.data() + i * d;
+      float* s = sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) s[j] += p[j];
+    }
+    for (int64_t c = 0; c < config.k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      float* centre = result.centroids.data() + c * d;
+      const float* s = sums.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) centre[j] = s[j] * inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace adamine::linalg

@@ -1,0 +1,38 @@
+#ifndef ADAMINE_LINALG_KMEANS_H_
+#define ADAMINE_LINALG_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::linalg {
+
+/// Lloyd's k-means with k-means++ seeding.
+struct KMeansConfig {
+  int64_t k = 8;
+  int64_t max_iterations = 25;
+  /// Stop when no assignment changes.
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+struct KMeansResult {
+  /// [k, D] cluster centres.
+  Tensor centroids;
+  /// Cluster id of every input row.
+  std::vector<int64_t> assignments;
+  /// Sum of squared distances of points to their centres.
+  double inertia = 0.0;
+  int64_t iterations = 0;
+};
+
+/// Clusters the rows of `points` [N, D]; requires k <= N.
+StatusOr<KMeansResult> KMeans(const Tensor& points,
+                              const KMeansConfig& config);
+
+}  // namespace adamine::linalg
+
+#endif  // ADAMINE_LINALG_KMEANS_H_

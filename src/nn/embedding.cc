@@ -1,0 +1,19 @@
+#include "nn/embedding.h"
+
+namespace adamine::nn {
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng) {
+  table_ = RegisterParam("table",
+                         Tensor::Randn({vocab_size, dim}, rng, 0.1f));
+}
+
+Embedding::Embedding(Tensor pretrained) {
+  ADAMINE_CHECK_EQ(pretrained.ndim(), 2);
+  table_ = RegisterParam("table", std::move(pretrained));
+}
+
+ag::Var Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return ag::Rows(table_, ids);
+}
+
+}  // namespace adamine::nn

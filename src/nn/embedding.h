@@ -1,0 +1,34 @@
+#ifndef ADAMINE_NN_EMBEDDING_H_
+#define ADAMINE_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace adamine::nn {
+
+/// Token embedding table with padding-aware lookup (id -1 -> zero row).
+class Embedding : public Module {
+ public:
+  /// Random N(0, 0.1) initialisation.
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  /// Initialisation from a pretrained table (e.g. word2vec output).
+  Embedding(Tensor pretrained);  // NOLINT(runtime/explicit)
+
+  /// Looks up `ids` -> [ids.size(), dim]. id -1 yields a zero row.
+  ag::Var Forward(const std::vector<int64_t>& ids) const;
+
+  int64_t vocab_size() const { return table_.value().rows(); }
+  int64_t dim() const { return table_.value().cols(); }
+  const ag::Var& table() const { return table_; }
+
+ private:
+  ag::Var table_;  // [vocab, dim]
+};
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_EMBEDDING_H_

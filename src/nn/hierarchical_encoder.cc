@@ -1,0 +1,48 @@
+#include "nn/hierarchical_encoder.h"
+
+namespace adamine::nn {
+
+HierarchicalEncoder::HierarchicalEncoder(int64_t word_emb_dim,
+                                         int64_t word_hidden,
+                                         int64_t sent_hidden, Rng& rng)
+    : word_lstm_(word_emb_dim, word_hidden, rng),
+      sent_lstm_(word_hidden, sent_hidden, rng) {
+  RegisterSubmodule("word", &word_lstm_);
+  RegisterSubmodule("sent", &sent_lstm_);
+}
+
+ag::Var HierarchicalEncoder::Encode(const Embedding& word_emb,
+                                    const std::vector<Document>& docs) const {
+  ADAMINE_CHECK(!docs.empty());
+  // Flatten every sentence of every document into one word-level batch.
+  std::vector<std::vector<int64_t>> sentences;
+  std::vector<std::vector<int64_t>> doc_sentence_rows(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (const auto& sentence : docs[d]) {
+      doc_sentence_rows[d].push_back(
+          static_cast<int64_t>(sentences.size()));
+      sentences.push_back(sentence);
+    }
+  }
+
+  ag::Var sentence_vectors;
+  if (sentences.empty()) {
+    // Every document is empty; a single zero row keeps the Rows() indices
+    // well-formed (they are all -1 below anyway).
+    sentence_vectors =
+        ag::Var(Tensor({1, word_lstm_.hidden_dim()}), /*requires_grad=*/false);
+  } else {
+    sentence_vectors = word_lstm_.EncodeIds(word_emb, sentences);
+  }
+
+  // Sentence-level recurrence over per-document rows of sentence_vectors.
+  PackedBatch packed = PackSequences(doc_sentence_rows);
+  std::vector<ag::Var> inputs;
+  inputs.reserve(packed.step_ids.size());
+  for (const auto& rows : packed.step_ids) {
+    inputs.push_back(ag::Rows(sentence_vectors, rows));
+  }
+  return sent_lstm_.Forward(inputs, packed.step_masks);
+}
+
+}  // namespace adamine::nn

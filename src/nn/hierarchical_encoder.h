@@ -1,0 +1,48 @@
+#ifndef ADAMINE_NN_HIERARCHICAL_ENCODER_H_
+#define ADAMINE_NN_HIERARCHICAL_ENCODER_H_
+
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+
+namespace adamine::nn {
+
+/// Two-level sequence encoder used by the paper for cooking instructions:
+/// a word-level LSTM turns each sentence into a vector, and a sentence-level
+/// LSTM consumes the sentence vectors in order. In the paper the word level
+/// is pretrained with skip-thought and frozen; call FreezeWordLevel() to
+/// reproduce that setup (the substitution uses word2vec-initialised word
+/// embeddings, see DESIGN.md).
+class HierarchicalEncoder : public Module {
+ public:
+  /// A document is a vector of sentences; a sentence a vector of token ids.
+  using Document = std::vector<std::vector<int64_t>>;
+
+  HierarchicalEncoder(int64_t word_emb_dim, int64_t word_hidden,
+                      int64_t sent_hidden, Rng& rng);
+
+  /// Encodes a batch of documents -> [B, sent_hidden]. Documents may have
+  /// different numbers of sentences; empty documents yield zero rows.
+  ag::Var Encode(const Embedding& word_emb,
+                 const std::vector<Document>& docs) const;
+
+  /// Freezes the word-level LSTM (sentence level stays trainable).
+  void FreezeWordLevel() { word_lstm_.SetTrainable(false); }
+
+  int64_t output_dim() const { return sent_lstm_.hidden_dim(); }
+
+  /// Mutable access to the word-level LSTM for pretraining (the paper
+  /// pretrains it with skip-thought before freezing; see PretrainLanguageModel).
+  Lstm& mutable_word_lstm() { return word_lstm_; }
+  int64_t word_hidden_dim() const { return word_lstm_.hidden_dim(); }
+
+ private:
+  Lstm word_lstm_;
+  Lstm sent_lstm_;
+};
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_HIERARCHICAL_ENCODER_H_

@@ -1,0 +1,18 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace adamine::nn {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight_ = RegisterParam("weight", XavierUniform(in_dim, out_dim, rng));
+  bias_ = RegisterParam("bias", Tensor({out_dim}));
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  ADAMINE_CHECK_EQ(x.value().cols(), in_dim_);
+  return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
+}
+
+}  // namespace adamine::nn

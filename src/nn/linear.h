@@ -1,0 +1,34 @@
+#ifndef ADAMINE_NN_LINEAR_H_
+#define ADAMINE_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace adamine::nn {
+
+/// Fully connected layer: y = x W + b, with W Xavier-initialised.
+class Linear : public Module {
+ public:
+  /// Creates a layer mapping `in_dim` features to `out_dim`.
+  Linear(int64_t in_dim, int64_t out_dim, Rng& rng);
+
+  /// x is [N, in_dim]; returns [N, out_dim].
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+  const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  ag::Var weight_;  // [in_dim, out_dim]
+  ag::Var bias_;    // [out_dim]
+};
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_LINEAR_H_

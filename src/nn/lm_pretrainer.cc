@@ -1,0 +1,103 @@
+#include "nn/lm_pretrainer.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/sequence.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+
+namespace adamine::nn {
+
+Status LmPretrainConfig::Validate() const {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (clip_norm < 0.0) {
+    return Status::InvalidArgument("clip_norm must be non-negative");
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> PretrainLanguageModel(
+    const Embedding& table, Lstm& lstm,
+    const std::vector<std::vector<int64_t>>& corpus,
+    const LmPretrainConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (corpus.empty()) return Status::InvalidArgument("empty corpus");
+  if (table.dim() != lstm.input_dim()) {
+    return Status::InvalidArgument("embedding dim != lstm input dim");
+  }
+
+  Rng rng(config.seed);
+  Linear head(lstm.hidden_dim(), table.vocab_size(), rng);
+  optim::Adam adam(config.learning_rate);
+  std::vector<ag::Var> params = lstm.ParamVars();
+  for (const auto& p : head.ParamVars()) params.push_back(p);
+
+  // Keep only sentences with at least two tokens (one prediction step).
+  std::vector<const std::vector<int64_t>*> usable;
+  for (const auto& sentence : corpus) {
+    if (sentence.size() >= 2) usable.push_back(&sentence);
+  }
+  if (usable.empty()) {
+    return Status::InvalidArgument("no sentence has >= 2 tokens");
+  }
+
+  double last_epoch_loss = 0.0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(usable);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (size_t start = 0; start < usable.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          usable.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<std::vector<int64_t>> batch;
+      for (size_t i = start; i < end; ++i) batch.push_back(*usable[i]);
+
+      PackedBatch packed = PackSequences(batch);
+      std::vector<ag::Var> inputs;
+      inputs.reserve(packed.step_ids.size());
+      for (const auto& ids : packed.step_ids) {
+        inputs.push_back(table.Forward(ids));
+      }
+      std::vector<ag::Var> hidden_states;
+      lstm.ForwardAllStates(inputs, packed.step_masks, &hidden_states);
+
+      // At step t, predict the token at t+1.
+      lstm.ZeroGrad();
+      head.ZeroGrad();
+      std::vector<ag::Var> losses;
+      double batch_loss = 0.0;
+      for (size_t t = 0; t + 1 < hidden_states.size(); ++t) {
+        ag::Var logits = head.Forward(hidden_states[t]);
+        ag::Var ce =
+            ag::SoftmaxCrossEntropy(logits, packed.step_ids[t + 1]);
+        batch_loss += ce.value()[0];
+        losses.push_back(ce);
+      }
+      if (losses.empty()) continue;
+      std::vector<Tensor> seeds;
+      for (size_t i = 0; i < losses.size(); ++i) {
+        Tensor s({1});
+        s[0] = 1.0f / static_cast<float>(losses.size());
+        seeds.push_back(s);
+      }
+      ag::Backward(losses, seeds);
+      if (config.clip_norm > 0.0) ClipGradNorm(params, config.clip_norm);
+      adam.Step(params);
+      epoch_loss += batch_loss / static_cast<double>(losses.size());
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace adamine::nn

@@ -1,0 +1,41 @@
+#ifndef ADAMINE_NN_LM_PRETRAINER_H_
+#define ADAMINE_NN_LM_PRETRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/lstm.h"
+#include "util/status.h"
+
+namespace adamine::nn {
+
+/// Next-token language-model pretraining for a sentence-encoder LSTM — the
+/// stand-in for the paper's skip-thought pretraining of the instruction
+/// encoder's word level (which is then frozen; see DESIGN.md). The LSTM
+/// reads a sentence and a softmax head predicts each following token; only
+/// the LSTM (and the internal head, discarded afterwards) are trained — the
+/// word embedding table stays fixed, as in the paper.
+struct LmPretrainConfig {
+  int64_t epochs = 2;
+  int64_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double clip_norm = 5.0;
+  uint64_t seed = 5;
+
+  Status Validate() const;
+};
+
+/// Trains `lstm` on `corpus` (sentences of word ids; -1 entries act as
+/// padding) with embeddings from `table`. Returns the mean cross-entropy of
+/// the final epoch (lower = better language model). The caller is
+/// responsible for the LSTM's trainable state before/after (the paper
+/// freezes it after pretraining).
+StatusOr<double> PretrainLanguageModel(
+    const Embedding& table, Lstm& lstm,
+    const std::vector<std::vector<int64_t>>& corpus,
+    const LmPretrainConfig& config);
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_LM_PRETRAINER_H_

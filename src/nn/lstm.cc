@@ -1,0 +1,84 @@
+#include "nn/lstm.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace adamine::nn {
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  weight_ = RegisterParam("weight", LstmWeight(input_dim, hidden_dim, rng));
+  bias_ = RegisterParam("bias", LstmBias(hidden_dim));
+}
+
+ag::Var Lstm::Forward(const std::vector<ag::Var>& inputs,
+                      const std::vector<Tensor>& masks) const {
+  std::vector<ag::Var> unused;
+  return ForwardAllStates(inputs, masks, &unused);
+}
+
+ag::Var Lstm::ForwardAllStates(const std::vector<ag::Var>& inputs,
+                               const std::vector<Tensor>& masks,
+                               std::vector<ag::Var>* all_hidden) const {
+  ADAMINE_CHECK(!inputs.empty());
+  ADAMINE_CHECK_EQ(inputs.size(), masks.size());
+  const int64_t batch = inputs[0].value().rows();
+  const int64_t h = hidden_dim_;
+
+  ag::Var hidden(Tensor({batch, h}), /*requires_grad=*/false);
+  ag::Var cell(Tensor({batch, h}), /*requires_grad=*/false);
+  all_hidden->clear();
+  all_hidden->reserve(inputs.size());
+
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    ADAMINE_CHECK_EQ(inputs[t].value().rows(), batch);
+    ADAMINE_CHECK_EQ(inputs[t].value().cols(), input_dim_);
+    // Fused gate computation over [x_t, h_{t-1}].
+    ag::Var z = ag::ConcatCols(inputs[t], hidden);
+    ag::Var gates = ag::AddRowBroadcast(ag::MatMul(z, weight_), bias_);
+    ag::Var gi = ag::Sigmoid(ag::SliceCols(gates, 0, h));
+    ag::Var gf = ag::Sigmoid(ag::SliceCols(gates, h, 2 * h));
+    ag::Var gg = ag::Tanh(ag::SliceCols(gates, 2 * h, 3 * h));
+    ag::Var go = ag::Sigmoid(ag::SliceCols(gates, 3 * h, 4 * h));
+    ag::Var new_cell = ag::Add(ag::Mul(gf, cell), ag::Mul(gi, gg));
+    ag::Var new_hidden = ag::Mul(go, ag::Tanh(new_cell));
+
+    // Masked update: padded rows carry the previous state forward.
+    const Tensor& m = masks[t];
+    Tensor inv_m(m.shape());
+    for (int64_t b = 0; b < batch; ++b) inv_m[b] = 1.0f - m[b];
+    cell = ag::Add(ag::ScaleRows(new_cell, m), ag::ScaleRows(cell, inv_m));
+    hidden =
+        ag::Add(ag::ScaleRows(new_hidden, m), ag::ScaleRows(hidden, inv_m));
+    all_hidden->push_back(hidden);
+  }
+  return hidden;
+}
+
+ag::Var Lstm::EncodeIds(const Embedding& emb,
+                        const std::vector<std::vector<int64_t>>& seqs,
+                        bool reverse) const {
+  ADAMINE_CHECK_EQ(emb.dim(), input_dim_);
+  PackedBatch packed = PackSequences(seqs, reverse);
+  std::vector<ag::Var> inputs;
+  inputs.reserve(packed.step_ids.size());
+  for (const auto& ids : packed.step_ids) inputs.push_back(emb.Forward(ids));
+  return Forward(inputs, packed.step_masks);
+}
+
+BiLstm::BiLstm(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      forward_(input_dim, hidden_dim, rng),
+      backward_(input_dim, hidden_dim, rng) {
+  RegisterSubmodule("fwd", &forward_);
+  RegisterSubmodule("bwd", &backward_);
+}
+
+ag::Var BiLstm::EncodeIds(const Embedding& emb,
+                          const std::vector<std::vector<int64_t>>& seqs) const {
+  ag::Var hf = forward_.EncodeIds(emb, seqs, /*reverse=*/false);
+  ag::Var hb = backward_.EncodeIds(emb, seqs, /*reverse=*/true);
+  return ag::ConcatCols(hf, hb);
+}
+
+}  // namespace adamine::nn

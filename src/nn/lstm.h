@@ -1,0 +1,71 @@
+#ifndef ADAMINE_NN_LSTM_H_
+#define ADAMINE_NN_LSTM_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/embedding.h"
+#include "nn/module.h"
+#include "nn/sequence.h"
+#include "util/rng.h"
+
+namespace adamine::nn {
+
+/// Single-direction LSTM (Hochreiter & Schmidhuber 1997) operating on a
+/// batch of padded sequences. Gates are computed with one fused GEMM per
+/// timestep over the concatenated [x_t, h_{t-1}] input; gate layout is
+/// [input, forget, cell, output]. Padded positions hold their hidden and
+/// cell state via per-step masks, so the returned final state of each
+/// sequence is the state after its *own* last token.
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  /// inputs[t] is [B, input_dim]; masks[t] is a constant [B] 0/1 tensor.
+  /// Returns the final hidden state [B, hidden_dim].
+  ag::Var Forward(const std::vector<ag::Var>& inputs,
+                  const std::vector<Tensor>& masks) const;
+
+  /// Like Forward but also returns every step's (masked) hidden state.
+  ag::Var ForwardAllStates(const std::vector<ag::Var>& inputs,
+                           const std::vector<Tensor>& masks,
+                           std::vector<ag::Var>* all_hidden) const;
+
+  /// Convenience: embeds `seqs` with `emb` (optionally reversed) and runs
+  /// the recurrence; returns the final hidden state [B, hidden_dim].
+  ag::Var EncodeIds(const Embedding& emb,
+                    const std::vector<std::vector<int64_t>>& seqs,
+                    bool reverse = false) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  ag::Var weight_;  // [input_dim + hidden_dim, 4 * hidden_dim]
+  ag::Var bias_;    // [4 * hidden_dim]
+};
+
+/// Bidirectional LSTM: one forward and one backward Lstm whose final states
+/// are concatenated -> [B, 2 * hidden_dim]. This is the ingredient encoder
+/// of the paper's recipe branch.
+class BiLstm : public Module {
+ public:
+  BiLstm(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  /// Embeds and encodes `seqs`; returns [B, 2 * hidden_dim].
+  ag::Var EncodeIds(const Embedding& emb,
+                    const std::vector<std::vector<int64_t>>& seqs) const;
+
+  int64_t output_dim() const { return 2 * hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Lstm forward_;
+  Lstm backward_;
+};
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_LSTM_H_

@@ -1,0 +1,76 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::nn {
+
+std::vector<NamedParam> Module::Params() const {
+  std::vector<NamedParam> all = own_params_;
+  for (const auto& [prefix, child] : children_) {
+    for (const auto& p : child->Params()) {
+      all.push_back({prefix + "." + p.name, p.var});
+    }
+  }
+  return all;
+}
+
+std::vector<ag::Var> Module::ParamVars() const {
+  std::vector<ag::Var> vars;
+  for (const auto& p : Params()) vars.push_back(p.var);
+  return vars;
+}
+
+void Module::SetTrainable(bool trainable) {
+  for (auto& p : own_params_) p.var.node()->requires_grad = trainable;
+  for (auto& [prefix, child] : children_) child->SetTrainable(trainable);
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : own_params_) p.var.ZeroGrad();
+  for (auto& [prefix, child] : children_) child->ZeroGrad();
+}
+
+int64_t Module::NumParams() const {
+  int64_t n = 0;
+  for (const auto& p : Params()) n += p.var.value().numel();
+  return n;
+}
+
+ag::Var Module::RegisterParam(std::string name, Tensor init) {
+  ag::Var var(std::move(init), /*requires_grad=*/true);
+  own_params_.push_back({std::move(name), var});
+  return var;
+}
+
+void Module::RegisterSubmodule(std::string prefix, Module* child) {
+  ADAMINE_CHECK(child != nullptr);
+  children_.emplace_back(std::move(prefix), child);
+}
+
+double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm) {
+  double sq = 0.0;
+  for (const auto& p : params) {
+    if (!p.requires_grad()) continue;
+    const Tensor& g = p.node()->grad;
+    if (!g.defined()) continue;
+    const float* pg = g.data();
+    const int64_t n = g.numel();
+    for (int64_t i = 0; i < n; ++i) sq += double(pg[i]) * pg[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const auto& p : params) {
+      if (!p.requires_grad()) continue;
+      Tensor& g = p.node()->grad;
+      if (!g.defined()) continue;
+      ScaleInPlace(g, scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace adamine::nn

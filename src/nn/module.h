@@ -1,0 +1,67 @@
+#ifndef ADAMINE_NN_MODULE_H_
+#define ADAMINE_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adamine::nn {
+
+/// A named trainable parameter.
+struct NamedParam {
+  std::string name;
+  ag::Var var;
+};
+
+/// Base class for neural-network building blocks. Subclasses register their
+/// parameters (and submodules) in their constructors; the registry powers
+/// optimisation, freezing, counting, and (de)serialisation.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules hand out Vars referencing their internal state; copying would
+  // silently alias parameters, so forbid it.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its submodules, with dotted names.
+  std::vector<NamedParam> Params() const;
+
+  /// Parameter Vars only (including frozen ones).
+  std::vector<ag::Var> ParamVars() const;
+
+  /// Sets requires_grad on every parameter of this module (recursively).
+  /// Frozen parameters still participate in the forward pass but receive no
+  /// gradient and are skipped by optimisers.
+  void SetTrainable(bool trainable);
+
+  /// Zeroes the gradient buffer of every parameter.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters (including frozen).
+  int64_t NumParams() const;
+
+ protected:
+  /// Registers a leaf parameter initialised with `init`.
+  ag::Var RegisterParam(std::string name, Tensor init);
+
+  /// Registers a child module; its parameters appear as "prefix.name".
+  /// The child must outlive this module (typically it is a member).
+  void RegisterSubmodule(std::string prefix, Module* child);
+
+ private:
+  std::vector<NamedParam> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+/// Rescales gradients of `params` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm);
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_MODULE_H_

@@ -1,0 +1,35 @@
+#include "nn/sequence.h"
+
+#include <algorithm>
+
+namespace adamine::nn {
+
+PackedBatch PackSequences(const std::vector<std::vector<int64_t>>& seqs,
+                          bool reverse) {
+  PackedBatch packed;
+  packed.batch_size = static_cast<int64_t>(seqs.size());
+  int64_t max_len = 1;
+  for (const auto& s : seqs) {
+    max_len = std::max(max_len, static_cast<int64_t>(s.size()));
+  }
+  packed.max_len = max_len;
+  packed.step_ids.resize(max_len);
+  packed.step_masks.reserve(max_len);
+  for (int64_t t = 0; t < max_len; ++t) {
+    packed.step_ids[t].assign(seqs.size(), -1);
+    Tensor mask({packed.batch_size});
+    for (size_t b = 0; b < seqs.size(); ++b) {
+      const auto& s = seqs[b];
+      const int64_t len = static_cast<int64_t>(s.size());
+      if (t < len) {
+        const int64_t pos = reverse ? (len - 1 - t) : t;
+        packed.step_ids[t][b] = s[static_cast<size_t>(pos)];
+        mask[static_cast<int64_t>(b)] = 1.0f;
+      }
+    }
+    packed.step_masks.push_back(std::move(mask));
+  }
+  return packed;
+}
+
+}  // namespace adamine::nn

@@ -1,0 +1,33 @@
+#ifndef ADAMINE_NN_SEQUENCE_H_
+#define ADAMINE_NN_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adamine::nn {
+
+/// A batch of variable-length id sequences padded to a common length and
+/// laid out timestep-major for recurrent processing.
+struct PackedBatch {
+  int64_t batch_size = 0;
+  int64_t max_len = 0;
+  /// step_ids[t][b] is the id of sequence b at timestep t, or -1 past its
+  /// end (embedding lookup yields a zero row for -1).
+  std::vector<std::vector<int64_t>> step_ids;
+  /// step_masks[t][b] is 1 while sequence b is still active at t, else 0.
+  std::vector<Tensor> step_masks;
+};
+
+/// Packs `seqs` left-aligned. With `reverse`, each sequence's tokens are
+/// visited last-to-first (still left-aligned), which is how the backward
+/// direction of a BiLSTM consumes its input. Empty sequences are allowed
+/// (all-zero masks). max_len is always at least 1 so downstream recurrences
+/// have one step to run.
+PackedBatch PackSequences(const std::vector<std::vector<int64_t>>& seqs,
+                          bool reverse = false);
+
+}  // namespace adamine::nn
+
+#endif  // ADAMINE_NN_SEQUENCE_H_

@@ -1,0 +1,75 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::optim {
+
+void Optimizer::ZeroGrad(const std::vector<ag::Var>& params) {
+  for (const auto& p : params) {
+    if (p.defined()) p.ZeroGrad();
+  }
+}
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::Step(const std::vector<ag::Var>& params) {
+  for (const auto& p : params) {
+    if (!p.requires_grad()) continue;
+    ag::Node* node = p.node().get();
+    if (!node->grad.defined()) continue;
+    if (momentum_ == 0.0) {
+      AxpyInPlace(node->value, static_cast<float>(-lr_), node->grad);
+      continue;
+    }
+    auto it = velocity_.find(node);
+    if (it == velocity_.end()) {
+      it = velocity_.emplace(node, Tensor(node->value.shape())).first;
+    }
+    Tensor& vel = it->second;
+    ScaleInPlace(vel, static_cast<float>(momentum_));
+    AddInPlace(vel, node->grad);
+    AxpyInPlace(node->value, static_cast<float>(-lr_), vel);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::Step(const std::vector<ag::Var>& params) {
+  for (const auto& p : params) {
+    if (!p.requires_grad()) continue;
+    ag::Node* node = p.node().get();
+    if (!node->grad.defined()) continue;
+    auto it = state_.find(node);
+    if (it == state_.end()) {
+      State s;
+      s.m = Tensor(node->value.shape());
+      s.v = Tensor(node->value.shape());
+      it = state_.emplace(node, std::move(s)).first;
+    }
+    State& s = it->second;
+    ++s.t;
+    const float b1 = static_cast<float>(beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    const float* g = node->grad.data();
+    float* m = s.m.data();
+    float* v = s.v.data();
+    float* w = node->value.data();
+    const int64_t n = node->value.numel();
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(s.t));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(s.t));
+    const float step =
+        static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+    const float eps = static_cast<float>(eps_);
+    for (int64_t i = 0; i < n; ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      w[i] -= step * m[i] / (std::sqrt(v[i]) + eps);
+    }
+  }
+}
+
+}  // namespace adamine::optim

@@ -1,0 +1,66 @@
+#ifndef ADAMINE_OPTIM_OPTIMIZER_H_
+#define ADAMINE_OPTIM_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adamine::optim {
+
+/// Base interface for first-order optimisers. Parameters whose
+/// requires_grad is false (frozen) or whose gradient buffer was never
+/// touched this step are skipped, which is how the paper's two-phase
+/// freeze-then-finetune schedule composes with optimisation.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in `params`.
+  virtual void Step(const std::vector<ag::Var>& params) = 0;
+
+  /// Zeroes the gradient buffers of `params`.
+  static void ZeroGrad(const std::vector<ag::Var>& params);
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void Step(const std::vector<ag::Var>& params) override;
+
+ private:
+  double momentum_;
+  std::unordered_map<ag::Node*, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2014) — the optimiser the paper trains with
+/// (lr = 1e-4).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-4, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void Step(const std::vector<ag::Var>& params) override;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+    int64_t t = 0;
+  };
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::unordered_map<ag::Node*, State> state_;
+};
+
+}  // namespace adamine::optim
+
+#endif  // ADAMINE_OPTIM_OPTIMIZER_H_

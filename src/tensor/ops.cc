@@ -1,0 +1,418 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace adamine {
+
+namespace {
+
+template <typename F>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
+  ADAMINE_CHECK(SameShape(a, b));
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor ElementwiseUnary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x * s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x + s; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::log(x); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(a,
+                          [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Square(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x * x; });
+}
+
+void AddInPlace(Tensor& y, const Tensor& x) {
+  ADAMINE_CHECK(SameShape(y, x));
+  float* py = y.data();
+  const float* px = x.data();
+  const int64_t n = y.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += px[i];
+}
+
+void AxpyInPlace(Tensor& y, float alpha, const Tensor& x) {
+  ADAMINE_CHECK(SameShape(y, x));
+  float* py = y.data();
+  const float* px = x.data();
+  const int64_t n = y.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void ScaleInPlace(Tensor& y, float s) {
+  float* py = y.data();
+  const int64_t n = y.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] *= s;
+}
+
+Tensor Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t k = trans_a ? a.rows() : a.cols();
+  const int64_t kb = trans_b ? b.cols() : b.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  ADAMINE_CHECK_EQ(k, kb);
+
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t lda = a.cols();
+  const int64_t ldb = b.cols();
+
+  // i-k-j loop order keeps the innermost loop streaming over contiguous rows
+  // of the output and (for the common non-transposed case) of B.
+  if (!trans_a && !trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * lda + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    // out[i][j] = sum_k a[i][k] * b[j][k]: dot of two contiguous rows.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * lda;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * ldb;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        orow[j] = acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    // out[i][j] = sum_k a[k][i] * b[k][j].
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = pa + kk * lda;
+      const float* brow = pb + kk * ldb;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* orow = po + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // out[i][j] = sum_k a[k][i] * b[j][k].
+    for (int64_t i = 0; i < m; ++i) {
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * ldb;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += pa[kk * lda + i] * brow[kk];
+        orow[j] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return Gemm(a, false, b, false);
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  const int64_t r = a.rows();
+  const int64_t c = a.cols();
+  Tensor out({c, r});
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_EQ(bias.numel(), a.cols());
+  Tensor out = a.Clone();
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  float* po = out.data();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = po + i * c;
+    for (int64_t j = 0; j < c; ++j) row[j] += pb[j];
+  }
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_EQ(b.ndim(), 2);
+  ADAMINE_CHECK_EQ(a.rows(), b.rows());
+  const int64_t n = a.rows();
+  const int64_t ca = a.cols();
+  const int64_t cb = b.cols();
+  Tensor out({n, ca + cb});
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * (ca + cb);
+    const float* ra = a.data() + i * ca;
+    const float* rb = b.data() + i * cb;
+    std::copy(ra, ra + ca, row);
+    std::copy(rb, rb + cb, row + ca);
+  }
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_EQ(b.ndim(), 2);
+  ADAMINE_CHECK_EQ(a.cols(), b.cols());
+  const int64_t c = a.cols();
+  Tensor out({a.rows() + b.rows(), c});
+  std::copy(a.data(), a.data() + a.numel(), out.data());
+  std::copy(b.data(), b.data() + b.numel(), out.data() + a.numel());
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int64_t c0, int64_t c1) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_GE(c0, 0);
+  ADAMINE_CHECK_LT(c0, c1);
+  ADAMINE_CHECK_LE(c1, a.cols());
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  const int64_t w = c1 - c0;
+  Tensor out({n, w});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = a.data() + i * c + c0;
+    std::copy(src, src + w, out.data() + i * w);
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t r0, int64_t r1) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_GE(r0, 0);
+  ADAMINE_CHECK_LT(r0, r1);
+  ADAMINE_CHECK_LE(r1, a.rows());
+  const int64_t c = a.cols();
+  Tensor out({r1 - r0, c});
+  std::copy(a.data() + r0 * c, a.data() + r1 * c, out.data());
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  const int64_t c = a.cols();
+  Tensor out({static_cast<int64_t>(indices.size()), c});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    ADAMINE_CHECK_GE(r, 0);
+    ADAMINE_CHECK_LT(r, a.rows());
+    const float* src = a.data() + r * c;
+    std::copy(src, src + c, out.data() + static_cast<int64_t>(i) * c);
+  }
+  return out;
+}
+
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices,
+                    const Tensor& src) {
+  ADAMINE_CHECK_EQ(dst.ndim(), 2);
+  ADAMINE_CHECK_EQ(src.ndim(), 2);
+  ADAMINE_CHECK_EQ(dst.cols(), src.cols());
+  ADAMINE_CHECK_EQ(static_cast<int64_t>(indices.size()), src.rows());
+  const int64_t c = dst.cols();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    ADAMINE_CHECK_GE(r, 0);
+    ADAMINE_CHECK_LT(r, dst.rows());
+    float* d = dst.data() + r * c;
+    const float* s = src.data() + static_cast<int64_t>(i) * c;
+    for (int64_t j = 0; j < c; ++j) d[j] += s[j];
+  }
+}
+
+float SumAll(const Tensor& a) {
+  const float* p = a.data();
+  const int64_t n = a.numel();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Tensor& a) {
+  ADAMINE_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+Tensor RowSum(const Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  Tensor out({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * c;
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) acc += row[j];
+    out[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor ColSum(const Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  Tensor out({c});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * c;
+    for (int64_t j = 0; j < c; ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Tensor ColMean(const Tensor& a) {
+  Tensor out = ColSum(a);
+  ScaleInPlace(out, 1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+float MaxAbs(const Tensor& a) {
+  const float* p = a.data();
+  const int64_t n = a.numel();
+  float best = 0.0f;
+  for (int64_t i = 0; i < n; ++i) best = std::max(best, std::fabs(p[i]));
+  return best;
+}
+
+Tensor RowNorms(const Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  Tensor out({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * c;
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) acc += double(row[j]) * row[j];
+    out[i] = static_cast<float>(std::sqrt(acc));
+  }
+  return out;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  Tensor out = a.Clone();
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * c;
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) acc += double(row[j]) * row[j];
+    const double norm = std::sqrt(acc);
+    if (norm < eps) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  Tensor out(a.shape());
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* in = a.data() + i * c;
+    float* o = out.data() + i * c;
+    float mx = in[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor CosineSimilarityMatrix(const Tensor& a, const Tensor& b) {
+  ADAMINE_CHECK_EQ(a.ndim(), 2);
+  ADAMINE_CHECK_EQ(b.ndim(), 2);
+  ADAMINE_CHECK_EQ(a.cols(), b.cols());
+  const Tensor an = L2NormalizeRows(a);
+  const Tensor bn = L2NormalizeRows(b);
+  return Gemm(an, false, bn, true);
+}
+
+float CosineDistance(const Tensor& a, const Tensor& b) {
+  ADAMINE_CHECK_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    dot += double(pa[i]) * pb[i];
+    na += double(pa[i]) * pa[i];
+    nb += double(pb[i]) * pb[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom < 1e-12) return 1.0f;
+  return static_cast<float>(1.0 - dot / denom);
+}
+
+}  // namespace adamine

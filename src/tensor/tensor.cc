@@ -1,0 +1,155 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace adamine {
+
+namespace {
+
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    ADAMINE_CHECK_GT(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  ADAMINE_CHECK(!shape_.empty());
+  data_ = std::make_shared<std::vector<float>>(NumelOf(shape_), 0.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  ADAMINE_CHECK_EQ(NumelOf(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                           float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  ADAMINE_CHECK_GE(i, 0);
+  ADAMINE_CHECK_LT(i, ndim());
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::numel() const {
+  if (!defined()) return 0;
+  return static_cast<int64_t>(data_->size());
+}
+
+int64_t Tensor::rows() const {
+  ADAMINE_CHECK_EQ(ndim(), 2);
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  ADAMINE_CHECK_EQ(ndim(), 2);
+  return shape_[1];
+}
+
+float& Tensor::operator[](int64_t i) {
+  ADAMINE_CHECK_GE(i, 0);
+  ADAMINE_CHECK_LT(i, numel());
+  return (*data_)[static_cast<size_t>(i)];
+}
+
+float Tensor::operator[](int64_t i) const {
+  ADAMINE_CHECK_GE(i, 0);
+  ADAMINE_CHECK_LT(i, numel());
+  return (*data_)[static_cast<size_t>(i)];
+}
+
+float& Tensor::At(int64_t r, int64_t c) {
+  ADAMINE_CHECK_EQ(ndim(), 2);
+  ADAMINE_CHECK_GE(r, 0);
+  ADAMINE_CHECK_LT(r, shape_[0]);
+  ADAMINE_CHECK_GE(c, 0);
+  ADAMINE_CHECK_LT(c, shape_[1]);
+  return (*data_)[static_cast<size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::At(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->At(r, c);
+}
+
+Tensor Tensor::Clone() const {
+  ADAMINE_CHECK(defined());
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  ADAMINE_CHECK(defined());
+  ADAMINE_CHECK_EQ(NumelOf(new_shape), numel());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  ADAMINE_CHECK(defined());
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+std::string Tensor::DebugString(int64_t max_elems) const {
+  std::ostringstream oss;
+  oss << "Tensor([";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << "]";
+  if (defined()) {
+    oss << ", {";
+    const int64_t n = std::min<int64_t>(numel(), max_elems);
+    for (int64_t i = 0; i < n; ++i) {
+      if (i) oss << ", ";
+      oss << (*data_)[static_cast<size_t>(i)];
+    }
+    if (numel() > n) oss << ", ...";
+    oss << "}";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace adamine

@@ -1,0 +1,93 @@
+#ifndef ADAMINE_TENSOR_TENSOR_H_
+#define ADAMINE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adamine {
+
+/// Dense, contiguous, row-major float32 tensor.
+///
+/// Copying a Tensor is cheap and *aliases* the underlying buffer (numpy
+/// semantics); use Clone() for a deep copy. All shape arithmetic is checked
+/// with ADAMINE_CHECK, so misuse aborts with a diagnostic instead of
+/// corrupting memory.
+class Tensor {
+ public:
+  /// Empty tensor (no shape, no data).
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape. Every extent must be > 0.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Convenience 1-D / 2-D constructors.
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(shape); }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// I.i.d. Uniform[lo, hi) entries.
+  static Tensor RandUniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                            float hi);
+
+  bool defined() const { return data_ != nullptr; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const;
+
+  /// Number of rows / columns; requires a 2-D tensor.
+  int64_t rows() const;
+  int64_t cols() const;
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// Flat element access.
+  float& operator[](int64_t i);
+  float operator[](int64_t i) const;
+
+  /// 2-D element access (checked).
+  float& At(int64_t r, int64_t c);
+  float At(int64_t r, int64_t c) const;
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Returns an alias sharing this buffer with a different shape of equal
+  /// numel.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to 0.
+  void Zero() { Fill(0.0f); }
+
+  /// True if both tensors share the same buffer.
+  bool SharesDataWith(const Tensor& other) const {
+    return data_ == other.data_;
+  }
+
+  /// "Tensor([2, 3])" plus up to `max_elems` leading values; for debugging.
+  std::string DebugString(int64_t max_elems = 8) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// True if the shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace adamine
+
+#endif  // ADAMINE_TENSOR_TENSOR_H_

@@ -1,0 +1,51 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace adamine::text {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::vector<std::string>> SplitSentences(std::string_view text) {
+  std::vector<std::vector<std::string>> sentences;
+  size_t start = 0;
+  auto flush = [&](size_t end) {
+    if (end > start) {
+      auto tokens = Tokenize(text.substr(start, end - start));
+      if (!tokens.empty()) sentences.push_back(std::move(tokens));
+    }
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '.' || c == '!' || c == '?' || c == ';' || c == '\n') {
+      flush(i);
+      start = i + 1;
+    }
+  }
+  flush(text.size());
+  return sentences;
+}
+
+}  // namespace adamine::text

@@ -1,0 +1,22 @@
+#ifndef ADAMINE_TEXT_TOKENIZER_H_
+#define ADAMINE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adamine::text {
+
+/// Splits `text` into lowercase word tokens. Alphanumeric runs (plus
+/// underscores, so multi-word ingredient names like "olive_oil" survive as
+/// one token) are kept; everything else separates tokens. Numbers are kept
+/// as tokens — quantities matter in recipes.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Splits instruction text into sentences on '.', '!', '?', ';' and
+/// newlines, then tokenizes each sentence. Empty sentences are dropped.
+std::vector<std::vector<std::string>> SplitSentences(std::string_view text);
+
+}  // namespace adamine::text
+
+#endif  // ADAMINE_TEXT_TOKENIZER_H_

@@ -1,0 +1,75 @@
+#include "text/vocabulary.h"
+
+#include "util/check.h"
+
+namespace adamine::text {
+
+int64_t Vocabulary::Add(std::string_view word) {
+  auto it = word_to_id_.find(std::string(word));
+  int64_t id;
+  if (it == word_to_id_.end()) {
+    id = static_cast<int64_t>(words_.size());
+    words_.emplace_back(word);
+    counts_.push_back(0);
+    word_to_id_.emplace(words_.back(), id);
+  } else {
+    id = it->second;
+  }
+  ++counts_[static_cast<size_t>(id)];
+  ++total_count_;
+  return id;
+}
+
+void Vocabulary::AddAll(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) Add(t);
+}
+
+int64_t Vocabulary::AddCount(std::string_view word, int64_t count) {
+  ADAMINE_CHECK_GT(count, 0);
+  const int64_t id = Add(word);
+  counts_[static_cast<size_t>(id)] += count - 1;
+  total_count_ += count - 1;
+  return id;
+}
+
+int64_t Vocabulary::IdOf(std::string_view word) const {
+  auto it = word_to_id_.find(std::string(word));
+  return it == word_to_id_.end() ? kUnknownId : it->second;
+}
+
+const std::string& Vocabulary::WordOf(int64_t id) const {
+  ADAMINE_CHECK_GE(id, 0);
+  ADAMINE_CHECK_LT(id, size());
+  return words_[static_cast<size_t>(id)];
+}
+
+int64_t Vocabulary::CountOf(int64_t id) const {
+  ADAMINE_CHECK_GE(id, 0);
+  ADAMINE_CHECK_LT(id, size());
+  return counts_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int64_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(IdOf(t));
+  return ids;
+}
+
+Vocabulary Vocabulary::Pruned(int64_t min_count) const {
+  Vocabulary pruned;
+  for (int64_t id = 0; id < size(); ++id) {
+    const int64_t count = counts_[static_cast<size_t>(id)];
+    if (count < min_count) continue;
+    const std::string& word = words_[static_cast<size_t>(id)];
+    const int64_t new_id = static_cast<int64_t>(pruned.words_.size());
+    pruned.words_.push_back(word);
+    pruned.counts_.push_back(count);
+    pruned.word_to_id_.emplace(word, new_id);
+    pruned.total_count_ += count;
+  }
+  return pruned;
+}
+
+}  // namespace adamine::text

@@ -1,0 +1,64 @@
+#ifndef ADAMINE_TEXT_VOCABULARY_H_
+#define ADAMINE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace adamine::text {
+
+/// Bidirectional word <-> id mapping with occurrence counts. Ids are dense
+/// and assigned in insertion order; id -1 is reserved as "unknown/padding"
+/// throughout the library.
+class Vocabulary {
+ public:
+  static constexpr int64_t kUnknownId = -1;
+
+  Vocabulary() = default;
+
+  /// Adds one occurrence of `word`; inserts it if new. Returns its id.
+  int64_t Add(std::string_view word);
+
+  /// Adds one occurrence of every token.
+  void AddAll(const std::vector<std::string>& tokens);
+
+  /// Adds `count` occurrences of `word` at once (count > 0); used when
+  /// reloading a serialised vocabulary. Returns the word's id.
+  int64_t AddCount(std::string_view word, int64_t count);
+
+  /// The id of `word`, or kUnknownId.
+  int64_t IdOf(std::string_view word) const;
+
+  /// True if `word` is present.
+  bool Contains(std::string_view word) const { return IdOf(word) >= 0; }
+
+  /// The word with the given id. Requires 0 <= id < size().
+  const std::string& WordOf(int64_t id) const;
+
+  /// Occurrence count of id. Requires 0 <= id < size().
+  int64_t CountOf(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(words_.size()); }
+
+  /// Total token occurrences added.
+  int64_t total_count() const { return total_count_; }
+
+  /// Converts tokens to ids; unknown words map to kUnknownId.
+  std::vector<int64_t> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Returns a vocabulary containing only words with count >= min_count
+  /// (ids are re-assigned densely, preserving order).
+  Vocabulary Pruned(int64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, int64_t> word_to_id_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace adamine::text
+
+#endif  // ADAMINE_TEXT_VOCABULARY_H_

@@ -1,0 +1,166 @@
+#include "text/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::text {
+
+Status Word2VecConfig::Validate() const {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  if (negatives < 0) {
+    return Status::InvalidArgument("negatives must be non-negative");
+  }
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (subsample < 0.0) {
+    return Status::InvalidArgument("subsample must be non-negative");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Word2Vec> Word2Vec::Create(int64_t vocab_size,
+                                    const Word2VecConfig& config) {
+  if (vocab_size <= 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  return Word2Vec(vocab_size, config);
+}
+
+Word2Vec::Word2Vec(int64_t vocab_size, const Word2VecConfig& config)
+    : config_(config), rng_(config.seed) {
+  // word2vec's standard init: input U(-0.5/dim, 0.5/dim), output zeros.
+  const float bound = 0.5f / static_cast<float>(config.dim);
+  input_ = Tensor::RandUniform({vocab_size, config.dim}, rng_, -bound, bound);
+  output_ = Tensor({vocab_size, config.dim});
+  counts_.assign(static_cast<size_t>(vocab_size), 0);
+}
+
+void Word2Vec::BuildNegativeTable(
+    const std::vector<std::vector<int64_t>>& corpus) {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (const auto& sentence : corpus) {
+    for (int64_t id : sentence) {
+      if (id < 0) continue;
+      ADAMINE_CHECK_LT(id, vocab_size());
+      ++counts_[static_cast<size_t>(id)];
+    }
+  }
+  // Table of ids with multiplicity proportional to count^0.75.
+  constexpr int64_t kTableSize = 1 << 16;
+  double total = 0.0;
+  for (int64_t c : counts_) total += std::pow(static_cast<double>(c), 0.75);
+  negative_table_.clear();
+  negative_table_.reserve(kTableSize);
+  if (total <= 0.0) return;
+  for (int64_t id = 0; id < vocab_size(); ++id) {
+    const double share =
+        std::pow(static_cast<double>(counts_[static_cast<size_t>(id)]), 0.75) /
+        total;
+    const int64_t slots =
+        static_cast<int64_t>(std::llround(share * kTableSize));
+    for (int64_t s = 0; s < slots; ++s) negative_table_.push_back(id);
+  }
+  if (negative_table_.empty()) negative_table_.push_back(0);
+}
+
+void Word2Vec::Train(const std::vector<std::vector<int64_t>>& corpus) {
+  BuildNegativeTable(corpus);
+  const int64_t dim = config_.dim;
+  const float lr = static_cast<float>(config_.learning_rate);
+  const double total_tokens = static_cast<double>(std::accumulate(
+      counts_.begin(), counts_.end(), int64_t{0}));
+
+  std::vector<float> grad_center(static_cast<size_t>(dim));
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const auto& sentence : corpus) {
+      // Subsample frequent words, drop unknowns.
+      std::vector<int64_t> kept;
+      kept.reserve(sentence.size());
+      for (int64_t id : sentence) {
+        if (id < 0) continue;
+        if (config_.subsample > 0.0 && total_tokens > 0.0) {
+          const double freq =
+              static_cast<double>(counts_[static_cast<size_t>(id)]) /
+              total_tokens;
+          if (freq > config_.subsample) {
+            const double keep_prob =
+                std::sqrt(config_.subsample / freq);
+            if (!rng_.Bernoulli(keep_prob)) continue;
+          }
+        }
+        kept.push_back(id);
+      }
+      const int64_t n = static_cast<int64_t>(kept.size());
+      for (int64_t pos = 0; pos < n; ++pos) {
+        const int64_t center = kept[static_cast<size_t>(pos)];
+        // Dynamic window as in the reference implementation.
+        const int64_t reduced = 1 + rng_.UniformInt(config_.window);
+        float* vc = input_.data() + center * dim;
+        for (int64_t off = -reduced; off <= reduced; ++off) {
+          if (off == 0) continue;
+          const int64_t cpos = pos + off;
+          if (cpos < 0 || cpos >= n) continue;
+          const int64_t context = kept[static_cast<size_t>(cpos)];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // One positive + `negatives` sampled negatives.
+          for (int64_t s = 0; s <= config_.negatives; ++s) {
+            int64_t target;
+            float label;
+            if (s == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = negative_table_[static_cast<size_t>(
+                  rng_.UniformInt(static_cast<int64_t>(
+                      negative_table_.size())))];
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* vo = output_.data() + target * dim;
+            double dot = 0.0;
+            for (int64_t d = 0; d < dim; ++d) dot += double(vc[d]) * vo[d];
+            const float pred =
+                1.0f / (1.0f + std::exp(-static_cast<float>(dot)));
+            const float g = (label - pred) * lr;
+            for (int64_t d = 0; d < dim; ++d) {
+              grad_center[static_cast<size_t>(d)] += g * vo[d];
+              vo[d] += g * vc[d];
+            }
+          }
+          for (int64_t d = 0; d < dim; ++d) {
+            vc[d] += grad_center[static_cast<size_t>(d)];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<int64_t> Word2Vec::MostSimilar(int64_t id, int64_t k) const {
+  ADAMINE_CHECK_GE(id, 0);
+  ADAMINE_CHECK_LT(id, vocab_size());
+  Tensor query = GatherRows(input_, {id});
+  Tensor sims = CosineSimilarityMatrix(query, input_);
+  std::vector<int64_t> order(static_cast<size_t>(vocab_size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return sims.At(0, a) > sims.At(0, b);
+  });
+  std::vector<int64_t> result;
+  for (int64_t candidate : order) {
+    if (candidate == id) continue;
+    result.push_back(candidate);
+    if (static_cast<int64_t>(result.size()) == k) break;
+  }
+  return result;
+}
+
+}  // namespace adamine::text

@@ -1,0 +1,69 @@
+#ifndef ADAMINE_TEXT_WORD2VEC_H_
+#define ADAMINE_TEXT_WORD2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adamine::text {
+
+/// Configuration for skip-gram training.
+struct Word2VecConfig {
+  int64_t dim = 32;
+  int64_t window = 4;
+  int64_t negatives = 5;
+  int64_t epochs = 3;
+  double learning_rate = 0.025;
+  /// Frequent-word subsampling threshold (word2vec's `-sample`); 0 disables.
+  double subsample = 1e-3;
+  uint64_t seed = 1234;
+
+  /// Validates ranges; returns the first violated constraint.
+  Status Validate() const;
+};
+
+/// Skip-gram with negative sampling (Mikolov et al. 2013), the algorithm the
+/// paper uses to pretrain ingredient word embeddings. Trained directly with
+/// per-pair logistic updates (the classic implementation), not through the
+/// autograd stack, for speed.
+class Word2Vec {
+ public:
+  /// `vocab_size` must cover every id appearing in the corpus.
+  static StatusOr<Word2Vec> Create(int64_t vocab_size,
+                                   const Word2VecConfig& config);
+
+  /// Trains on `corpus`: a list of sentences of word ids (-1 entries are
+  /// skipped). May be called repeatedly to continue training.
+  void Train(const std::vector<std::vector<int64_t>>& corpus);
+
+  /// Input (center-word) embedding table [vocab, dim] — the embeddings one
+  /// normally keeps.
+  const Tensor& embeddings() const { return input_; }
+
+  /// Cosine-similarity nearest neighbours of `id` among all words.
+  std::vector<int64_t> MostSimilar(int64_t id, int64_t k) const;
+
+  int64_t vocab_size() const { return input_.rows(); }
+  int64_t dim() const { return input_.cols(); }
+
+ private:
+  Word2Vec(int64_t vocab_size, const Word2VecConfig& config);
+
+  /// Rebuilds the unigram^(3/4) negative-sampling table from corpus counts.
+  void BuildNegativeTable(const std::vector<std::vector<int64_t>>& corpus);
+
+  Word2VecConfig config_;
+  Tensor input_;   // [vocab, dim]
+  Tensor output_;  // [vocab, dim]
+  std::vector<int64_t> negative_table_;
+  std::vector<int64_t> counts_;
+  Rng rng_;
+};
+
+}  // namespace adamine::text
+
+#endif  // ADAMINE_TEXT_WORD2VEC_H_

@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+namespace adamine::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "[ADAMINE CHECK FAILED] %s:%d: (%s)", file, line, expr);
+  if (!extra.empty()) {
+    std::fprintf(stderr, " %s", extra.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace adamine::internal

@@ -1,0 +1,53 @@
+#ifndef ADAMINE_UTIL_CHECK_H_
+#define ADAMINE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace adamine::internal {
+
+/// Prints a fatal-check failure and aborts. Out-of-line so the macro below
+/// stays cheap at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+}  // namespace adamine::internal
+
+/// Aborts with a diagnostic if `cond` is false. Used for internal invariants
+/// (shape mismatches, index bounds) that indicate a programming error rather
+/// than bad user input; user-facing validation returns Status instead.
+#define ADAMINE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::adamine::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                    \
+  } while (0)
+
+/// ADAMINE_CHECK with a streamed message, e.g.
+/// ADAMINE_CHECK_MSG(a == b, "got " << a << " want " << b).
+#define ADAMINE_CHECK_MSG(cond, stream_expr)                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream _oss;                                           \
+      _oss << stream_expr;                                               \
+      ::adamine::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                       _oss.str());                      \
+    }                                                                    \
+  } while (0)
+
+#define ADAMINE_CHECK_EQ(a, b) \
+  ADAMINE_CHECK_MSG((a) == (b), "expected " << (a) << " == " << (b))
+#define ADAMINE_CHECK_NE(a, b) \
+  ADAMINE_CHECK_MSG((a) != (b), "expected " << (a) << " != " << (b))
+#define ADAMINE_CHECK_LT(a, b) \
+  ADAMINE_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
+#define ADAMINE_CHECK_LE(a, b) \
+  ADAMINE_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
+#define ADAMINE_CHECK_GT(a, b) \
+  ADAMINE_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
+#define ADAMINE_CHECK_GE(a, b) \
+  ADAMINE_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))
+
+#endif  // ADAMINE_UTIL_CHECK_H_

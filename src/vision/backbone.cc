@@ -1,0 +1,55 @@
+#include "vision/backbone.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace adamine::vision {
+
+Status BackboneConfig::Validate() const {
+  if (latent_dim <= 0) {
+    return Status::InvalidArgument("latent_dim must be positive");
+  }
+  if (hidden_dim <= 0) {
+    return Status::InvalidArgument("hidden_dim must be positive");
+  }
+  if (feature_dim <= 0) {
+    return Status::InvalidArgument("feature_dim must be positive");
+  }
+  if (photo_noise < 0.0) {
+    return Status::InvalidArgument("photo_noise must be non-negative");
+  }
+  return Status::Ok();
+}
+
+StatusOr<SyntheticBackbone> SyntheticBackbone::Create(
+    const BackboneConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  return SyntheticBackbone(config);
+}
+
+SyntheticBackbone::SyntheticBackbone(const BackboneConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  // Variance-preserving random projections; weights are fixed forever.
+  const float s1 = 1.0f / std::sqrt(static_cast<float>(config.latent_dim));
+  const float s2 = 1.0f / std::sqrt(static_cast<float>(config.hidden_dim));
+  w1_ = Tensor::Randn({config.latent_dim, config.hidden_dim}, rng, s1);
+  b1_ = Tensor::Randn({config.hidden_dim}, rng, 0.1f);
+  w2_ = Tensor::Randn({config.hidden_dim, config.feature_dim}, rng, s2);
+  b2_ = Tensor::Randn({config.feature_dim}, rng, 0.1f);
+}
+
+Tensor SyntheticBackbone::Render(const Tensor& latent, Rng& rng) const {
+  ADAMINE_CHECK_EQ(latent.numel(), config_.latent_dim);
+  Tensor noisy = latent.Clone().Reshape({1, config_.latent_dim});
+  for (int64_t i = 0; i < noisy.numel(); ++i) {
+    noisy[i] += static_cast<float>(rng.Normal(0.0, config_.photo_noise));
+  }
+  Tensor h = Tanh(AddRowBroadcast(MatMul(noisy, w1_), b1_));
+  Tensor out = Tanh(AddRowBroadcast(MatMul(h, w2_), b2_));
+  return out.Reshape({config_.feature_dim});
+}
+
+}  // namespace adamine::vision

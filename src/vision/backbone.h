@@ -1,0 +1,57 @@
+#ifndef ADAMINE_VISION_BACKBONE_H_
+#define ADAMINE_VISION_BACKBONE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adamine::vision {
+
+/// Configuration of the synthetic vision substrate.
+struct BackboneConfig {
+  /// Dimension of the generator's dish latent.
+  int64_t latent_dim = 24;
+  /// Dimension of the hidden layer of the frozen MLP.
+  int64_t hidden_dim = 96;
+  /// Dimension of the emitted "image feature" vector (the analogue of the
+  /// ResNet-50 pooled features the paper feeds its image branch).
+  int64_t feature_dim = 48;
+  /// Std-dev of the photographic nuisance noise added to the latent before
+  /// projection (lighting, angle, plating variation).
+  double photo_noise = 0.25;
+  uint64_t seed = 99;
+
+  Status Validate() const;
+};
+
+/// The stand-in for "a camera plus a pretrained ResNet-50" (see DESIGN.md):
+/// a *fixed* (never trained) random two-layer tanh MLP applied to the dish
+/// latent corrupted by photographic noise. Two photos of the same dish give
+/// nearby-but-different features; the map is nonlinear and non-invertible by
+/// any linear method, so learning the image branch is a real task.
+class SyntheticBackbone {
+ public:
+  static StatusOr<SyntheticBackbone> Create(const BackboneConfig& config);
+
+  /// Produces one image feature vector [feature_dim] for a dish latent
+  /// [latent_dim]. `rng` supplies the per-photo noise.
+  Tensor Render(const Tensor& latent, Rng& rng) const;
+
+  int64_t feature_dim() const { return config_.feature_dim; }
+  int64_t latent_dim() const { return config_.latent_dim; }
+
+ private:
+  explicit SyntheticBackbone(const BackboneConfig& config);
+
+  BackboneConfig config_;
+  Tensor w1_;  // [latent_dim, hidden_dim]
+  Tensor b1_;  // [hidden_dim]
+  Tensor w2_;  // [hidden_dim, feature_dim]
+  Tensor b2_;  // [feature_dim]
+};
+
+}  // namespace adamine::vision
+
+#endif  // ADAMINE_VISION_BACKBONE_H_

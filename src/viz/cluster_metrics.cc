@@ -1,0 +1,70 @@
+#include "viz/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace adamine::viz {
+
+namespace {
+
+double RowDistance(const Tensor& a, int64_t i, const Tensor& b, int64_t j) {
+  const int64_t d = a.cols();
+  const float* ri = a.data() + i * d;
+  const float* rj = b.data() + j * d;
+  double acc = 0.0;
+  for (int64_t k = 0; k < d; ++k) {
+    const double diff = double(ri[k]) - rj[k];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+double SilhouetteScore(const Tensor& points,
+                       const std::vector<int64_t>& labels) {
+  ADAMINE_CHECK_EQ(points.ndim(), 2);
+  const int64_t n = points.rows();
+  ADAMINE_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+
+  std::map<int64_t, int64_t> cluster_sizes;
+  for (int64_t label : labels) ++cluster_sizes[label];
+  ADAMINE_CHECK_GE(cluster_sizes.size(), 2u);
+
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t own = labels[static_cast<size_t>(i)];
+    if (cluster_sizes[own] <= 1) continue;  // Silhouette defined as 0.
+    // Mean distance to own cluster (a) and nearest other cluster (b).
+    std::map<int64_t, double> sums;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[static_cast<size_t>(j)]] += RowDistance(points, i, points, j);
+    }
+    double a = 0.0;
+    double b = 1e300;
+    for (const auto& [label, sum] : sums) {
+      if (label == own) {
+        a = sum / static_cast<double>(cluster_sizes[own] - 1);
+      } else {
+        b = std::min(b, sum / static_cast<double>(cluster_sizes[label]));
+      }
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+double MeanMatchedPairDistance(const Tensor& a, const Tensor& b) {
+  ADAMINE_CHECK(SameShape(a, b));
+  const int64_t n = a.rows();
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += RowDistance(a, i, b, i);
+  return total / static_cast<double>(n);
+}
+
+}  // namespace adamine::viz

@@ -1,0 +1,25 @@
+#ifndef ADAMINE_VIZ_CLUSTER_METRICS_H_
+#define ADAMINE_VIZ_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adamine::viz {
+
+/// Mean silhouette coefficient of `points` [N, D] under `labels` using
+/// Euclidean distance. In [-1, 1]; higher means tighter, better-separated
+/// clusters. Points whose cluster has a single member contribute 0. This
+/// quantifies the class structure Figure 3 shows visually.
+double SilhouetteScore(const Tensor& points,
+                       const std::vector<int64_t>& labels);
+
+/// Mean Euclidean distance between matched rows of `a` and `b` (the length
+/// of the pair "traces" in Figure 3; shorter means matched image/recipe
+/// pairs sit closer).
+double MeanMatchedPairDistance(const Tensor& a, const Tensor& b);
+
+}  // namespace adamine::viz
+
+#endif  // ADAMINE_VIZ_CLUSTER_METRICS_H_

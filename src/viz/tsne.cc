@@ -1,0 +1,234 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/eigen.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adamine::viz {
+
+Status TsneConfig::Validate() const {
+  if (output_dim <= 0) {
+    return Status::InvalidArgument("output_dim must be positive");
+  }
+  if (perplexity <= 1.0) {
+    return Status::InvalidArgument("perplexity must exceed 1");
+  }
+  if (iterations <= 0) {
+    return Status::InvalidArgument("iterations must be positive");
+  }
+  if (learning_rate < 0.0) {
+    return Status::InvalidArgument("learning_rate must be non-negative");
+  }
+  if (exaggeration < 1.0) {
+    return Status::InvalidArgument("exaggeration must be >= 1");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Squared Euclidean distances between all rows of `a` -> [N, N].
+std::vector<double> PairwiseSquaredDistances(const Tensor& a) {
+  const int64_t n = a.rows();
+  const int64_t d = a.cols();
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ri = a.data() + i * d;
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float* rj = a.data() + j * d;
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = double(ri[k]) - rj[k];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = acc;
+      dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+  return dist;
+}
+
+/// Conditional probabilities p(j|i) for row i at precision beta; returns the
+/// Shannon entropy (nats).
+double RowAffinities(const std::vector<double>& dist, int64_t n, int64_t i,
+                     double beta, std::vector<double>& p_row) {
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    if (j == i) {
+      p_row[static_cast<size_t>(j)] = 0.0;
+      continue;
+    }
+    const double pij =
+        std::exp(-beta * dist[static_cast<size_t>(i * n + j)]);
+    p_row[static_cast<size_t>(j)] = pij;
+    sum += pij;
+  }
+  if (sum < 1e-300) sum = 1e-300;
+  double entropy = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    double& p = p_row[static_cast<size_t>(j)];
+    p /= sum;
+    if (p > 1e-12) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+StatusOr<Tensor> Tsne(const Tensor& points, const TsneConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (points.ndim() != 2) return Status::InvalidArgument("points must be 2-D");
+  const int64_t n = points.rows();
+  if (n < 4) return Status::InvalidArgument("need at least 4 points");
+  if (config.perplexity >= static_cast<double>(n)) {
+    return Status::InvalidArgument("perplexity must be < number of points");
+  }
+
+  const std::vector<double> dist = PairwiseSquaredDistances(points);
+  const double target_entropy = std::log(config.perplexity);
+
+  // Per-point precision via binary search on the perplexity.
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> p_row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e30;
+    for (int iter = 0; iter < 64; ++iter) {
+      const double entropy = RowAffinities(dist, n, i, beta, p_row);
+      const double diff = entropy - target_entropy;
+      if (std::fabs(diff) < 1e-5) break;
+      if (diff > 0) {  // Too flat: increase precision.
+        beta_lo = beta;
+        beta = beta_hi > 1e29 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = beta_lo <= 0.0 ? beta / 2.0 : 0.5 * (beta + beta_lo);
+      }
+    }
+    RowAffinities(dist, n, i, beta, p_row);
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] = p_row[static_cast<size_t>(j)];
+    }
+  }
+  // Symmetrise, normalise, floor.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double pij = (p[static_cast<size_t>(i * n + j)] +
+                          p[static_cast<size_t>(j * n + i)]) /
+                         (2.0 * n);
+      p[static_cast<size_t>(i * n + j)] = std::max(pij, 1e-12);
+      p[static_cast<size_t>(j * n + i)] = std::max(pij, 1e-12);
+    }
+  }
+
+  // PCA init, scaled small as is customary.
+  const int64_t k = std::min(config.output_dim, points.cols());
+  Tensor y = linalg::PcaProject(points, k);
+  if (k < config.output_dim) {
+    Tensor padded({n, config.output_dim});
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < k; ++j) padded.At(i, j) = y.At(i, j);
+    }
+    y = padded;
+  }
+  {
+    const float scale = 1e-2f / std::max(1e-6f, MaxAbs(y));
+    ScaleInPlace(y, scale);
+    Rng rng(config.seed);
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      y[i] += static_cast<float>(rng.Normal(0.0, 1e-4));
+    }
+  }
+
+  // Auto learning rate (sklearn heuristic): N / exaggeration / 4, floored.
+  // A fixed rate tuned for thousands of points overshoots badly on small
+  // inputs, where the affinities p are O(1/N) larger.
+  const double learning_rate =
+      config.learning_rate > 0.0
+          ? config.learning_rate
+          : std::max(static_cast<double>(n) / config.exaggeration / 4.0,
+                     50.0);
+
+  const int64_t out_dim = config.output_dim;
+  Tensor velocity({n, out_dim});
+  // Per-element adaptive gains (van der Maaten's reference scheme): grown
+  // when gradient and velocity agree in direction, shrunk otherwise. This
+  // keeps the optimisation stable across dataset sizes.
+  Tensor gains = Tensor::Full({n, out_dim}, 1.0f);
+  std::vector<double> q(static_cast<size_t>(n * n));
+  std::vector<double> num(static_cast<size_t>(n * n));
+
+  for (int64_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* yi = y.data() + i * out_dim;
+      for (int64_t j = i + 1; j < n; ++j) {
+        const float* yj = y.data() + j * out_dim;
+        double acc = 0.0;
+        for (int64_t d = 0; d < out_dim; ++d) {
+          const double diff = double(yi[d]) - yj[d];
+          acc += diff * diff;
+        }
+        const double t = 1.0 / (1.0 + acc);
+        num[static_cast<size_t>(i * n + j)] = t;
+        num[static_cast<size_t>(j * n + i)] = t;
+        q_sum += 2.0 * t;
+      }
+    }
+    if (q_sum < 1e-300) q_sum = 1e-300;
+    for (int64_t i = 0; i < n * n; ++i) {
+      q[static_cast<size_t>(i)] =
+          std::max(num[static_cast<size_t>(i)] / q_sum, 1e-12);
+    }
+
+    // Gradient: 4 * sum_j (exag*p - q) * t_ij * (y_i - y_j), computed for
+    // every point against a consistent snapshot, then applied as one batch
+    // update (in-place updates cascade and destabilise the optimisation).
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+    Tensor grad({n, out_dim});
+    for (int64_t i = 0; i < n; ++i) {
+      const float* yi = y.data() + i * out_dim;
+      float* gr = grad.data() + i * out_dim;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const size_t ij = static_cast<size_t>(i * n + j);
+        const double coeff =
+            4.0 * (exaggeration * p[ij] - q[ij]) * num[ij];
+        const float* yj = y.data() + j * out_dim;
+        for (int64_t d = 0; d < out_dim; ++d) {
+          gr[d] += static_cast<float>(coeff * (double(yi[d]) - yj[d]));
+        }
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const float* gr = grad.data() + i * out_dim;
+      float* vi = velocity.data() + i * out_dim;
+      float* gi = gains.data() + i * out_dim;
+      float* yi_mut = y.data() + i * out_dim;
+      for (int64_t d = 0; d < out_dim; ++d) {
+        const bool same_sign = (gr[d] > 0.0f) == (vi[d] > 0.0f);
+        gi[d] = same_sign ? std::max(0.01f, gi[d] * 0.8f) : gi[d] + 0.2f;
+        vi[d] = static_cast<float>(momentum * vi[d] -
+                                   learning_rate * gi[d] * gr[d]);
+        yi_mut[d] += vi[d];
+      }
+    }
+  }
+  // Center the embedding.
+  Tensor mean = ColMean(y);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t d = 0; d < out_dim; ++d) y.At(i, d) -= mean[d];
+  }
+  return y;
+}
+
+}  // namespace adamine::viz

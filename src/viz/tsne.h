@@ -1,0 +1,34 @@
+#ifndef ADAMINE_VIZ_TSNE_H_
+#define ADAMINE_VIZ_TSNE_H_
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::viz {
+
+/// Exact t-SNE configuration (van der Maaten & Hinton 2008).
+struct TsneConfig {
+  int64_t output_dim = 2;
+  double perplexity = 20.0;
+  int64_t iterations = 400;
+  /// 0 selects the automatic rate max(N / exaggeration / 4, 50).
+  double learning_rate = 0.0;
+  /// Early-exaggeration factor and duration.
+  double exaggeration = 4.0;
+  int64_t exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int64_t momentum_switch_iter = 100;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Embeds rows of `points` [N, D] into `output_dim` dimensions with exact
+/// (O(N^2)) t-SNE, initialised by PCA. Used to regenerate Figure 3.
+/// Requires N >= 4 and perplexity < N.
+StatusOr<Tensor> Tsne(const Tensor& points, const TsneConfig& config);
+
+}  // namespace adamine::viz
+
+#endif  // ADAMINE_VIZ_TSNE_H_

@@ -1,0 +1,204 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/variable.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::ag {
+namespace {
+
+TEST(VariableTest, LeafHoldsValueAndGrad) {
+  Var v(Tensor::FromVector({2}, {1, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.value()[1], 2.0f);
+  v.grad();  // Allocates.
+  EXPECT_EQ(v.node()->grad.numel(), 2);
+}
+
+TEST(BackwardTest, AddPropagatesToBoth) {
+  Var a(Tensor::FromVector({2}, {1, 2}), true);
+  Var b(Tensor::FromVector({2}, {3, 4}), true);
+  Var s = SumAllV(Add(a, b));
+  Backward(s);
+  EXPECT_EQ(a.grad()[0], 1.0f);
+  EXPECT_EQ(b.grad()[1], 1.0f);
+}
+
+TEST(BackwardTest, DiamondGraphAccumulates) {
+  // y = sum(a + a): gradient of a must be 2.
+  Var a(Tensor::FromVector({2}, {1, 2}), true);
+  Var s = SumAllV(Add(a, a));
+  Backward(s);
+  EXPECT_EQ(a.grad()[0], 2.0f);
+  EXPECT_EQ(a.grad()[1], 2.0f);
+}
+
+TEST(BackwardTest, NoGradIntoFrozenLeaf) {
+  Var a(Tensor::FromVector({2}, {1, 2}), true);
+  Var frozen(Tensor::FromVector({2}, {5, 5}), false);
+  Var s = SumAllV(Mul(a, frozen));
+  Backward(s);
+  EXPECT_EQ(a.grad()[0], 5.0f);
+  EXPECT_FALSE(frozen.node()->grad.defined());
+}
+
+TEST(BackwardTest, SeededBackwardWithExplicitGrads) {
+  Var a(Tensor::FromVector({2, 2}, {1, 2, 3, 4}), true);
+  Var y = Scale(a, 2.0f);
+  Tensor seed = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Backward({y}, {seed});
+  EXPECT_EQ(a.grad().At(0, 0), 2.0f);
+  EXPECT_EQ(a.grad().At(0, 1), 0.0f);
+  EXPECT_EQ(a.grad().At(1, 1), 2.0f);
+}
+
+TEST(BackwardTest, MultipleRoots) {
+  Var a(Tensor::FromVector({2}, {1, 2}), true);
+  Var y1 = Scale(a, 2.0f);
+  Var y2 = Scale(a, 3.0f);
+  Tensor ones = Tensor::Full({2}, 1.0f);
+  Backward({y1, y2}, {ones, ones});
+  EXPECT_EQ(a.grad()[0], 5.0f);
+}
+
+// --- Finite-difference gradient checks for every op --------------------
+
+Tensor SmallMatrix(int64_t r, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn({r, c}, rng, 0.5f);
+}
+
+TEST(GradCheckTest, AddSubMul) {
+  auto f = [](const std::vector<Var>& v) {
+    return SumAllV(Mul(Add(v[0], v[1]), Sub(v[0], v[1])));
+  };
+  auto r = GradCheck(f, {SmallMatrix(3, 2, 1), SmallMatrix(3, 2, 2)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, MatMul) {
+  auto f = [](const std::vector<Var>& v) {
+    return SumAllV(MatMul(v[0], v[1]));
+  };
+  auto r = GradCheck(f, {SmallMatrix(3, 4, 3), SmallMatrix(4, 2, 4)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  auto f = [](const std::vector<Var>& v) {
+    return SumAllV(Mul(AddRowBroadcast(v[0], v[1]),
+                       AddRowBroadcast(v[0], v[1])));
+  };
+  Rng rng(5);
+  Tensor bias = Tensor::Randn({3}, rng, 0.5f);
+  auto r = GradCheck(f, {SmallMatrix(4, 3, 6), bias});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, Nonlinearities) {
+  auto f = [](const std::vector<Var>& v) {
+    return SumAllV(Add(Tanh(v[0]), Add(Sigmoid(v[0]), Relu(v[0]))));
+  };
+  // Keep values away from relu's kink at 0 for a clean finite difference.
+  Tensor x = Tensor::FromVector({2, 3}, {0.5f, -0.7f, 1.2f, -1.1f, 0.3f, 2.0f});
+  auto r = GradCheck(f, {x});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, ConcatAndSlice) {
+  auto f = [](const std::vector<Var>& v) {
+    Var cat = ConcatCols(v[0], v[1]);
+    Var mid = SliceCols(cat, 1, 4);
+    return SumAllV(Mul(mid, mid));
+  };
+  auto r = GradCheck(f, {SmallMatrix(3, 2, 7), SmallMatrix(3, 3, 8)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, ScaleRows) {
+  Tensor mask = Tensor::FromVector({3}, {1.0f, 0.0f, 0.5f});
+  auto f = [mask](const std::vector<Var>& v) {
+    return SumAllV(Mul(ScaleRows(v[0], mask), v[0]));
+  };
+  auto r = GradCheck(f, {SmallMatrix(3, 2, 9)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, RowsLookupWithPadding) {
+  std::vector<int64_t> ids = {2, 0, -1, 2};
+  auto f = [&ids](const std::vector<Var>& v) {
+    Var rows = Rows(v[0], ids);
+    return SumAllV(Mul(rows, rows));
+  };
+  auto r = GradCheck(f, {SmallMatrix(4, 3, 10)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, L2NormalizeRows) {
+  auto f = [](const std::vector<Var>& v) {
+    Var n = L2NormalizeRows(v[0]);
+    // Weighted sum so the gradient is non-trivial in all directions.
+    Tensor w = Tensor::FromVector({2, 3}, {1, -2, 3, 0.5f, 1, -1});
+    Var wv(w, false);
+    return SumAllV(Mul(n, wv));
+  };
+  Tensor x = Tensor::FromVector({2, 3}, {1.0f, 0.8f, -0.5f, 2.0f, 1.0f, 0.7f});
+  auto r = GradCheck(f, {x}, /*eps=*/1e-2, /*tol=*/2e-2);
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropy) {
+  std::vector<int64_t> labels = {1, -1, 0};
+  auto f = [&labels](const std::vector<Var>& v) {
+    return SoftmaxCrossEntropy(v[0], labels);
+  };
+  auto r = GradCheck(f, {SmallMatrix(3, 4, 11)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(SoftmaxCrossEntropyTest, IgnoresAllUnlabeled) {
+  Var logits(SmallMatrix(2, 3, 12), true);
+  Var loss = SoftmaxCrossEntropy(logits, {-1, -1});
+  EXPECT_EQ(loss.value()[0], 0.0f);
+  Backward(loss);
+  // Gradient must be all zeros (allocated or not).
+  if (logits.node()->grad.defined()) {
+    EXPECT_EQ(MaxAbs(logits.node()->grad), 0.0f);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10.0f, -10.0f, -10.0f});
+  Var v(logits, false);
+  Var loss = SoftmaxCrossEntropy(v, {0});
+  EXPECT_LT(loss.value()[0], 1e-3f);
+}
+
+TEST(GradCheckTest, MeanAll) {
+  auto f = [](const std::vector<Var>& v) { return MeanAllV(Mul(v[0], v[0])); };
+  auto r = GradCheck(f, {SmallMatrix(2, 3, 13)});
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(GradCheckTest, DeepChainLikeLstmStep) {
+  // Exercise a composite step resembling one LSTM cell update.
+  auto f = [](const std::vector<Var>& v) {
+    const Var& x = v[0];
+    const Var& w = v[1];
+    Var gates = MatMul(x, w);
+    Var i = Sigmoid(SliceCols(gates, 0, 2));
+    Var g = Tanh(SliceCols(gates, 2, 4));
+    Var c = Mul(i, g);
+    Var h = Mul(Sigmoid(SliceCols(gates, 4, 6)), Tanh(c));
+    return SumAllV(h);
+  };
+  auto r = GradCheck(f, {SmallMatrix(2, 3, 14), SmallMatrix(3, 6, 15)},
+                     /*eps=*/1e-2, /*tol=*/2e-2);
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+}  // namespace
+}  // namespace adamine::ag

@@ -1,0 +1,143 @@
+#include "baselines/cca_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/downstream.h"
+#include "core/model.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::baselines {
+namespace {
+
+data::EncodedRecipe MakeRecipe(std::vector<int64_t> ingredients,
+                               std::vector<std::vector<int64_t>> sentences,
+                               int64_t image_dim = 6, uint64_t seed = 1) {
+  data::EncodedRecipe r;
+  r.ingredient_tokens = std::move(ingredients);
+  r.instruction_sentences = std::move(sentences);
+  Rng rng(seed);
+  r.image = Tensor::Randn({image_dim}, rng);
+  return r;
+}
+
+TEST(CcaFeaturesTest, MeansComputedPerField) {
+  // Word table with recognisable rows.
+  Tensor table = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 2, 2});
+  std::vector<data::EncodedRecipe> recipes;
+  recipes.push_back(MakeRecipe({0, 2}, {{1}, {1, 2}}));
+  Tensor features = BuildTextFeatures(recipes, table);
+  ASSERT_EQ(features.rows(), 1);
+  ASSERT_EQ(features.cols(), 4);
+  // Ingredients: mean of rows 0, 2 = (1.5, 1).
+  EXPECT_NEAR(features.At(0, 0), 1.5f, 1e-6);
+  EXPECT_NEAR(features.At(0, 1), 1.0f, 1e-6);
+  // Instructions: mean of rows 1, 1, 2 = (2/3, 4/3).
+  EXPECT_NEAR(features.At(0, 2), 2.0f / 3.0f, 1e-5);
+  EXPECT_NEAR(features.At(0, 3), 4.0f / 3.0f, 1e-5);
+}
+
+TEST(CcaFeaturesTest, PaddingTokensSkipped) {
+  Tensor table = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  std::vector<data::EncodedRecipe> recipes;
+  recipes.push_back(MakeRecipe({0, -1}, {{-1, 1}}));
+  Tensor features = BuildTextFeatures(recipes, table);
+  EXPECT_NEAR(features.At(0, 0), 1.0f, 1e-6);  // Only token 0 counted.
+  EXPECT_NEAR(features.At(0, 2), 3.0f, 1e-6);  // Only token 1 counted.
+}
+
+TEST(CcaFeaturesTest, EmptyFieldsYieldZeros) {
+  Tensor table = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  std::vector<data::EncodedRecipe> recipes;
+  recipes.push_back(MakeRecipe({}, {}));
+  Tensor features = BuildTextFeatures(recipes, table);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(features[j], 0.0f);
+}
+
+TEST(CcaFeaturesTest, ImageFeaturesStacked) {
+  std::vector<data::EncodedRecipe> recipes;
+  recipes.push_back(MakeRecipe({0}, {}, 4, 1));
+  recipes.push_back(MakeRecipe({0}, {}, 4, 2));
+  Tensor images = BuildImageFeatures(recipes);
+  EXPECT_EQ(images.rows(), 2);
+  EXPECT_EQ(images.cols(), 4);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(images.At(0, j), recipes[0].image[j]);
+    EXPECT_EQ(images.At(1, j), recipes[1].image[j]);
+  }
+}
+
+}  // namespace
+}  // namespace adamine::baselines
+
+namespace adamine::core {
+namespace {
+
+TEST(MeanInstructionFeatureTest, MatchesManualMean) {
+  ModelConfig config;
+  config.vocab_size = 20;
+  config.word_dim = 4;
+  config.ingredient_hidden = 3;
+  config.word_hidden = 3;
+  config.sentence_hidden = 5;
+  config.image_dim = 6;
+  config.latent_dim = 8;
+  config.num_classes = 3;
+  config.seed = 9;
+  auto model = CrossModalModel::Create(config);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<data::EncodedRecipe> recipes;
+  Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    data::EncodedRecipe r;
+    r.ingredient_tokens = {rng.UniformInt(20)};
+    r.instruction_sentences = {{rng.UniformInt(20), rng.UniformInt(20)},
+                               {rng.UniformInt(20)}};
+    r.image = Tensor::Randn({6}, rng);
+    recipes.push_back(std::move(r));
+  }
+  Tensor mean = MeanInstructionFeature(**model, recipes, /*chunk_size=*/2);
+  // Manual: one batch with all recipes.
+  std::vector<const data::EncodedRecipe*> batch;
+  for (const auto& r : recipes) batch.push_back(&r);
+  Tensor features = (*model)->InstructionFeatures(batch).value();
+  Tensor expected = ColMean(features);
+  ASSERT_EQ(mean.numel(), expected.numel());
+  for (int64_t j = 0; j < expected.numel(); ++j) {
+    EXPECT_NEAR(mean[j], expected[j], 1e-5);
+  }
+}
+
+TEST(EmbedIngredientQueryTest, UnitNormOutput) {
+  ModelConfig config;
+  config.vocab_size = 10;
+  config.word_dim = 4;
+  config.ingredient_hidden = 3;
+  config.word_hidden = 3;
+  config.sentence_hidden = 5;
+  config.image_dim = 6;
+  config.latent_dim = 8;
+  config.num_classes = 3;
+  config.seed = 10;
+  auto model = CrossModalModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  text::Vocabulary vocab;
+  vocab.Add("tomato");
+  Tensor mean_instr({1, 5});
+  mean_instr.Fill(0.2f);
+  Tensor emb = EmbedIngredientQuery(**model, vocab, "tomato", mean_instr);
+  EXPECT_EQ(emb.numel(), 8);
+  double sq = 0.0;
+  for (int64_t j = 0; j < 8; ++j) sq += double(emb[j]) * emb[j];
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-4);
+  // Unknown ingredient still produces a valid (if uninformative) query.
+  Tensor emb2 = EmbedIngredientQuery(**model, vocab, "unobtainium",
+                                     mean_instr);
+  EXPECT_EQ(emb2.numel(), 8);
+}
+
+}  // namespace
+}  // namespace adamine::core

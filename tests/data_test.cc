@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "data/batch_sampler.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/inventory.h"
+#include "tensor/ops.h"
+#include "vision/backbone.h"
+
+namespace adamine::data {
+namespace {
+
+TEST(InventoryTest, HasThirtyTwoClassesAndPaperIngredients) {
+  Inventory inv;
+  EXPECT_EQ(inv.num_classes(), 32);
+  // Ingredients used by the paper's qualitative experiments must exist.
+  for (const char* name : {"mushrooms", "pineapple", "olives", "pepperoni",
+                           "strawberries", "broccoli", "tofu"}) {
+    EXPECT_GE(inv.IngredientId(name), 0) << name;
+  }
+  // The t-SNE figure's classes.
+  for (const char* name :
+       {"pizza", "cupcake", "hamburger", "green_beans", "pork_chops"}) {
+    EXPECT_GE(inv.ClassId(name), 0) << name;
+  }
+}
+
+TEST(InventoryTest, IdsRoundTrip) {
+  Inventory inv;
+  for (int64_t g = 0; g < inv.num_ingredients(); ++g) {
+    EXPECT_EQ(inv.IngredientId(inv.ingredients()[static_cast<size_t>(g)]), g);
+  }
+  EXPECT_EQ(inv.IngredientId("not_a_food"), -1);
+  EXPECT_EQ(inv.StyleId("not_a_style"), -1);
+  EXPECT_EQ(inv.ClassId("not_a_class"), -1);
+}
+
+TEST(InventoryTest, EveryClassHasACategory) {
+  Inventory inv(20);  // 32 curated + 20 procedural.
+  EXPECT_EQ(inv.num_classes(), 52);
+  EXPECT_GE(inv.num_categories(), 5);
+  for (int64_t c = 0; c < inv.num_classes(); ++c) {
+    const int64_t cat = inv.CategoryOfClass(c);
+    EXPECT_GE(cat, 0);
+    EXPECT_LT(cat, inv.num_categories());
+  }
+  EXPECT_EQ(inv.CategoryName(inv.CategoryOfClass(inv.ClassId("cupcake"))),
+            "dessert");
+  EXPECT_EQ(inv.CategoryName(inv.CategoryOfClass(inv.ClassId("pizza"))),
+            "main");
+  EXPECT_EQ(inv.CategoryName(inv.CategoryOfClass(inv.ClassId("smoothie"))),
+            "drink");
+}
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_recipes = 200;
+  config.num_classes = 8;
+  config.latent_dim = 16;
+  config.image_dim = 24;
+  config.seed = 11;
+  return config;
+}
+
+TEST(GeneratorTest, CategoryLabelsMatchClassVisibility) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  Inventory inv;
+  for (const auto& r : d.recipes) {
+    EXPECT_EQ(r.true_category, inv.CategoryOfClass(r.true_class));
+    if (r.label >= 0) {
+      EXPECT_EQ(r.category_label, r.true_category);
+    } else {
+      EXPECT_EQ(r.category_label, -1);
+    }
+  }
+}
+
+TEST(InventoryTest, ClassesHaveCoresAndStyles) {
+  Inventory inv;
+  for (const auto& c : inv.classes()) {
+    EXPECT_GE(c.core_ingredients.size(), 3u) << c.name;
+    EXPECT_FALSE(c.styles.empty()) << c.name;
+  }
+}
+
+TEST(GeneratorTest, RejectsBadConfig) {
+  GeneratorConfig config = SmallConfig();
+  config.num_classes = 0;
+  EXPECT_FALSE(RecipeGenerator::Create(config).ok());
+  config = SmallConfig();
+  config.label_fraction = 1.5;
+  EXPECT_FALSE(RecipeGenerator::Create(config).ok());
+  config = SmallConfig();
+  config.min_extras = 3;
+  config.max_extras = 1;
+  EXPECT_FALSE(RecipeGenerator::Create(config).ok());
+}
+
+TEST(GeneratorTest, DatasetShapeAndDeterminism) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d1 = gen->Generate();
+  Dataset d2 = gen->Generate();
+  EXPECT_EQ(d1.size(), 200);
+  EXPECT_EQ(d1.num_classes, 8);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (int64_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1.recipes[i].true_class, d2.recipes[i].true_class);
+    EXPECT_EQ(d1.recipes[i].ingredients, d2.recipes[i].ingredients);
+    for (int64_t j = 0; j < d1.image_dim; ++j) {
+      EXPECT_EQ(d1.recipes[i].image[j], d2.recipes[i].image[j]);
+    }
+  }
+}
+
+TEST(GeneratorTest, LabelFractionRespected) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  int64_t labeled = 0;
+  for (const auto& r : d.recipes) {
+    if (r.label >= 0) {
+      ++labeled;
+      EXPECT_EQ(r.label, r.true_class);
+    }
+    EXPECT_GE(r.true_class, 0);
+    EXPECT_LT(r.true_class, 8);
+  }
+  EXPECT_EQ(labeled, 100);  // Exactly label_fraction * n.
+}
+
+TEST(GeneratorTest, RecipesAreWellFormed) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  Inventory inv;
+  for (const auto& r : d.recipes) {
+    EXPECT_GE(r.ingredients.size(), 3u);
+    EXPECT_EQ(r.ingredients.size(), r.ingredient_ids.size());
+    for (size_t k = 0; k < r.ingredients.size(); ++k) {
+      EXPECT_EQ(inv.IngredientId(r.ingredients[k]), r.ingredient_ids[k]);
+    }
+    // Opening + at least one body + closing sentence.
+    EXPECT_GE(r.instructions.size(), 3u);
+    EXPECT_EQ(r.image.numel(), 24);
+    EXPECT_EQ(r.latent.numel(), 16);
+    EXPECT_GE(r.style_id, 0);
+  }
+}
+
+TEST(GeneratorTest, InstructionsMentionEveryIngredient) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  for (const auto& r : d.recipes) {
+    std::set<std::string> mentioned;
+    for (const auto& sentence : r.instructions) {
+      mentioned.insert(sentence.begin(), sentence.end());
+    }
+    for (const auto& ing : r.ingredients) {
+      EXPECT_TRUE(mentioned.count(ing)) << ing;
+    }
+  }
+}
+
+TEST(GeneratorTest, SameClassLatentsCloserThanCrossClass) {
+  // The generative model must realise the class structure the semantic loss
+  // depends on: average intra-class latent distance < inter-class distance.
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  double intra = 0.0, inter = 0.0;
+  int64_t n_intra = 0, n_inter = 0;
+  for (int64_t i = 0; i < d.size(); i += 3) {
+    for (int64_t j = i + 1; j < d.size(); j += 3) {
+      const float dist =
+          CosineDistance(d.recipes[i].latent, d.recipes[j].latent);
+      if (d.recipes[i].true_class == d.recipes[j].true_class) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(GeneratorTest, ImagesOfSameRecipeLatentAreCorrelated) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  Rng rng(5);
+  // Re-render an image from the same latent: should be much closer to the
+  // original image than to a random other recipe's image.
+  const auto& r0 = d.recipes[0];
+  Tensor again = gen->RenderImage(r0.latent, rng);
+  const float same = CosineDistance(r0.image, again);
+  const float other = CosineDistance(r0.image, d.recipes[57].image);
+  EXPECT_LT(same, other);
+}
+
+TEST(GeneratorTest, IngredientDirectionUnitNorm) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Tensor dir = gen->IngredientDirection(3);
+  double sq = 0.0;
+  for (int64_t j = 0; j < dir.numel(); ++j) sq += double(dir[j]) * dir[j];
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-4);
+}
+
+TEST(DatasetTest, SplitPartitionsWithoutOverlap) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  Rng rng(2);
+  DatasetSplits splits = Split(d, 0.7, 0.15, rng);
+  EXPECT_EQ(splits.train.size() + splits.val.size() + splits.test.size(),
+            d.size());
+  EXPECT_EQ(splits.train.size(), 140);
+  EXPECT_EQ(splits.val.size(), 30);
+  std::set<int64_t> ids;
+  for (const Dataset* s : {&splits.train, &splits.val, &splits.test}) {
+    for (const auto& r : s->recipes) {
+      EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+    }
+    EXPECT_EQ(s->num_classes, d.num_classes);
+  }
+}
+
+TEST(DatasetTest, VocabularyCoversCorpus) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  auto vocab = BuildVocabulary(d);
+  EXPECT_GT(vocab.size(), 30);
+  auto encoded = EncodeDataset(d, vocab);
+  ASSERT_EQ(static_cast<int64_t>(encoded.size()), d.size());
+  for (const auto& e : encoded) {
+    for (int64_t id : e.ingredient_tokens) EXPECT_GE(id, 0);
+    for (const auto& s : e.instruction_sentences) {
+      for (int64_t id : s) EXPECT_GE(id, 0);
+    }
+  }
+}
+
+TEST(DatasetTest, Word2VecCorpusHasIngredientsAndSentences) {
+  auto gen = RecipeGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  Dataset d = gen->Generate();
+  auto vocab = BuildVocabulary(d);
+  auto corpus = BuildWord2VecCorpus(d, vocab);
+  // Each recipe contributes 1 ingredient pseudo-sentence + >=3 instruction
+  // sentences.
+  EXPECT_GE(static_cast<int64_t>(corpus.size()), d.size() * 4);
+}
+
+TEST(BatchSamplerTest, HalfLabeledHalfUnlabeled) {
+  std::vector<int64_t> labels(100, -1);
+  for (int i = 0; i < 50; ++i) labels[i] = i % 5;
+  BatchSampler sampler(labels, 20, 1);
+  for (int b = 0; b < 10; ++b) {
+    auto batch = sampler.NextBatch();
+    ASSERT_EQ(batch.size(), 20u);
+    int labeled = 0;
+    for (int64_t idx : batch) {
+      if (labels[static_cast<size_t>(idx)] >= 0) ++labeled;
+    }
+    EXPECT_EQ(labeled, 10);
+  }
+}
+
+TEST(BatchSamplerTest, WorksFullyLabeled) {
+  std::vector<int64_t> labels(30, 2);
+  BatchSampler sampler(labels, 10, 1);
+  auto batch = sampler.NextBatch();
+  EXPECT_EQ(batch.size(), 10u);
+}
+
+TEST(BatchSamplerTest, WorksFullyUnlabeled) {
+  std::vector<int64_t> labels(30, -1);
+  BatchSampler sampler(labels, 10, 1);
+  auto batch = sampler.NextBatch();
+  EXPECT_EQ(batch.size(), 10u);
+}
+
+TEST(BatchSamplerTest, SmallDatasetCapsBatch) {
+  std::vector<int64_t> labels = {0, -1, 1};
+  BatchSampler sampler(labels, 10, 1);
+  auto batch = sampler.NextBatch();
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(BatchSamplerTest, EpochCoversAllItems) {
+  std::vector<int64_t> labels(40, -1);
+  for (int i = 0; i < 20; ++i) labels[i] = 0;
+  BatchSampler sampler(labels, 10, 3);
+  EXPECT_EQ(sampler.BatchesPerEpoch(), 4);
+  std::set<int64_t> seen;
+  for (int b = 0; b < 4; ++b) {
+    for (int64_t idx : sampler.NextBatch()) seen.insert(idx);
+  }
+  // One epoch must touch every item exactly once per pool walk.
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(BatchSamplerTest, LabeledHalfTracksClassDistribution) {
+  // 3:1 imbalance between classes 0 and 1 must survive into batches.
+  std::vector<int64_t> labels(200, -1);
+  for (int i = 0; i < 75; ++i) labels[i] = 0;
+  for (int i = 75; i < 100; ++i) labels[i] = 1;
+  BatchSampler sampler(labels, 40, 7);
+  std::map<int64_t, int> counts;
+  for (int b = 0; b < 5; ++b) {  // Exactly one walk of the labeled pool.
+    for (int64_t idx : sampler.NextBatch()) {
+      const int64_t label = labels[static_cast<size_t>(idx)];
+      if (label >= 0) ++counts[label];
+    }
+  }
+  EXPECT_EQ(counts[0], 75);
+  EXPECT_EQ(counts[1], 25);
+}
+
+TEST(BackboneTest, DeterministicGivenSeedAndNoise) {
+  vision::BackboneConfig config;
+  config.latent_dim = 8;
+  config.feature_dim = 12;
+  config.photo_noise = 0.0;
+  auto b1 = vision::SyntheticBackbone::Create(config);
+  auto b2 = vision::SyntheticBackbone::Create(config);
+  ASSERT_TRUE(b1.ok());
+  Rng r1(1), r2(1);
+  Tensor latent = Tensor::FromVector({8}, {1, 0, -1, 2, 0.5f, 0, 0, 1});
+  Tensor f1 = b1->Render(latent, r1);
+  Tensor f2 = b2->Render(latent, r2);
+  for (int64_t i = 0; i < 12; ++i) EXPECT_EQ(f1[i], f2[i]);
+}
+
+TEST(BackboneTest, PhotoNoisePerturbsButPreservesIdentity) {
+  vision::BackboneConfig config;
+  config.latent_dim = 8;
+  config.feature_dim = 16;
+  config.photo_noise = 0.2;
+  auto backbone = vision::SyntheticBackbone::Create(config);
+  ASSERT_TRUE(backbone.ok());
+  Rng rng(9);
+  Tensor za = Tensor::FromVector({8}, {2, 0, 0, 0, 0, 0, 0, 0});
+  Tensor zb = Tensor::FromVector({8}, {0, 0, 0, 0, 0, 0, 0, 2});
+  Tensor a1 = backbone->Render(za, rng);
+  Tensor a2 = backbone->Render(za, rng);
+  Tensor b1 = backbone->Render(zb, rng);
+  // Different photos of the same dish differ but stay closer than photos of
+  // a different dish.
+  float same = CosineDistance(a1, a2);
+  float cross = CosineDistance(a1, b1);
+  EXPECT_GT(same, 0.0f);
+  EXPECT_LT(same, cross);
+}
+
+TEST(BackboneTest, RejectsBadConfig) {
+  vision::BackboneConfig config;
+  config.latent_dim = 0;
+  EXPECT_FALSE(vision::SyntheticBackbone::Create(config).ok());
+  config.latent_dim = 4;
+  config.photo_noise = -1.0;
+  EXPECT_FALSE(vision::SyntheticBackbone::Create(config).ok());
+}
+
+}  // namespace
+}  // namespace adamine::data

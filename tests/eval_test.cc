@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace adamine::eval {
+namespace {
+
+TEST(MatchRanksTest, PerfectEmbeddingGivesRankOne) {
+  // Identical modalities: each query's match is itself, similarity 1.
+  Tensor emb = Tensor::FromVector({3, 2}, {1, 0, 0, 1, -1, 0});
+  auto ranks = MatchRanks(emb, emb);
+  for (int64_t r : ranks) EXPECT_EQ(r, 1);
+}
+
+TEST(MatchRanksTest, KnownRanking) {
+  // Query 0 = (1, 0). Candidates: c0 = (0, 1) (match, sim 0),
+  // c1 = (1, 0.1) (sim ~1), c2 = (-1, 0) (sim -1). Match is 2nd closest.
+  Tensor queries = Tensor::FromVector({3, 2}, {1, 0, 1, 0.1f, -1, 0});
+  Tensor candidates = Tensor::FromVector({3, 2}, {0, 1, 1, 0.1f, -1, 0});
+  auto ranks = MatchRanks(queries, candidates);
+  EXPECT_EQ(ranks[0], 2);
+  EXPECT_EQ(ranks[1], 1);
+  EXPECT_EQ(ranks[2], 1);
+}
+
+TEST(MatchRanksTest, TieBreakDeterministic) {
+  // Two identical candidates: earlier index wins the tie.
+  Tensor queries = Tensor::FromVector({2, 2}, {1, 0, 1, 0});
+  Tensor candidates = Tensor::FromVector({2, 2}, {1, 0, 1, 0});
+  auto ranks = MatchRanks(queries, candidates);
+  EXPECT_EQ(ranks[0], 1);  // Candidate 0 beats candidate 1 on the tie.
+  EXPECT_EQ(ranks[1], 2);
+}
+
+TEST(MetricsFromRanksTest, MedianAndRecall) {
+  RetrievalMetrics m = MetricsFromRanks({1, 2, 3, 7, 100});
+  EXPECT_EQ(m.medr, 3.0);
+  EXPECT_EQ(m.num_queries, 5);
+  EXPECT_NEAR(m.r_at_1, 20.0, 1e-9);
+  EXPECT_NEAR(m.r_at_5, 60.0, 1e-9);
+  EXPECT_NEAR(m.r_at_10, 80.0, 1e-9);
+}
+
+TEST(MetricsFromRanksTest, EvenCountMedianAverages) {
+  RetrievalMetrics m = MetricsFromRanks({1, 3, 5, 11});
+  EXPECT_EQ(m.medr, 4.0);
+}
+
+TEST(MeanStdTest, Values) {
+  Stat s = MeanStd({2.0, 4.0, 6.0});
+  EXPECT_NEAR(s.mean, 4.0, 1e-12);
+  EXPECT_NEAR(s.std, std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(EvaluateBagsTest, RandomEmbeddingsGiveMedianAroundHalfBag) {
+  Rng rng(17);
+  // Independent random unit embeddings: MedR should be ~bag/2.
+  Tensor img = Tensor::Randn({400, 8}, rng);
+  Tensor rec = Tensor::Randn({400, 8}, rng);
+  Rng bag_rng(3);
+  CrossModalResult r = EvaluateBags(img, rec, 200, 5, bag_rng);
+  EXPECT_EQ(r.bag_size, 200);
+  EXPECT_EQ(r.num_bags, 5);
+  EXPECT_GT(r.image_to_recipe.medr.mean, 60.0);
+  EXPECT_LT(r.image_to_recipe.medr.mean, 140.0);
+  EXPECT_GT(r.recipe_to_image.medr.mean, 60.0);
+  EXPECT_LT(r.recipe_to_image.medr.mean, 140.0);
+  EXPECT_LT(r.image_to_recipe.r_at_1.mean, 5.0);
+}
+
+TEST(EvaluateBagsTest, PerfectEmbeddingsGiveMedrOne) {
+  Rng rng(21);
+  Tensor emb = Tensor::Randn({100, 8}, rng);
+  Rng bag_rng(4);
+  CrossModalResult r = EvaluateBags(emb, emb, 50, 3, bag_rng);
+  EXPECT_EQ(r.image_to_recipe.medr.mean, 1.0);
+  EXPECT_EQ(r.image_to_recipe.r_at_1.mean, 100.0);
+  EXPECT_EQ(r.recipe_to_image.medr.std, 0.0);
+}
+
+TEST(EvaluateBagsTest, BagSizeCappedAtDataset) {
+  Rng rng(23);
+  Tensor emb = Tensor::Randn({30, 4}, rng);
+  Rng bag_rng(5);
+  CrossModalResult r = EvaluateBags(emb, emb, 1000, 2, bag_rng);
+  EXPECT_EQ(r.bag_size, 30);
+}
+
+}  // namespace
+}  // namespace adamine::eval

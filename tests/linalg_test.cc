@@ -1,0 +1,189 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cca.h"
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::linalg {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Tensor a = Tensor::FromVector({3, 3}, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  EigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(eig.values[1], 2.0f, 1e-5);
+  EXPECT_NEAR(eig.values[2], 1.0f, 1e-5);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Tensor a = Tensor::FromVector({2, 2}, {2, 1, 1, 2});
+  EigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(eig.values[1], 1.0f, 1e-5);
+  // Eigenvector of 3 is (1, 1)/sqrt(2) up to sign.
+  const float v = 1.0f / std::sqrt(2.0f);
+  EXPECT_NEAR(std::fabs(eig.vectors.At(0, 0)), v, 1e-4);
+  EXPECT_NEAR(std::fabs(eig.vectors.At(1, 0)), v, 1e-4);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Rng rng(5);
+  Tensor b = Tensor::Randn({6, 6}, rng);
+  Tensor a = Gemm(b, true, b, false);  // Symmetric PSD.
+  EigenResult eig = SymmetricEigen(a);
+  // A = V diag(values) V^T.
+  Tensor scaled = eig.vectors.Clone();
+  for (int64_t c = 0; c < 6; ++c) {
+    for (int64_t r = 0; r < 6; ++r) scaled.At(r, c) *= eig.values[c];
+  }
+  Tensor recon = Gemm(scaled, false, eig.vectors, true);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(recon[i], a[i], 1e-3);
+  }
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(7);
+  Tensor b = Tensor::Randn({5, 5}, rng);
+  Tensor a = Gemm(b, true, b, false);
+  EigenResult eig = SymmetricEigen(a);
+  Tensor vtv = Gemm(eig.vectors, true, eig.vectors, false);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(vtv.At(i, j), i == j ? 1.0f : 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(SvdTest, ReconstructsTallAndWide) {
+  Rng rng(9);
+  for (auto shape : {std::pair<int64_t, int64_t>{7, 4},
+                     std::pair<int64_t, int64_t>{4, 7}}) {
+    Tensor a = Tensor::Randn({shape.first, shape.second}, rng);
+    SvdResult svd = Svd(a);
+    // Reconstruct U diag(s) V^T.
+    Tensor us = svd.u.Clone();
+    for (int64_t c = 0; c < us.cols(); ++c) {
+      for (int64_t r = 0; r < us.rows(); ++r) us.At(r, c) *= svd.s[c];
+    }
+    Tensor recon = Gemm(us, false, svd.v, true);
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      EXPECT_NEAR(recon[i], a[i], 2e-3);
+    }
+    // Singular values descending and non-negative.
+    for (int64_t i = 1; i < svd.s.numel(); ++i) {
+      EXPECT_LE(svd.s[i], svd.s[i - 1] + 1e-6f);
+      EXPECT_GE(svd.s[i], 0.0f);
+    }
+  }
+}
+
+TEST(InverseSqrtTest, InvertsSquareRoot) {
+  Rng rng(11);
+  Tensor b = Tensor::Randn({4, 4}, rng);
+  Tensor a = Gemm(b, true, b, false);
+  for (int64_t i = 0; i < 4; ++i) a.At(i, i) += 1.0f;  // Well-conditioned.
+  Tensor isqrt = InverseSqrt(a, 0.0);
+  // isqrt * a * isqrt should be identity.
+  Tensor check = MatMul(MatMul(isqrt, a), isqrt);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(check.At(i, j), i == j ? 1.0f : 0.0f, 1e-3);
+    }
+  }
+}
+
+TEST(CenterColumnsTest, RemovesMeans) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 10, 3, 20});
+  Tensor means = CenterColumns(a);
+  EXPECT_NEAR(means[0], 2.0f, 1e-6);
+  EXPECT_NEAR(means[1], 15.0f, 1e-6);
+  EXPECT_NEAR(a.At(0, 0), -1.0f, 1e-6);
+  EXPECT_NEAR(a.At(1, 1), 5.0f, 1e-6);
+}
+
+TEST(PcaProjectTest, RecoversDominantDirection) {
+  // Points spread along (1, 1) with tiny orthogonal noise: the first PC
+  // projection must preserve the spread ordering.
+  Rng rng(13);
+  Tensor pts({50, 2});
+  for (int64_t i = 0; i < 50; ++i) {
+    const float t = static_cast<float>(i) - 25.0f;
+    pts.At(i, 0) = t + static_cast<float>(rng.Normal(0, 0.01));
+    pts.At(i, 1) = t + static_cast<float>(rng.Normal(0, 0.01));
+  }
+  Tensor proj = PcaProject(pts, 1);
+  EXPECT_EQ(proj.cols(), 1);
+  // Monotone in i (up to global sign).
+  const bool increasing = proj.At(1, 0) > proj.At(0, 0);
+  for (int64_t i = 1; i < 50; ++i) {
+    if (increasing) {
+      EXPECT_GT(proj.At(i, 0), proj.At(i - 1, 0));
+    } else {
+      EXPECT_LT(proj.At(i, 0), proj.At(i - 1, 0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adamine::linalg
+
+namespace adamine::baselines {
+namespace {
+
+TEST(CcaTest, RejectsBadInput) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({10, 4}, rng);
+  Tensor y = Tensor::Randn({9, 4}, rng);
+  CcaConfig config;
+  config.dim = 2;
+  EXPECT_FALSE(Cca::Fit(x, y, config).ok());  // Mismatched rows.
+  config.dim = 10;
+  EXPECT_FALSE(Cca::Fit(x, x, config).ok());  // dim too large.
+}
+
+TEST(CcaTest, PerfectlyCorrelatedViews) {
+  // y is a rotation of x: canonical correlations should be ~1 and matched
+  // pairs should be nearest neighbours in the shared space.
+  Rng rng(3);
+  Tensor x = Tensor::Randn({120, 4}, rng);
+  Tensor rot = Tensor::FromVector(
+      {4, 4}, {0, 1, 0, 0, -1, 0, 0, 0, 0, 0, 0, 1, 0, 0, -1, 0});
+  Tensor y = MatMul(x, rot);
+  CcaConfig config;
+  config.dim = 3;
+  config.ridge = 1e-4;
+  auto cca = Cca::Fit(x, y, config);
+  ASSERT_TRUE(cca.ok());
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GT(cca->correlations()[i], 0.95f);
+  }
+  Tensor px = cca->ProjectX(x);
+  Tensor py = cca->ProjectY(y);
+  auto ranks = eval::MatchRanks(px, py);
+  int64_t top1 = 0;
+  for (int64_t r : ranks) {
+    if (r == 1) ++top1;
+  }
+  EXPECT_GT(top1, 110);
+}
+
+TEST(CcaTest, IndependentViewsHaveLowCorrelation) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn({300, 4}, rng);
+  Tensor y = Tensor::Randn({300, 4}, rng);
+  CcaConfig config;
+  config.dim = 2;
+  auto cca = Cca::Fit(x, y, config);
+  ASSERT_TRUE(cca.ok());
+  EXPECT_LT(cca->correlations()[0], 0.4f);
+}
+
+}  // namespace
+}  // namespace adamine::baselines

@@ -1,0 +1,213 @@
+#include "core/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::core {
+namespace {
+
+/// Unit-normalised random embeddings.
+Tensor UnitRows(int64_t n, int64_t d, uint64_t seed) {
+  Rng rng(seed);
+  return L2NormalizeRows(Tensor::Randn({n, d}, rng));
+}
+
+/// Numerically evaluates the instance loss at given embeddings.
+double InstanceLossValue(const Tensor& img, const Tensor& rec, float margin,
+                         MiningStrategy strategy) {
+  return InstanceTripletLoss(img, rec, margin, strategy).loss;
+}
+
+TEST(InstanceTripletLossTest, ZeroWhenWellSeparated) {
+  // Orthogonal one-hot embeddings: d(pos) = 0 wait, matching pairs aligned,
+  // negatives orthogonal: violation = margin - 1 < 0 for margin < 1.
+  Tensor emb = Tensor::FromVector({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  auto result =
+      InstanceTripletLoss(emb, emb, 0.3f, MiningStrategy::kAdaptive);
+  EXPECT_EQ(result.loss, 0.0);
+  EXPECT_EQ(result.active_triplets, 0);
+  EXPECT_EQ(result.total_triplets, 12);  // 2 directions * 3 queries * 2 negs.
+  EXPECT_EQ(MaxAbs(result.grad_image), 0.0f);
+}
+
+TEST(InstanceTripletLossTest, ActiveWhenNegativeCloserThanPositive) {
+  // Image 0 aligned with recipe 1 instead of recipe 0.
+  Tensor img = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor rec = Tensor::FromVector({2, 2}, {0, 1, 1, 0});
+  auto result =
+      InstanceTripletLoss(img, rec, 0.3f, MiningStrategy::kAdaptive);
+  EXPECT_GT(result.loss, 0.0);
+  EXPECT_EQ(result.active_triplets, 4);  // All triplets violated.
+  EXPECT_GT(MaxAbs(result.grad_image), 0.0f);
+}
+
+TEST(InstanceTripletLossTest, AdaptiveVsAverageNormalisation) {
+  Tensor img = UnitRows(8, 4, 1);
+  Tensor rec = UnitRows(8, 4, 2);
+  auto adaptive =
+      InstanceTripletLoss(img, rec, 0.3f, MiningStrategy::kAdaptive);
+  auto average =
+      InstanceTripletLoss(img, rec, 0.3f, MiningStrategy::kAverage);
+  ASSERT_GT(adaptive.active_triplets, 0);
+  ASSERT_LT(adaptive.active_triplets, adaptive.total_triplets);
+  // Same raw sums, different normalisers (Eq. 4-5): the ratio of losses is
+  // total/active.
+  const double ratio = average.loss > 0 ? adaptive.loss / average.loss : 0;
+  const double expected = static_cast<double>(adaptive.total_triplets) /
+                          static_cast<double>(adaptive.active_triplets);
+  EXPECT_NEAR(ratio, expected, 1e-6 * expected);
+  // Gradients scale the same way.
+  EXPECT_NEAR(MaxAbs(adaptive.grad_image) / MaxAbs(average.grad_image),
+              expected, 1e-3 * expected);
+}
+
+TEST(InstanceTripletLossTest, GradientMatchesFiniteDifference) {
+  // Perturb one embedding coordinate; compare loss delta to the analytic
+  // gradient. Project the perturbation is *not* re-normalised, matching the
+  // loss's contract (gradients are w.r.t. the normalised rows directly).
+  Tensor img = UnitRows(6, 4, 3);
+  Tensor rec = UnitRows(6, 4, 4);
+  const float margin = 0.4f;
+  auto base = InstanceTripletLoss(img, rec, margin,
+                                  MiningStrategy::kAverage);
+  const double eps = 1e-4;
+  for (int64_t idx : {0L, 7L, 13L, 23L}) {
+    Tensor plus = img.Clone();
+    plus[idx] += static_cast<float>(eps);
+    Tensor minus = img.Clone();
+    minus[idx] -= static_cast<float>(eps);
+    // Active set can flip at the boundary; the random case here is generic.
+    const double numeric =
+        (InstanceLossValue(plus, rec, margin, MiningStrategy::kAverage) -
+         InstanceLossValue(minus, rec, margin, MiningStrategy::kAverage)) /
+        (2 * eps);
+    EXPECT_NEAR(numeric, base.grad_image[idx], 1e-2)
+        << "coordinate " << idx;
+  }
+}
+
+TEST(SemanticTripletLossTest, NoLabelsNoLoss) {
+  Tensor img = UnitRows(6, 4, 5);
+  Tensor rec = UnitRows(6, 4, 6);
+  std::vector<int64_t> labels(6, -1);
+  Rng rng(1);
+  auto result = SemanticTripletLoss(img, rec, labels, 0.3f,
+                                    MiningStrategy::kAdaptive, rng);
+  EXPECT_EQ(result.loss, 0.0);
+  EXPECT_EQ(result.total_triplets, 0);
+}
+
+TEST(SemanticTripletLossTest, NeedsPositiveAndNegative) {
+  Tensor img = UnitRows(4, 4, 7);
+  Tensor rec = UnitRows(4, 4, 8);
+  Rng rng(1);
+  // All same class: no negatives -> no triplets.
+  auto same = SemanticTripletLoss(img, rec, {1, 1, 1, 1}, 0.3f,
+                                  MiningStrategy::kAdaptive, rng);
+  EXPECT_EQ(same.total_triplets, 0);
+  // All distinct classes: no positives -> no triplets.
+  auto distinct = SemanticTripletLoss(img, rec, {0, 1, 2, 3}, 0.3f,
+                                      MiningStrategy::kAdaptive, rng);
+  EXPECT_EQ(distinct.total_triplets, 0);
+}
+
+TEST(SemanticTripletLossTest, PullsSameClassTogether) {
+  // Items 0, 1 share a class but sit far apart; 2, 3 are another class.
+  Tensor img = Tensor::FromVector({4, 2}, {1, 0, -1, 0, 0, 1, 0, -1});
+  Tensor rec = img.Clone();
+  std::vector<int64_t> labels = {0, 0, 1, 1};
+  Rng rng(2);
+  auto result = SemanticTripletLoss(img, rec, labels, 0.3f,
+                                    MiningStrategy::kAdaptive, rng);
+  EXPECT_GT(result.loss, 0.0);
+  EXPECT_GT(result.active_triplets, 0);
+  // Gradient on image 0 should point away from its same-class partner's
+  // negative direction... at minimum it must be non-zero.
+  EXPECT_GT(MaxAbs(result.grad_image), 0.0f);
+}
+
+TEST(SemanticTripletLossTest, UnlabeledItemsAreNegativesOnly) {
+  Tensor img = UnitRows(3, 4, 9);
+  Tensor rec = UnitRows(3, 4, 10);
+  // Item 2 is unlabeled: it can serve as a negative (the paper's §4.4
+  // treats every non-same-class item as a negative) but never as a query
+  // or positive. Queries 0 and 1 each get 1 positive and 1 negative, in
+  // both directions: exactly 4 triplets.
+  std::vector<int64_t> labels = {0, 0, -1};
+  Rng rng(3);
+  auto result = SemanticTripletLoss(img, rec, labels, 2.0f,
+                                    MiningStrategy::kAdaptive, rng);
+  EXPECT_EQ(result.total_triplets, 4);
+  // Margin 2 on unit vectors: all active.
+  EXPECT_EQ(result.active_triplets, 4);
+}
+
+TEST(SemanticTripletLossTest, NegativeCapBoundsTripletCount) {
+  // Class 0 has 2 members, class 1 has 4: min negative set size is
+  // min over queries; every query contributes exactly cap triplets * 2
+  // directions.
+  Tensor img = UnitRows(6, 4, 11);
+  Tensor rec = UnitRows(6, 4, 12);
+  std::vector<int64_t> labels = {0, 0, 1, 1, 1, 1};
+  Rng rng(4);
+  auto result = SemanticTripletLoss(img, rec, labels, 2.0f,
+                                    MiningStrategy::kAdaptive, rng);
+  // Queries of class 0 have 4 negatives; queries of class 1 have 2 ->
+  // cap = 2. 6 queries * 2 negatives * 2 directions = 24 triplets.
+  EXPECT_EQ(result.total_triplets, 24);
+  // Margin 2.0 on unit vectors: every triplet is active (max sim diff < 2).
+  EXPECT_EQ(result.active_triplets, 24);
+}
+
+TEST(PairwiseLossTest, PwcStarPenalisesAnyPositiveDistance) {
+  // Matching pairs at distance > 0 incur loss with pos_margin = 0.
+  Tensor img = UnitRows(4, 4, 13);
+  Tensor rec = UnitRows(4, 4, 14);
+  auto result = PairwiseLoss(img, rec, 0.0f, 0.9f);
+  EXPECT_GT(result.loss, 0.0);
+}
+
+TEST(PairwiseLossTest, PositiveMarginToleratesSmallDistance) {
+  // Embeddings almost aligned: with pos_margin 0.3 the positive terms
+  // vanish, and orthogonal-ish negatives (d ~ 1 > 1 - 0.9) also vanish.
+  Tensor img = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor rec = Tensor::FromVector(
+      {2, 2}, {0.999f, std::sqrt(1 - 0.999f * 0.999f), 0, 1});
+  auto strict = PairwiseLoss(img, rec, 0.0f, 0.9f);
+  auto relaxed = PairwiseLoss(img, rec, 0.3f, 0.9f);
+  EXPECT_GT(strict.loss, 0.0);
+  EXPECT_EQ(relaxed.loss, 0.0);
+}
+
+TEST(PairwiseLossTest, NegativeMarginRepelsClosePairs) {
+  // Non-matching items aligned: d = 0 < neg_margin -> active.
+  Tensor img = Tensor::FromVector({2, 2}, {1, 0, 1, 0});
+  Tensor rec = Tensor::FromVector({2, 2}, {1, 0, 1, 0});
+  auto result = PairwiseLoss(img, rec, 0.3f, 0.9f);
+  EXPECT_GT(result.loss, 0.0);
+  EXPECT_GT(MaxAbs(result.grad_image), 0.0f);
+}
+
+TEST(PairwiseLossTest, GradientMatchesFiniteDifference) {
+  Tensor img = UnitRows(5, 3, 15);
+  Tensor rec = UnitRows(5, 3, 16);
+  auto base = PairwiseLoss(img, rec, 0.2f, 0.8f);
+  const double eps = 1e-4;
+  for (int64_t idx : {1L, 6L, 11L}) {
+    Tensor plus = rec.Clone();
+    plus[idx] += static_cast<float>(eps);
+    Tensor minus = rec.Clone();
+    minus[idx] -= static_cast<float>(eps);
+    const double numeric = (PairwiseLoss(img, plus, 0.2f, 0.8f).loss -
+                            PairwiseLoss(img, minus, 0.2f, 0.8f).loss) /
+                           (2 * eps);
+    EXPECT_NEAR(numeric, base.grad_recipe[idx], 1e-2);
+  }
+}
+
+}  // namespace
+}  // namespace adamine::core

@@ -1,0 +1,226 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "core/downstream.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::core {
+namespace {
+
+ModelConfig SmallModelConfig() {
+  ModelConfig config;
+  config.vocab_size = 50;
+  config.word_dim = 8;
+  config.ingredient_hidden = 6;
+  config.word_hidden = 6;
+  config.sentence_hidden = 10;
+  config.image_dim = 12;
+  config.latent_dim = 16;
+  config.num_classes = 4;
+  config.seed = 3;
+  return config;
+}
+
+data::EncodedRecipe MakeRecipe(std::vector<int64_t> ingredients,
+                               int64_t label = -1) {
+  data::EncodedRecipe r;
+  r.ingredient_tokens = std::move(ingredients);
+  r.instruction_sentences = {{1, 2, 3}, {4, 5}};
+  r.label = label;
+  r.true_class = label;
+  Rng rng(static_cast<uint64_t>(label + 100));
+  r.image = Tensor::Randn({12}, rng);
+  return r;
+}
+
+TEST(ModelConfigTest, Validation) {
+  ModelConfig config = SmallModelConfig();
+  EXPECT_TRUE(config.Validate().ok());
+  config.vocab_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallModelConfig();
+  config.use_ingredients = false;
+  config.use_instructions = false;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallModelConfig();
+  config.latent_dim = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ModelTest, EmbeddingsAreUnitRows) {
+  auto model = CrossModalModel::Create(SmallModelConfig());
+  ASSERT_TRUE(model.ok());
+  Rng rng(1);
+  Tensor images = Tensor::Randn({5, 12}, rng);
+  Tensor img_emb = (*model)->EmbedImages(images).value();
+  EXPECT_EQ(img_emb.rows(), 5);
+  EXPECT_EQ(img_emb.cols(), 16);
+  Tensor norms = RowNorms(img_emb);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_NEAR(norms[i], 1.0f, 1e-4);
+
+  auto r1 = MakeRecipe({1, 2, 3});
+  auto r2 = MakeRecipe({4, 5});
+  Tensor rec_emb = (*model)->EmbedRecipes({&r1, &r2}).value();
+  EXPECT_EQ(rec_emb.rows(), 2);
+  EXPECT_EQ(rec_emb.cols(), 16);
+  norms = RowNorms(rec_emb);
+  for (int64_t i = 0; i < 2; ++i) EXPECT_NEAR(norms[i], 1.0f, 1e-4);
+}
+
+TEST(ModelTest, PretrainedWordTableIsUsed) {
+  ModelConfig config = SmallModelConfig();
+  Rng rng(9);
+  Tensor pretrained = Tensor::Randn({50, 8}, rng);
+  auto model = CrossModalModel::Create(config, &pretrained);
+  ASSERT_TRUE(model.ok());
+  // Word embeddings are frozen by default and initialised to `pretrained`:
+  // find the registered table and compare.
+  bool found = false;
+  for (const auto& p : (*model)->Params()) {
+    if (p.name == "word_emb.table") {
+      found = true;
+      EXPECT_FALSE(p.var.requires_grad());
+      for (int64_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(p.var.value()[i], pretrained[i]);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelTest, RejectsMismatchedPretrainedShape) {
+  ModelConfig config = SmallModelConfig();
+  Rng rng(9);
+  Tensor wrong = Tensor::Randn({50, 9}, rng);  // word_dim is 8.
+  EXPECT_DEATH(
+      { auto model = CrossModalModel::Create(config, &wrong); }, "CHECK");
+}
+
+TEST(ModelTest, IngredientsChangeEmbedding) {
+  auto model = CrossModalModel::Create(SmallModelConfig());
+  ASSERT_TRUE(model.ok());
+  auto r1 = MakeRecipe({1, 2, 3});
+  auto r2 = MakeRecipe({7, 8, 9});
+  r2.instruction_sentences = r1.instruction_sentences;
+  Tensor emb = (*model)->EmbedRecipes({&r1, &r2}).value();
+  float diff = 0.0f;
+  for (int64_t j = 0; j < emb.cols(); ++j) {
+    diff += std::fabs(emb.At(0, j) - emb.At(1, j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(ModelTest, AblationBranchesChangeFcWidth) {
+  ModelConfig config = SmallModelConfig();
+  config.use_instructions = false;
+  auto ingr_only = CrossModalModel::Create(config);
+  ASSERT_TRUE(ingr_only.ok());
+  config = SmallModelConfig();
+  config.use_ingredients = false;
+  auto instr_only = CrossModalModel::Create(config);
+  ASSERT_TRUE(instr_only.ok());
+  // Both must still embed recipes fine.
+  auto r = MakeRecipe({1, 2});
+  EXPECT_EQ((*ingr_only)->EmbedRecipes({&r}).value().cols(), 16);
+  EXPECT_EQ((*instr_only)->EmbedRecipes({&r}).value().cols(), 16);
+  // And have fewer parameters than the full model.
+  auto full = CrossModalModel::Create(SmallModelConfig());
+  EXPECT_LT((*ingr_only)->NumParams(), (*full)->NumParams());
+}
+
+TEST(ModelTest, ClassifierShapes) {
+  auto model = CrossModalModel::Create(SmallModelConfig());
+  ASSERT_TRUE(model.ok());
+  Rng rng(1);
+  Tensor images = Tensor::Randn({3, 12}, rng);
+  ag::Var emb = (*model)->EmbedImages(images);
+  ag::Var logits = (*model)->Classify(emb);
+  EXPECT_EQ(logits.value().rows(), 3);
+  EXPECT_EQ(logits.value().cols(), 4);
+}
+
+TEST(ModelTest, BackboneFreezeStopsItsGradients) {
+  auto model = CrossModalModel::Create(SmallModelConfig());
+  ASSERT_TRUE(model.ok());
+  (*model)->SetImageBackboneTrainable(false);
+  Rng rng(1);
+  Tensor images = Tensor::Randn({3, 12}, rng);
+  ag::Var emb = (*model)->EmbedImages(images);
+  ag::Backward(ag::SumAllV(emb));
+  for (const auto& p : (*model)->Params()) {
+    const bool is_backbone = p.name.rfind("img_backbone.", 0) == 0;
+    const bool is_head = p.name.rfind("img_fc.", 0) == 0;
+    const bool has_grad =
+        p.var.node()->grad.defined() && MaxAbs(p.var.node()->grad) > 0.0f;
+    if (is_backbone) {
+      EXPECT_FALSE(has_grad) << p.name;
+    }
+    if (is_head) {
+      EXPECT_TRUE(has_grad) << p.name;
+    }
+  }
+}
+
+TEST(ModelTest, SnapshotRestoreRoundTrips) {
+  auto model = CrossModalModel::Create(SmallModelConfig());
+  ASSERT_TRUE(model.ok());
+  auto snapshot = (*model)->SnapshotParams();
+  // Perturb every parameter.
+  for (const auto& p : (*model)->Params()) {
+    Tensor& v = p.var.node()->value;
+    for (int64_t i = 0; i < v.numel(); ++i) v[i] += 1.0f;
+  }
+  (*model)->RestoreParams(snapshot);
+  auto params = (*model)->Params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int64_t j = 0; j < snapshot[i].numel(); ++j) {
+      EXPECT_EQ(params[i].var.value()[j], snapshot[i][j]);
+    }
+  }
+}
+
+TEST(ModelTest, FuseMatchesEmbedRecipes) {
+  auto model = CrossModalModel::Create(SmallModelConfig());
+  ASSERT_TRUE(model.ok());
+  auto r = MakeRecipe({1, 2, 3});
+  Tensor direct = (*model)->EmbedRecipes({&r}).value();
+  ag::Var ingr = (*model)->IngredientFeatures({&r});
+  ag::Var instr = (*model)->InstructionFeatures({&r});
+  Tensor fused = (*model)->FuseTextFeatures(ingr, instr).value();
+  for (int64_t j = 0; j < direct.numel(); ++j) {
+    EXPECT_NEAR(fused[j], direct[j], 1e-6);
+  }
+}
+
+TEST(DownstreamTest, RemoveIngredientEditsTextAndIds) {
+  data::Recipe recipe;
+  recipe.ingredients = {"tofu", "broccoli", "garlic"};
+  recipe.ingredient_ids = {10, 20, 30};
+  recipe.instructions = {{"add", "the", "broccoli"},
+                         {"stir", "in", "the", "tofu"},
+                         {"serve"}};
+  data::Recipe out = RemoveIngredient(recipe, "broccoli");
+  ASSERT_EQ(out.ingredients.size(), 2u);
+  EXPECT_EQ(out.ingredients[0], "tofu");
+  EXPECT_EQ(out.ingredient_ids[1], 30);
+  ASSERT_EQ(out.instructions.size(), 2u);
+  EXPECT_EQ(out.instructions[0][3], "tofu");
+}
+
+TEST(DownstreamTest, RemoveMissingIngredientIsNoop) {
+  data::Recipe recipe;
+  recipe.ingredients = {"tofu"};
+  recipe.ingredient_ids = {10};
+  recipe.instructions = {{"serve"}};
+  data::Recipe out = RemoveIngredient(recipe, "broccoli");
+  EXPECT_EQ(out.ingredients.size(), 1u);
+  EXPECT_EQ(out.instructions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adamine::core

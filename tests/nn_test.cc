@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "nn/embedding.h"
+#include "nn/hierarchical_encoder.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "nn/sequence.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::nn {
+namespace {
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  Tensor w = XavierUniform(10, 30, rng);
+  const float bound = std::sqrt(6.0f / 40.0f);
+  EXPECT_EQ(w.rows(), 10);
+  EXPECT_EQ(w.cols(), 30);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LT(std::fabs(w[i]), bound + 1e-6f);
+  }
+}
+
+TEST(InitTest, LstmBiasOpensForgetGate) {
+  Tensor b = LstmBias(4);
+  EXPECT_EQ(b.numel(), 16);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(b[i], 0.0f);       // input
+  for (int64_t i = 4; i < 8; ++i) EXPECT_EQ(b[i], 1.0f);       // forget
+  for (int64_t i = 8; i < 16; ++i) EXPECT_EQ(b[i], 0.0f);      // cell+output
+}
+
+TEST(LinearTest, ForwardShapeAndRegistry) {
+  Rng rng(2);
+  Linear fc(4, 3, rng);
+  EXPECT_EQ(fc.NumParams(), 4 * 3 + 3);
+  auto params = fc.Params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "weight");
+  ag::Var x(Tensor::Randn({5, 4}, rng), false);
+  ag::Var y = fc.Forward(x);
+  EXPECT_EQ(y.value().rows(), 5);
+  EXPECT_EQ(y.value().cols(), 3);
+}
+
+TEST(LinearTest, GradientFlowsToParams) {
+  Rng rng(3);
+  Linear fc(2, 2, rng);
+  ag::Var x(Tensor::Randn({3, 2}, rng), false);
+  ag::Var loss = ag::SumAllV(fc.Forward(x));
+  ag::Backward(loss);
+  EXPECT_TRUE(fc.weight().node()->grad.defined());
+  EXPECT_GT(MaxAbs(fc.weight().node()->grad), 0.0f);
+  // Bias grad = number of rows for a sum loss.
+  EXPECT_NEAR(fc.bias().grad()[0], 3.0f, 1e-5);
+}
+
+TEST(ModuleTest, SetTrainableFreezesRecursively) {
+  Rng rng(4);
+  BiLstm bilstm(3, 5, rng);
+  bilstm.SetTrainable(false);
+  for (const auto& p : bilstm.Params()) {
+    EXPECT_FALSE(p.var.requires_grad());
+  }
+  bilstm.SetTrainable(true);
+  for (const auto& p : bilstm.Params()) {
+    EXPECT_TRUE(p.var.requires_grad());
+  }
+}
+
+TEST(ModuleTest, DottedParamNames) {
+  Rng rng(5);
+  BiLstm bilstm(3, 5, rng);
+  auto params = bilstm.Params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "fwd.weight");
+  EXPECT_EQ(params[2].name, "bwd.weight");
+}
+
+TEST(EmbeddingTest, LookupAndPadding) {
+  Rng rng(6);
+  Embedding emb(5, 3, rng);
+  ag::Var out = emb.Forward({2, -1, 4});
+  EXPECT_EQ(out.value().rows(), 3);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out.value().At(1, j), 0.0f);  // Padding row.
+    EXPECT_EQ(out.value().At(0, j), emb.table().value().At(2, j));
+  }
+}
+
+TEST(EmbeddingTest, GradScatterAddsForRepeatedIds) {
+  Rng rng(7);
+  Embedding emb(4, 2, rng);
+  ag::Var out = emb.Forward({1, 1, -1});
+  ag::Backward(ag::SumAllV(out));
+  const Tensor& g = emb.table().node()->grad;
+  EXPECT_EQ(g.At(1, 0), 2.0f);  // Two lookups of row 1.
+  EXPECT_EQ(g.At(0, 0), 0.0f);
+  EXPECT_EQ(g.At(3, 0), 0.0f);
+}
+
+TEST(PackSequencesTest, ShapesAndMasks) {
+  auto packed = PackSequences({{1, 2, 3}, {4}, {}});
+  EXPECT_EQ(packed.batch_size, 3);
+  EXPECT_EQ(packed.max_len, 3);
+  EXPECT_EQ(packed.step_ids[0][0], 1);
+  EXPECT_EQ(packed.step_ids[0][1], 4);
+  EXPECT_EQ(packed.step_ids[0][2], -1);
+  EXPECT_EQ(packed.step_ids[1][1], -1);
+  EXPECT_EQ(packed.step_masks[0][1], 1.0f);
+  EXPECT_EQ(packed.step_masks[1][1], 0.0f);
+  EXPECT_EQ(packed.step_masks[0][2], 0.0f);
+}
+
+TEST(PackSequencesTest, ReverseVisitsTokensBackwards) {
+  auto packed = PackSequences({{1, 2, 3}, {4, 5}}, /*reverse=*/true);
+  EXPECT_EQ(packed.step_ids[0][0], 3);
+  EXPECT_EQ(packed.step_ids[1][0], 2);
+  EXPECT_EQ(packed.step_ids[2][0], 1);
+  EXPECT_EQ(packed.step_ids[0][1], 5);
+  EXPECT_EQ(packed.step_ids[1][1], 4);
+  EXPECT_EQ(packed.step_ids[2][1], -1);
+}
+
+TEST(PackSequencesTest, AllEmptyStillHasOneStep) {
+  auto packed = PackSequences({{}, {}});
+  EXPECT_EQ(packed.max_len, 1);
+  EXPECT_EQ(packed.step_masks[0][0], 0.0f);
+}
+
+TEST(LstmTest, FinalStateRespectsSequenceLengths) {
+  Rng rng(8);
+  Embedding emb(10, 4, rng);
+  Lstm lstm(4, 6, rng);
+  // Sequence b=1 is a prefix of b=0; its final state must equal the state
+  // of a standalone run over the shorter sequence.
+  ag::Var h_both = lstm.EncodeIds(emb, {{1, 2, 3, 4}, {1, 2}});
+  ag::Var h_short = lstm.EncodeIds(emb, {{1, 2}});
+  for (int64_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(h_both.value().At(1, j), h_short.value().At(0, j), 1e-5);
+  }
+}
+
+TEST(LstmTest, EmptySequenceYieldsZeroState) {
+  Rng rng(9);
+  Embedding emb(10, 4, rng);
+  Lstm lstm(4, 6, rng);
+  ag::Var h = lstm.EncodeIds(emb, {{1, 2}, {}});
+  for (int64_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(h.value().At(1, j), 0.0f);
+  }
+}
+
+TEST(LstmTest, GradCheckThroughTwoSteps) {
+  // Gradcheck the full LSTM recurrence w.r.t. its weight matrix.
+  Rng rng(10);
+  Tensor w0 = LstmWeight(2, 3, rng);
+  Tensor x0 = Tensor::Randn({2, 2}, rng, 0.5f);
+  Tensor x1 = Tensor::Randn({2, 2}, rng, 0.5f);
+  Tensor mask = Tensor::FromVector({2}, {1.0f, 1.0f});
+  auto f = [&](const std::vector<ag::Var>& v) {
+    const ag::Var& w = v[0];
+    ag::Var h(Tensor({2, 3}), false);
+    ag::Var c(Tensor({2, 3}), false);
+    for (const Tensor& xt : {x0, x1}) {
+      ag::Var x(xt, false);
+      ag::Var z = ag::ConcatCols(x, h);
+      ag::Var gates = ag::MatMul(z, w);
+      ag::Var gi = ag::Sigmoid(ag::SliceCols(gates, 0, 3));
+      ag::Var gf = ag::Sigmoid(ag::SliceCols(gates, 3, 6));
+      ag::Var gg = ag::Tanh(ag::SliceCols(gates, 6, 9));
+      ag::Var go = ag::Sigmoid(ag::SliceCols(gates, 9, 12));
+      c = ag::Add(ag::Mul(gf, c), ag::Mul(gi, gg));
+      h = ag::Mul(go, ag::Tanh(c));
+    }
+    return ag::SumAllV(h);
+  };
+  auto r = ag::GradCheck(f, {w0}, 1e-2, 2e-2);
+  EXPECT_TRUE(r.ok) << "max abs err " << r.max_abs_err;
+}
+
+TEST(BiLstmTest, OutputConcatenatesDirections) {
+  Rng rng(11);
+  Embedding emb(10, 4, rng);
+  BiLstm bilstm(4, 5, rng);
+  ag::Var h = bilstm.EncodeIds(emb, {{1, 2, 3}});
+  EXPECT_EQ(h.value().cols(), 10);
+  EXPECT_EQ(bilstm.output_dim(), 10);
+}
+
+TEST(BiLstmTest, DirectionSensitivity) {
+  // A BiLSTM should produce different embeddings for reversed sequences
+  // (generic random weights are not palindromic).
+  Rng rng(12);
+  Embedding emb(10, 4, rng);
+  BiLstm bilstm(4, 5, rng);
+  ag::Var a = bilstm.EncodeIds(emb, {{1, 2, 3}});
+  ag::Var b = bilstm.EncodeIds(emb, {{3, 2, 1}});
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 10; ++j) {
+    diff += std::fabs(a.value().At(0, j) - b.value().At(0, j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(HierarchicalEncoderTest, ShapeAndEmptyDoc) {
+  Rng rng(13);
+  Embedding emb(20, 4, rng);
+  HierarchicalEncoder enc(4, 6, 8, rng);
+  std::vector<HierarchicalEncoder::Document> docs = {
+      {{1, 2, 3}, {4, 5}},  // Two sentences.
+      {},                   // Empty document.
+  };
+  ag::Var h = enc.Encode(emb, docs);
+  EXPECT_EQ(h.value().rows(), 2);
+  EXPECT_EQ(h.value().cols(), 8);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(h.value().At(1, j), 0.0f);
+  }
+}
+
+TEST(HierarchicalEncoderTest, SentenceOrderMatters) {
+  Rng rng(14);
+  Embedding emb(20, 4, rng);
+  HierarchicalEncoder enc(4, 6, 8, rng);
+  std::vector<HierarchicalEncoder::Document> docs1 = {{{1, 2}, {3, 4}}};
+  std::vector<HierarchicalEncoder::Document> docs2 = {{{3, 4}, {1, 2}}};
+  ag::Var h1 = enc.Encode(emb, docs1);
+  ag::Var h2 = enc.Encode(emb, docs2);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 8; ++j) {
+    diff += std::fabs(h1.value().At(0, j) - h2.value().At(0, j));
+  }
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST(HierarchicalEncoderTest, FreezeWordLevelStopsItsGradients) {
+  Rng rng(15);
+  Embedding emb(20, 4, rng);
+  HierarchicalEncoder enc(4, 6, 8, rng);
+  enc.FreezeWordLevel();
+  std::vector<HierarchicalEncoder::Document> docs = {{{1, 2, 3}}};
+  ag::Var h = enc.Encode(emb, docs);
+  ag::Backward(ag::SumAllV(h));
+  auto params = enc.Params();
+  bool any_word_grad = false;
+  bool any_sent_grad = false;
+  for (const auto& p : params) {
+    const bool has_grad =
+        p.var.node()->grad.defined() && MaxAbs(p.var.node()->grad) > 0.0f;
+    if (p.name.rfind("word.", 0) == 0 && has_grad) any_word_grad = true;
+    if (p.name.rfind("sent.", 0) == 0 && has_grad) any_sent_grad = true;
+  }
+  EXPECT_FALSE(any_word_grad);
+  EXPECT_TRUE(any_sent_grad);
+}
+
+TEST(ClipGradNormTest, RescalesWhenOverLimit) {
+  ag::Var p(Tensor::FromVector({2}, {0, 0}), true);
+  p.grad()[0] = 3.0f;
+  p.grad()[1] = 4.0f;  // Norm 5.
+  double pre = ClipGradNorm({p}, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(p.grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(p.grad()[1], 0.8f, 1e-5);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  ag::Var p(Tensor::FromVector({2}, {0, 0}), true);
+  p.grad()[0] = 0.3f;
+  double pre = ClipGradNorm({p}, 1.0);
+  EXPECT_NEAR(pre, 0.3, 1e-6);
+  EXPECT_NEAR(p.grad()[0], 0.3f, 1e-6);
+}
+
+}  // namespace
+}  // namespace adamine::nn

@@ -1,0 +1,112 @@
+#include "optim/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine::optim {
+namespace {
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  ag::Var p(Tensor::FromVector({2}, {1.0f, 2.0f}), true);
+  p.grad()[0] = 0.5f;
+  p.grad()[1] = -1.0f;
+  Sgd sgd(0.1);
+  sgd.Step({p});
+  EXPECT_NEAR(p.value()[0], 0.95f, 1e-6);
+  EXPECT_NEAR(p.value()[1], 2.1f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  ag::Var p(Tensor::FromVector({1}, {0.0f}), true);
+  Sgd sgd(1.0, 0.9);
+  p.grad()[0] = 1.0f;
+  sgd.Step({p});  // v=1, p=-1
+  EXPECT_NEAR(p.value()[0], -1.0f, 1e-6);
+  p.grad()[0] = 1.0f;
+  sgd.Step({p});  // v=1.9, p=-2.9
+  EXPECT_NEAR(p.value()[0], -2.9f, 1e-6);
+}
+
+TEST(SgdTest, SkipsFrozenParams) {
+  ag::Var p(Tensor::FromVector({1}, {1.0f}), false);
+  p.node()->EnsureGrad();
+  p.node()->grad[0] = 1.0f;
+  Sgd sgd(0.1);
+  sgd.Step({p});
+  EXPECT_EQ(p.value()[0], 1.0f);
+}
+
+TEST(AdamTest, FirstStepHasUnitScaleDirection) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  ag::Var p(Tensor::FromVector({2}, {0.0f, 0.0f}), true);
+  p.grad()[0] = 0.001f;
+  p.grad()[1] = -5.0f;
+  Adam adam(0.01);
+  adam.Step({p});
+  EXPECT_NEAR(p.value()[0], -0.01f, 1e-4);
+  EXPECT_NEAR(p.value()[1], 0.01f, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimise f(w) = |w - target|^2 with analytic gradient.
+  Tensor target = Tensor::FromVector({3}, {1.0f, -2.0f, 0.5f});
+  ag::Var w(Tensor({3}), true);
+  Adam adam(0.05);
+  for (int step = 0; step < 500; ++step) {
+    w.ZeroGrad();
+    for (int64_t i = 0; i < 3; ++i) {
+      w.grad()[i] = 2.0f * (w.value()[i] - target[i]);
+    }
+    adam.Step({w});
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(w.value()[i], target[i], 1e-2);
+  }
+}
+
+TEST(AdamTest, TrainsLinearRegressionViaAutograd) {
+  // y = x * W_true; check end-to-end training through the graph.
+  Rng rng(42);
+  Tensor w_true = Tensor::FromVector({2, 1}, {2.0f, -1.0f});
+  Tensor x = Tensor::Randn({64, 2}, rng);
+  Tensor y = MatMul(x, w_true);
+
+  nn::Linear model(2, 1, rng);
+  Adam adam(0.05);
+  float final_loss = 0.0f;
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    model.ZeroGrad();
+    ag::Var pred = model.Forward(ag::Var(x, false));
+    ag::Var err = ag::Sub(pred, ag::Var(y, false));
+    ag::Var loss = ag::MeanAllV(ag::Mul(err, err));
+    ag::Backward(loss);
+    adam.Step(model.ParamVars());
+    final_loss = loss.value()[0];
+  }
+  EXPECT_LT(final_loss, 1e-3f);
+  EXPECT_NEAR(model.weight().value().At(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(model.weight().value().At(1, 0), -1.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsBuffers) {
+  ag::Var p(Tensor::FromVector({2}, {0.0f, 0.0f}), true);
+  p.grad()[0] = 3.0f;
+  Optimizer::ZeroGrad({p});
+  EXPECT_EQ(p.node()->grad[0], 0.0f);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  Adam adam(0.01);
+  EXPECT_NEAR(adam.learning_rate(), 0.01, 1e-12);
+  adam.set_learning_rate(0.001);
+  EXPECT_NEAR(adam.learning_rate(), 0.001, 1e-12);
+}
+
+}  // namespace
+}  // namespace adamine::optim

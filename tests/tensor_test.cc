@@ -1,0 +1,225 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace adamine {
+namespace {
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorRoundTrips) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 1), 2.0f);
+  EXPECT_EQ(t.At(1, 0), 3.0f);
+  EXPECT_EQ(t.At(1, 1), 4.0f);
+}
+
+TEST(TensorTest, CopyAliasesCloneDoesNot) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor alias = a;
+  Tensor deep = a.Clone();
+  a[0] = 42.0f;
+  EXPECT_EQ(alias[0], 42.0f);
+  EXPECT_EQ(deep[0], 1.0f);
+  EXPECT_TRUE(a.SharesDataWith(alias));
+  EXPECT_FALSE(a.SharesDataWith(deep));
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_TRUE(a.SharesDataWith(b));
+  EXPECT_EQ(b.At(2, 1), 6.0f);
+}
+
+TEST(TensorTest, FillSetsAll) {
+  Tensor t({4});
+  t.Fill(2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, RandnHasRoughlyZeroMeanUnitVariance) {
+  Rng rng(7);
+  Tensor t = Tensor::Randn({10000}, rng, 1.0f);
+  double mean = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) mean += t[i];
+  mean /= t.numel();
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - mean) * (t[i] - mean);
+  }
+  var /= t.numel();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(TensorOpsTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  Tensor sum = Add(a, b);
+  Tensor diff = Sub(a, b);
+  Tensor prod = Mul(a, b);
+  Tensor quot = Div(b, a);
+  EXPECT_EQ(sum[2], 9.0f);
+  EXPECT_EQ(diff[0], -3.0f);
+  EXPECT_EQ(prod[1], 10.0f);
+  EXPECT_EQ(quot[2], 2.0f);
+}
+
+TEST(TensorOpsTest, ScaleAndAddScalar) {
+  Tensor a = Tensor::FromVector({2}, {1, -2});
+  EXPECT_EQ(Scale(a, 3.0f)[1], -6.0f);
+  EXPECT_EQ(AddScalar(a, 1.0f)[1], -1.0f);
+}
+
+TEST(TensorOpsTest, InPlaceOps) {
+  Tensor y = Tensor::FromVector({2}, {1, 1});
+  Tensor x = Tensor::FromVector({2}, {2, 3});
+  AddInPlace(y, x);
+  EXPECT_EQ(y[1], 4.0f);
+  AxpyInPlace(y, 0.5f, x);
+  EXPECT_EQ(y[0], 4.0f);
+  ScaleInPlace(y, 2.0f);
+  EXPECT_EQ(y[0], 8.0f);
+}
+
+TEST(TensorOpsTest, MatMulMatchesHandComputation) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(TensorOpsTest, GemmTransposeVariantsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 5}, rng);
+  Tensor b = Tensor::Randn({5, 6}, rng);
+  Tensor at = Transpose2D(a);
+  Tensor bt = Transpose2D(b);
+  Tensor ref = Gemm(a, false, b, false);
+  Tensor v1 = Gemm(at, true, b, false);
+  Tensor v2 = Gemm(a, false, bt, true);
+  Tensor v3 = Gemm(at, true, bt, true);
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(v1[i], ref[i], 1e-4);
+    EXPECT_NEAR(v2[i], ref[i], 1e-4);
+    EXPECT_NEAR(v3[i], ref[i], 1e-4);
+  }
+}
+
+TEST(TensorOpsTest, ConcatAndSlice) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 1}, {5, 6});
+  Tensor cat = ConcatCols(a, b);
+  EXPECT_EQ(cat.cols(), 3);
+  EXPECT_EQ(cat.At(0, 2), 5.0f);
+  EXPECT_EQ(cat.At(1, 2), 6.0f);
+  Tensor back = SliceCols(cat, 0, 2);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(back[i], a[i]);
+
+  Tensor rows = ConcatRows(a, a);
+  EXPECT_EQ(rows.rows(), 4);
+  Tensor second = SliceRows(rows, 2, 4);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(second[i], a[i]);
+}
+
+TEST(TensorOpsTest, GatherAndScatterRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.At(0, 0), 5.0f);
+  EXPECT_EQ(g.At(1, 0), 1.0f);
+
+  Tensor dst({3, 2});
+  ScatterAddRows(dst, {1, 1}, Tensor::FromVector({2, 2}, {1, 1, 2, 2}));
+  EXPECT_EQ(dst.At(1, 0), 3.0f);  // Duplicates accumulate.
+  EXPECT_EQ(dst.At(0, 0), 0.0f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(SumAll(a), 21.0f);
+  EXPECT_NEAR(MeanAll(a), 3.5f, 1e-6);
+  Tensor rs = RowSum(a);
+  EXPECT_EQ(rs[0], 6.0f);
+  EXPECT_EQ(rs[1], 15.0f);
+  Tensor cs = ColSum(a);
+  EXPECT_EQ(cs[0], 5.0f);
+  EXPECT_EQ(cs[2], 9.0f);
+  Tensor cm = ColMean(a);
+  EXPECT_NEAR(cm[1], 3.5f, 1e-6);
+  EXPECT_EQ(MaxAbs(Tensor::FromVector({2}, {-7, 3})), 7.0f);
+}
+
+TEST(TensorOpsTest, RowNormalisation) {
+  Tensor a = Tensor::FromVector({2, 2}, {3, 4, 0, 0});
+  Tensor norms = RowNorms(a);
+  EXPECT_NEAR(norms[0], 5.0f, 1e-6);
+  EXPECT_EQ(norms[1], 0.0f);
+  Tensor n = L2NormalizeRows(a);
+  EXPECT_NEAR(n.At(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(n.At(0, 1), 0.8f, 1e-6);
+  EXPECT_EQ(n.At(1, 0), 0.0f);  // Zero rows stay zero.
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor s = SoftmaxRows(a);
+  for (int64_t i = 0; i < 2; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_GT(s.At(i, j), 0.0f);
+      total += s.At(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+  // Shift invariance: both rows have the same relative logits.
+  EXPECT_NEAR(s.At(0, 0), s.At(1, 0), 1e-5);
+}
+
+TEST(TensorOpsTest, CosineSimilarityMatrix) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 0, 0, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {2, 0, 1, 1});
+  Tensor s = CosineSimilarityMatrix(a, b);
+  EXPECT_NEAR(s.At(0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(s.At(1, 0), 0.0f, 1e-5);
+  EXPECT_NEAR(s.At(0, 1), 1.0f / std::sqrt(2.0f), 1e-5);
+}
+
+TEST(TensorOpsTest, CosineDistance) {
+  Tensor a = Tensor::FromVector({2}, {1, 0});
+  Tensor b = Tensor::FromVector({2}, {0, 1});
+  EXPECT_NEAR(CosineDistance(a, a), 0.0f, 1e-6);
+  EXPECT_NEAR(CosineDistance(a, b), 1.0f, 1e-6);
+  Tensor neg = Tensor::FromVector({2}, {-1, 0});
+  EXPECT_NEAR(CosineDistance(a, neg), 2.0f, 1e-6);
+}
+
+TEST(TensorOpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromVector({2}, {10, 20});
+  Tensor out = AddRowBroadcast(a, bias);
+  EXPECT_EQ(out.At(0, 0), 11.0f);
+  EXPECT_EQ(out.At(1, 1), 24.0f);
+}
+
+}  // namespace
+}  // namespace adamine

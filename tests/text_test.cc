@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "text/word2vec.h"
+
+namespace adamine::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Stir the Yogurt, until SMOOTH!");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "stir");
+  EXPECT_EQ(tokens[2], "yogurt");
+  EXPECT_EQ(tokens[4], "smooth");
+}
+
+TEST(TokenizerTest, KeepsUnderscoresAndNumbers) {
+  auto tokens = Tokenize("add 2 cups olive_oil");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1], "2");
+  EXPECT_EQ(tokens[3], "olive_oil");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,.;!  ").empty());
+}
+
+TEST(SplitSentencesTest, SplitsOnTerminators) {
+  auto sents = SplitSentences("Mix the flour. Add eggs; stir well!\nServe.");
+  ASSERT_EQ(sents.size(), 4u);
+  EXPECT_EQ(sents[0][1], "the");
+  EXPECT_EQ(sents[1][0], "add");
+  EXPECT_EQ(sents[2][0], "stir");
+  EXPECT_EQ(sents[3][0], "serve");
+}
+
+TEST(SplitSentencesTest, DropsEmptySentences) {
+  auto sents = SplitSentences("One...two.");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  int64_t a = v.Add("tomato");
+  int64_t b = v.Add("basil");
+  int64_t a2 = v.Add("tomato");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.IdOf("tomato"), a);
+  EXPECT_EQ(v.IdOf("missing"), Vocabulary::kUnknownId);
+  EXPECT_EQ(v.WordOf(b), "basil");
+  EXPECT_EQ(v.CountOf(a), 2);
+  EXPECT_EQ(v.total_count(), 3);
+}
+
+TEST(VocabularyTest, EncodeMapsUnknownsToPadding) {
+  Vocabulary v;
+  v.Add("garlic");
+  auto ids = v.Encode({"garlic", "unknown_word"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, PrunedDropsRareWords) {
+  Vocabulary v;
+  v.Add("common");
+  v.Add("common");
+  v.Add("common");
+  v.Add("rare");
+  Vocabulary pruned = v.Pruned(2);
+  EXPECT_EQ(pruned.size(), 1);
+  EXPECT_TRUE(pruned.Contains("common"));
+  EXPECT_FALSE(pruned.Contains("rare"));
+  EXPECT_EQ(pruned.CountOf(pruned.IdOf("common")), 3);
+}
+
+TEST(Word2VecTest, RejectsBadConfig) {
+  Word2VecConfig config;
+  config.dim = 0;
+  auto w2v = Word2Vec::Create(10, config);
+  EXPECT_FALSE(w2v.ok());
+  EXPECT_EQ(w2v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Word2Vec::Create(0, Word2VecConfig()).ok());
+}
+
+TEST(Word2VecTest, LearnsCooccurrenceStructure) {
+  // Two disjoint topic clusters; words within a cluster co-occur, words
+  // across clusters never do. After training, the nearest neighbour of a
+  // word must come from its own cluster.
+  Word2VecConfig config;
+  config.dim = 12;
+  config.window = 3;
+  config.negatives = 4;
+  config.epochs = 24;
+  config.subsample = 0.0;
+  config.seed = 5;
+  auto w2v = Word2Vec::Create(8, config);
+  ASSERT_TRUE(w2v.ok());
+
+  Rng rng(3);
+  std::vector<std::vector<int64_t>> corpus;
+  for (int s = 0; s < 300; ++s) {
+    std::vector<int64_t> sentence;
+    const int64_t base = rng.Bernoulli(0.5) ? 0 : 4;  // Cluster {0..3}/{4..7}
+    for (int t = 0; t < 6; ++t) sentence.push_back(base + rng.UniformInt(4));
+    corpus.push_back(std::move(sentence));
+  }
+  w2v->Train(corpus);
+
+  int correct = 0;
+  for (int64_t id = 0; id < 8; ++id) {
+    auto nn = w2v->MostSimilar(id, 1);
+    ASSERT_EQ(nn.size(), 1u);
+    const bool same_cluster = (id < 4) == (nn[0] < 4);
+    if (same_cluster) ++correct;
+  }
+  EXPECT_GE(correct, 7) << "nearest neighbours should stay in-cluster";
+}
+
+TEST(Word2VecTest, SkipsPaddingIds) {
+  Word2VecConfig config;
+  config.dim = 4;
+  config.epochs = 1;
+  auto w2v = Word2Vec::Create(3, config);
+  ASSERT_TRUE(w2v.ok());
+  // Must not crash on -1 (unknown) ids.
+  w2v->Train({{0, -1, 1, 2, -1}});
+  EXPECT_EQ(w2v->vocab_size(), 3);
+}
+
+TEST(Word2VecTest, EmbeddingShape) {
+  Word2VecConfig config;
+  config.dim = 16;
+  auto w2v = Word2Vec::Create(20, config);
+  ASSERT_TRUE(w2v.ok());
+  EXPECT_EQ(w2v->embeddings().rows(), 20);
+  EXPECT_EQ(w2v->embeddings().cols(), 16);
+}
+
+}  // namespace
+}  // namespace adamine::text

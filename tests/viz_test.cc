@@ -1,0 +1,112 @@
+#include "viz/tsne.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "viz/cluster_metrics.h"
+
+namespace adamine::viz {
+namespace {
+
+/// Two well-separated Gaussian blobs in 10-D.
+Tensor TwoBlobs(int64_t per_blob, std::vector<int64_t>* labels,
+                uint64_t seed = 3) {
+  Rng rng(seed);
+  Tensor points({2 * per_blob, 10});
+  labels->clear();
+  for (int64_t i = 0; i < 2 * per_blob; ++i) {
+    const int64_t blob = i < per_blob ? 0 : 1;
+    labels->push_back(blob);
+    for (int64_t d = 0; d < 10; ++d) {
+      points.At(i, d) = static_cast<float>(
+          rng.Normal(blob == 0 ? -3.0 : 3.0, 0.5));
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, RejectsBadConfig) {
+  std::vector<int64_t> labels;
+  Tensor points = TwoBlobs(10, &labels);
+  TsneConfig config;
+  config.perplexity = 0.5;
+  EXPECT_FALSE(Tsne(points, config).ok());
+  config = TsneConfig();
+  config.perplexity = 100.0;  // >= N.
+  EXPECT_FALSE(Tsne(points, config).ok());
+  config = TsneConfig();
+  Tensor tiny({2, 3});
+  EXPECT_FALSE(Tsne(tiny, config).ok());
+}
+
+TEST(TsneTest, OutputShapeAndCentering) {
+  std::vector<int64_t> labels;
+  Tensor points = TwoBlobs(15, &labels);
+  TsneConfig config;
+  config.perplexity = 8.0;
+  config.iterations = 150;
+  auto result = Tsne(points, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows(), 30);
+  EXPECT_EQ(result->cols(), 2);
+  Tensor mean = ColMean(*result);
+  EXPECT_NEAR(mean[0], 0.0f, 1e-3);
+  EXPECT_NEAR(mean[1], 0.0f, 1e-3);
+}
+
+TEST(TsneTest, SeparatesWellSeparatedBlobs) {
+  std::vector<int64_t> labels;
+  Tensor points = TwoBlobs(20, &labels);
+  TsneConfig config;
+  config.perplexity = 10.0;
+  config.iterations = 250;
+  auto result = Tsne(points, config);
+  ASSERT_TRUE(result.ok());
+  // The 2-D embedding must keep the blobs apart: silhouette clearly > 0.
+  EXPECT_GT(SilhouetteScore(*result, labels), 0.5);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  std::vector<int64_t> labels;
+  Tensor points = TwoBlobs(10, &labels);
+  TsneConfig config;
+  config.perplexity = 5.0;
+  config.iterations = 80;
+  auto a = Tsne(points, config);
+  auto b = Tsne(points, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < a->numel(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(SilhouetteTest, PerfectClustersNearOne) {
+  Tensor points = Tensor::FromVector(
+      {4, 2}, {0, 0, 0.1f, 0, 10, 10, 10.1f, 10});
+  std::vector<int64_t> labels = {0, 0, 1, 1};
+  EXPECT_GT(SilhouetteScore(points, labels), 0.9);
+}
+
+TEST(SilhouetteTest, RandomLabelsNearZero) {
+  Rng rng(7);
+  Tensor points = Tensor::Randn({60, 2}, rng);
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < 60; ++i) labels.push_back(i % 3);
+  const double score = SilhouetteScore(points, labels);
+  EXPECT_LT(std::fabs(score), 0.2);
+}
+
+TEST(MatchedPairDistanceTest, ZeroForIdenticalSets) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({10, 4}, rng);
+  EXPECT_EQ(MeanMatchedPairDistance(a, a), 0.0);
+  Tensor b = a.Clone();
+  for (int64_t i = 0; i < b.numel(); ++i) b[i] += 3.0f;
+  // Shifting every row by the same vector gives a constant distance.
+  EXPECT_NEAR(MeanMatchedPairDistance(a, b), 6.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace adamine::viz
