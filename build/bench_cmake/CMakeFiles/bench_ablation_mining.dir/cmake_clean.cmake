@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mining"
+  "../bench/bench_ablation_mining.pdb"
+  "CMakeFiles/bench_ablation_mining.dir/bench_ablation_mining.cc.o"
+  "CMakeFiles/bench_ablation_mining.dir/bench_ablation_mining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

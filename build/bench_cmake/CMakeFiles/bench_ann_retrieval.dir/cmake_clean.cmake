@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ann_retrieval"
+  "../bench/bench_ann_retrieval.pdb"
+  "CMakeFiles/bench_ann_retrieval.dir/bench_ann_retrieval.cc.o"
+  "CMakeFiles/bench_ann_retrieval.dir/bench_ann_retrieval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ann_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure3_tsne"
+  "../bench/bench_figure3_tsne.pdb"
+  "CMakeFiles/bench_figure3_tsne.dir/bench_figure3_tsne.cc.o"
+  "CMakeFiles/bench_figure3_tsne.dir/bench_figure3_tsne.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

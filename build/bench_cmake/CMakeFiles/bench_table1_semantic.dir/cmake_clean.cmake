@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_semantic"
+  "../bench/bench_table1_semantic.pdb"
+  "CMakeFiles/bench_table1_semantic.dir/bench_table1_semantic.cc.o"
+  "CMakeFiles/bench_table1_semantic.dir/bench_table1_semantic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_qualitative"
+  "../bench/bench_table2_qualitative.pdb"
+  "CMakeFiles/bench_table2_qualitative.dir/bench_table2_qualitative.cc.o"
+  "CMakeFiles/bench_table2_qualitative.dir/bench_table2_qualitative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

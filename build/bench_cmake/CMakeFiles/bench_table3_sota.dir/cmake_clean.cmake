@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_sota"
+  "../bench/bench_table3_sota.pdb"
+  "CMakeFiles/bench_table3_sota.dir/bench_table3_sota.cc.o"
+  "CMakeFiles/bench_table3_sota.dir/bench_table3_sota.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_ingredient"
+  "../bench/bench_table4_ingredient.pdb"
+  "CMakeFiles/bench_table4_ingredient.dir/bench_table4_ingredient.cc.o"
+  "CMakeFiles/bench_table4_ingredient.dir/bench_table4_ingredient.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ingredient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

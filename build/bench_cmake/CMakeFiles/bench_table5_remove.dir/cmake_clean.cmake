@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_remove"
+  "../bench/bench_table5_remove.pdb"
+  "CMakeFiles/bench_table5_remove.dir/bench_table5_remove.cc.o"
+  "CMakeFiles/bench_table5_remove.dir/bench_table5_remove.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_remove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adamine_cli.dir/adamine_cli.cc.o"
+  "CMakeFiles/example_adamine_cli.dir/adamine_cli.cc.o.d"
+  "example_adamine_cli"
+  "example_adamine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adamine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ingredient_to_image.dir/ingredient_to_image.cc.o"
+  "CMakeFiles/example_ingredient_to_image.dir/ingredient_to_image.cc.o.d"
+  "example_ingredient_to_image"
+  "example_ingredient_to_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ingredient_to_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

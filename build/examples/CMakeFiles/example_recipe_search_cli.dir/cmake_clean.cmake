@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recipe_search_cli.dir/recipe_search_cli.cc.o"
+  "CMakeFiles/example_recipe_search_cli.dir/recipe_search_cli.cc.o.d"
+  "example_recipe_search_cli"
+  "example_recipe_search_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recipe_search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_remove_ingredient.dir/remove_ingredient.cc.o"
+  "CMakeFiles/example_remove_ingredient.dir/remove_ingredient.cc.o.d"
+  "example_remove_ingredient"
+  "example_remove_ingredient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_remove_ingredient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_remove_ingredient.
+# This may be replaced when dependencies are built.

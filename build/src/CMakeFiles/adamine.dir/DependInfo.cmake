@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/gradcheck.cc" "src/CMakeFiles/adamine.dir/autograd/gradcheck.cc.o" "gcc" "src/CMakeFiles/adamine.dir/autograd/gradcheck.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/adamine.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/adamine.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/adamine.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/adamine.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/baselines/cca.cc" "src/CMakeFiles/adamine.dir/baselines/cca.cc.o" "gcc" "src/CMakeFiles/adamine.dir/baselines/cca.cc.o.d"
+  "/root/repo/src/baselines/cca_features.cc" "src/CMakeFiles/adamine.dir/baselines/cca_features.cc.o" "gcc" "src/CMakeFiles/adamine.dir/baselines/cca_features.cc.o.d"
+  "/root/repo/src/core/downstream.cc" "src/CMakeFiles/adamine.dir/core/downstream.cc.o" "gcc" "src/CMakeFiles/adamine.dir/core/downstream.cc.o.d"
+  "/root/repo/src/core/embedder.cc" "src/CMakeFiles/adamine.dir/core/embedder.cc.o" "gcc" "src/CMakeFiles/adamine.dir/core/embedder.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/CMakeFiles/adamine.dir/core/losses.cc.o" "gcc" "src/CMakeFiles/adamine.dir/core/losses.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/adamine.dir/core/model.cc.o" "gcc" "src/CMakeFiles/adamine.dir/core/model.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/adamine.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/adamine.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/adamine.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/adamine.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/batch_sampler.cc" "src/CMakeFiles/adamine.dir/data/batch_sampler.cc.o" "gcc" "src/CMakeFiles/adamine.dir/data/batch_sampler.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/adamine.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/adamine.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/adamine.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/adamine.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/inventory.cc" "src/CMakeFiles/adamine.dir/data/inventory.cc.o" "gcc" "src/CMakeFiles/adamine.dir/data/inventory.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/adamine.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/adamine.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/CMakeFiles/adamine.dir/eval/significance.cc.o" "gcc" "src/CMakeFiles/adamine.dir/eval/significance.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/CMakeFiles/adamine.dir/index/ivf_index.cc.o" "gcc" "src/CMakeFiles/adamine.dir/index/ivf_index.cc.o.d"
+  "/root/repo/src/io/checkpoint.cc" "src/CMakeFiles/adamine.dir/io/checkpoint.cc.o" "gcc" "src/CMakeFiles/adamine.dir/io/checkpoint.cc.o.d"
+  "/root/repo/src/io/serialize.cc" "src/CMakeFiles/adamine.dir/io/serialize.cc.o" "gcc" "src/CMakeFiles/adamine.dir/io/serialize.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/adamine.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/adamine.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/kmeans.cc" "src/CMakeFiles/adamine.dir/linalg/kmeans.cc.o" "gcc" "src/CMakeFiles/adamine.dir/linalg/kmeans.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/adamine.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/hierarchical_encoder.cc" "src/CMakeFiles/adamine.dir/nn/hierarchical_encoder.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/hierarchical_encoder.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/adamine.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/adamine.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/lm_pretrainer.cc" "src/CMakeFiles/adamine.dir/nn/lm_pretrainer.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/lm_pretrainer.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/adamine.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/adamine.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/sequence.cc" "src/CMakeFiles/adamine.dir/nn/sequence.cc.o" "gcc" "src/CMakeFiles/adamine.dir/nn/sequence.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/adamine.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/adamine.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/adamine.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/adamine.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/adamine.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/adamine.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/adamine.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/adamine.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/adamine.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/adamine.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/text/word2vec.cc" "src/CMakeFiles/adamine.dir/text/word2vec.cc.o" "gcc" "src/CMakeFiles/adamine.dir/text/word2vec.cc.o.d"
+  "/root/repo/src/util/check.cc" "src/CMakeFiles/adamine.dir/util/check.cc.o" "gcc" "src/CMakeFiles/adamine.dir/util/check.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/adamine.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/adamine.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/adamine.dir/util/status.cc.o" "gcc" "src/CMakeFiles/adamine.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/adamine.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/adamine.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/vision/backbone.cc" "src/CMakeFiles/adamine.dir/vision/backbone.cc.o" "gcc" "src/CMakeFiles/adamine.dir/vision/backbone.cc.o.d"
+  "/root/repo/src/viz/cluster_metrics.cc" "src/CMakeFiles/adamine.dir/viz/cluster_metrics.cc.o" "gcc" "src/CMakeFiles/adamine.dir/viz/cluster_metrics.cc.o.d"
+  "/root/repo/src/viz/tsne.cc" "src/CMakeFiles/adamine.dir/viz/tsne.cc.o" "gcc" "src/CMakeFiles/adamine.dir/viz/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/adamine_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/adamine_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/adamine_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/adamine_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/adamine_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/adamine_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/adamine_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/lm_pretrainer_test.cc" "tests/CMakeFiles/adamine_tests.dir/lm_pretrainer_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/lm_pretrainer_test.cc.o.d"
+  "/root/repo/tests/losses_test.cc" "tests/CMakeFiles/adamine_tests.dir/losses_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/losses_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/adamine_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/adamine_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/adamine_tests.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/optim_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/adamine_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/adamine_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/adamine_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/adamine_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/adamine_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/viz_test.cc" "tests/CMakeFiles/adamine_tests.dir/viz_test.cc.o" "gcc" "tests/CMakeFiles/adamine_tests.dir/viz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adamine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for adamine_tests.
+# This may be replaced when dependencies are built.
