@@ -3,9 +3,16 @@
 // workflow a downstream user runs end-to-end.
 //
 // Usage:
-//   example_adamine_cli train   [scenario] [epochs] [checkpoint.bin]
-//   example_adamine_cli eval    [scenario] [epochs] [checkpoint.bin]
+//   example_adamine_cli train   [scenario] [epochs] [checkpoint.bin] [flags]
+//   example_adamine_cli eval    [scenario] [epochs] [checkpoint.bin] [flags]
 //   example_adamine_cli query   "<ingredient words>" [checkpoint.bin]
+//
+// Crash-safety flags (train / eval):
+//   --checkpoint-dir=DIR   write a full training-state checkpoint into DIR
+//                          (atomic; survives being killed mid-save)
+//   --checkpoint-every=N   checkpoint every N epochs (default 1)
+//   --resume               continue from DIR's checkpoint; the resumed run
+//                          reaches bit-identical weights vs. uninterrupted
 //
 // `eval` trains (or reuses `train`'s checkpoint if present), then reports
 // the paper's MedR/R@K protocol. `query` loads the checkpoint and retrieves
@@ -13,8 +20,10 @@
 // for 15 epochs, save to /tmp/adamine_model.bin, evaluate.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/downstream.h"
 #include "core/pipeline.h"
@@ -58,15 +67,45 @@ int Fail(const adamine::Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string command = argc > 1 ? argv[1] : "eval";
-  const std::string arg2 = argc > 2 ? argv[2] : "adamine";
-  const int epochs = argc > 3 ? std::atoi(argv[3]) : 15;
+  // Split --flags from positional arguments so the flags can go anywhere.
+  std::string checkpoint_dir;
+  long checkpoint_every = 1;
+  bool resume = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      checkpoint_dir = arg.substr(std::strlen("--checkpoint-dir="));
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      checkpoint_every =
+          std::atol(arg.c_str() + std::strlen("--checkpoint-every="));
+      if (checkpoint_every <= 0) {
+        std::fprintf(stderr, "error: --checkpoint-every must be positive\n");
+        return 1;
+      }
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 1;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    return 1;
+  }
+  const std::string command = !args.empty() ? args[0] : "eval";
+  const std::string arg2 = args.size() > 1 ? args[1] : "adamine";
+  const int epochs = args.size() > 2 ? std::atoi(args[2].c_str()) : 15;
   // `query` takes the checkpoint as its third argument; train/eval as the
   // fourth (after the epoch count).
   const char* kDefaultCheckpoint = "/tmp/adamine_model.bin";
   const std::string checkpoint =
-      command == "query" ? (argc > 3 ? argv[3] : kDefaultCheckpoint)
-                         : (argc > 4 ? argv[4] : kDefaultCheckpoint);
+      command == "query"
+          ? (args.size() > 2 ? args[2] : kDefaultCheckpoint)
+          : (args.size() > 3 ? args[3] : kDefaultCheckpoint);
 
   auto pipeline = core::Pipeline::Create(CliPipelineConfig());
   if (!pipeline.ok()) return Fail(pipeline.status());
@@ -111,9 +150,13 @@ int main(int argc, char** argv) {
   train.learning_rate = 1e-3;
   train.val_bag_size = 200;
   train.seed = 13;
-  std::printf("training %s for %lld epochs on %zu pairs...\n",
+  train.checkpoint_dir = checkpoint_dir;
+  train.checkpoint_every_n_epochs = checkpoint_every;
+  train.resume = resume;
+  std::printf("training %s for %lld epochs on %zu pairs%s...\n",
               core::ScenarioName(train.scenario).c_str(),
-              static_cast<long long>(train.epochs), pipe.train_set().size());
+              static_cast<long long>(train.epochs), pipe.train_set().size(),
+              resume ? " (resuming if a checkpoint exists)" : "");
   auto run = pipe.Run(train);
   if (!run.ok()) return Fail(run.status());
 

@@ -1,10 +1,15 @@
 #include "core/pipeline.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace adamine::core {
 
 Status PipelineConfig::Validate() const {
+  if (!std::isfinite(train_fraction) || !std::isfinite(val_fraction)) {
+    return Status::InvalidArgument("train/val fractions must be finite");
+  }
   if (train_fraction <= 0.0 || val_fraction < 0.0 ||
       train_fraction + val_fraction >= 1.0) {
     return Status::InvalidArgument(

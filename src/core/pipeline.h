@@ -55,6 +55,13 @@ class Pipeline {
 
   /// Trains a fresh model under `train_config`. `use_ingredients` /
   /// `use_instructions` select the text-structure ablations.
+  ///
+  /// Crash safety: set `train_config.checkpoint_dir` (plus
+  /// `checkpoint_every_n_epochs`) to have the trainer write atomic
+  /// training-state checkpoints, and `train_config.resume` to continue an
+  /// interrupted run from the latest one. Because Run recreates the model
+  /// and all RNG streams deterministically from the configs, a resumed run
+  /// finishes with bit-identical weights to an uninterrupted one.
   StatusOr<RunResult> Run(const TrainConfig& train_config,
                           bool use_ingredients = true,
                           bool use_instructions = true);

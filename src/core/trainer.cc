@@ -1,14 +1,20 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
 
 #include "autograd/ops.h"
 #include "core/embedder.h"
 #include "data/batch_sampler.h"
 #include "eval/metrics.h"
+#include "io/checkpoint.h"
+#include "nn/module.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace adamine::core {
@@ -65,6 +71,16 @@ Status TrainConfig::Validate() const {
   if (val_bag_size <= 1 || val_num_bags <= 0) {
     return Status::InvalidArgument("invalid validation bag settings");
   }
+  if (checkpoint_every_n_epochs <= 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every_n_epochs must be positive");
+  }
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint_dir");
+  }
+  if (nonfinite_budget <= 0) {
+    return Status::InvalidArgument("nonfinite_budget must be positive");
+  }
   return Status::Ok();
 }
 
@@ -114,7 +130,50 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
   std::vector<Tensor> best_snapshot;
 
   std::vector<EpochStats> history;
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  int64_t start_epoch = 0;
+  int64_t consecutive_nonfinite = 0;
+  const std::string ckpt_path =
+      config_.checkpoint_dir.empty()
+          ? std::string()
+          : config_.checkpoint_dir + "/train_state.admc";
+
+  if (config_.resume && !ckpt_path.empty() &&
+      std::filesystem::exists(ckpt_path)) {
+    auto ckpt = io::LoadTrainingCheckpoint(ckpt_path);
+    if (!ckpt.ok()) return ckpt.status();
+    if (ckpt->next_epoch > config_.epochs) {
+      return Status::InvalidArgument(
+          "checkpoint is at epoch " + std::to_string(ckpt->next_epoch) +
+          " but only " + std::to_string(config_.epochs) +
+          " epochs are configured");
+    }
+    ADAMINE_RETURN_IF_ERROR(
+        io::ApplyNamedParams(ckpt->model_params, *model_));
+    ADAMINE_RETURN_IF_ERROR(
+        adam.ImportState(model_->ParamVars(), ckpt->adam_state));
+    rng.SetState(ckpt->trainer_rng);
+    ADAMINE_RETURN_IF_ERROR(sampler.SetState(ckpt->sampler));
+    if (ckpt->has_best_snapshot) {
+      auto params = model_->Params();
+      if (ckpt->best_snapshot.size() != params.size()) {
+        return Status::InvalidArgument(
+            "checkpoint best-snapshot size does not match the model");
+      }
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (!SameShape(ckpt->best_snapshot[i], params[i].var.value())) {
+          return Status::InvalidArgument(
+              "checkpoint best-snapshot shape mismatch");
+        }
+      }
+      best_snapshot = std::move(ckpt->best_snapshot);
+      best_val_medr = ckpt->best_val_medr;
+    }
+    history = std::move(ckpt->history);
+    start_epoch = ckpt->next_epoch;
+    consecutive_nonfinite = ckpt->consecutive_nonfinite;
+  }
+
+  for (int64_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     Stopwatch watch;
     model_->SetImageBackboneTrainable(epoch >= freeze_epochs);
 
@@ -146,18 +205,24 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
       ag::Var img_emb = model_->EmbedImages(images);
       ag::Var rec_emb = model_->EmbedRecipes(batch);
 
-      // Accumulate analytic gradients at the embedding matrices.
+      // Accumulate analytic gradients at the embedding matrices. Loss and
+      // triplet statistics go into batch-local accumulators first and only
+      // merge into the epoch stats once the batch passes the non-finite
+      // guard below, so a poisoned batch never contaminates the epoch.
       Tensor grad_img(img_emb.value().shape());
       Tensor grad_rec(rec_emb.value().shape());
+      double batch_ins_loss = 0.0, batch_sem_loss = 0.0, batch_cls_loss = 0.0;
+      double batch_ins_total = 0.0, batch_ins_active = 0.0;
+      double batch_sem_total = 0.0, batch_sem_active = 0.0;
 
       if (uses_instance) {
         BatchLossResult ins = InstanceTripletLoss(
             img_emb.value(), rec_emb.value(), config_.margin, strategy);
         AddInPlace(grad_img, ins.grad_image);
         AddInPlace(grad_rec, ins.grad_recipe);
-        stats.instance_loss += ins.loss;
-        ins_total += static_cast<double>(ins.total_triplets);
-        ins_active += static_cast<double>(ins.active_triplets);
+        batch_ins_loss += ins.loss;
+        batch_ins_total += static_cast<double>(ins.total_triplets);
+        batch_ins_active += static_cast<double>(ins.active_triplets);
       }
       if (uses_semantic || scenario == Scenario::kAdaMineSem) {
         BatchLossResult sem =
@@ -167,9 +232,9 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
             scenario == Scenario::kAdaMineSem ? 1.0f : config_.lambda;
         AxpyInPlace(grad_img, weight, sem.grad_image);
         AxpyInPlace(grad_rec, weight, sem.grad_recipe);
-        stats.semantic_loss += sem.loss;
-        sem_total += static_cast<double>(sem.total_triplets);
-        sem_active += static_cast<double>(sem.active_triplets);
+        batch_sem_loss += sem.loss;
+        batch_sem_total += static_cast<double>(sem.total_triplets);
+        batch_sem_active += static_cast<double>(sem.active_triplets);
       }
       if (uses_category) {
         BatchLossResult cat = SemanticTripletLoss(
@@ -184,9 +249,9 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
                          config_.neg_margin);
         AddInPlace(grad_img, pw.grad_image);
         AddInPlace(grad_rec, pw.grad_recipe);
-        stats.instance_loss += pw.loss;
-        ins_total += static_cast<double>(pw.total_triplets);
-        ins_active += static_cast<double>(pw.active_triplets);
+        batch_ins_loss += pw.loss;
+        batch_ins_total += static_cast<double>(pw.total_triplets);
+        batch_ins_active += static_cast<double>(pw.active_triplets);
       }
 
       std::vector<ag::Var> roots = {img_emb, rec_emb};
@@ -202,15 +267,50 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
         root_grads.push_back(w);
         roots.push_back(ce_rec);
         root_grads.push_back(w.Clone());
-        stats.cls_loss += ce_img.value()[0] + ce_rec.value()[0];
+        batch_cls_loss += ce_img.value()[0] + ce_rec.value()[0];
+      }
+
+      if (fault::ShouldFail(fault::kTrainerNonfiniteLoss)) {
+        batch_ins_loss = std::numeric_limits<double>::quiet_NaN();
       }
 
       ag::Backward(roots, root_grads);
       auto params = model_->ParamVars();
-      if (config_.clip_norm > 0.0) {
-        nn::ClipGradNorm(params, config_.clip_norm);
+      const double grad_norm =
+          config_.clip_norm > 0.0
+              ? nn::ClipGradNorm(params, config_.clip_norm)
+              : nn::GlobalGradNorm(params);
+
+      // Non-finite guard: a single NaN/Inf batch must not poison the model.
+      // Skip the update, count it, and give up once `nonfinite_budget`
+      // batches in a row are bad (a systemically diverged run).
+      if (!std::isfinite(batch_ins_loss) || !std::isfinite(batch_sem_loss) ||
+          !std::isfinite(batch_cls_loss) || !std::isfinite(grad_norm)) {
+        ++stats.nonfinite_batches;
+        if (++consecutive_nonfinite >= config_.nonfinite_budget) {
+          return Status::FailedPrecondition(
+              "aborting training: " +
+              std::to_string(consecutive_nonfinite) +
+              " consecutive batches with non-finite loss or gradients "
+              "(epoch " +
+              std::to_string(epoch) + ", step " + std::to_string(step) +
+              "); last losses ins=" + std::to_string(batch_ins_loss) +
+              " sem=" + std::to_string(batch_sem_loss) +
+              " cls=" + std::to_string(batch_cls_loss) +
+              " |grad|=" + std::to_string(grad_norm));
+        }
+        continue;
       }
+      consecutive_nonfinite = 0;
+
       adam.Step(params);
+      stats.instance_loss += batch_ins_loss;
+      stats.semantic_loss += batch_sem_loss;
+      stats.cls_loss += batch_cls_loss;
+      ins_total += batch_ins_total;
+      ins_active += batch_ins_active;
+      sem_total += batch_sem_total;
+      sem_active += batch_sem_active;
     }
 
     stats.instance_loss /= static_cast<double>(batches);
@@ -235,6 +335,31 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
     }
     stats.seconds = watch.ElapsedSeconds();
     history.push_back(stats);
+
+    const bool checkpoint_now =
+        !ckpt_path.empty() &&
+        ((epoch + 1) % config_.checkpoint_every_n_epochs == 0 ||
+         epoch + 1 == config_.epochs);
+    if (checkpoint_now) {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.checkpoint_dir, ec);
+      io::TrainingCheckpoint ckpt;
+      ckpt.next_epoch = epoch + 1;
+      ckpt.consecutive_nonfinite = consecutive_nonfinite;
+      ckpt.best_val_medr = best_val_medr;
+      ckpt.has_best_snapshot = !best_snapshot.empty();
+      ckpt.best_snapshot = best_snapshot;
+      ckpt.model_params = io::NamedParamsOf(*model_);
+      ckpt.adam_state = adam.ExportState(model_->ParamVars());
+      ckpt.trainer_rng = rng.GetState();
+      ckpt.sampler = sampler.GetState();
+      ckpt.history = history;
+      ADAMINE_RETURN_IF_ERROR(io::SaveTrainingCheckpoint(ckpt_path, ckpt));
+      if (fault::ShouldFail(fault::kTrainerCrashAfterCheckpoint)) {
+        return Status::Internal("injected crash after checkpoint at epoch " +
+                                std::to_string(epoch));
+      }
+    }
   }
 
   if (do_validation && !best_snapshot.empty()) {

@@ -65,6 +65,21 @@ struct TrainConfig {
   int64_t val_num_bags = 3;
   uint64_t seed = 123;
 
+  /// Crash safety. When `checkpoint_dir` is non-empty the trainer writes a
+  /// full training-state checkpoint (atomically; see io::TrainingCheckpoint)
+  /// every `checkpoint_every_n_epochs` epochs and after the final epoch.
+  /// With `resume` set, a checkpoint found in `checkpoint_dir` is loaded
+  /// first and training continues from it — to bit-identical final weights
+  /// versus a run that was never interrupted.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_n_epochs = 1;
+  bool resume = false;
+
+  /// Abort the run with a descriptive error after this many *consecutive*
+  /// batches whose loss or gradient norm is NaN/Inf. Each offending batch
+  /// is skipped (no optimizer step) and counted in EpochStats.
+  int64_t nonfinite_budget = 3;
+
   Status Validate() const;
 };
 
@@ -81,6 +96,8 @@ struct EpochStats {
   /// Validation MedR (mean of both directions); <0 if no validation ran.
   double val_medr = -1.0;
   double seconds = 0.0;
+  /// Batches skipped by the non-finite guard (NaN/Inf loss or gradients).
+  int64_t nonfinite_batches = 0;
 };
 
 /// Runs the §4.4 training loop for one scenario on one model.

@@ -56,6 +56,41 @@ std::vector<int64_t> BatchSampler::NextBatch() {
   return batch;
 }
 
+BatchSampler::State BatchSampler::GetState() const {
+  State state;
+  state.labeled_pool = labeled_pool_;
+  state.unlabeled_pool = unlabeled_pool_;
+  state.labeled_cursor = labeled_cursor_;
+  state.unlabeled_cursor = unlabeled_cursor_;
+  state.rng = rng_.GetState();
+  return state;
+}
+
+Status BatchSampler::SetState(const State& state) {
+  // The pools must be permutations of this sampler's pools: same items,
+  // possibly reshuffled. Sorted copies compare equal iff that holds.
+  auto same_items = [](std::vector<int64_t> a, std::vector<int64_t> b) {
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    return a == b;
+  };
+  if (!same_items(state.labeled_pool, labeled_pool_) ||
+      !same_items(state.unlabeled_pool, unlabeled_pool_)) {
+    return Status::InvalidArgument(
+        "sampler state does not match this dataset's label pools");
+  }
+  if (state.labeled_cursor > state.labeled_pool.size() ||
+      state.unlabeled_cursor > state.unlabeled_pool.size()) {
+    return Status::InvalidArgument("sampler state cursor out of range");
+  }
+  labeled_pool_ = state.labeled_pool;
+  unlabeled_pool_ = state.unlabeled_pool;
+  labeled_cursor_ = static_cast<size_t>(state.labeled_cursor);
+  unlabeled_cursor_ = static_cast<size_t>(state.unlabeled_cursor);
+  rng_.SetState(state.rng);
+  return Status::Ok();
+}
+
 int64_t BatchSampler::BatchesPerEpoch() const {
   const int64_t total =
       static_cast<int64_t>(labeled_pool_.size() + unlabeled_pool_.size());

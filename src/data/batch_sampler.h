@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace adamine::data {
 
@@ -32,6 +33,25 @@ class BatchSampler {
   int64_t BatchesPerEpoch() const;
 
   int64_t batch_size() const { return batch_size_; }
+
+  /// Everything that evolves as batches are drawn: the (reshuffled) pool
+  /// orderings, the cursors into them, and the sampler's RNG. Restoring a
+  /// captured state replays the exact same batch sequence, so a resumed
+  /// training run sees the batches an uninterrupted run would have.
+  struct State {
+    std::vector<int64_t> labeled_pool;
+    std::vector<int64_t> unlabeled_pool;
+    uint64_t labeled_cursor = 0;
+    uint64_t unlabeled_cursor = 0;
+    RngState rng;
+  };
+
+  State GetState() const;
+
+  /// Restores a state captured on an identically-constructed sampler.
+  /// Rejects states whose pools disagree with this sampler's dataset
+  /// (resuming against the wrong data split).
+  Status SetState(const State& state);
 
  private:
   /// Pops the next index from a pool, reshuffling when exhausted.

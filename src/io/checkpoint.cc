@@ -1,32 +1,93 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
+#include <fstream>
 #include <unordered_map>
 
-#include "io/serialize.h"
+#include "io/wire.h"
 
 namespace adamine::io {
 
-Status SaveModel(const std::string& path,
-                 const core::CrossModalModel& model) {
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'A', 'D', 'M', 'C'};
+
+/// Sanity ceilings for header-announced counts; real values are orders of
+/// magnitude smaller, so anything larger is corruption.
+constexpr int64_t kMaxParams = 1'000'000;
+constexpr int64_t kMaxPoolSize = 100'000'000;
+constexpr int64_t kMaxHistory = 10'000'000;
+
+void WriteRngState(wire::Writer& writer, const RngState& state) {
+  for (uint64_t word : state.s) writer.WriteU64(word);
+  writer.WriteF64(state.cached_normal);
+  writer.WriteU8(state.has_cached_normal ? 1 : 0);
+}
+
+StatusOr<RngState> ReadRngState(wire::Reader& reader) {
+  RngState state;
+  for (auto& word : state.s) {
+    auto v = reader.ReadU64();
+    if (!v.ok()) return v.status();
+    word = *v;
+  }
+  auto cached = reader.ReadF64();
+  if (!cached.ok()) return cached.status();
+  state.cached_normal = *cached;
+  auto flag = reader.ReadU8();
+  if (!flag.ok()) return flag.status();
+  if (*flag > 1) return Status::InvalidArgument("corrupt RNG state flag");
+  state.has_cached_normal = *flag == 1;
+  return state;
+}
+
+Status WritePool(wire::Writer& writer, const std::vector<int64_t>& pool) {
+  writer.WriteI64(static_cast<int64_t>(pool.size()));
+  for (int64_t v : pool) writer.WriteI64(v);
+  return writer.ok() ? Status::Ok() : Status::Internal("stream write failed");
+}
+
+StatusOr<std::vector<int64_t>> ReadPool(wire::Reader& reader) {
+  auto count = reader.ReadI64();
+  if (!count.ok()) return count.status();
+  if (*count < 0 || *count > kMaxPoolSize) {
+    return Status::InvalidArgument("implausible sampler pool size");
+  }
+  const int64_t remaining = reader.RemainingBytes();
+  if (remaining >= 0 && *count > remaining / 8) {
+    return Status::InvalidArgument(
+        "sampler pool announces more data than the stream holds");
+  }
+  std::vector<int64_t> pool(static_cast<size_t>(*count));
+  for (auto& v : pool) {
+    auto item = reader.ReadI64();
+    if (!item.ok()) return item.status();
+    v = *item;
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::vector<NamedTensor> NamedParamsOf(const core::CrossModalModel& model) {
   std::vector<NamedTensor> bundle;
   for (const auto& p : model.Params()) {
     bundle.push_back({p.name, p.var.value()});
   }
-  return SaveTensorBundle(path, bundle);
+  return bundle;
 }
 
-Status LoadModel(const std::string& path, core::CrossModalModel& model) {
-  auto bundle = LoadTensorBundle(path);
-  if (!bundle.ok()) return bundle.status();
+Status ApplyNamedParams(const std::vector<NamedTensor>& bundle,
+                        core::CrossModalModel& model) {
   std::unordered_map<std::string, const Tensor*> by_name;
-  for (const auto& entry : *bundle) {
+  for (const auto& entry : bundle) {
     if (!by_name.emplace(entry.name, &entry.tensor).second) {
       return Status::InvalidArgument("duplicate checkpoint entry: " +
                                      entry.name);
     }
   }
   auto params = model.Params();
-  if (params.size() != bundle->size()) {
+  if (params.size() != bundle.size()) {
     return Status::InvalidArgument(
         "checkpoint parameter count does not match the model");
   }
@@ -47,6 +108,246 @@ Status LoadModel(const std::string& path, core::CrossModalModel& model) {
     std::copy(src.data(), src.data() + src.numel(), dst.data());
   }
   return Status::Ok();
+}
+
+Status SaveModel(const std::string& path,
+                 const core::CrossModalModel& model) {
+  return SaveTensorBundle(path, NamedParamsOf(model));
+}
+
+Status LoadModel(const std::string& path, core::CrossModalModel& model) {
+  auto bundle = LoadTensorBundle(path);
+  if (!bundle.ok()) return bundle.status();
+  return ApplyNamedParams(*bundle, model);
+}
+
+Status WriteTrainingCheckpoint(std::ostream& os,
+                               const TrainingCheckpoint& checkpoint) {
+  wire::Writer writer(os);
+  writer.WriteRaw(kCheckpointMagic, 4);
+  writer.WriteU32(kFormatVersion);
+
+  writer.WriteI64(checkpoint.next_epoch);
+  writer.WriteI64(checkpoint.consecutive_nonfinite);
+  writer.WriteF64(checkpoint.best_val_medr);
+  writer.WriteU8(checkpoint.has_best_snapshot ? 1 : 0);
+  WriteRngState(writer, checkpoint.trainer_rng);
+
+  ADAMINE_RETURN_IF_ERROR(WritePool(writer, checkpoint.sampler.labeled_pool));
+  ADAMINE_RETURN_IF_ERROR(
+      WritePool(writer, checkpoint.sampler.unlabeled_pool));
+  writer.WriteU64(checkpoint.sampler.labeled_cursor);
+  writer.WriteU64(checkpoint.sampler.unlabeled_cursor);
+  WriteRngState(writer, checkpoint.sampler.rng);
+
+  writer.WriteI64(static_cast<int64_t>(checkpoint.model_params.size()));
+  for (const auto& entry : checkpoint.model_params) {
+    writer.WriteI64(static_cast<int64_t>(entry.name.size()));
+    writer.WriteBytes(entry.name.data(), entry.name.size());
+    ADAMINE_RETURN_IF_ERROR(WriteTensorRecord(writer, entry.tensor));
+  }
+
+  writer.WriteI64(static_cast<int64_t>(checkpoint.adam_state.size()));
+  for (const auto& slot : checkpoint.adam_state) {
+    writer.WriteU8(slot.present ? 1 : 0);
+    if (!slot.present) continue;
+    writer.WriteI64(slot.t);
+    ADAMINE_RETURN_IF_ERROR(WriteTensorRecord(writer, slot.m));
+    ADAMINE_RETURN_IF_ERROR(WriteTensorRecord(writer, slot.v));
+  }
+
+  writer.WriteI64(checkpoint.has_best_snapshot
+                      ? static_cast<int64_t>(checkpoint.best_snapshot.size())
+                      : 0);
+  if (checkpoint.has_best_snapshot) {
+    for (const auto& t : checkpoint.best_snapshot) {
+      ADAMINE_RETURN_IF_ERROR(WriteTensorRecord(writer, t));
+    }
+  }
+
+  writer.WriteI64(static_cast<int64_t>(checkpoint.history.size()));
+  for (const auto& e : checkpoint.history) {
+    writer.WriteI64(e.epoch);
+    writer.WriteF64(e.instance_loss);
+    writer.WriteF64(e.semantic_loss);
+    writer.WriteF64(e.cls_loss);
+    writer.WriteF64(e.active_fraction_ins);
+    writer.WriteF64(e.active_fraction_sem);
+    writer.WriteF64(e.val_medr);
+    writer.WriteF64(e.seconds);
+    writer.WriteI64(e.nonfinite_batches);
+  }
+
+  const uint32_t crc = writer.crc();
+  writer.WriteRaw(&crc, sizeof(crc));
+  if (!writer.ok()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<TrainingCheckpoint> ReadTrainingCheckpoint(std::istream& is) {
+  wire::Reader reader(is);
+  char magic[4];
+  if (!reader.ReadRaw(magic, 4).ok() ||
+      !std::equal(magic, magic + 4, kCheckpointMagic)) {
+    return Status::InvalidArgument("bad magic for training checkpoint");
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported training checkpoint version " +
+        std::to_string(*version) + " (expected " +
+        std::to_string(kFormatVersion) + ")");
+  }
+
+  TrainingCheckpoint ckpt;
+  auto next_epoch = reader.ReadI64();
+  if (!next_epoch.ok()) return next_epoch.status();
+  if (*next_epoch < 0) {
+    return Status::InvalidArgument("negative checkpoint epoch");
+  }
+  ckpt.next_epoch = *next_epoch;
+  auto consecutive = reader.ReadI64();
+  if (!consecutive.ok()) return consecutive.status();
+  if (*consecutive < 0) {
+    return Status::InvalidArgument("negative non-finite counter");
+  }
+  ckpt.consecutive_nonfinite = *consecutive;
+  auto best = reader.ReadF64();
+  if (!best.ok()) return best.status();
+  ckpt.best_val_medr = *best;
+  auto has_best = reader.ReadU8();
+  if (!has_best.ok()) return has_best.status();
+  if (*has_best > 1) {
+    return Status::InvalidArgument("corrupt best-snapshot flag");
+  }
+  ckpt.has_best_snapshot = *has_best == 1;
+  auto trainer_rng = ReadRngState(reader);
+  if (!trainer_rng.ok()) return trainer_rng.status();
+  ckpt.trainer_rng = *trainer_rng;
+
+  auto labeled = ReadPool(reader);
+  if (!labeled.ok()) return labeled.status();
+  ckpt.sampler.labeled_pool = std::move(*labeled);
+  auto unlabeled = ReadPool(reader);
+  if (!unlabeled.ok()) return unlabeled.status();
+  ckpt.sampler.unlabeled_pool = std::move(*unlabeled);
+  auto labeled_cursor = reader.ReadU64();
+  if (!labeled_cursor.ok()) return labeled_cursor.status();
+  ckpt.sampler.labeled_cursor = *labeled_cursor;
+  auto unlabeled_cursor = reader.ReadU64();
+  if (!unlabeled_cursor.ok()) return unlabeled_cursor.status();
+  ckpt.sampler.unlabeled_cursor = *unlabeled_cursor;
+  auto sampler_rng = ReadRngState(reader);
+  if (!sampler_rng.ok()) return sampler_rng.status();
+  ckpt.sampler.rng = *sampler_rng;
+
+  auto param_count = reader.ReadI64();
+  if (!param_count.ok()) return param_count.status();
+  if (*param_count < 0 || *param_count > kMaxParams) {
+    return Status::InvalidArgument("implausible parameter count");
+  }
+  for (int64_t i = 0; i < *param_count; ++i) {
+    auto name_len = reader.ReadI64();
+    if (!name_len.ok()) return name_len.status();
+    if (*name_len < 0 || *name_len > 4096) {
+      return Status::InvalidArgument("implausible parameter name length");
+    }
+    std::string name(static_cast<size_t>(*name_len), '\0');
+    ADAMINE_RETURN_IF_ERROR(
+        reader.ReadBytes(name.data(), static_cast<size_t>(*name_len)));
+    auto tensor = ReadTensorRecord(reader);
+    if (!tensor.ok()) return tensor.status();
+    ckpt.model_params.push_back({std::move(name), std::move(*tensor)});
+  }
+
+  auto slot_count = reader.ReadI64();
+  if (!slot_count.ok()) return slot_count.status();
+  if (*slot_count < 0 || *slot_count > kMaxParams) {
+    return Status::InvalidArgument("implausible optimizer slot count");
+  }
+  for (int64_t i = 0; i < *slot_count; ++i) {
+    optim::Adam::ParamState slot;
+    auto present = reader.ReadU8();
+    if (!present.ok()) return present.status();
+    if (*present > 1) {
+      return Status::InvalidArgument("corrupt optimizer slot flag");
+    }
+    slot.present = *present == 1;
+    if (slot.present) {
+      auto t = reader.ReadI64();
+      if (!t.ok()) return t.status();
+      if (*t < 0) return Status::InvalidArgument("negative Adam step count");
+      slot.t = *t;
+      auto m = ReadTensorRecord(reader);
+      if (!m.ok()) return m.status();
+      slot.m = std::move(*m);
+      auto v = ReadTensorRecord(reader);
+      if (!v.ok()) return v.status();
+      slot.v = std::move(*v);
+    }
+    ckpt.adam_state.push_back(std::move(slot));
+  }
+
+  auto snapshot_count = reader.ReadI64();
+  if (!snapshot_count.ok()) return snapshot_count.status();
+  if (*snapshot_count < 0 || *snapshot_count > kMaxParams) {
+    return Status::InvalidArgument("implausible snapshot tensor count");
+  }
+  if (ckpt.has_best_snapshot && *snapshot_count == 0) {
+    return Status::InvalidArgument("best-snapshot flag set but no tensors");
+  }
+  for (int64_t i = 0; i < *snapshot_count; ++i) {
+    auto tensor = ReadTensorRecord(reader);
+    if (!tensor.ok()) return tensor.status();
+    ckpt.best_snapshot.push_back(std::move(*tensor));
+  }
+
+  auto history_count = reader.ReadI64();
+  if (!history_count.ok()) return history_count.status();
+  if (*history_count < 0 || *history_count > kMaxHistory) {
+    return Status::InvalidArgument("implausible history length");
+  }
+  for (int64_t i = 0; i < *history_count; ++i) {
+    core::EpochStats e;
+    auto epoch = reader.ReadI64();
+    if (!epoch.ok()) return epoch.status();
+    e.epoch = *epoch;
+    StatusOr<double> fields[7] = {
+        reader.ReadF64(), reader.ReadF64(), reader.ReadF64(),
+        reader.ReadF64(), reader.ReadF64(), reader.ReadF64(),
+        reader.ReadF64()};
+    for (const auto& f : fields) {
+      if (!f.ok()) return f.status();
+    }
+    e.instance_loss = *fields[0];
+    e.semantic_loss = *fields[1];
+    e.cls_loss = *fields[2];
+    e.active_fraction_ins = *fields[3];
+    e.active_fraction_sem = *fields[4];
+    e.val_medr = *fields[5];
+    e.seconds = *fields[6];
+    auto skipped = reader.ReadI64();
+    if (!skipped.ok()) return skipped.status();
+    e.nonfinite_batches = *skipped;
+    ckpt.history.push_back(e);
+  }
+
+  ADAMINE_RETURN_IF_ERROR(wire::VerifyCrc(reader, "training checkpoint"));
+  return ckpt;
+}
+
+Status SaveTrainingCheckpoint(const std::string& path,
+                              const TrainingCheckpoint& checkpoint) {
+  return AtomicWriteFile(path, [&checkpoint](std::ostream& os) {
+    return WriteTrainingCheckpoint(os, checkpoint);
+  });
+}
+
+StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open for reading: " + path);
+  return ReadTrainingCheckpoint(is);
 }
 
 }  // namespace adamine::io

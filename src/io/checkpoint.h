@@ -1,14 +1,22 @@
 #ifndef ADAMINE_IO_CHECKPOINT_H_
 #define ADAMINE_IO_CHECKPOINT_H_
 
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/model.h"
+#include "core/trainer.h"
+#include "data/batch_sampler.h"
+#include "io/serialize.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace adamine::io {
 
-/// Writes every named parameter of `model` as a tensor bundle at `path`.
+/// Writes every named parameter of `model` as a tensor bundle at `path`,
+/// atomically (a crash mid-save leaves any previous file intact).
 Status SaveModel(const std::string& path,
                  const core::CrossModalModel& model);
 
@@ -17,6 +25,50 @@ Status SaveModel(const std::string& path,
 /// have been constructed with the same ModelConfig); extra entries in the
 /// file are an error too, so silent architecture drift is caught.
 Status LoadModel(const std::string& path, core::CrossModalModel& model);
+
+/// The in-memory bundle form of a model's parameters (what SaveModel
+/// writes), and its inverse: copy a bundle's values into a model after
+/// validating names and shapes. Mutates nothing on error.
+std::vector<NamedTensor> NamedParamsOf(const core::CrossModalModel& model);
+Status ApplyNamedParams(const std::vector<NamedTensor>& bundle,
+                        core::CrossModalModel& model);
+
+/// Everything needed to continue an interrupted training run to the exact
+/// result the uninterrupted run would have produced: model parameters,
+/// optimizer moments, both RNG streams, the batch-sampler position, the
+/// best-validation bookkeeping, and the per-epoch history so far. See
+/// core::Trainer for the producer/consumer and DESIGN.md ("Crash safety &
+/// resume") for the on-disk layout (magic "ADMC", versioned, CRC-32).
+struct TrainingCheckpoint {
+  /// First epoch the resumed run should execute.
+  int64_t next_epoch = 0;
+  /// Consecutive non-finite batches at the moment of the snapshot (the
+  /// abort budget carries across the interruption).
+  int64_t consecutive_nonfinite = 0;
+  double best_val_medr = 0.0;
+  bool has_best_snapshot = false;
+  /// Best-validation parameter values, in model Params() order.
+  std::vector<Tensor> best_snapshot;
+  std::vector<NamedTensor> model_params;
+  /// One slot per model parameter, in ParamVars() order.
+  std::vector<optim::Adam::ParamState> adam_state;
+  RngState trainer_rng;
+  data::BatchSampler::State sampler;
+  std::vector<core::EpochStats> history;
+};
+
+/// Stream-level (de)serialisation of a TrainingCheckpoint. Corrupt,
+/// truncated, or wrong-version input yields a non-OK Status — never an
+/// abort or a silently wrong checkpoint.
+Status WriteTrainingCheckpoint(std::ostream& os,
+                               const TrainingCheckpoint& checkpoint);
+StatusOr<TrainingCheckpoint> ReadTrainingCheckpoint(std::istream& is);
+
+/// File conveniences; Save goes through AtomicWriteFile, so the previous
+/// checkpoint survives a crash at any write boundary of the new one.
+Status SaveTrainingCheckpoint(const std::string& path,
+                              const TrainingCheckpoint& checkpoint);
+StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(const std::string& path);
 
 }  // namespace adamine::io
 

@@ -1,10 +1,14 @@
 #include "io/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
+
+#include "util/fault.h"
 
 namespace adamine::io {
 
@@ -13,45 +17,84 @@ namespace {
 constexpr char kTensorMagic[4] = {'A', 'D', 'M', 'T'};
 constexpr char kBundleMagic[4] = {'A', 'D', 'M', 'B'};
 
-void WriteI64(std::ostream& os, int64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+/// Hard ceiling on elements per tensor, a backstop for non-seekable streams
+/// where the header cannot be checked against the file size (2^31 floats =
+/// 8 GiB, far beyond anything this library produces).
+constexpr int64_t kMaxTensorElems = int64_t{1} << 31;
+constexpr int64_t kMaxExtent = int64_t{1} << 32;
+constexpr int64_t kMaxBundleEntries = 1'000'000;
+constexpr int64_t kMaxNameLen = 4096;
 
-StatusOr<int64_t> ReadI64(std::istream& is) {
-  int64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) return Status::InvalidArgument("truncated stream reading i64");
-  return v;
-}
-
-Status ExpectMagic(std::istream& is, const char expected[4],
+Status ExpectMagic(wire::Reader& reader, const char expected[4],
                    const char* what) {
   char magic[4];
-  is.read(magic, 4);
-  if (!is || !std::equal(magic, magic + 4, expected)) {
+  if (!reader.ReadRaw(magic, 4).ok() ||
+      !std::equal(magic, magic + 4, expected)) {
     return Status::InvalidArgument(std::string("bad magic for ") + what);
   }
   return Status::Ok();
 }
 
-}  // namespace
-
-Status WriteTensor(std::ostream& os, const Tensor& tensor) {
-  if (!tensor.defined()) {
-    return Status::InvalidArgument("cannot serialise an undefined tensor");
+Status ExpectVersion(wire::Reader& reader, const char* what) {
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return Status::InvalidArgument(
+        std::string("unsupported ") + what + " format version " +
+        std::to_string(*version) + " (expected " +
+        std::to_string(kFormatVersion) + ")");
   }
-  os.write(kTensorMagic, 4);
-  WriteI64(os, tensor.ndim());
-  for (int64_t d = 0; d < tensor.ndim(); ++d) WriteI64(os, tensor.dim(d));
-  os.write(reinterpret_cast<const char*>(tensor.data()),
-           static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-  if (!os) return Status::Internal("stream write failed");
   return Status::Ok();
 }
 
-StatusOr<Tensor> ReadTensor(std::istream& is) {
-  ADAMINE_RETURN_IF_ERROR(ExpectMagic(is, kTensorMagic, "tensor"));
-  auto ndim = ReadI64(is);
+/// The per-record checksum, computed from the in-memory fields so the same
+/// function serves the writer (before streaming) and the reader (after).
+uint32_t TensorRecordCrc(const Tensor& tensor) {
+  wire::Crc32 crc;
+  const uint32_t version = kFormatVersion;
+  crc.Update(&version, sizeof(version));
+  const int64_t ndim = tensor.ndim();
+  crc.Update(&ndim, sizeof(ndim));
+  for (int64_t d = 0; d < ndim; ++d) {
+    const int64_t extent = tensor.dim(d);
+    crc.Update(&extent, sizeof(extent));
+  }
+  crc.Update(tensor.data(),
+             static_cast<size_t>(tensor.numel()) * sizeof(float));
+  return crc.value();
+}
+
+}  // namespace
+
+Status WriteTensorRecord(wire::Writer& writer, const Tensor& tensor) {
+  if (!tensor.defined()) {
+    return Status::InvalidArgument("cannot serialise an undefined tensor");
+  }
+  writer.WriteBytes(kTensorMagic, 4);
+  writer.WriteU32(kFormatVersion);
+  writer.WriteI64(tensor.ndim());
+  for (int64_t d = 0; d < tensor.ndim(); ++d) writer.WriteI64(tensor.dim(d));
+  writer.WriteBytes(tensor.data(),
+                    static_cast<size_t>(tensor.numel()) * sizeof(float));
+  writer.WriteU32(TensorRecordCrc(tensor));
+  if (!writer.ok()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<Tensor> ReadTensorRecord(wire::Reader& reader) {
+  char magic[4];
+  ADAMINE_RETURN_IF_ERROR(reader.ReadBytes(magic, 4));
+  if (!std::equal(magic, magic + 4, kTensorMagic)) {
+    return Status::InvalidArgument("bad magic for tensor");
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported tensor format version " + std::to_string(*version) +
+        " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+  auto ndim = reader.ReadI64();
   if (!ndim.ok()) return ndim.status();
   if (*ndim <= 0 || *ndim > 8) {
     return Status::InvalidArgument("implausible tensor rank");
@@ -59,65 +102,151 @@ StatusOr<Tensor> ReadTensor(std::istream& is) {
   std::vector<int64_t> shape;
   int64_t numel = 1;
   for (int64_t d = 0; d < *ndim; ++d) {
-    auto extent = ReadI64(is);
+    auto extent = reader.ReadI64();
     if (!extent.ok()) return extent.status();
-    if (*extent <= 0 || *extent > (int64_t{1} << 32)) {
+    if (*extent <= 0 || *extent > kMaxExtent) {
       return Status::InvalidArgument("implausible tensor extent");
+    }
+    if (numel > kMaxTensorElems / *extent) {
+      return Status::InvalidArgument("implausible tensor element count");
     }
     shape.push_back(*extent);
     numel *= *extent;
   }
+  // Check the announced payload against the bytes actually present before
+  // allocating; a flipped bit in a dim must not trigger a huge allocation.
+  const int64_t remaining = reader.RemainingBytes();
+  if (remaining >= 0 &&
+      numel > remaining / static_cast<int64_t>(sizeof(float))) {
+    return Status::InvalidArgument(
+        "tensor header announces more data than the stream holds");
+  }
   Tensor tensor(shape);
-  is.read(reinterpret_cast<char*>(tensor.data()),
-          static_cast<std::streamsize>(numel * sizeof(float)));
-  if (!is) return Status::InvalidArgument("truncated tensor data");
+  ADAMINE_RETURN_IF_ERROR(reader.ReadBytes(
+      tensor.data(), static_cast<size_t>(numel) * sizeof(float)));
+  auto stored_crc = reader.ReadU32();
+  if (!stored_crc.ok()) {
+    return Status::InvalidArgument("truncated tensor record (missing CRC)");
+  }
+  if (*stored_crc != TensorRecordCrc(tensor)) {
+    return Status::InvalidArgument("tensor record CRC mismatch (corrupt)");
+  }
   return tensor;
+}
+
+Status WriteTensor(std::ostream& os, const Tensor& tensor) {
+  wire::Writer writer(os);
+  return WriteTensorRecord(writer, tensor);
+}
+
+StatusOr<Tensor> ReadTensor(std::istream& is) {
+  wire::Reader reader(is);
+  return ReadTensorRecord(reader);
 }
 
 Status WriteTensorBundle(std::ostream& os,
                          const std::vector<NamedTensor>& bundle) {
-  os.write(kBundleMagic, 4);
-  WriteI64(os, static_cast<int64_t>(bundle.size()));
+  wire::Writer writer(os);
+  writer.WriteRaw(kBundleMagic, 4);
+  writer.WriteU32(kFormatVersion);
+  writer.WriteI64(static_cast<int64_t>(bundle.size()));
   for (const auto& entry : bundle) {
-    WriteI64(os, static_cast<int64_t>(entry.name.size()));
-    os.write(entry.name.data(),
-             static_cast<std::streamsize>(entry.name.size()));
-    ADAMINE_RETURN_IF_ERROR(WriteTensor(os, entry.tensor));
+    writer.WriteI64(static_cast<int64_t>(entry.name.size()));
+    writer.WriteBytes(entry.name.data(), entry.name.size());
+    ADAMINE_RETURN_IF_ERROR(WriteTensorRecord(writer, entry.tensor));
   }
-  if (!os) return Status::Internal("stream write failed");
+  const uint32_t crc = writer.crc();
+  writer.WriteRaw(&crc, sizeof(crc));
+  if (!writer.ok()) return Status::Internal("stream write failed");
   return Status::Ok();
 }
 
 StatusOr<std::vector<NamedTensor>> ReadTensorBundle(std::istream& is) {
-  ADAMINE_RETURN_IF_ERROR(ExpectMagic(is, kBundleMagic, "bundle"));
-  auto count = ReadI64(is);
+  wire::Reader reader(is);
+  ADAMINE_RETURN_IF_ERROR(ExpectMagic(reader, kBundleMagic, "bundle"));
+  ADAMINE_RETURN_IF_ERROR(ExpectVersion(reader, "bundle"));
+  auto count = reader.ReadI64();
   if (!count.ok()) return count.status();
-  if (*count < 0 || *count > 1'000'000) {
+  if (*count < 0 || *count > kMaxBundleEntries) {
     return Status::InvalidArgument("implausible bundle entry count");
   }
+  // The smallest possible entry is well over 16 bytes; reject counts the
+  // stream cannot possibly hold before reserving for them.
+  const int64_t remaining = reader.RemainingBytes();
+  if (remaining >= 0 && *count > remaining / 16) {
+    return Status::InvalidArgument(
+        "bundle header announces more entries than the stream holds");
+  }
   std::vector<NamedTensor> bundle;
-  bundle.reserve(static_cast<size_t>(*count));
+  bundle.reserve(static_cast<size_t>(std::min<int64_t>(*count, 4096)));
   for (int64_t i = 0; i < *count; ++i) {
-    auto name_len = ReadI64(is);
+    auto name_len = reader.ReadI64();
     if (!name_len.ok()) return name_len.status();
-    if (*name_len < 0 || *name_len > 4096) {
+    if (*name_len < 0 || *name_len > kMaxNameLen) {
       return Status::InvalidArgument("implausible name length");
     }
     std::string name(static_cast<size_t>(*name_len), '\0');
-    is.read(name.data(), *name_len);
-    if (!is) return Status::InvalidArgument("truncated entry name");
-    auto tensor = ReadTensor(is);
+    ADAMINE_RETURN_IF_ERROR(
+        reader.ReadBytes(name.data(), static_cast<size_t>(*name_len)));
+    auto tensor = ReadTensorRecord(reader);
     if (!tensor.ok()) return tensor.status();
     bundle.push_back({std::move(name), std::move(tensor.value())});
   }
+  ADAMINE_RETURN_IF_ERROR(wire::VerifyCrc(reader, "bundle"));
   return bundle;
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  Status status = Status::Ok();
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return Status::NotFound("cannot open for writing: " + tmp);
+    }
+    // Under an armed byte-budget fault, interpose a streambuf that fails
+    // all writes past the budget — simulating a crash / full disk partway
+    // through the file.
+    std::unique_ptr<fault::FaultInjectingStreambuf> faulty;
+    std::ostream os(file.rdbuf());
+    const int64_t budget = fault::ArmedSkip(fault::kAtomicWriteBytes);
+    if (budget >= 0) {
+      faulty = std::make_unique<fault::FaultInjectingStreambuf>(file.rdbuf(),
+                                                                budget);
+      os.rdbuf(faulty.get());
+    }
+    status = write(os);
+    os.flush();
+    if (status.ok() && !os) {
+      status = Status::Internal("write failed for " + tmp);
+    }
+    file.flush();
+    if (status.ok() && !file) {
+      status = Status::Internal("flush failed for " + tmp);
+    }
+  }
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (fault::ShouldFail(fault::kAtomicRename)) {
+    // A simulated crash between flush and rename: the temp file stays
+    // behind (as it would after a real crash) and the target is untouched.
+    return Status::Internal("injected crash before rename of " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
 }
 
 Status SaveTensorBundle(const std::string& path,
                         const std::vector<NamedTensor>& bundle) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::NotFound("cannot open for writing: " + path);
-  return WriteTensorBundle(os, bundle);
+  return AtomicWriteFile(path, [&bundle](std::ostream& os) {
+    return WriteTensorBundle(os, bundle);
+  });
 }
 
 StatusOr<std::vector<NamedTensor>> LoadTensorBundle(const std::string& path) {

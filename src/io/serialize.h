@@ -1,24 +1,44 @@
 #ifndef ADAMINE_IO_SERIALIZE_H_
 #define ADAMINE_IO_SERIALIZE_H_
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "io/wire.h"
 #include "tensor/tensor.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
 
 namespace adamine::io {
 
-/// Binary tensor format: magic "ADMT", i64 ndim, i64 dims..., f32 data.
+/// On-disk format version shared by the ADMT / ADMB / ADMC records. Version
+/// 2 added the version field itself plus CRC-32 checksums; readers reject
+/// any other version with a clean Status instead of misparsing.
+inline constexpr uint32_t kFormatVersion = 2;
+
+/// Binary tensor format: magic "ADMT", u32 format version, i64 ndim,
+/// i64 dims..., f32 data, u32 CRC-32 of everything after the magic.
 /// All integers little-endian (the only platform this library targets).
+/// Readers validate the version, rank, extents, and element count against
+/// the bytes actually available *before* allocating, and verify the CRC, so
+/// corrupt or truncated input yields a Status, never a garbage tensor.
 Status WriteTensor(std::ostream& os, const Tensor& tensor);
 StatusOr<Tensor> ReadTensor(std::istream& is);
 
-/// Named tensor bundle: magic "ADMB", i64 count, then per entry a
-/// length-prefixed name and a tensor record. This is the on-disk form of a
-/// model checkpoint (CrossModalModel::SnapshotParams + names).
+/// Tensor record primitives against an open wire Writer/Reader, used to
+/// embed tensors inside larger checksummed containers (bundles, training
+/// checkpoints). The record carries its own CRC; its bytes also feed the
+/// container's running CRC.
+Status WriteTensorRecord(wire::Writer& writer, const Tensor& tensor);
+StatusOr<Tensor> ReadTensorRecord(wire::Reader& reader);
+
+/// Named tensor bundle: magic "ADMB", u32 format version, i64 count, then
+/// per entry a length-prefixed name and a tensor record, then a u32 CRC-32
+/// covering everything after the magic. This is the on-disk form of a model
+/// checkpoint (CrossModalModel::SnapshotParams + names).
 struct NamedTensor {
   std::string name;
   Tensor tensor;
@@ -28,10 +48,19 @@ Status WriteTensorBundle(std::ostream& os,
                          const std::vector<NamedTensor>& bundle);
 StatusOr<std::vector<NamedTensor>> ReadTensorBundle(std::istream& is);
 
-/// File-path conveniences.
+/// File-path conveniences. SaveTensorBundle writes atomically (see
+/// AtomicWriteFile), so a crash mid-save never clobbers an existing file.
 Status SaveTensorBundle(const std::string& path,
                         const std::vector<NamedTensor>& bundle);
 StatusOr<std::vector<NamedTensor>> LoadTensorBundle(const std::string& path);
+
+/// Runs `write` against a stream on `path + ".tmp"`, flushes, and renames
+/// the temp file onto `path` — so `path` atomically transitions from its
+/// old content to the new content and a crash at any point leaves the old
+/// file intact (at worst plus a stale .tmp, which readers never touch). On
+/// any failure the temp file is removed and a non-OK Status returned.
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& write);
 
 /// Vocabulary as text: one "word<TAB>count" line per id, in id order.
 Status WriteVocabulary(std::ostream& os, const text::Vocabulary& vocab);

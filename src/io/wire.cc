@@ -1,0 +1,132 @@
+#include "io/wire.h"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+#include "util/fault.h"
+
+namespace adamine::io::wire {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = CrcTable();
+  uint32_t c = state_;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Writer::WriteBytes(const void* p, size_t n) {
+  if (fault::ShouldFail(fault::kSerializeWrite)) {
+    os_.setstate(std::ios::badbit);
+  }
+  if (!os_) return;
+  os_.write(static_cast<const char*>(p),
+            static_cast<std::streamsize>(n));
+  if (os_) crc_.Update(p, n);
+}
+
+void Writer::WriteRaw(const void* p, size_t n) {
+  if (fault::ShouldFail(fault::kSerializeWrite)) {
+    os_.setstate(std::ios::badbit);
+  }
+  if (!os_) return;
+  os_.write(static_cast<const char*>(p),
+            static_cast<std::streamsize>(n));
+}
+
+bool Writer::ok() const { return static_cast<bool>(os_); }
+
+Status Reader::ReadBytes(void* p, size_t n) {
+  is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!is_) return Status::InvalidArgument("truncated stream");
+  crc_.Update(p, n);
+  return Status::Ok();
+}
+
+StatusOr<uint8_t> Reader::ReadU8() {
+  uint8_t v = 0;
+  ADAMINE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<uint32_t> Reader::ReadU32() {
+  uint32_t v = 0;
+  ADAMINE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<uint64_t> Reader::ReadU64() {
+  uint64_t v = 0;
+  ADAMINE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<int64_t> Reader::ReadI64() {
+  int64_t v = 0;
+  ADAMINE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<double> Reader::ReadF64() {
+  double v = 0.0;
+  ADAMINE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Status Reader::ReadRaw(void* p, size_t n) {
+  is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!is_) return Status::InvalidArgument("truncated stream");
+  return Status::Ok();
+}
+
+int64_t Reader::RemainingBytes() {
+  const std::istream::pos_type here = is_.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  is_.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is_.tellg();
+  is_.seekg(here);
+  if (end == std::istream::pos_type(-1) || !is_) {
+    is_.clear();
+    is_.seekg(here);
+    return -1;
+  }
+  return static_cast<int64_t>(end - here);
+}
+
+Status VerifyCrc(Reader& reader, const std::string& what) {
+  const uint32_t computed = reader.crc();
+  uint32_t stored = 0;
+  if (!reader.ReadRaw(&stored, sizeof(stored)).ok()) {
+    return Status::InvalidArgument("truncated " + what + " (missing CRC)");
+  }
+  if (stored != computed) {
+    return Status::InvalidArgument(what + " CRC mismatch (corrupt file)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace adamine::io::wire

@@ -50,7 +50,7 @@ void Module::RegisterSubmodule(std::string prefix, Module* child) {
   children_.emplace_back(std::move(prefix), child);
 }
 
-double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm) {
+double GlobalGradNorm(const std::vector<ag::Var>& params) {
   double sq = 0.0;
   for (const auto& p : params) {
     if (!p.requires_grad()) continue;
@@ -60,7 +60,11 @@ double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm) {
     const int64_t n = g.numel();
     for (int64_t i = 0; i < n; ++i) sq += double(pg[i]) * pg[i];
   }
-  const double norm = std::sqrt(sq);
+  return std::sqrt(sq);
+}
+
+double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm) {
+  const double norm = GlobalGradNorm(params);
   if (norm > max_norm && norm > 0.0) {
     const float scale = static_cast<float>(max_norm / norm);
     for (const auto& p : params) {

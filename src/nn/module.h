@@ -58,6 +58,11 @@ class Module {
   std::vector<std::pair<std::string, Module*>> children_;
 };
 
+/// Global L2 norm over the gradients of `params` (frozen parameters and
+/// untouched gradient buffers excluded). NaN/Inf gradients propagate into
+/// the result, which is what the trainer's non-finite guard keys on.
+double GlobalGradNorm(const std::vector<ag::Var>& params);
+
 /// Rescales gradients of `params` so their global L2 norm is at most
 /// `max_norm`. Returns the pre-clip norm.
 double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm);

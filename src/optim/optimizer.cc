@@ -72,4 +72,55 @@ void Adam::Step(const std::vector<ag::Var>& params) {
   }
 }
 
+std::vector<Adam::ParamState> Adam::ExportState(
+    const std::vector<ag::Var>& params) const {
+  std::vector<ParamState> out;
+  out.reserve(params.size());
+  for (const auto& p : params) {
+    ParamState slot;
+    auto it = state_.find(p.node().get());
+    if (it != state_.end()) {
+      slot.present = true;
+      slot.t = it->second.t;
+      slot.m = it->second.m.Clone();
+      slot.v = it->second.v.Clone();
+    }
+    out.push_back(std::move(slot));
+  }
+  return out;
+}
+
+Status Adam::ImportState(const std::vector<ag::Var>& params,
+                         const std::vector<ParamState>& state) {
+  if (params.size() != state.size()) {
+    return Status::InvalidArgument(
+        "optimizer state has " + std::to_string(state.size()) +
+        " slots but the model has " + std::to_string(params.size()) +
+        " parameters");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!state[i].present) continue;
+    if (!state[i].m.defined() || !state[i].v.defined() ||
+        !SameShape(state[i].m, params[i].value()) ||
+        !SameShape(state[i].v, params[i].value()) || state[i].t < 0) {
+      return Status::InvalidArgument("optimizer state slot " +
+                                     std::to_string(i) +
+                                     " does not match its parameter");
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    ag::Node* node = params[i].node().get();
+    if (!state[i].present) {
+      state_.erase(node);
+      continue;
+    }
+    State s;
+    s.m = state[i].m.Clone();
+    s.v = state[i].v.Clone();
+    s.t = state[i].t;
+    state_[node] = std::move(s);
+  }
+  return Status::Ok();
+}
+
 }  // namespace adamine::optim

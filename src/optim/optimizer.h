@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/status.h"
 
 namespace adamine::optim {
 
@@ -48,6 +49,27 @@ class Adam : public Optimizer {
   explicit Adam(double lr = 1e-4, double beta1 = 0.9, double beta2 = 0.999,
                 double eps = 1e-8);
   void Step(const std::vector<ag::Var>& params) override;
+
+  /// The moment estimates and step counter for one parameter; `present` is
+  /// false for parameters that have never received a gradient (e.g. a still
+  /// frozen backbone), which carry no state.
+  struct ParamState {
+    bool present = false;
+    int64_t t = 0;
+    Tensor m;
+    Tensor v;
+  };
+
+  /// Deep-copies the optimizer state aligned with `params` (one slot per
+  /// entry, in order) for checkpointing.
+  std::vector<ParamState> ExportState(
+      const std::vector<ag::Var>& params) const;
+
+  /// Restores state previously exported against a parameter list with the
+  /// same order and shapes, replacing any existing state for those
+  /// parameters. Rejects slot-count or shape mismatches.
+  Status ImportState(const std::vector<ag::Var>& params,
+                     const std::vector<ParamState>& state);
 
  private:
   struct State {

@@ -1,0 +1,88 @@
+#ifndef ADAMINE_UTIL_FAULT_H_
+#define ADAMINE_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <streambuf>
+#include <string>
+
+namespace adamine::fault {
+
+/// A process-wide registry of named failure points, used by tests to
+/// simulate crashes and numeric corruption at precise moments. Production
+/// code calls ShouldFail(point) at interesting boundaries (every serialised
+/// write, every checkpoint, every batch); the call is a single relaxed
+/// atomic load unless a test has armed at least one point, so leaving the
+/// hooks in release builds costs nothing measurable.
+///
+/// Well-known failure points. Using the constants (rather than ad-hoc
+/// strings) keeps the producer and the test in sync.
+inline constexpr char kSerializeWrite[] = "io.serialize.write";
+inline constexpr char kAtomicRename[] = "io.atomic.rename";
+inline constexpr char kAtomicWriteBytes[] = "io.atomic.write_bytes";
+inline constexpr char kTrainerNonfiniteLoss[] = "trainer.nonfinite_loss";
+inline constexpr char kTrainerCrashAfterCheckpoint[] =
+    "trainer.crash_after_checkpoint";
+
+/// Arms `point`: the next `skip` hits pass, then the following `fire` hits
+/// fail, after which the point disarms itself. Re-arming overwrites any
+/// previous schedule for the point.
+void Arm(const std::string& point, int64_t skip = 0,
+         int64_t fire = std::numeric_limits<int64_t>::max());
+
+/// Removes any schedule for `point` (hit counters are kept).
+void Disarm(const std::string& point);
+
+/// Disarms every point and zeroes every hit counter. Tests call this in
+/// their setup/teardown so armed faults never leak between tests.
+void Reset();
+
+/// True if `point` currently has a schedule.
+bool IsArmed(const std::string& point);
+
+/// Remaining skip count of an armed point, or -1 if not armed. Points whose
+/// schedule encodes a quantity rather than a countdown (e.g.
+/// kAtomicWriteBytes, where `skip` is the byte budget before writes start
+/// failing) are read through this.
+int64_t ArmedSkip(const std::string& point);
+
+/// True if any point is armed (the registry fast path).
+bool AnyArmed();
+
+/// Registers one hit at `point` and returns true if the point fires on this
+/// hit. When nothing at all is armed this is a single atomic load; when the
+/// registry is active, every hit is also counted so tests can enumerate the
+/// failure boundaries of an operation (see Hits).
+bool ShouldFail(const std::string& point);
+
+/// Number of ShouldFail calls at `point` since the last Reset, counted only
+/// while the registry is active (i.e. at least one point armed). Arm an
+/// unrelated or never-firing schedule (skip = int64 max) to census the
+/// boundaries of an operation without failing it.
+int64_t Hits(const std::string& point);
+
+/// A streambuf decorator that forwards writes to `target` until
+/// `byte_budget` bytes have been written, then fails every subsequent write
+/// — including mid-call, so a 100-byte put with 40 bytes of budget leaves
+/// exactly 40 bytes in the target, like a process killed mid-write().
+/// Reads are not supported.
+class FaultInjectingStreambuf : public std::streambuf {
+ public:
+  FaultInjectingStreambuf(std::streambuf* target, int64_t byte_budget);
+
+  int64_t bytes_written() const { return bytes_written_; }
+
+ protected:
+  int overflow(int ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+
+ private:
+  std::streambuf* target_;
+  int64_t budget_;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace adamine::fault
+
+#endif  // ADAMINE_UTIL_FAULT_H_

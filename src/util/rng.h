@@ -6,6 +6,16 @@
 
 namespace adamine {
 
+/// The complete serialisable state of an Rng: the xoshiro256** words plus
+/// the Box-Muller cache. Restoring it reproduces the stream bit-for-bit,
+/// which is what lets an interrupted training run resume to identical
+/// results (see io::TrainingCheckpoint).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// Deterministic xoshiro256** pseudo-random generator with helpers for the
 /// distributions the library needs. Every stochastic component (data
 /// generation, initialisation, sampling) takes an explicit Rng so whole
@@ -60,6 +70,10 @@ class Rng {
   /// Derives an independent child generator; useful to give each worker or
   /// module its own stream from one master seed.
   Rng Fork();
+
+  /// Captures / restores the full generator state (checkpointing).
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

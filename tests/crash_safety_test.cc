@@ -1,0 +1,421 @@
+// Crash-safety suite: proves the three guarantees DESIGN.md promises.
+//
+//  1. A crash at ANY write boundary of a checkpoint save — enumerated with
+//     the fault registry, plus byte-granular kills inside a single write —
+//     leaves the previous checkpoint loadable.
+//  2. A run killed after a checkpoint resumes to bit-identical final
+//     weights versus a run that was never interrupted.
+//  3. Corrupt, truncated, or wrong-version checkpoints are rejected with a
+//     clean Status (every byte flip, every prefix), and non-finite losses
+//     are skipped / reported / budgeted instead of poisoning the model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace adamine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CrashSafetyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Reset();
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("adamine_crash_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    fault::Reset();
+    fs::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+/// A small but fully-populated checkpoint: both adam slot kinds (present
+/// and frozen/absent), a best snapshot, a cached-normal RNG, history with a
+/// non-zero skip count — so the round trip exercises every field.
+io::TrainingCheckpoint MakeCheckpoint() {
+  Rng tensor_rng(17);
+  io::TrainingCheckpoint c;
+  c.next_epoch = 4;
+  c.consecutive_nonfinite = 1;
+  c.best_val_medr = 2.5;
+  c.has_best_snapshot = true;
+  c.best_snapshot.push_back(Tensor::Randn({3, 2}, tensor_rng));
+  c.best_snapshot.push_back(Tensor::Randn({4}, tensor_rng));
+  c.model_params.push_back({"enc.weight", Tensor::Randn({3, 2}, tensor_rng)});
+  c.model_params.push_back({"enc.bias", Tensor::Randn({4}, tensor_rng)});
+  optim::Adam::ParamState slot;
+  slot.present = true;
+  slot.t = 7;
+  slot.m = Tensor::Randn({3, 2}, tensor_rng);
+  slot.v = Tensor::Randn({3, 2}, tensor_rng);
+  c.adam_state.push_back(std::move(slot));
+  c.adam_state.push_back({});  // Frozen parameter: no optimizer state.
+  Rng stream(42);
+  stream.Normal();  // Populates the Box-Muller cache.
+  c.trainer_rng = stream.GetState();
+  c.sampler.labeled_pool = {4, 0, 2, 1, 3};
+  c.sampler.unlabeled_pool = {5, 6};
+  c.sampler.labeled_cursor = 3;
+  c.sampler.unlabeled_cursor = 1;
+  stream.Next();
+  c.sampler.rng = stream.GetState();
+  core::EpochStats e0;
+  e0.epoch = 0;
+  e0.instance_loss = 0.5;
+  e0.semantic_loss = 0.25;
+  e0.cls_loss = 0.125;
+  e0.active_fraction_ins = 0.75;
+  e0.active_fraction_sem = 0.5;
+  e0.val_medr = 3.0;
+  e0.seconds = 1.5;
+  core::EpochStats e1 = e0;
+  e1.epoch = 1;
+  e1.val_medr = 2.75;
+  e1.nonfinite_batches = 2;
+  c.history = {e0, e1};
+  return c;
+}
+
+std::string Serialize(const io::TrainingCheckpoint& c) {
+  std::stringstream ss;
+  EXPECT_TRUE(io::WriteTrainingCheckpoint(ss, c).ok());
+  return ss.str();
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(SameShape(a, b));
+  EXPECT_EQ(
+      std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()), 0);
+}
+
+void ExpectRngEqual(const RngState& a, const RngState& b) {
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.s[i], b.s[i]);
+  EXPECT_EQ(a.cached_normal, b.cached_normal);
+  EXPECT_EQ(a.has_cached_normal, b.has_cached_normal);
+}
+
+TEST_F(CrashSafetyTest, TrainingCheckpointRoundTripsEveryField) {
+  io::TrainingCheckpoint c = MakeCheckpoint();
+  std::stringstream ss(Serialize(c));
+  auto back = io::ReadTrainingCheckpoint(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back->next_epoch, c.next_epoch);
+  EXPECT_EQ(back->consecutive_nonfinite, c.consecutive_nonfinite);
+  EXPECT_EQ(back->best_val_medr, c.best_val_medr);
+  EXPECT_EQ(back->has_best_snapshot, c.has_best_snapshot);
+  ASSERT_EQ(back->best_snapshot.size(), c.best_snapshot.size());
+  for (size_t i = 0; i < c.best_snapshot.size(); ++i) {
+    ExpectBitIdentical(back->best_snapshot[i], c.best_snapshot[i]);
+  }
+  ASSERT_EQ(back->model_params.size(), c.model_params.size());
+  for (size_t i = 0; i < c.model_params.size(); ++i) {
+    EXPECT_EQ(back->model_params[i].name, c.model_params[i].name);
+    ExpectBitIdentical(back->model_params[i].tensor,
+                       c.model_params[i].tensor);
+  }
+  ASSERT_EQ(back->adam_state.size(), 2u);
+  EXPECT_TRUE(back->adam_state[0].present);
+  EXPECT_EQ(back->adam_state[0].t, 7);
+  ExpectBitIdentical(back->adam_state[0].m, c.adam_state[0].m);
+  ExpectBitIdentical(back->adam_state[0].v, c.adam_state[0].v);
+  EXPECT_FALSE(back->adam_state[1].present);
+  ExpectRngEqual(back->trainer_rng, c.trainer_rng);
+  EXPECT_EQ(back->sampler.labeled_pool, c.sampler.labeled_pool);
+  EXPECT_EQ(back->sampler.unlabeled_pool, c.sampler.unlabeled_pool);
+  EXPECT_EQ(back->sampler.labeled_cursor, c.sampler.labeled_cursor);
+  EXPECT_EQ(back->sampler.unlabeled_cursor, c.sampler.unlabeled_cursor);
+  ExpectRngEqual(back->sampler.rng, c.sampler.rng);
+  ASSERT_EQ(back->history.size(), 2u);
+  EXPECT_EQ(back->history[1].epoch, 1);
+  EXPECT_EQ(back->history[1].val_medr, 2.75);
+  EXPECT_EQ(back->history[1].nonfinite_batches, 2);
+  EXPECT_EQ(back->history[0].seconds, 1.5);
+}
+
+TEST_F(CrashSafetyTest, RejectsWrongFormatVersion) {
+  std::string bytes = Serialize(MakeCheckpoint());
+  // The u32 version sits right after the 4-byte "ADMC" magic.
+  bytes[4] = static_cast<char>(io::kFormatVersion + 1);
+  std::stringstream ss(bytes);
+  auto back = io::ReadTrainingCheckpoint(ss);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(CrashSafetyTest, RejectsEveryTruncation) {
+  const std::string bytes = Serialize(MakeCheckpoint());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream ss(bytes.substr(0, len));
+    EXPECT_FALSE(io::ReadTrainingCheckpoint(ss).ok())
+        << "prefix of " << len << " bytes parsed as a full checkpoint";
+  }
+}
+
+TEST_F(CrashSafetyTest, RejectsEveryByteCorruption) {
+  const std::string bytes = Serialize(MakeCheckpoint());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    std::stringstream ss(corrupt);
+    EXPECT_FALSE(io::ReadTrainingCheckpoint(ss).ok())
+        << "flipped byte " << i << " went undetected";
+  }
+}
+
+TEST_F(CrashSafetyTest, PreviousCheckpointSurvivesCrashAtEveryWriteBoundary) {
+  const std::string path = Path("state.admc");
+  const io::TrainingCheckpoint base = MakeCheckpoint();
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, base).ok());
+
+  // Census: arm a never-firing schedule so every write boundary of one
+  // full save registers a hit.
+  fault::Arm(fault::kSerializeWrite, std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, base).ok());
+  const int64_t boundaries = fault::Hits(fault::kSerializeWrite);
+  fault::Reset();
+  ASSERT_GT(boundaries, 50) << "write-boundary census implausibly small";
+
+  io::TrainingCheckpoint modified = MakeCheckpoint();
+  modified.next_epoch = 99;
+  for (int64_t k = 0; k < boundaries; ++k) {
+    fault::Arm(fault::kSerializeWrite, k, 1);
+    EXPECT_FALSE(io::SaveTrainingCheckpoint(path, modified).ok())
+        << "crash at boundary " << k << " did not fail the save";
+    fault::Reset();
+    EXPECT_FALSE(fs::exists(path + ".tmp"))
+        << "temp debris left at boundary " << k;
+    auto survivor = io::LoadTrainingCheckpoint(path);
+    ASSERT_TRUE(survivor.ok())
+        << "crash at boundary " << k
+        << " destroyed the previous checkpoint: "
+        << survivor.status().ToString();
+    EXPECT_EQ(survivor->next_epoch, base.next_epoch);
+  }
+
+  // With no fault armed the save goes through.
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, modified).ok());
+  auto final_ckpt = io::LoadTrainingCheckpoint(path);
+  ASSERT_TRUE(final_ckpt.ok());
+  EXPECT_EQ(final_ckpt->next_epoch, 99);
+}
+
+TEST_F(CrashSafetyTest, PreviousCheckpointSurvivesByteGranularKills) {
+  const std::string path = Path("state.admc");
+  const io::TrainingCheckpoint base = MakeCheckpoint();
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, base).ok());
+  const int64_t size = static_cast<int64_t>(fs::file_size(path));
+
+  io::TrainingCheckpoint modified = MakeCheckpoint();
+  modified.next_epoch = 99;
+  // Kill the writing "process" after every possible byte count short of a
+  // complete file; the old checkpoint must survive each time.
+  for (int64_t budget = 0; budget < size; ++budget) {
+    fault::Arm(fault::kAtomicWriteBytes, budget);
+    EXPECT_FALSE(io::SaveTrainingCheckpoint(path, modified).ok())
+        << "partial write of " << budget << " bytes did not fail the save";
+    fault::Reset();
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    auto survivor = io::LoadTrainingCheckpoint(path);
+    ASSERT_TRUE(survivor.ok()) << "killed at byte " << budget;
+    EXPECT_EQ(survivor->next_epoch, base.next_epoch);
+  }
+}
+
+TEST_F(CrashSafetyTest, CrashBeforeRenameLeavesOldFileAndStaleTmp) {
+  const std::string path = Path("state.admc");
+  const io::TrainingCheckpoint base = MakeCheckpoint();
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, base).ok());
+
+  io::TrainingCheckpoint modified = MakeCheckpoint();
+  modified.next_epoch = 99;
+  fault::Arm(fault::kAtomicRename);
+  EXPECT_FALSE(io::SaveTrainingCheckpoint(path, modified).ok());
+  fault::Reset();
+
+  // Like a real crash between flush and rename: the temp file stays behind,
+  // the target is untouched, and readers never look at the .tmp.
+  EXPECT_TRUE(fs::exists(path + ".tmp"));
+  auto survivor = io::LoadTrainingCheckpoint(path);
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_EQ(survivor->next_epoch, base.next_epoch);
+
+  // The next clean save just overwrites the debris.
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, modified).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(io::LoadTrainingCheckpoint(path)->next_epoch, 99);
+}
+
+TEST_F(CrashSafetyTest, StaleTmpDebrisDoesNotAffectLoads) {
+  const std::string path = Path("state.admc");
+  ASSERT_TRUE(io::SaveTrainingCheckpoint(path, MakeCheckpoint()).ok());
+  std::ofstream(path + ".tmp", std::ios::binary) << "garbage from a crash";
+  EXPECT_TRUE(io::LoadTrainingCheckpoint(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: interrupt a real training run and resume it.
+
+core::PipelineConfig TinyPipelineConfig() {
+  core::PipelineConfig config;
+  config.generator.num_recipes = 260;
+  config.generator.num_classes = 8;
+  config.generator.seed = 5;
+  config.word2vec.epochs = 1;
+  config.model.word_dim = 8;
+  config.model.ingredient_hidden = 6;
+  config.model.word_hidden = 6;
+  config.model.sentence_hidden = 8;
+  config.model.latent_dim = 12;
+  config.model.seed = 2;
+  return config;
+}
+
+core::TrainConfig TinyTrainConfig() {
+  core::TrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 32;
+  config.learning_rate = 2e-3;
+  config.val_bag_size = 30;
+  config.val_num_bags = 2;
+  config.seed = 4;
+  return config;
+}
+
+TEST_F(CrashSafetyTest, ResumedRunReachesBitIdenticalWeights) {
+  auto pipeline = core::Pipeline::Create(TinyPipelineConfig());
+  ASSERT_TRUE(pipeline.ok());
+  auto& pipe = *pipeline.value();
+
+  // Reference: the same run, never interrupted, never checkpointed.
+  auto reference = pipe.Run(TinyTrainConfig());
+  ASSERT_TRUE(reference.ok());
+
+  // Interrupted: checkpoint every epoch, crash right after the second save
+  // (i.e. with epochs 0 and 1 done).
+  core::TrainConfig config = TinyTrainConfig();
+  config.checkpoint_dir = dir_;
+  fault::Arm(fault::kTrainerCrashAfterCheckpoint, 1, 1);
+  auto crashed = pipe.Run(config);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_NE(crashed.status().message().find("injected crash"),
+            std::string::npos);
+  fault::Reset();
+
+  auto ckpt = io::LoadTrainingCheckpoint(dir_ + "/train_state.admc");
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_EQ(ckpt->next_epoch, 2);
+  EXPECT_EQ(ckpt->history.size(), 2u);
+
+  // Resume and run to completion.
+  config.resume = true;
+  auto resumed = pipe.Run(config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  // The histories must agree exactly (wall-clock timing aside).
+  ASSERT_EQ(resumed->history.size(), reference->history.size());
+  for (size_t i = 0; i < reference->history.size(); ++i) {
+    const auto& a = reference->history[i];
+    const auto& b = resumed->history[i];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.instance_loss, b.instance_loss) << "epoch " << i;
+    EXPECT_EQ(a.semantic_loss, b.semantic_loss) << "epoch " << i;
+    EXPECT_EQ(a.cls_loss, b.cls_loss) << "epoch " << i;
+    EXPECT_EQ(a.active_fraction_ins, b.active_fraction_ins) << "epoch " << i;
+    EXPECT_EQ(a.active_fraction_sem, b.active_fraction_sem) << "epoch " << i;
+    EXPECT_EQ(a.val_medr, b.val_medr) << "epoch " << i;
+    EXPECT_EQ(a.nonfinite_batches, b.nonfinite_batches) << "epoch " << i;
+  }
+
+  // ...and the final weights must match bit for bit.
+  auto ref_params = reference->model->Params();
+  auto res_params = resumed->model->Params();
+  ASSERT_EQ(ref_params.size(), res_params.size());
+  for (size_t i = 0; i < ref_params.size(); ++i) {
+    EXPECT_EQ(ref_params[i].name, res_params[i].name);
+    ExpectBitIdentical(ref_params[i].var.value(), res_params[i].var.value());
+  }
+
+  // The final-epoch checkpoint was written too.
+  auto final_ckpt = io::LoadTrainingCheckpoint(dir_ + "/train_state.admc");
+  ASSERT_TRUE(final_ckpt.ok());
+  EXPECT_EQ(final_ckpt->next_epoch, 5);
+
+  // Resuming under a smaller epoch budget than the checkpoint has already
+  // completed is a configuration error, not silent truncation.
+  core::TrainConfig shrunk = config;
+  shrunk.epochs = 3;
+  auto rejected = pipe.Run(shrunk);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("checkpoint is at epoch"),
+            std::string::npos);
+}
+
+TEST_F(CrashSafetyTest, NonFiniteBatchesAreSkippedAndCounted) {
+  auto pipeline = core::Pipeline::Create(TinyPipelineConfig());
+  ASSERT_TRUE(pipeline.ok());
+  auto& pipe = *pipeline.value();
+
+  core::TrainConfig config = TinyTrainConfig();
+  config.epochs = 2;
+  config.nonfinite_budget = 5;
+  // Poison two consecutive batches (below the abort budget).
+  fault::Arm(fault::kTrainerNonfiniteLoss, 2, 2);
+  auto run = pipe.Run(config);
+  fault::Reset();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  int64_t skipped = 0;
+  for (const auto& e : run->history) {
+    skipped += e.nonfinite_batches;
+    EXPECT_TRUE(std::isfinite(e.instance_loss));
+    EXPECT_TRUE(std::isfinite(e.semantic_loss));
+  }
+  EXPECT_EQ(skipped, 2);
+}
+
+TEST_F(CrashSafetyTest, NonFiniteBudgetAbortsWithDescriptiveError) {
+  auto pipeline = core::Pipeline::Create(TinyPipelineConfig());
+  ASSERT_TRUE(pipeline.ok());
+  auto& pipe = *pipeline.value();
+
+  core::TrainConfig config = TinyTrainConfig();
+  config.nonfinite_budget = 2;
+  fault::Arm(fault::kTrainerNonfiniteLoss);  // Every batch is poisoned.
+  auto run = pipe.Run(config);
+  fault::Reset();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("non-finite"), std::string::npos);
+  EXPECT_NE(run.status().message().find("epoch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adamine

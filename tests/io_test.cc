@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "io/checkpoint.h"
 #include "tensor/ops.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace adamine::io {
@@ -161,6 +164,195 @@ TEST(CheckpointTest, RejectsArchitectureMismatch) {
   ASSERT_TRUE(model2.ok());
   Status status = LoadModel(path, **model2);
   EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Hardened-format tests: the version-2 readers must reject wrong versions,
+// corruption (every byte), truncation (every prefix), and absurd headers —
+// with a Status, before any large allocation.
+
+std::string SerializedTensor(const Tensor& t) {
+  std::stringstream ss;
+  EXPECT_TRUE(WriteTensor(ss, t).ok());
+  return ss.str();
+}
+
+template <typename T>
+void AppendVal(std::string* s, T v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// A hand-built "ADMT" header with an arbitrary (possibly bogus) shape.
+std::string TensorHeader(int64_t ndim, const std::vector<int64_t>& dims) {
+  std::string s("ADMT", 4);
+  AppendVal<uint32_t>(&s, kFormatVersion);
+  AppendVal<int64_t>(&s, ndim);
+  for (int64_t d : dims) AppendVal<int64_t>(&s, d);
+  return s;
+}
+
+StatusOr<Tensor> ReadTensorFrom(std::string bytes) {
+  std::stringstream ss(std::move(bytes));
+  return ReadTensor(ss);
+}
+
+TEST(TensorSerializeTest, RejectsWrongVersion) {
+  Rng rng(6);
+  std::string bytes = SerializedTensor(Tensor::Randn({2, 2}, rng));
+  bytes[4] = static_cast<char>(kFormatVersion + 1);  // u32 after the magic.
+  auto back = ReadTensorFrom(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("version"), std::string::npos);
+}
+
+TEST(TensorSerializeTest, RejectsEveryByteFlip) {
+  Rng rng(7);
+  const std::string bytes = SerializedTensor(Tensor::Randn({3, 3}, rng));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    EXPECT_FALSE(ReadTensorFrom(corrupt).ok())
+        << "flipped byte " << i << " went undetected";
+  }
+}
+
+TEST(TensorSerializeTest, RejectsEveryTruncation) {
+  Rng rng(8);
+  const std::string bytes = SerializedTensor(Tensor::Randn({3, 3}, rng));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(ReadTensorFrom(bytes.substr(0, len)).ok())
+        << "prefix of " << len << " bytes parsed as a full tensor";
+  }
+}
+
+TEST(TensorSerializeTest, RejectsImplausibleRank) {
+  auto negative = ReadTensorFrom(TensorHeader(-1, {}));
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("rank"), std::string::npos);
+  EXPECT_FALSE(ReadTensorFrom(TensorHeader(0, {})).ok());
+  EXPECT_FALSE(ReadTensorFrom(TensorHeader(9, {1, 1, 1, 1, 1, 1, 1, 1, 1}))
+                   .ok());
+}
+
+TEST(TensorSerializeTest, RejectsImplausibleExtents) {
+  EXPECT_FALSE(ReadTensorFrom(TensorHeader(2, {-4, 4})).ok());
+  EXPECT_FALSE(ReadTensorFrom(TensorHeader(1, {0})).ok());
+  EXPECT_FALSE(
+      ReadTensorFrom(TensorHeader(1, {(int64_t{1} << 33)})).ok());
+}
+
+TEST(TensorSerializeTest, RejectsOverflowingElementCountBeforeAllocating) {
+  // Each extent is individually plausible; the product is not. The reader
+  // must refuse before trying to allocate ~2^62 floats.
+  auto back =
+      ReadTensorFrom(TensorHeader(2, {int64_t{1} << 31, int64_t{1} << 31}));
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("element count"), std::string::npos);
+}
+
+TEST(TensorSerializeTest, RejectsHeaderAnnouncingMoreThanStreamHolds) {
+  // 1000x1000 floats announced, almost nothing behind the header.
+  std::string bytes = TensorHeader(2, {1000, 1000});
+  bytes.append(8, '\0');
+  auto back = ReadTensorFrom(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("more data"), std::string::npos);
+}
+
+std::string SerializedBundle(const std::vector<NamedTensor>& bundle) {
+  std::stringstream ss;
+  EXPECT_TRUE(WriteTensorBundle(ss, bundle).ok());
+  return ss.str();
+}
+
+std::string BundleHeader(int64_t count) {
+  std::string s("ADMB", 4);
+  AppendVal<uint32_t>(&s, kFormatVersion);
+  AppendVal<int64_t>(&s, count);
+  return s;
+}
+
+StatusOr<std::vector<NamedTensor>> ReadBundleFrom(std::string bytes) {
+  std::stringstream ss(std::move(bytes));
+  return ReadTensorBundle(ss);
+}
+
+TEST(BundleTest, RejectsWrongVersion) {
+  Rng rng(9);
+  std::string bytes = SerializedBundle({{"w", Tensor::Randn({2, 2}, rng)}});
+  bytes[4] = static_cast<char>(kFormatVersion + 1);
+  auto back = ReadBundleFrom(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("version"), std::string::npos);
+}
+
+TEST(BundleTest, RejectsEveryByteFlipAndEveryTruncation) {
+  Rng rng(10);
+  const std::string bytes =
+      SerializedBundle({{"alpha", Tensor::Randn({2, 3}, rng)},
+                        {"beta", Tensor::Randn({4}, rng)}});
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    EXPECT_FALSE(ReadBundleFrom(corrupt).ok())
+        << "flipped byte " << i << " went undetected";
+  }
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(ReadBundleFrom(bytes.substr(0, len)).ok())
+        << "prefix of " << len << " bytes parsed as a full bundle";
+  }
+}
+
+TEST(BundleTest, RejectsImplausibleEntryCounts) {
+  auto negative = ReadBundleFrom(BundleHeader(-1));
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("entry count"),
+            std::string::npos);
+  // A count the stream cannot possibly hold is refused before reserving.
+  std::string small = BundleHeader(1'000'000);
+  small.append(32, '\0');
+  auto huge = ReadBundleFrom(small);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("more entries"), std::string::npos);
+}
+
+TEST(BundleTest, RejectsNegativeNameLength) {
+  std::string bytes = BundleHeader(1);
+  AppendVal<int64_t>(&bytes, -5);
+  bytes.append(16, '\0');  // Enough trailing bytes to pass the count check.
+  auto back = ReadBundleFrom(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("name length"), std::string::npos);
+}
+
+TEST(BundleTest, AtomicSaveKeepsOldFileAcrossInjectedCrashes) {
+  fault::Reset();
+  Rng rng(11);
+  std::vector<NamedTensor> v1{{"old", Tensor::Randn({2, 2}, rng)}};
+  std::vector<NamedTensor> v2{{"new", Tensor::Randn({2, 2}, rng)}};
+  const std::string path = "/tmp/adamine_atomic_bundle_test.bin";
+  ASSERT_TRUE(SaveTensorBundle(path, v1).ok());
+
+  // Crash mid-write: the temp file is cleaned up, the old file survives.
+  fault::Arm(fault::kSerializeWrite, 3, 1);
+  EXPECT_FALSE(SaveTensorBundle(path, v2).ok());
+  fault::Reset();
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  ASSERT_TRUE(LoadTensorBundle(path).ok());
+  EXPECT_EQ((*LoadTensorBundle(path))[0].name, "old");
+
+  // Crash between flush and rename: stale .tmp remains, old file survives.
+  fault::Arm(fault::kAtomicRename);
+  EXPECT_FALSE(SaveTensorBundle(path, v2).ok());
+  fault::Reset();
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ((*LoadTensorBundle(path))[0].name, "old");
+
+  // The next clean save replaces both the debris and the file.
+  ASSERT_TRUE(SaveTensorBundle(path, v2).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ((*LoadTensorBundle(path))[0].name, "new");
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/embedder.h"
 #include "core/pipeline.h"
 #include "eval/metrics.h"
@@ -55,6 +57,59 @@ TEST(TrainConfigTest, Validation) {
   config = TinyTrainConfig(Scenario::kAdaMine);
   config.freeze_fraction = 1.0;
   EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(TrainConfigTest, ValidationCoversEveryErrorPath) {
+  const TrainConfig good = TinyTrainConfig(Scenario::kAdaMine);
+  ASSERT_TRUE(good.Validate().ok());
+  auto broken = [&good](auto mutate) {
+    TrainConfig config = good;
+    mutate(config);
+    return !config.Validate().ok();
+  };
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.epochs = -1; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.batch_size = 1; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.learning_rate = 0.0; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.margin = 0.0f; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.lambda = -0.1f; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.lambda_category = -0.1f; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.pos_margin = -0.1f; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.neg_margin = c.pos_margin; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.cls_weight = -1.0; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.freeze_fraction = -0.5; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.clip_norm = -1.0; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.val_bag_size = 1; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.val_num_bags = 0; }));
+  // Crash-safety knobs.
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.checkpoint_every_n_epochs = 0; }));
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.resume = true; }));  // No dir.
+  EXPECT_TRUE(broken([](TrainConfig& c) { c.nonfinite_budget = 0; }));
+  TrainConfig resumable = good;
+  resumable.checkpoint_dir = "/tmp/ckpt";
+  resumable.resume = true;
+  EXPECT_TRUE(resumable.Validate().ok());
+}
+
+TEST(PipelineConfigTest, ValidationCoversFractionErrorPaths) {
+  const PipelineConfig good = TinyPipelineConfig();
+  ASSERT_TRUE(good.Validate().ok());
+  auto broken = [&good](auto mutate) {
+    PipelineConfig config = good;
+    mutate(config);
+    return !config.Validate().ok();
+  };
+  EXPECT_TRUE(broken([](PipelineConfig& c) { c.train_fraction = 0.0; }));
+  EXPECT_TRUE(broken([](PipelineConfig& c) { c.val_fraction = -0.1; }));
+  EXPECT_TRUE(broken([](PipelineConfig& c) {
+    c.train_fraction = 0.9;
+    c.val_fraction = 0.2;  // No room left for the test split.
+  }));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(broken([nan](PipelineConfig& c) { c.train_fraction = nan; }));
+  EXPECT_TRUE(broken([nan](PipelineConfig& c) { c.val_fraction = nan; }));
+  EXPECT_TRUE(broken([](PipelineConfig& c) {
+    c.val_fraction = std::numeric_limits<double>::infinity();
+  }));
 }
 
 TEST(ScenarioNameTest, AllNamed) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <sstream>
 
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table_printer.h"
@@ -160,6 +163,90 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, NumAndMeanStdFormatting) {
   EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::MeanStd(1.05, 0.2, 1), "1.1 +- 0.2");
+}
+
+TEST(FaultRegistryTest, InactiveRegistryNeverFiresNorCounts) {
+  fault::Reset();
+  EXPECT_FALSE(fault::AnyArmed());
+  EXPECT_FALSE(fault::ShouldFail("some.point"));
+  EXPECT_EQ(fault::Hits("some.point"), 0);  // Fast path: not even counted.
+  EXPECT_EQ(fault::ArmedSkip("some.point"), -1);
+}
+
+TEST(FaultRegistryTest, SkipThenFireThenAutoDisarm) {
+  fault::Reset();
+  fault::Arm("p", 2, 2);
+  EXPECT_TRUE(fault::IsArmed("p"));
+  EXPECT_EQ(fault::ArmedSkip("p"), 2);
+  EXPECT_EQ(fault::ArmedSkip("q"), -1);  // Other points stay unarmed.
+  EXPECT_FALSE(fault::ShouldFail("p"));  // skip 1
+  EXPECT_FALSE(fault::ShouldFail("p"));  // skip 2
+  EXPECT_TRUE(fault::ShouldFail("p"));   // fire 1
+  EXPECT_TRUE(fault::ShouldFail("p"));   // fire 2 -> auto-disarm
+  EXPECT_FALSE(fault::IsArmed("p"));
+  EXPECT_FALSE(fault::AnyArmed());
+  EXPECT_EQ(fault::Hits("p"), 4);
+  fault::Reset();
+  EXPECT_EQ(fault::Hits("p"), 0);
+}
+
+TEST(FaultRegistryTest, CensusCountsUnarmedPointsWhileRegistryActive) {
+  fault::Reset();
+  // A never-firing sentinel keeps the registry active so hits elsewhere are
+  // counted — the mechanism behind the write-boundary census.
+  fault::Arm("sentinel", std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(fault::ShouldFail("other"));
+  EXPECT_FALSE(fault::ShouldFail("other"));
+  EXPECT_FALSE(fault::ShouldFail("sentinel"));
+  EXPECT_EQ(fault::Hits("other"), 2);
+  EXPECT_EQ(fault::Hits("sentinel"), 1);
+  EXPECT_TRUE(fault::IsArmed("sentinel"));
+  fault::Disarm("sentinel");
+  EXPECT_FALSE(fault::AnyArmed());
+  fault::Reset();
+}
+
+TEST(FaultRegistryTest, RearmOverwritesSchedule) {
+  fault::Reset();
+  fault::Arm("p", 100, 1);
+  fault::Arm("p", 0, 1);  // Overwrites: fires immediately.
+  EXPECT_TRUE(fault::ShouldFail("p"));
+  EXPECT_FALSE(fault::IsArmed("p"));
+  fault::Reset();
+}
+
+TEST(FaultInjectingStreambufTest, FailsMidWriteAfterBudget) {
+  std::stringstream target;
+  fault::FaultInjectingStreambuf buf(target.rdbuf(), 10);
+  std::ostream os(&buf);
+  os << "0123456789ABCDEF";  // 16 bytes against a 10-byte budget.
+  EXPECT_FALSE(os.good());
+  EXPECT_EQ(buf.bytes_written(), 10);
+  // Partial write: exactly the budgeted prefix landed, like a process
+  // killed mid-write().
+  EXPECT_EQ(target.str(), "0123456789");
+}
+
+TEST(FaultInjectingStreambufTest, ZeroBudgetFailsImmediately) {
+  std::stringstream target;
+  fault::FaultInjectingStreambuf buf(target.rdbuf(), 0);
+  std::ostream os(&buf);
+  os << "x";
+  EXPECT_FALSE(os.good());
+  EXPECT_TRUE(target.str().empty());
+}
+
+TEST(FaultInjectingStreambufTest, CharAtATimeHonoursBudget) {
+  std::stringstream target;
+  fault::FaultInjectingStreambuf buf(target.rdbuf(), 2);
+  std::ostream os(&buf);
+  os.put('a');
+  os.put('b');
+  EXPECT_TRUE(os.good());
+  os.put('c');
+  EXPECT_FALSE(os.good());
+  EXPECT_EQ(target.str(), "ab");
+  EXPECT_EQ(buf.bytes_written(), 2);
 }
 
 }  // namespace
