@@ -2,11 +2,18 @@
 // encoding, the batch triplet losses, retrieval ranking, and word2vec.
 // These are the building blocks whose cost dominates training and
 // evaluation; sizes mirror the defaults used by the table benches.
+//
+// GEMM, cosine-similarity and ranking carry a second argument — the kernel
+// thread-pool width — so `BM_Gemm/256/4` reads "n=256, 4 threads". Thread
+// count never changes the bits of the result (see DESIGN.md, "Kernel
+// execution layer"), only the wall clock, so the sweep is a pure scaling
+// measurement.
 
 #include <benchmark/benchmark.h>
 
 #include "core/losses.h"
 #include "eval/metrics.h"
+#include "kernel/kernel.h"
 #include "nn/embedding.h"
 #include "nn/lstm.h"
 #include "tensor/ops.h"
@@ -16,8 +23,18 @@
 namespace adamine {
 namespace {
 
+// Pins the kernel pool width for one benchmark run and restores the
+// single-threaded default afterwards so the non-swept benchmarks below stay
+// comparable across runs of the binary.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int num_threads) { kernel::SetNumThreads(num_threads); }
+  ~ThreadGuard() { kernel::SetNumThreads(1); }
+};
+
 void BM_Gemm(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadGuard guard(static_cast<int>(state.range(1)));
   Rng rng(1);
   Tensor a = Tensor::Randn({n, n}, rng);
   Tensor b = Tensor::Randn({n, n}, rng);
@@ -27,10 +44,11 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->ArgsProduct({{32, 64, 128, 256}, {1, 4}});
 
 void BM_GemmTransB(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadGuard guard(static_cast<int>(state.range(1)));
   Rng rng(1);
   Tensor a = Tensor::Randn({n, n}, rng);
   Tensor b = Tensor::Randn({n, n}, rng);
@@ -40,7 +58,21 @@ void BM_GemmTransB(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmTransB)->ArgsProduct({{64, 128}, {1, 4}});
+
+void BM_CosineSimilarityMatrix(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  Rng rng(9);
+  Tensor a = Tensor::Randn({n, 32}, rng);
+  Tensor b = Tensor::Randn({n, 32}, rng);
+  for (auto _ : state) {
+    Tensor sims = CosineSimilarityMatrix(a, b);
+    benchmark::DoNotOptimize(sims.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CosineSimilarityMatrix)->ArgsProduct({{250, 1000}, {1, 4}});
 
 void BM_L2NormalizeRows(benchmark::State& state) {
   Rng rng(1);
@@ -105,6 +137,7 @@ BENCHMARK(BM_SemanticTripletLoss)->Arg(100)->Arg(200);
 
 void BM_MatchRanks(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadGuard guard(static_cast<int>(state.range(1)));
   Rng rng(6);
   Tensor q = Tensor::Randn({n, 32}, rng);
   Tensor c = Tensor::Randn({n, 32}, rng);
@@ -114,7 +147,7 @@ void BM_MatchRanks(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n);
 }
-BENCHMARK(BM_MatchRanks)->Arg(250)->Arg(1000);
+BENCHMARK(BM_MatchRanks)->ArgsProduct({{250, 1000}, {1, 4}});
 
 void BM_Word2VecEpoch(benchmark::State& state) {
   text::Word2VecConfig config;

@@ -14,6 +14,13 @@
 //   --resume               continue from DIR's checkpoint; the resumed run
 //                          reaches bit-identical weights vs. uninterrupted
 //
+// Execution flags (all commands):
+//   --threads=N            width of the kernel-layer thread pool. Results
+//                          are bit-identical for every N (see DESIGN.md,
+//                          "Kernel execution layer"); the default is the
+//                          ADAMINE_NUM_THREADS environment variable, then
+//                          the hardware concurrency.
+//
 // `eval` trains (or reuses `train`'s checkpoint if present), then reports
 // the paper's MedR/R@K protocol. `query` loads the checkpoint and retrieves
 // dishes for a free-text ingredient list. With no arguments: train AdaMine
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
   // Split --flags from positional arguments so the flags can go anywhere.
   std::string checkpoint_dir;
   long checkpoint_every = 1;
+  long threads = 0;
   bool resume = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +89,12 @@ int main(int argc, char** argv) {
           std::atol(arg.c_str() + std::strlen("--checkpoint-every="));
       if (checkpoint_every <= 0) {
         std::fprintf(stderr, "error: --checkpoint-every must be positive\n");
+        return 1;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atol(arg.c_str() + std::strlen("--threads="));
+      if (threads <= 0) {
+        std::fprintf(stderr, "error: --threads must be positive\n");
         return 1;
       }
     } else if (arg == "--resume") {
@@ -107,7 +121,9 @@ int main(int argc, char** argv) {
           ? (args.size() > 2 ? args[2] : kDefaultCheckpoint)
           : (args.size() > 3 ? args[3] : kDefaultCheckpoint);
 
-  auto pipeline = core::Pipeline::Create(CliPipelineConfig());
+  core::PipelineConfig pipeline_config = CliPipelineConfig();
+  pipeline_config.kernel.num_threads = static_cast<int>(threads);
+  auto pipeline = core::Pipeline::Create(pipeline_config);
   if (!pipeline.ok()) return Fail(pipeline.status());
   auto& pipe = *pipeline.value();
 
@@ -153,6 +169,7 @@ int main(int argc, char** argv) {
   train.checkpoint_dir = checkpoint_dir;
   train.checkpoint_every_n_epochs = checkpoint_every;
   train.resume = resume;
+  train.kernel.num_threads = static_cast<int>(threads);
   std::printf("training %s for %lld epochs on %zu pairs%s...\n",
               core::ScenarioName(train.scenario).c_str(),
               static_cast<long long>(train.epochs), pipe.train_set().size(),

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "kernel/kernel.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -237,13 +238,12 @@ Var Rows(const Var& table, const std::vector<int64_t>& indices) {
   return MakeResult(std::move(out), {pt}, [pt, idx, c](Node& n) {
     if (!pt->requires_grad) return;
     pt->EnsureGrad();
-    for (size_t i = 0; i < idx.size(); ++i) {
-      const int64_t r = idx[i];
-      if (r < 0) continue;
-      float* dst = pt->grad.data() + r * c;
-      const float* g = n.grad.data() + static_cast<int64_t>(i) * c;
-      for (int64_t j = 0; j < c; ++j) dst[j] += g[j];
-    }
+    // Embedding scatter through the kernel layer: column-sliced, so
+    // duplicate ids accumulate in sequential order on every thread count.
+    // Negative ids (padding) are skipped by the kernel.
+    kernel::ScatterAddRows(pt->grad.data(), c, idx.data(),
+                           static_cast<int64_t>(idx.size()), n.grad.data(), c,
+                           c);
   });
 }
 

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "kernel/kernel.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace adamine::core {
 
 namespace {
+
+/// Queries processed per chunk when the mining loops run on the kernel
+/// pool. Fixed (thread-count independent) so the per-chunk partial
+/// gradients, and therefore their ordered combination, never change with
+/// the pool width.
+constexpr int64_t kQueryGrain = 16;
 
 /// Adds `scale` * row `src_row` of `src` into row `dst_row` of `dst`.
 void AddRow(Tensor& dst, int64_t dst_row, const Tensor& src, int64_t src_row,
@@ -16,6 +23,52 @@ void AddRow(Tensor& dst, int64_t dst_row, const Tensor& src, int64_t src_row,
   float* out = dst.data() + dst_row * d;
   const float* in = src.data() + src_row * d;
   for (int64_t k = 0; k < d; ++k) out[k] += scale * in[k];
+}
+
+/// Per-chunk accumulator for the parallel mining loops. Chunks touch
+/// overlapping gradient rows (a negative can belong to many queries), so
+/// each chunk mines into its own partial and the partials merge afterwards
+/// in ascending chunk order.
+struct MiningPartial {
+  float loss = 0.0f;
+  int64_t total_triplets = 0;
+  int64_t active_triplets = 0;
+  Tensor grad_image;
+  Tensor grad_recipe;
+};
+
+/// Runs `mine(q, partial)` for q in [0, num_queries) across the kernel pool
+/// and merges the per-chunk partials into `result` in chunk order.
+template <typename Mine>
+void MineQueries(int64_t num_queries, const Tensor& image_emb,
+                 const Tensor& recipe_emb, BatchLossResult& result,
+                 const Mine& mine) {
+  const int64_t chunks = kernel::NumChunks(num_queries, kQueryGrain);
+  if (chunks <= 1) {
+    MiningPartial partial;
+    partial.grad_image = result.grad_image;    // Aliases: mine in place.
+    partial.grad_recipe = result.grad_recipe;
+    for (int64_t q = 0; q < num_queries; ++q) mine(q, partial);
+    result.loss += partial.loss;
+    result.total_triplets += partial.total_triplets;
+    result.active_triplets += partial.active_triplets;
+    return;
+  }
+  std::vector<MiningPartial> partials(static_cast<size_t>(chunks));
+  kernel::ParallelForChunks(
+      num_queries, kQueryGrain, [&](int64_t c, int64_t begin, int64_t end) {
+        MiningPartial& partial = partials[static_cast<size_t>(c)];
+        partial.grad_image = Tensor(image_emb.shape());
+        partial.grad_recipe = Tensor(recipe_emb.shape());
+        for (int64_t q = begin; q < end; ++q) mine(q, partial);
+      });
+  for (const MiningPartial& partial : partials) {
+    result.loss += partial.loss;
+    result.total_triplets += partial.total_triplets;
+    result.active_triplets += partial.active_triplets;
+    AddInPlace(result.grad_image, partial.grad_image);
+    AddInPlace(result.grad_recipe, partial.grad_recipe);
+  }
 }
 
 /// Divides the accumulated loss/gradients by the strategy's normaliser.
@@ -42,7 +95,8 @@ BatchLossResult InstanceTripletLoss(const Tensor& image_emb,
   // Rows are unit-normalised, so cosine similarity is a plain GEMM.
   Tensor sims = Gemm(image_emb, false, recipe_emb, true);  // [B, B]
 
-  for (int64_t q = 0; q < b; ++q) {
+  MineQueries(b, image_emb, recipe_emb, result,
+              [&](int64_t q, MiningPartial& partial) {
     const float pos_i2r = sims.At(q, q);  // Image query q -> recipe q.
     const float pos_r2i = sims.At(q, q);  // Recipe query q -> image q.
     for (int64_t n = 0; n < b; ++n) {
@@ -50,33 +104,33 @@ BatchLossResult InstanceTripletLoss(const Tensor& image_emb,
       // Image query: l = [S(q,n) - S(q,q) + margin]_+.
       {
         const float viol = sims.At(q, n) - pos_i2r + margin;
-        ++result.total_triplets;
+        ++partial.total_triplets;
         if (viol > 0.0f) {
-          ++result.active_triplets;
-          result.loss += viol;
+          ++partial.active_triplets;
+          partial.loss += viol;
           // d l / d img_q = rec_n - rec_q; d l / d rec_q = -img_q;
           // d l / d rec_n = +img_q. (d(x,y) = 1 - x.y on unit rows.)
-          AddRow(result.grad_image, q, recipe_emb, n, 1.0f);
-          AddRow(result.grad_image, q, recipe_emb, q, -1.0f);
-          AddRow(result.grad_recipe, q, image_emb, q, -1.0f);
-          AddRow(result.grad_recipe, n, image_emb, q, 1.0f);
+          AddRow(partial.grad_image, q, recipe_emb, n, 1.0f);
+          AddRow(partial.grad_image, q, recipe_emb, q, -1.0f);
+          AddRow(partial.grad_recipe, q, image_emb, q, -1.0f);
+          AddRow(partial.grad_recipe, n, image_emb, q, 1.0f);
         }
       }
       // Recipe query: l = [S(n,q) - S(q,q) + margin]_+.
       {
         const float viol = sims.At(n, q) - pos_r2i + margin;
-        ++result.total_triplets;
+        ++partial.total_triplets;
         if (viol > 0.0f) {
-          ++result.active_triplets;
-          result.loss += viol;
-          AddRow(result.grad_recipe, q, image_emb, n, 1.0f);
-          AddRow(result.grad_recipe, q, image_emb, q, -1.0f);
-          AddRow(result.grad_image, q, recipe_emb, q, -1.0f);
-          AddRow(result.grad_image, n, recipe_emb, q, 1.0f);
+          ++partial.active_triplets;
+          partial.loss += viol;
+          AddRow(partial.grad_recipe, q, image_emb, n, 1.0f);
+          AddRow(partial.grad_recipe, q, image_emb, q, -1.0f);
+          AddRow(partial.grad_image, q, recipe_emb, q, -1.0f);
+          AddRow(partial.grad_image, n, recipe_emb, q, 1.0f);
         }
       }
     }
-  }
+  });
   Finalize(result, strategy);
   return result;
 }
@@ -103,13 +157,14 @@ BatchLossResult SemanticTripletLoss(const Tensor& image_emb,
 
   struct Query {
     int64_t index;
+    int64_t positive = -1;           // Chosen by the sequential RNG pass.
     std::vector<int64_t> positives;  // Same class, other item.
     std::vector<int64_t> negatives;  // Not of the query class.
   };
   std::vector<Query> queries;
   int64_t min_negatives = b;
   for (int64_t q : labeled) {
-    Query query{q, {}, {}};
+    Query query{q, -1, {}, {}};
     const int64_t c = labels[static_cast<size_t>(q)];
     // Positives: labeled items of the query class. Negatives: "the
     // remaining items that do not belong to the query class" (§4.4) —
@@ -130,48 +185,57 @@ BatchLossResult SemanticTripletLoss(const Tensor& image_emb,
   }
   if (queries.empty()) return result;
 
-  Tensor sims = Gemm(image_emb, false, recipe_emb, true);  // [B, B]
-
-  for (const Query& query : queries) {
-    const int64_t q = query.index;
+  // All randomness is drawn here, sequentially and in query order — the
+  // exact draw sequence of the pre-kernel-layer loop — so the parallel
+  // mining below is pure arithmetic and the RNG stream is untouched by the
+  // thread count.
+  for (Query& query : queries) {
     // One random same-class positive (§4.4); negatives capped to the
     // smallest negative-ensemble size in the batch for fairness.
-    const int64_t p = query.positives[static_cast<size_t>(
+    query.positive = query.positives[static_cast<size_t>(
         rng.UniformInt(static_cast<int64_t>(query.positives.size())))];
-    std::vector<int64_t> negatives = query.negatives;
-    if (static_cast<int64_t>(negatives.size()) > min_negatives) {
-      rng.Shuffle(negatives);
-      negatives.resize(static_cast<size_t>(min_negatives));
+    if (static_cast<int64_t>(query.negatives.size()) > min_negatives) {
+      rng.Shuffle(query.negatives);
+      query.negatives.resize(static_cast<size_t>(min_negatives));
     }
-    for (int64_t n : negatives) {
+  }
+
+  Tensor sims = Gemm(image_emb, false, recipe_emb, true);  // [B, B]
+
+  MineQueries(static_cast<int64_t>(queries.size()), image_emb, recipe_emb,
+              result, [&](int64_t qi, MiningPartial& partial) {
+    const Query& query = queries[static_cast<size_t>(qi)];
+    const int64_t q = query.index;
+    const int64_t p = query.positive;
+    for (int64_t n : query.negatives) {
       // Image query q against recipe positive p and recipe negative n.
       {
         const float viol = sims.At(q, n) - sims.At(q, p) + margin;
-        ++result.total_triplets;
+        ++partial.total_triplets;
         if (viol > 0.0f) {
-          ++result.active_triplets;
-          result.loss += viol;
-          AddRow(result.grad_image, q, recipe_emb, n, 1.0f);
-          AddRow(result.grad_image, q, recipe_emb, p, -1.0f);
-          AddRow(result.grad_recipe, p, image_emb, q, -1.0f);
-          AddRow(result.grad_recipe, n, image_emb, q, 1.0f);
+          ++partial.active_triplets;
+          partial.loss += viol;
+          AddRow(partial.grad_image, q, recipe_emb, n, 1.0f);
+          AddRow(partial.grad_image, q, recipe_emb, p, -1.0f);
+          AddRow(partial.grad_recipe, p, image_emb, q, -1.0f);
+          AddRow(partial.grad_recipe, n, image_emb, q, 1.0f);
         }
       }
       // Recipe query q against image positive p and image negative n.
       {
         const float viol = sims.At(n, q) - sims.At(p, q) + margin;
-        ++result.total_triplets;
+        ++partial.total_triplets;
         if (viol > 0.0f) {
-          ++result.active_triplets;
-          result.loss += viol;
-          AddRow(result.grad_recipe, q, image_emb, n, 1.0f);
-          AddRow(result.grad_recipe, q, image_emb, p, -1.0f);
-          AddRow(result.grad_image, p, recipe_emb, q, -1.0f);
-          AddRow(result.grad_image, n, recipe_emb, q, 1.0f);
+          ++partial.active_triplets;
+          partial.loss += viol;
+          AddRow(partial.grad_recipe, q, image_emb, n, 1.0f);
+          AddRow(partial.grad_recipe, q, image_emb, p, -1.0f);
+          AddRow(partial.grad_image, p, recipe_emb, q, -1.0f);
+          AddRow(partial.grad_image, n, recipe_emb, q, 1.0f);
         }
       }
     }
-  }
+  });
   Finalize(result, strategy);
   return result;
 }
@@ -186,32 +250,33 @@ BatchLossResult PairwiseLoss(const Tensor& image_emb,
   result.grad_recipe = Tensor(recipe_emb.shape());
   Tensor sims = Gemm(image_emb, false, recipe_emb, true);
 
-  for (int64_t i = 0; i < b; ++i) {
+  MineQueries(b, image_emb, recipe_emb, result,
+              [&](int64_t i, MiningPartial& partial) {
     // Positive pair (i, i): [d - pos_margin]_+ with d = 1 - S(i, i).
     {
       const float viol = (1.0f - sims.At(i, i)) - pos_margin;
-      ++result.total_triplets;
+      ++partial.total_triplets;
       if (viol > 0.0f) {
-        ++result.active_triplets;
-        result.loss += viol;
+        ++partial.active_triplets;
+        partial.loss += viol;
         // d d / d img_i = -rec_i, d d / d rec_i = -img_i.
-        AddRow(result.grad_image, i, recipe_emb, i, -1.0f);
-        AddRow(result.grad_recipe, i, image_emb, i, -1.0f);
+        AddRow(partial.grad_image, i, recipe_emb, i, -1.0f);
+        AddRow(partial.grad_recipe, i, image_emb, i, -1.0f);
       }
     }
     // Negative pairs (i, j), j != i: [neg_margin - d]_+ = [S - (1 - nm)]_+.
     for (int64_t j = 0; j < b; ++j) {
       if (j == i) continue;
       const float viol = neg_margin - (1.0f - sims.At(i, j));
-      ++result.total_triplets;
+      ++partial.total_triplets;
       if (viol > 0.0f) {
-        ++result.active_triplets;
-        result.loss += viol;
-        AddRow(result.grad_image, i, recipe_emb, j, 1.0f);
-        AddRow(result.grad_recipe, j, image_emb, i, 1.0f);
+        ++partial.active_triplets;
+        partial.loss += viol;
+        AddRow(partial.grad_image, i, recipe_emb, j, 1.0f);
+        AddRow(partial.grad_recipe, j, image_emb, i, 1.0f);
       }
     }
-  }
+  });
   // Pairwise methods use plain averaging over all pairs.
   Finalize(result, MiningStrategy::kAverage);
   return result;

@@ -15,12 +15,17 @@ Status PipelineConfig::Validate() const {
     return Status::InvalidArgument(
         "train/val fractions must be positive and leave room for test");
   }
+  if (kernel.num_threads < 0) {
+    return Status::InvalidArgument(
+        "kernel.num_threads must be >= 0 (0 keeps the current width)");
+  }
   return Status::Ok();
 }
 
 StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(
     const PipelineConfig& config) {
   ADAMINE_RETURN_IF_ERROR(config.Validate());
+  kernel::Configure(config.kernel);
   auto generator = data::RecipeGenerator::Create(config.generator);
   if (!generator.ok()) return generator.status();
 

@@ -9,6 +9,7 @@
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "data/generator.h"
+#include "kernel/kernel.h"
 #include "nn/lm_pretrainer.h"
 #include "text/word2vec.h"
 #include "util/status.h"
@@ -32,6 +33,10 @@ struct PipelineConfig {
   double train_fraction = 0.7;
   double val_fraction = 0.15;
   uint64_t split_seed = 31;
+  /// Kernel execution layer settings (thread count) applied by Create before
+  /// any compute runs. Thread count never changes results — every kernel is
+  /// bit-deterministic in the pool width — only wall-clock time.
+  kernel::KernelConfig kernel;
 
   Status Validate() const;
 };

@@ -81,6 +81,10 @@ Status TrainConfig::Validate() const {
   if (nonfinite_budget <= 0) {
     return Status::InvalidArgument("nonfinite_budget must be positive");
   }
+  if (kernel.num_threads < 0) {
+    return Status::InvalidArgument(
+        "kernel.num_threads must be >= 0 (0 keeps the current width)");
+  }
   return Status::Ok();
 }
 
@@ -94,6 +98,7 @@ StatusOr<std::vector<EpochStats>> Trainer::Fit(
     const std::vector<data::EncodedRecipe>& val) {
   ADAMINE_RETURN_IF_ERROR(config_.Validate());
   if (train.empty()) return Status::InvalidArgument("empty training set");
+  kernel::Configure(config_.kernel);
 
   const Scenario scenario = config_.scenario;
   const bool uses_instance = scenario != Scenario::kAdaMineSem &&

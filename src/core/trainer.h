@@ -7,6 +7,7 @@
 #include "core/losses.h"
 #include "core/model.h"
 #include "data/dataset.h"
+#include "kernel/kernel.h"
 #include "util/status.h"
 
 namespace adamine::core {
@@ -79,6 +80,12 @@ struct TrainConfig {
   /// batches whose loss or gradient norm is NaN/Inf. Each offending batch
   /// is skipped (no optimizer step) and counted in EpochStats.
   int64_t nonfinite_budget = 3;
+
+  /// Kernel execution layer settings (thread count), applied by Fit before
+  /// the first batch. Bit-deterministic: any width reproduces the
+  /// single-threaded run exactly, so checkpoints/resume and the bench
+  /// tables are unaffected by it.
+  kernel::KernelConfig kernel;
 
   Status Validate() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernel/kernel.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -17,16 +18,21 @@ std::vector<int64_t> MatchRanks(const Tensor& queries,
   // (ties broken by candidate index).
   Tensor sims = CosineSimilarityMatrix(queries, candidates);
   std::vector<int64_t> ranks(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const float match_sim = sims.At(i, i);
-    int64_t rank = 1;
-    for (int64_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const float s = sims.At(i, j);
-      if (s > match_sim || (s == match_sim && j < i)) ++rank;
+  // The full ranking sweep is embarrassingly parallel over queries: each
+  // query's rank is a pure function of its similarity row.
+  kernel::ParallelFor(n, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float match_sim = sims.At(i, i);
+      const float* row = sims.data() + i * n;
+      int64_t rank = 1;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const float s = row[j];
+        if (s > match_sim || (s == match_sim && j < i)) ++rank;
+      }
+      ranks[static_cast<size_t>(i)] = rank;
     }
-    ranks[static_cast<size_t>(i)] = rank;
-  }
+  });
   return ranks;
 }
 

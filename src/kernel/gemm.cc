@@ -1,0 +1,126 @@
+// Cache-tiled, panel-packed GEMM. Compiled with -O3 (see src/CMakeLists.txt)
+// so the kNr-wide inner loops vectorise; -ffp-contract=off keeps mul+add
+// rounding separate, preserving bit-identity with the pre-kernel-layer naive
+// loops.
+
+#include "kernel/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace adamine::kernel {
+
+namespace {
+
+// Register tile: kMr output rows by kNr output columns. kNr floats span two
+// AVX2 (or four SSE) vectors; kMr x kNr single-precision accumulators fit
+// the architectural register file with room for the A broadcasts.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
+
+// Row chunk for the parallel loop over C; a multiple of kMr so chunk
+// boundaries never split a register tile.
+constexpr int64_t kRowChunk = 32;
+
+/// Packs columns [jb, jb + w) of op(B) (w <= kNr) for all K rows into
+/// `dst`, one kNr-wide row per k, zero-padded on the right.
+void PackBPanel(const float* b, int64_t ldb, bool trans_b, int64_t kdim,
+                int64_t jb, int64_t w, float* dst) {
+  for (int64_t kk = 0; kk < kdim; ++kk) {
+    if (trans_b) {
+      for (int64_t j = 0; j < w; ++j) dst[j] = b[(jb + j) * ldb + kk];
+    } else {
+      const float* row = b + kk * ldb + jb;
+      for (int64_t j = 0; j < w; ++j) dst[j] = row[j];
+    }
+    for (int64_t j = w; j < kNr; ++j) dst[j] = 0.0f;
+    dst += kNr;
+  }
+}
+
+/// C tile [MR, w] = sum over k of a_rows[r][k] * panel row k. The k loop is
+/// outermost and ascending with one accumulator chain per output element —
+/// the exact order of the naive kernels — while the j loop vectorises.
+template <int MR>
+void MicroKernel(const float* const* a_rows, const float* panel, int64_t kdim,
+                 float* c, int64_t ldc, int64_t w) {
+  float acc[MR][kNr];
+  for (int r = 0; r < MR; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) acc[r][j] = 0.0f;
+  }
+  for (int64_t kk = 0; kk < kdim; ++kk) {
+    const float* brow = panel + kk * kNr;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a_rows[r][kk];
+      for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < w; ++j) crow[j] = acc[r][j];
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, int64_t lda, bool trans_a, const float* b,
+          int64_t ldb, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+    return;
+  }
+
+  // Stage 1: pack op(B) into zero-padded column panels (disjoint writes per
+  // panel, so the parallel packing is trivially deterministic).
+  const int64_t num_panels = (n + kNr - 1) / kNr;
+  std::vector<float> packed(static_cast<size_t>(num_panels * k * kNr));
+  float* packed_b = packed.data();
+  ParallelFor(num_panels, /*grain=*/4, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t jb = p * kNr;
+      PackBPanel(b, ldb, trans_b, k, jb, std::min(kNr, n - jb),
+                 packed_b + p * k * kNr);
+    }
+  });
+
+  // Stage 2: register-tiled sweep over C, parallel over fixed row chunks.
+  ParallelFor(m, kRowChunk, [&](int64_t i_begin, int64_t i_end) {
+    // When op(A) is a transpose, its rows are strided; pack the current
+    // kMr-row block into a contiguous scratch so the micro-kernel always
+    // streams. The scratch is chunk-local, so chunks stay independent.
+    std::vector<float> packed_a;
+    if (trans_a) packed_a.resize(static_cast<size_t>(kMr * k));
+    for (int64_t i0 = i_begin; i0 < i_end; i0 += kMr) {
+      const int64_t mr = std::min(kMr, i_end - i0);
+      const float* a_rows[kMr];
+      if (!trans_a) {
+        for (int64_t r = 0; r < mr; ++r) a_rows[r] = a + (i0 + r) * lda;
+      } else {
+        for (int64_t r = 0; r < mr; ++r) {
+          float* dst = packed_a.data() + r * k;
+          for (int64_t kk = 0; kk < k; ++kk) dst[kk] = a[kk * lda + i0 + r];
+          a_rows[r] = dst;
+        }
+      }
+      for (int64_t r = mr; r < kMr; ++r) a_rows[r] = a_rows[0];
+      for (int64_t p = 0; p < num_panels; ++p) {
+        const int64_t jb = p * kNr;
+        const int64_t w = std::min(kNr, n - jb);
+        const float* panel = packed_b + p * k * kNr;
+        float* ctile = c + i0 * n + jb;
+        switch (mr) {
+          case 4: MicroKernel<4>(a_rows, panel, k, ctile, n, w); break;
+          case 3: MicroKernel<3>(a_rows, panel, k, ctile, n, w); break;
+          case 2: MicroKernel<2>(a_rows, panel, k, ctile, n, w); break;
+          default: MicroKernel<1>(a_rows, panel, k, ctile, n, w); break;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace adamine::kernel

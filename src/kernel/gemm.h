@@ -1,0 +1,27 @@
+#ifndef ADAMINE_KERNEL_GEMM_H_
+#define ADAMINE_KERNEL_GEMM_H_
+
+#include <cstdint>
+
+namespace adamine::kernel {
+
+/// C = op(A) * op(B) for row-major float matrices, where op is an optional
+/// transpose: op(A) is [m, k], op(B) is [k, n], C is [m, n] with leading
+/// dimension n. C is written entirely (no accumulate into prior contents).
+///
+/// Implementation: op(B) is packed once into zero-padded column panels of
+/// width kNr (a transpose when trans_b, a reshuffle otherwise), then the
+/// output is processed in register tiles of kMr x kNr rows x columns with
+/// the k loop innermost and ascending. Each output element is produced by a
+/// single accumulation chain in ascending k order — exactly the naive
+/// triple-loop's order — so the tiling changes performance, not bits. Both
+/// the packing and the row loop are ParallelFor'ed over fixed chunks, and
+/// every chunk writes a disjoint region, so results are also bit-identical
+/// for every thread count.
+void Gemm(const float* a, int64_t lda, bool trans_a, const float* b,
+          int64_t ldb, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float* c);
+
+}  // namespace adamine::kernel
+
+#endif  // ADAMINE_KERNEL_GEMM_H_

@@ -1,0 +1,70 @@
+#include "kernel/thread_pool.h"
+
+#include "util/check.h"
+
+namespace adamine::kernel {
+
+ThreadPool::ThreadPool(int num_threads) : threads_(num_threads) {
+  ADAMINE_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int slot = 1; slot < num_threads; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Run(int64_t num_chunks,
+                     const std::function<void(int64_t)>& fn) {
+  const int threads = threads_;
+  if (threads == 1 || num_chunks <= 1) {
+    for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_chunks_ = num_chunks;
+    active_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The caller is slot 0: chunks 0, T, 2T, ... in ascending order.
+  for (int64_t c = 0; c < num_chunks; c += threads) fn(c);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return active_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  const int threads = threads_;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int64_t)>* fn;
+    int64_t num_chunks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      num_chunks = num_chunks_;
+    }
+    for (int64_t c = slot; c < num_chunks; c += threads) (*fn)(c);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace adamine::kernel

@@ -1,0 +1,65 @@
+#ifndef ADAMINE_KERNEL_THREAD_POOL_H_
+#define ADAMINE_KERNEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adamine::kernel {
+
+/// Persistent pool of `num_threads - 1` worker threads plus the calling
+/// thread. Work is dispatched as a fixed list of chunk indices with *static*
+/// assignment: chunk `c` always runs on slot `c % num_threads` (slot 0 is the
+/// caller), and every slot processes its chunks in ascending order. Because
+/// the chunk decomposition is a function of the problem size only — never of
+/// the thread count — any kernel whose chunks write disjoint outputs (or
+/// whose per-chunk partials are combined in chunk order) produces bit
+/// -identical results for every pool size, including 1.
+///
+/// The pool is latency-oriented: workers sleep on a condition variable
+/// between jobs, so an idle pool costs nothing, and Run() on a single-thread
+/// pool degenerates to an inline loop with no synchronisation at all.
+class ThreadPool {
+ public:
+  /// `num_threads` >= 1 is the total parallel width including the caller.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Must not be called while a Run() is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return threads_; }
+
+  /// Executes fn(chunk) for every chunk in [0, num_chunks). The caller
+  /// participates as slot 0 and the call returns only after every chunk has
+  /// finished. `fn` must not throw and must not call Run() on this pool
+  /// (nested parallel regions are run inline by the ParallelFor layer).
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop(int slot);
+
+  /// Fixed pool width. Set before any worker is spawned: workers stride
+  /// their chunk lists by this value, so it must never be derived from
+  /// `workers_.size()` while the constructor is still emplacing threads.
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  uint64_t generation_ = 0;   // Bumped once per Run(); wakes the workers.
+  int active_workers_ = 0;    // Workers still executing the current job.
+  int64_t num_chunks_ = 0;
+  const std::function<void(int64_t)>* fn_ = nullptr;
+  bool shutdown_ = false;
+};
+
+}  // namespace adamine::kernel
+
+#endif  // ADAMINE_KERNEL_THREAD_POOL_H_

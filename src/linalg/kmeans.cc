@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernel/kernel.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -78,26 +79,45 @@ StatusOr<KMeansResult> KMeans(const Tensor& points,
   std::vector<int64_t> counts(static_cast<size_t>(config.k));
   for (int64_t iter = 0; iter < config.max_iterations; ++iter) {
     ++result.iterations;
-    bool changed = false;
-    result.inertia = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* p = points.data() + i * d;
-      double best = std::numeric_limits<double>::max();
-      int64_t best_c = 0;
-      for (int64_t c = 0; c < config.k; ++c) {
-        const double dist =
-            SquaredDistance(p, result.centroids.data() + c * d, d);
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
-      if (result.assignments[static_cast<size_t>(i)] != best_c) {
-        result.assignments[static_cast<size_t>(i)] = best_c;
-        changed = true;
-      }
-      result.inertia += best;
-    }
+    // Assignment step on the kernel pool: each point's nearest centroid is
+    // independent, assignments are disjoint writes, and the inertia is an
+    // ordered reduction over fixed chunks — bit-stable in the thread count.
+    struct AssignPartial {
+      double inertia = 0.0;
+      bool changed = false;
+    };
+    const AssignPartial assigned =
+        kernel::ParallelReduceOrdered<AssignPartial>(
+            n, /*grain=*/kernel::kRowGrain, AssignPartial{},
+            [&](int64_t i0, int64_t i1) {
+              AssignPartial partial;
+              for (int64_t i = i0; i < i1; ++i) {
+                const float* p = points.data() + i * d;
+                double best = std::numeric_limits<double>::max();
+                int64_t best_c = 0;
+                for (int64_t c = 0; c < config.k; ++c) {
+                  const double dist =
+                      SquaredDistance(p, result.centroids.data() + c * d, d);
+                  if (dist < best) {
+                    best = dist;
+                    best_c = c;
+                  }
+                }
+                if (result.assignments[static_cast<size_t>(i)] != best_c) {
+                  result.assignments[static_cast<size_t>(i)] = best_c;
+                  partial.changed = true;
+                }
+                partial.inertia += best;
+              }
+              return partial;
+            },
+            [](AssignPartial acc, const AssignPartial& partial) {
+              acc.inertia += partial.inertia;
+              acc.changed = acc.changed || partial.changed;
+              return acc;
+            });
+    const bool changed = assigned.changed;
+    result.inertia = assigned.inertia;
     if (!changed && iter > 0) break;
     // Recompute centres; empty clusters keep their previous centre.
     Tensor sums({config.k, d});

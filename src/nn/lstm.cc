@@ -43,10 +43,11 @@ ag::Var Lstm::ForwardAllStates(const std::vector<ag::Var>& inputs,
     ag::Var new_cell = ag::Add(ag::Mul(gf, cell), ag::Mul(gi, gg));
     ag::Var new_hidden = ag::Mul(go, ag::Tanh(new_cell));
 
-    // Masked update: padded rows carry the previous state forward.
+    // Masked update: padded rows carry the previous state forward. The
+    // inverted mask goes through the kernel-layer elementwise ops like
+    // every other tensor sweep in the step.
     const Tensor& m = masks[t];
-    Tensor inv_m(m.shape());
-    for (int64_t b = 0; b < batch; ++b) inv_m[b] = 1.0f - m[b];
+    Tensor inv_m = AddScalar(Scale(m, -1.0f), 1.0f);
     cell = ag::Add(ag::ScaleRows(new_cell, m), ag::ScaleRows(cell, inv_m));
     hidden =
         ag::Add(ag::ScaleRows(new_hidden, m), ag::ScaleRows(hidden, inv_m));

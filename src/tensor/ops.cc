@@ -1,6 +1,17 @@
+// Dense tensor kernels. Every loop here dispatches through the kernel
+// execution layer (src/kernel/): elementwise ops and row sweeps run under
+// ParallelFor with fixed chunking, GEMM goes to the tiled panel-packed
+// kernel, and whole-tensor reductions use ordered pairwise summation — all
+// bit-deterministic in the configured thread count.
+
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "kernel/gemm.h"
+#include "kernel/kernel.h"
+#include "kernel/reduce.h"
 
 namespace adamine {
 
@@ -8,23 +19,32 @@ namespace {
 
 template <typename F>
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
+  ADAMINE_CHECK(a.defined());
+  ADAMINE_CHECK(b.defined());
   ADAMINE_CHECK(SameShape(a, b));
   Tensor out(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  kernel::ParallelFor(a.numel(), kernel::kElementwiseGrain,
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          po[i] = f(pa[i], pb[i]);
+                        }
+                      });
   return out;
 }
 
 template <typename F>
 Tensor ElementwiseUnary(const Tensor& a, F f) {
+  ADAMINE_CHECK(a.defined());
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  kernel::ParallelFor(a.numel(), kernel::kElementwiseGrain,
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
+                      });
   return out;
 }
 
@@ -80,25 +100,38 @@ Tensor Square(const Tensor& a) {
 }
 
 void AddInPlace(Tensor& y, const Tensor& x) {
+  ADAMINE_CHECK(y.defined());
+  ADAMINE_CHECK(x.defined());
   ADAMINE_CHECK(SameShape(y, x));
   float* py = y.data();
   const float* px = x.data();
-  const int64_t n = y.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += px[i];
+  kernel::ParallelFor(y.numel(), kernel::kElementwiseGrain,
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) py[i] += px[i];
+                      });
 }
 
 void AxpyInPlace(Tensor& y, float alpha, const Tensor& x) {
+  ADAMINE_CHECK(y.defined());
+  ADAMINE_CHECK(x.defined());
   ADAMINE_CHECK(SameShape(y, x));
   float* py = y.data();
   const float* px = x.data();
-  const int64_t n = y.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  kernel::ParallelFor(y.numel(), kernel::kElementwiseGrain,
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          py[i] += alpha * px[i];
+                        }
+                      });
 }
 
 void ScaleInPlace(Tensor& y, float s) {
+  ADAMINE_CHECK(y.defined());
   float* py = y.data();
-  const int64_t n = y.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] *= s;
+  kernel::ParallelFor(y.numel(), kernel::kElementwiseGrain,
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) py[i] *= s;
+                      });
 }
 
 Tensor Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b) {
@@ -111,60 +144,8 @@ Tensor Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b) {
   ADAMINE_CHECK_EQ(k, kb);
 
   Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const int64_t lda = a.cols();
-  const int64_t ldb = b.cols();
-
-  // i-k-j loop order keeps the innermost loop streaming over contiguous rows
-  // of the output and (for the common non-transposed case) of B.
-  if (!trans_a && !trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[i * lda + kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * ldb;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-    // out[i][j] = sum_k a[i][k] * b[j][k]: dot of two contiguous rows.
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = pa + i * lda;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * ldb;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        orow[j] = acc;
-      }
-    }
-  } else if (trans_a && !trans_b) {
-    // out[i][j] = sum_k a[k][i] * b[k][j].
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float* arow = pa + kk * lda;
-      const float* brow = pb + kk * ldb;
-      for (int64_t i = 0; i < m; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* orow = po + i * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  } else {
-    // out[i][j] = sum_k a[k][i] * b[j][k].
-    for (int64_t i = 0; i < m; ++i) {
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * ldb;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) acc += pa[kk * lda + i] * brow[kk];
-        orow[j] = acc;
-      }
-    }
-  }
+  kernel::Gemm(a.data(), a.cols(), trans_a, b.data(), b.cols(), trans_b, m, n,
+               k, out.data());
   return out;
 }
 
@@ -177,9 +158,14 @@ Tensor Transpose2D(const Tensor& a) {
   const int64_t r = a.rows();
   const int64_t c = a.cols();
   Tensor out({c, r});
-  for (int64_t i = 0; i < r; ++i) {
-    for (int64_t j = 0; j < c; ++j) out.At(j, i) = a.At(i, j);
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  // Parallel over output rows (input columns); disjoint writes.
+  kernel::ParallelFor(c, kernel::kRowGrain, [&](int64_t j0, int64_t j1) {
+    for (int64_t j = j0; j < j1; ++j) {
+      for (int64_t i = 0; i < r; ++i) po[j * r + i] = pa[i * c + j];
+    }
+  });
   return out;
 }
 
@@ -187,14 +173,16 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
   ADAMINE_CHECK_EQ(bias.numel(), a.cols());
   Tensor out = a.Clone();
-  const int64_t n = a.rows();
   const int64_t c = a.cols();
   float* po = out.data();
   const float* pb = bias.data();
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = po + i * c;
-    for (int64_t j = 0; j < c; ++j) row[j] += pb[j];
-  }
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          float* row = po + i * c;
+                          for (int64_t j = 0; j < c; ++j) row[j] += pb[j];
+                        }
+                      });
   return out;
 }
 
@@ -202,17 +190,20 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
   ADAMINE_CHECK_EQ(b.ndim(), 2);
   ADAMINE_CHECK_EQ(a.rows(), b.rows());
-  const int64_t n = a.rows();
   const int64_t ca = a.cols();
   const int64_t cb = b.cols();
-  Tensor out({n, ca + cb});
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = out.data() + i * (ca + cb);
-    const float* ra = a.data() + i * ca;
-    const float* rb = b.data() + i * cb;
-    std::copy(ra, ra + ca, row);
-    std::copy(rb, rb + cb, row + ca);
-  }
+  Tensor out({a.rows(), ca + cb});
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          float* row = po + i * (ca + cb);
+                          std::copy(pa + i * ca, pa + (i + 1) * ca, row);
+                          std::copy(pb + i * cb, pb + (i + 1) * cb, row + ca);
+                        }
+                      });
   return out;
 }
 
@@ -232,14 +223,18 @@ Tensor SliceCols(const Tensor& a, int64_t c0, int64_t c1) {
   ADAMINE_CHECK_GE(c0, 0);
   ADAMINE_CHECK_LT(c0, c1);
   ADAMINE_CHECK_LE(c1, a.cols());
-  const int64_t n = a.rows();
   const int64_t c = a.cols();
   const int64_t w = c1 - c0;
-  Tensor out({n, w});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* src = a.data() + i * c + c0;
-    std::copy(src, src + w, out.data() + i * w);
-  }
+  Tensor out({a.rows(), w});
+  const float* pa = a.data();
+  float* po = out.data();
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          const float* src = pa + i * c + c0;
+                          std::copy(src, src + w, po + i * w);
+                        }
+                      });
   return out;
 }
 
@@ -256,15 +251,23 @@ Tensor SliceRows(const Tensor& a, int64_t r0, int64_t r1) {
 
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
-  const int64_t c = a.cols();
-  Tensor out({static_cast<int64_t>(indices.size()), c});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t r = indices[i];
+  // Validate up front so failures abort on the calling thread, then copy in
+  // parallel.
+  for (int64_t r : indices) {
     ADAMINE_CHECK_GE(r, 0);
     ADAMINE_CHECK_LT(r, a.rows());
-    const float* src = a.data() + r * c;
-    std::copy(src, src + c, out.data() + static_cast<int64_t>(i) * c);
   }
+  const int64_t c = a.cols();
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Tensor out({n, c});
+  const float* pa = a.data();
+  float* po = out.data();
+  kernel::ParallelFor(n, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* src = pa + indices[static_cast<size_t>(i)] * c;
+      std::copy(src, src + c, po + i * c);
+    }
+  });
   return out;
 }
 
@@ -274,23 +277,18 @@ void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices,
   ADAMINE_CHECK_EQ(src.ndim(), 2);
   ADAMINE_CHECK_EQ(dst.cols(), src.cols());
   ADAMINE_CHECK_EQ(static_cast<int64_t>(indices.size()), src.rows());
-  const int64_t c = dst.cols();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t r = indices[i];
+  for (int64_t r : indices) {
     ADAMINE_CHECK_GE(r, 0);
     ADAMINE_CHECK_LT(r, dst.rows());
-    float* d = dst.data() + r * c;
-    const float* s = src.data() + static_cast<int64_t>(i) * c;
-    for (int64_t j = 0; j < c; ++j) d[j] += s[j];
   }
+  kernel::ScatterAddRows(dst.data(), dst.cols(), indices.data(),
+                         static_cast<int64_t>(indices.size()), src.data(),
+                         src.cols(), src.cols());
 }
 
 float SumAll(const Tensor& a) {
-  const float* p = a.data();
-  const int64_t n = a.numel();
-  double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) acc += p[i];
-  return static_cast<float>(acc);
+  ADAMINE_CHECK(a.defined());
+  return static_cast<float>(kernel::ParallelPairwiseSum(a.data(), a.numel()));
 }
 
 float MeanAll(const Tensor& a) {
@@ -300,15 +298,17 @@ float MeanAll(const Tensor& a) {
 
 Tensor RowSum(const Tensor& a) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
-  const int64_t n = a.rows();
   const int64_t c = a.cols();
-  Tensor out({n});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = a.data() + i * c;
-    double acc = 0.0;
-    for (int64_t j = 0; j < c; ++j) acc += row[j];
-    out[i] = static_cast<float>(acc);
-  }
+  Tensor out({a.rows()});
+  const float* pa = a.data();
+  float* po = out.data();
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          po[i] = static_cast<float>(
+                              kernel::PairwiseSum(pa + i * c, c));
+                        }
+                      });
   return out;
 }
 
@@ -317,10 +317,16 @@ Tensor ColSum(const Tensor& a) {
   const int64_t n = a.rows();
   const int64_t c = a.cols();
   Tensor out({c});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = a.data() + i * c;
-    for (int64_t j = 0; j < c; ++j) out[j] += row[j];
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  // Column-sliced: every chunk folds all rows in order for its own columns,
+  // so the per-element accumulation order is thread-count independent.
+  kernel::ParallelFor(c, /*grain=*/512, [&](int64_t j0, int64_t j1) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = pa + i * c;
+      for (int64_t j = j0; j < j1; ++j) po[j] += row[j];
+    }
+  });
   return out;
 }
 
@@ -331,62 +337,79 @@ Tensor ColMean(const Tensor& a) {
 }
 
 float MaxAbs(const Tensor& a) {
+  ADAMINE_CHECK(a.defined());
   const float* p = a.data();
-  const int64_t n = a.numel();
-  float best = 0.0f;
-  for (int64_t i = 0; i < n; ++i) best = std::max(best, std::fabs(p[i]));
-  return best;
+  return kernel::ParallelReduceOrdered<float>(
+      a.numel(), kernel::kReduceGrain, 0.0f,
+      [p](int64_t begin, int64_t end) {
+        float best = 0.0f;
+        for (int64_t i = begin; i < end; ++i) {
+          best = std::max(best, std::fabs(p[i]));
+        }
+        return best;
+      },
+      [](float acc, float partial) { return std::max(acc, partial); });
 }
 
 Tensor RowNorms(const Tensor& a) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
-  const int64_t n = a.rows();
   const int64_t c = a.cols();
-  Tensor out({n});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = a.data() + i * c;
-    double acc = 0.0;
-    for (int64_t j = 0; j < c; ++j) acc += double(row[j]) * row[j];
-    out[i] = static_cast<float>(std::sqrt(acc));
-  }
+  Tensor out({a.rows()});
+  const float* pa = a.data();
+  float* po = out.data();
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          po[i] = static_cast<float>(std::sqrt(
+                              kernel::PairwiseSumSquares(pa + i * c, c)));
+                        }
+                      });
   return out;
 }
 
 Tensor L2NormalizeRows(const Tensor& a, float eps) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
   Tensor out = a.Clone();
-  const int64_t n = a.rows();
   const int64_t c = a.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = out.data() + i * c;
-    double acc = 0.0;
-    for (int64_t j = 0; j < c; ++j) acc += double(row[j]) * row[j];
-    const double norm = std::sqrt(acc);
-    if (norm < eps) continue;
-    const float inv = static_cast<float>(1.0 / norm);
-    for (int64_t j = 0; j < c; ++j) row[j] *= inv;
-  }
+  float* po = out.data();
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          float* row = po + i * c;
+                          const double norm =
+                              std::sqrt(kernel::PairwiseSumSquares(row, c));
+                          if (norm < eps) continue;
+                          const float inv = static_cast<float>(1.0 / norm);
+                          for (int64_t j = 0; j < c; ++j) row[j] *= inv;
+                        }
+                      });
   return out;
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
   ADAMINE_CHECK_EQ(a.ndim(), 2);
   Tensor out(a.shape());
-  const int64_t n = a.rows();
   const int64_t c = a.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* in = a.data() + i * c;
-    float* o = out.data() + i * c;
-    float mx = in[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      o[j] = std::exp(in[j] - mx);
-      denom += o[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < c; ++j) o[j] *= inv;
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  kernel::ParallelFor(a.rows(), kernel::kRowGrain,
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          const float* in = pa + i * c;
+                          float* o = po + i * c;
+                          float mx = in[0];
+                          for (int64_t j = 1; j < c; ++j) {
+                            mx = std::max(mx, in[j]);
+                          }
+                          double denom = 0.0;
+                          for (int64_t j = 0; j < c; ++j) {
+                            o[j] = std::exp(in[j] - mx);
+                            denom += o[j];
+                          }
+                          const float inv = static_cast<float>(1.0 / denom);
+                          for (int64_t j = 0; j < c; ++j) o[j] *= inv;
+                        }
+                      });
   return out;
 }
 
@@ -401,15 +424,10 @@ Tensor CosineSimilarityMatrix(const Tensor& a, const Tensor& b) {
 
 float CosineDistance(const Tensor& a, const Tensor& b) {
   ADAMINE_CHECK_EQ(a.numel(), b.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
   const int64_t n = a.numel();
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    dot += double(pa[i]) * pb[i];
-    na += double(pa[i]) * pa[i];
-    nb += double(pb[i]) * pb[i];
-  }
+  const double dot = kernel::PairwiseDot(a.data(), b.data(), n);
+  const double na = kernel::PairwiseSumSquares(a.data(), n);
+  const double nb = kernel::PairwiseSumSquares(b.data(), n);
   const double denom = std::sqrt(na) * std::sqrt(nb);
   if (denom < 1e-12) return 1.0f;
   return static_cast<float>(1.0 - dot / denom);

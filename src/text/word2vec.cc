@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "kernel/kernel.h"
+#include "kernel/reduce.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -45,13 +47,29 @@ Word2Vec::Word2Vec(int64_t vocab_size, const Word2VecConfig& config)
 
 void Word2Vec::BuildNegativeTable(
     const std::vector<std::vector<int64_t>>& corpus) {
+  // Corpus frequency pass on the kernel pool: per-chunk integer count
+  // vectors merged in chunk order, so the tallies are exact and identical
+  // for every thread count.
   std::fill(counts_.begin(), counts_.end(), 0);
-  for (const auto& sentence : corpus) {
-    for (int64_t id : sentence) {
-      if (id < 0) continue;
-      ADAMINE_CHECK_LT(id, vocab_size());
-      ++counts_[static_cast<size_t>(id)];
-    }
+  const int64_t num_sentences = static_cast<int64_t>(corpus.size());
+  const int64_t grain = 64;
+  const int64_t chunks = kernel::NumChunks(num_sentences, grain);
+  std::vector<std::vector<int64_t>> partial_counts(
+      static_cast<size_t>(chunks));
+  kernel::ParallelForChunks(
+      num_sentences, grain, [&](int64_t c, int64_t begin, int64_t end) {
+        std::vector<int64_t>& local = partial_counts[static_cast<size_t>(c)];
+        local.assign(counts_.size(), 0);
+        for (int64_t s = begin; s < end; ++s) {
+          for (int64_t id : corpus[static_cast<size_t>(s)]) {
+            if (id < 0) continue;
+            ADAMINE_CHECK_LT(id, vocab_size());
+            ++local[static_cast<size_t>(id)];
+          }
+        }
+      });
+  for (const auto& local : partial_counts) {
+    for (size_t id = 0; id < local.size(); ++id) counts_[id] += local[id];
   }
   // Table of ids with multiplicity proportional to count^0.75.
   constexpr int64_t kTableSize = 1 << 16;
@@ -125,8 +143,11 @@ void Word2Vec::Train(const std::vector<std::vector<int64_t>>& corpus) {
               label = 0.0f;
             }
             float* vo = output_.data() + target * dim;
-            double dot = 0.0;
-            for (int64_t d = 0; d < dim; ++d) dot += double(vc[d]) * vo[d];
+            // The SGD walk itself is a strict sequential dependence chain
+            // (every update feeds the next dot), so it stays on one thread;
+            // the dot routes through the kernel layer's reduction, whose
+            // base case is the exact left fold used here before.
+            const double dot = kernel::PairwiseDot(vc, vo, dim);
             const float pred =
                 1.0f / (1.0f + std::exp(-static_cast<float>(dot)));
             const float g = (label - pred) * lr;

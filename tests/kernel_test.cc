@@ -1,0 +1,339 @@
+// Determinism suite for the kernel execution layer: every kernel must
+// produce bit-identical results for every thread-pool width, because the
+// chunk decomposition depends only on the problem size and partials are
+// combined in ascending chunk order (see DESIGN.md, "Kernel execution
+// layer"). The tests sweep widths {1, 2, 4, 7} — powers of two plus an odd
+// width that leaves ragged chunk-to-thread assignments — over the GEMM
+// variants, the reductions, the batch losses on a realistic batch, the
+// retrieval ranking, and one full training epoch.
+
+#include "kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/losses.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "kernel/gemm.h"
+#include "kernel/reduce.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine {
+namespace {
+
+const int kWidths[] = {1, 2, 4, 7};
+
+// Pins the kernel pool width for one scope and restores the
+// single-threaded default afterwards, so tests never leak a width into
+// each other.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int num_threads) { kernel::SetNumThreads(num_threads); }
+  ~ThreadGuard() { kernel::SetNumThreads(1); }
+};
+
+bool SameBits(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    std::vector<int> hits(1001, 0);
+    kernel::ParallelFor(1001, 7, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+    });
+    for (int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, ChunkDecompositionIgnoresThreadCount) {
+  // The chunk a given index lands in is a pure function of (n, grain).
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    std::vector<int64_t> chunk_of(100, -1);
+    kernel::ParallelForChunks(100, 9, [&](int64_t c, int64_t begin,
+                                          int64_t end) {
+      for (int64_t i = begin; i < end; ++i) chunk_of[static_cast<size_t>(i)] = c;
+    });
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_EQ(chunk_of[static_cast<size_t>(i)], i / 9);
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadGuard guard(4);
+  std::vector<int> hits(64 * 64, 0);
+  kernel::ParallelFor(64, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      kernel::ParallelFor(64, 8, [&](int64_t b2, int64_t e2) {
+        for (int64_t j = b2; j < e2; ++j) ++hits[static_cast<size_t>(i * 64 + j)];
+      });
+    }
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ConfigureZeroKeepsCurrentWidth) {
+  ThreadGuard guard(3);
+  kernel::Configure(kernel::KernelConfig{0});
+  EXPECT_EQ(kernel::NumThreads(), 3);
+  kernel::Configure(kernel::KernelConfig{2});
+  EXPECT_EQ(kernel::NumThreads(), 2);
+}
+
+TEST(ParallelReduceTest, OrderedFoldIsWidthInvariant) {
+  Rng rng(17);
+  Tensor values = Tensor::Randn({99991}, rng);  // prime => ragged last chunk
+  ThreadGuard baseline(1);
+  const double expect =
+      kernel::ParallelPairwiseSum(values.data(), values.numel());
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    const double got =
+        kernel::ParallelPairwiseSum(values.data(), values.numel());
+    EXPECT_EQ(got, expect) << "width " << width;
+  }
+}
+
+TEST(ParallelReduceTest, PairwiseSumTracksDoubleReference) {
+  // Pairwise summation should land within a few ulps of the sequential
+  // double sum even on ill-conditioned input (many small terms after a
+  // large one).
+  std::vector<float> values(100000, 1e-4f);
+  values[0] = 1e6f;
+  double reference = 0.0;
+  for (float v : values) reference += static_cast<double>(v);
+  const double got =
+      kernel::PairwiseSum(values.data(), static_cast<int64_t>(values.size()));
+  EXPECT_NEAR(got, reference, 1e-4);
+}
+
+TEST(ParallelReduceTest, PairwiseDotBaseCaseIsLeftFold) {
+  // For n <= the pairwise base case, PairwiseDot must be the exact
+  // sequential left fold — word2vec's SGD loop relies on this to reproduce
+  // the pre-kernel-layer bits.
+  Rng rng(23);
+  Tensor a = Tensor::Randn({64}, rng);
+  Tensor b = Tensor::Randn({64}, rng);
+  double fold = 0.0;
+  for (int64_t i = 0; i < 64; ++i) {
+    fold += static_cast<double>(a.data()[i]) * static_cast<double>(b.data()[i]);
+  }
+  EXPECT_EQ(kernel::PairwiseDot(a.data(), b.data(), 64), fold);
+}
+
+// Naive triple-loop reference with float accumulation in ascending k order —
+// the contract the tiled kernel promises to match bit-for-bit.
+Tensor NaiveGemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+                 int64_t m, int64_t n, int64_t k) {
+  Tensor c = Tensor::Zeros({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a.At(p, i) : a.At(i, p);
+        const float bv = trans_b ? b.At(j, p) : b.At(p, j);
+        acc += av * bv;
+      }
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, AllTransposeVariantsMatchNaiveBitsAtEveryWidth) {
+  // Odd sizes exercise the partial register tiles and the zero-padded panel
+  // tails of the packed kernel.
+  const int64_t m = 33, n = 29, k = 47;
+  Rng rng(3);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor at = Transpose2D(a);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor bt = Transpose2D(b);
+  struct Variant {
+    const Tensor* a;
+    bool trans_a;
+    const Tensor* b;
+    bool trans_b;
+  };
+  const Variant variants[] = {{&a, false, &b, false},
+                              {&a, false, &bt, true},
+                              {&at, true, &b, false},
+                              {&at, true, &bt, true}};
+  for (const Variant& v : variants) {
+    const Tensor reference = NaiveGemm(*v.a, v.trans_a, *v.b, v.trans_b, m, n, k);
+    for (int width : kWidths) {
+      ThreadGuard guard(width);
+      const Tensor got = Gemm(*v.a, v.trans_a, *v.b, v.trans_b);
+      ASSERT_TRUE(SameBits(got, reference))
+          << "trans_a=" << v.trans_a
+          << " trans_b=" << v.trans_b << " width=" << width;
+    }
+  }
+}
+
+TEST(GemmTest, LargeSquareIsWidthInvariant) {
+  const int64_t n = 192;
+  Rng rng(5);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  ThreadGuard baseline(1);
+  const Tensor expect = Gemm(a, false, b, false);
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    ASSERT_TRUE(SameBits(Gemm(a, false, b, false), expect))
+        << "width " << width;
+  }
+}
+
+TEST(GemmTest, ZeroInnerDimensionZeroesTheOutput) {
+  // Tensor forbids zero dims, so exercise the raw kernel entry point: an
+  // empty accumulation chain must still define C.
+  float dummy = 0.0f;
+  std::vector<float> c(12, 7.0f);
+  kernel::Gemm(&dummy, 0, false, &dummy, 4, false, 3, 4, 0, c.data());
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ElementwiseGuardDeathTest, UndefinedOperandsAreRejected) {
+  Tensor ok = Tensor::Zeros({2, 2});
+  Tensor undefined;
+  EXPECT_DEATH(Add(undefined, ok), "defined");
+  EXPECT_DEATH(Mul(ok, undefined), "defined");
+  EXPECT_DEATH(Relu(undefined), "defined");
+  EXPECT_DEATH(Scale(undefined, 2.0f), "defined");
+}
+
+TEST(LossDeterminismTest, InstanceTripletLossIsWidthInvariant) {
+  // A realistic batch: 100 unit rows per modality, as the trainer mines.
+  Rng rng(31);
+  Tensor img = L2NormalizeRows(Tensor::Randn({100, 32}, rng));
+  Tensor rec = L2NormalizeRows(Tensor::Randn({100, 32}, rng));
+  ThreadGuard baseline(1);
+  const auto expect = core::InstanceTripletLoss(
+      img, rec, 0.3f, core::MiningStrategy::kAdaptive);
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    const auto got = core::InstanceTripletLoss(
+        img, rec, 0.3f, core::MiningStrategy::kAdaptive);
+    EXPECT_EQ(got.loss, expect.loss) << "width " << width;
+    EXPECT_EQ(got.active_triplets, expect.active_triplets);
+    EXPECT_EQ(got.total_triplets, expect.total_triplets);
+    ASSERT_TRUE(SameBits(got.grad_image, expect.grad_image));
+    ASSERT_TRUE(SameBits(got.grad_recipe, expect.grad_recipe));
+  }
+}
+
+TEST(LossDeterminismTest, SemanticTripletLossIsWidthInvariant) {
+  // The semantic loss draws random positives; the kernel layer hoists those
+  // draws into a sequential pre-pass, so reseeding the Rng identically must
+  // reproduce identical bits at every width.
+  Rng rng(37);
+  Tensor img = L2NormalizeRows(Tensor::Randn({100, 32}, rng));
+  Tensor rec = L2NormalizeRows(Tensor::Randn({100, 32}, rng));
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < 100; ++i) {
+    labels.push_back(i % 3 == 0 ? -1 : i % 7);
+  }
+  ThreadGuard baseline(1);
+  Rng loss_rng(41);
+  const auto expect = core::SemanticTripletLoss(
+      img, rec, labels, 0.3f, core::MiningStrategy::kAdaptive, loss_rng);
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    Rng widths_rng(41);
+    const auto got = core::SemanticTripletLoss(
+        img, rec, labels, 0.3f, core::MiningStrategy::kAdaptive, widths_rng);
+    EXPECT_EQ(got.loss, expect.loss) << "width " << width;
+    EXPECT_EQ(got.active_triplets, expect.active_triplets);
+    EXPECT_EQ(got.total_triplets, expect.total_triplets);
+    ASSERT_TRUE(SameBits(got.grad_image, expect.grad_image));
+    ASSERT_TRUE(SameBits(got.grad_recipe, expect.grad_recipe));
+  }
+}
+
+TEST(LossDeterminismTest, PairwiseLossIsWidthInvariant) {
+  Rng rng(43);
+  Tensor img = L2NormalizeRows(Tensor::Randn({80, 24}, rng));
+  Tensor rec = L2NormalizeRows(Tensor::Randn({80, 24}, rng));
+  ThreadGuard baseline(1);
+  const auto expect = core::PairwiseLoss(img, rec, 0.3f, 0.9f);
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    const auto got = core::PairwiseLoss(img, rec, 0.3f, 0.9f);
+    EXPECT_EQ(got.loss, expect.loss) << "width " << width;
+    ASSERT_TRUE(SameBits(got.grad_image, expect.grad_image));
+    ASSERT_TRUE(SameBits(got.grad_recipe, expect.grad_recipe));
+  }
+}
+
+TEST(MatchRanksDeterminismTest, RanksAreWidthInvariant) {
+  Rng rng(47);
+  Tensor queries = Tensor::Randn({200, 16}, rng);
+  Tensor candidates = Tensor::Randn({200, 16}, rng);
+  ThreadGuard baseline(1);
+  const auto expect = eval::MatchRanks(queries, candidates);
+  for (int width : kWidths) {
+    ThreadGuard guard(width);
+    EXPECT_EQ(eval::MatchRanks(queries, candidates), expect)
+        << "width " << width;
+  }
+}
+
+TEST(PipelineDeterminismTest, FullTrainingRunIsWidthInvariant) {
+  // End-to-end: data generation, word2vec pretraining, two epochs of
+  // AdaMine training and the test-set embedding must come out bit-identical
+  // whether the kernel layer runs on one thread or four.
+  auto run_with = [](int num_threads) {
+    core::PipelineConfig config;
+    config.generator.num_recipes = 150;
+    config.generator.num_classes = 8;
+    config.generator.seed = 5;
+    config.word2vec.epochs = 1;
+    config.model.word_dim = 8;
+    config.model.ingredient_hidden = 6;
+    config.model.word_hidden = 6;
+    config.model.sentence_hidden = 8;
+    config.model.latent_dim = 12;
+    config.model.seed = 2;
+    config.kernel.num_threads = num_threads;
+    auto pipeline = core::Pipeline::Create(config);
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    core::TrainConfig train;
+    train.scenario = core::Scenario::kAdaMine;
+    train.epochs = 2;
+    train.batch_size = 50;
+    train.learning_rate = 2e-3;
+    train.val_bag_size = 20;
+    train.val_num_bags = 2;
+    train.seed = 4;
+    auto result = (*pipeline)->Run(train);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result.value());
+  };
+  const auto baseline = run_with(1);
+  const auto threaded = run_with(4);
+  kernel::SetNumThreads(1);
+  const auto params_a = baseline.model->SnapshotParams();
+  const auto params_b = threaded.model->SnapshotParams();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    ASSERT_TRUE(SameBits(params_a[i], params_b[i])) << "param " << i;
+  }
+  ASSERT_TRUE(SameBits(baseline.test_embeddings.image_emb,
+                       threaded.test_embeddings.image_emb));
+  ASSERT_TRUE(SameBits(baseline.test_embeddings.recipe_emb,
+                       threaded.test_embeddings.recipe_emb));
+}
+
+}  // namespace
+}  // namespace adamine
