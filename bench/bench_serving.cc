@@ -1,0 +1,210 @@
+// Serving bench: the batched retrieval service against the per-query
+// scalar loops, swept over micro-batch size x probe count x kernel thread
+// count. Reports QPS, per-query latency and recall@10, and verifies the
+// serving contract: results are bit-identical to the scalar reference
+// paths at every thread count (see DESIGN.md, "Serving").
+
+#include <cstdio>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/embedder.h"
+#include "index/ivf_index.h"
+#include "kernel/kernel.h"
+#include "serve/retrieval_service.h"
+#include "tensor/ops.h"
+#include "util/stopwatch.h"
+
+namespace adamine {
+namespace {
+
+constexpr int64_t kTopK = 10;
+constexpr int64_t kNumLists = 32;
+constexpr int kRepeats = 3;
+
+Tensor RowOf(const Tensor& m, int64_t i) {
+  Tensor row({m.cols()});
+  std::copy(m.data() + i * m.cols(), m.data() + (i + 1) * m.cols(),
+            row.data());
+  return row;
+}
+
+double RecallAgainst(const std::vector<std::vector<int64_t>>& truth,
+                     const std::vector<std::vector<int64_t>>& got) {
+  double recall = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    int64_t hits = 0;
+    for (int64_t item : got[i]) {
+      for (int64_t t : truth[i]) {
+        if (item == t) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall += static_cast<double>(hits) /
+              static_cast<double>(truth[i].size());
+  }
+  return recall / static_cast<double>(truth.size());
+}
+
+int Run() {
+  data::GeneratorConfig config;
+  config.num_recipes = 8000;
+  config.num_classes = 192;
+  config.seed = 42;
+  auto generator = data::RecipeGenerator::Create(config);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  data::Dataset dataset = generator->Generate();
+  Tensor items({dataset.size(), dataset.image_dim});
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Tensor& img = dataset.recipes[static_cast<size_t>(i)].image;
+    std::copy(img.data(), img.data() + dataset.image_dim,
+              items.data() + i * dataset.image_dim);
+  }
+  items = L2NormalizeRows(items);
+  Tensor queries = SliceRows(items, 0, 256);
+  std::printf("== Batched retrieval serving ==\n");
+  std::printf("(%lld items of dim %lld, %lld queries, top-%lld)\n",
+              static_cast<long long>(items.rows()),
+              static_cast<long long>(items.cols()),
+              static_cast<long long>(queries.rows()),
+              static_cast<long long>(kTopK));
+
+  // Scalar reference paths (per-query loops, no kernel-pool batching).
+  core::RetrievalIndex scalar_exact(items);
+  index::IvfConfig ivf_config;
+  ivf_config.num_lists = kNumLists;
+  ivf_config.num_probes = 4;
+  ivf_config.seed = 9;
+  auto scalar_ivf = index::IvfIndex::Build(items.Clone(), ivf_config);
+  if (!scalar_ivf.ok()) {
+    std::fprintf(stderr, "%s\n", scalar_ivf.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<int64_t>> truth_exact;
+  std::vector<std::vector<int64_t>> truth_ivf;
+  Stopwatch watch;
+  for (int r = 0; r < kRepeats; ++r) {
+    truth_exact.clear();
+    for (int64_t i = 0; i < queries.rows(); ++i) {
+      truth_exact.push_back(scalar_exact.Query(RowOf(queries, i), kTopK));
+    }
+  }
+  const double scalar_exact_ms =
+      watch.ElapsedMillis() / (kRepeats * queries.rows());
+  watch.Restart();
+  for (int r = 0; r < kRepeats; ++r) {
+    truth_ivf.clear();
+    for (int64_t i = 0; i < queries.rows(); ++i) {
+      truth_ivf.push_back(scalar_ivf->Query(RowOf(queries, i), kTopK));
+    }
+  }
+  const double scalar_ivf_ms =
+      watch.ElapsedMillis() / (kRepeats * queries.rows());
+
+  TablePrinter table({"backend", "threads", "batch", "QPS", "ms/query",
+                      "recall@10", "vs scalar"});
+  const auto qps = [](double per_query_ms) {
+    return per_query_ms > 0.0 ? 1000.0 / per_query_ms : 0.0;
+  };
+  table.AddRow({"scalar exhaustive", "1", "1",
+                TablePrinter::Num(qps(scalar_exact_ms), 0),
+                TablePrinter::Num(scalar_exact_ms, 3), "1.000", "1.00x"});
+  table.AddRow({"scalar ivf(4/32)", "1", "1",
+                TablePrinter::Num(qps(scalar_ivf_ms), 0),
+                TablePrinter::Num(scalar_ivf_ms, 3),
+                TablePrinter::Num(RecallAgainst(truth_exact, truth_ivf), 3),
+                "1.00x"});
+
+  bool bit_identical = true;
+  for (const bool use_ivf : {false, true}) {
+    for (const int64_t batch : {int64_t{1}, int64_t{16}, int64_t{64}}) {
+      // The thread-1 result of this config, for the bit-identity check.
+      std::vector<std::vector<int64_t>> at_one_thread;
+      for (const int threads : {1, 4}) {
+        serve::ServeConfig serve_config;
+        serve_config.backend =
+            use_ivf ? serve::Backend::kIvf : serve::Backend::kExhaustive;
+        serve_config.ivf = ivf_config;
+        serve_config.micro_batch = batch;
+        serve_config.cache_capacity = 0;  // Measure scoring, not the cache.
+        auto service = serve::RetrievalService::Create(items, serve_config);
+        if (!service.ok()) {
+          std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+          return 1;
+        }
+        kernel::SetNumThreads(threads);
+        auto results = (*service)->QueryBatch(queries, kTopK);  // Warm-up.
+        watch.Restart();
+        for (int r = 0; r < kRepeats; ++r) {
+          results = (*service)->QueryBatch(queries, kTopK);
+        }
+        const double ms =
+            watch.ElapsedMillis() / (kRepeats * queries.rows());
+        kernel::SetNumThreads(1);
+        const auto& truth = use_ivf ? truth_ivf : truth_exact;
+        if (results != truth) bit_identical = false;
+        if (threads == 1) {
+          at_one_thread = results;
+        } else if (results != at_one_thread) {
+          bit_identical = false;
+        }
+        const double scalar_ms = use_ivf ? scalar_ivf_ms : scalar_exact_ms;
+        table.AddRow(
+            {use_ivf ? "serve ivf(4/32)" : "serve exhaustive",
+             std::to_string(threads), std::to_string(batch),
+             TablePrinter::Num(qps(ms), 0), TablePrinter::Num(ms, 3),
+             TablePrinter::Num(RecallAgainst(truth_exact, results), 3),
+             TablePrinter::Num(scalar_ms / ms, 2) + "x"});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::printf("bit-identical to scalar path at threads {1, 4}: %s\n",
+              bit_identical ? "yes" : "NO (BUG)");
+
+  // The probe dial: accuracy/latency trade-off at a fixed batch width.
+  std::printf("\n== Probe dial (ivf backend, batch 64, 4 threads) ==\n");
+  serve::ServeConfig dial_config;
+  dial_config.backend = serve::Backend::kIvf;
+  dial_config.ivf = ivf_config;
+  dial_config.micro_batch = 64;
+  dial_config.cache_capacity = 0;
+  auto dial = serve::RetrievalService::Create(items, dial_config);
+  if (!dial.ok()) {
+    std::fprintf(stderr, "%s\n", dial.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter dial_table(
+      {"probes (of 32 lists)", "QPS", "ms/query", "recall@10"});
+  kernel::SetNumThreads(4);
+  for (const int64_t probes : {1, 2, 4, 8, 16, 32}) {
+    if (!(*dial)->SetProbes(probes).ok()) return 1;
+    auto results = (*dial)->QueryBatch(queries, kTopK);  // Warm-up.
+    watch.Restart();
+    for (int r = 0; r < kRepeats; ++r) {
+      results = (*dial)->QueryBatch(queries, kTopK);
+    }
+    const double ms = watch.ElapsedMillis() / (kRepeats * queries.rows());
+    dial_table.AddRow({std::to_string(probes), TablePrinter::Num(qps(ms), 0),
+                       TablePrinter::Num(ms, 3),
+                       TablePrinter::Num(RecallAgainst(truth_exact, results),
+                                         3)});
+  }
+  kernel::SetNumThreads(1);
+  dial_table.Print(std::cout);
+  std::printf("\n%s\n", (*dial)->Snapshot().ToString().c_str());
+  return bit_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace adamine
+
+int main() { return adamine::Run(); }

@@ -6,6 +6,20 @@
 //   example_adamine_cli train   [scenario] [epochs] [checkpoint.bin] [flags]
 //   example_adamine_cli eval    [scenario] [epochs] [checkpoint.bin] [flags]
 //   example_adamine_cli query   "<ingredient words>" [checkpoint.bin]
+//   example_adamine_cli serve   [scenario] [checkpoint.bin] [flags]
+//
+// Serving flags (serve / query):
+//   --backend=exhaustive|ivf   scoring backend (default exhaustive)
+//   --probes=N                 IVF probe dial (accuracy vs latency)
+//   --batch=N                  micro-batch width for GEMM scoring
+//   --cache=N                  LRU result-cache capacity (0 disables)
+//   --embeddings=PATH          where `serve` exports / reloads the
+//                              embedding bundle (io tensor bundle)
+//
+// `serve` loads the checkpoint, embeds the test split, exports the
+// embedding bundle, reloads it into a serve::RetrievalService and replays
+// the recipe embeddings as a query stream (recipe->image retrieval),
+// printing top-1 accuracy and the per-stage ServeStats snapshot.
 //
 // Crash-safety flags (train / eval):
 //   --checkpoint-dir=DIR   write a full training-state checkpoint into DIR
@@ -26,6 +40,7 @@
 // dishes for a free-text ingredient list. With no arguments: train AdaMine
 // for 15 epochs, save to /tmp/adamine_model.bin, evaluate.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +51,10 @@
 #include "core/pipeline.h"
 #include "eval/metrics.h"
 #include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "serve/retrieval_service.h"
 #include "text/tokenizer.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -79,6 +97,11 @@ int main(int argc, char** argv) {
   long checkpoint_every = 1;
   long threads = 0;
   bool resume = false;
+  std::string backend = "exhaustive";
+  long probes = 0;
+  long serve_batch = 32;
+  long serve_cache = 1024;
+  std::string embeddings_path = "/tmp/adamine_embeddings.bin";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,6 +120,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --threads must be positive\n");
         return 1;
       }
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend = arg.substr(std::strlen("--backend="));
+      if (backend != "exhaustive" && backend != "ivf") {
+        std::fprintf(stderr, "error: --backend must be exhaustive or ivf\n");
+        return 1;
+      }
+    } else if (arg.rfind("--probes=", 0) == 0) {
+      probes = std::atol(arg.c_str() + std::strlen("--probes="));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      serve_batch = std::atol(arg.c_str() + std::strlen("--batch="));
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      serve_cache = std::atol(arg.c_str() + std::strlen("--cache="));
+    } else if (arg.rfind("--embeddings=", 0) == 0) {
+      embeddings_path = arg.substr(std::strlen("--embeddings="));
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -113,11 +150,11 @@ int main(int argc, char** argv) {
   const std::string command = !args.empty() ? args[0] : "eval";
   const std::string arg2 = args.size() > 1 ? args[1] : "adamine";
   const int epochs = args.size() > 2 ? std::atoi(args[2].c_str()) : 15;
-  // `query` takes the checkpoint as its third argument; train/eval as the
-  // fourth (after the epoch count).
+  // `query` and `serve` take the checkpoint as their third argument;
+  // train/eval as the fourth (after the epoch count).
   const char* kDefaultCheckpoint = "/tmp/adamine_model.bin";
   const std::string checkpoint =
-      command == "query"
+      (command == "query" || command == "serve")
           ? (args.size() > 2 ? args[2] : kDefaultCheckpoint)
           : (args.size() > 3 ? args[3] : kDefaultCheckpoint);
 
@@ -127,7 +164,7 @@ int main(int argc, char** argv) {
   if (!pipeline.ok()) return Fail(pipeline.status());
   auto& pipe = *pipeline.value();
 
-  if (command == "query") {
+  if (command == "query" || command == "serve") {
     // Rebuild the model architecture and load the checkpointed weights.
     core::ModelConfig model_config = pipe.config().model;
     model_config.vocab_size = pipe.vocab().size();
@@ -141,21 +178,85 @@ int main(int argc, char** argv) {
                    checkpoint.c_str(), st.ToString().c_str());
       return 1;
     }
-    adamine::data::EncodedRecipe query;
-    query.ingredient_tokens =
-        pipe.vocab().Encode(adamine::text::Tokenize(arg2));
-    Tensor emb = (*model)->EmbedRecipes({&query}).value();
-    emb = emb.Reshape({emb.numel()});
+    adamine::Stopwatch dataset_embed_watch;
     core::EmbeddedDataset test = core::EmbedDataset(**model, pipe.test_set());
-    core::RetrievalIndex index(test.image_emb);
-    std::printf("top 5 dishes for \"%s\":\n", arg2.c_str());
-    const auto& recipes = pipe.splits().test.recipes;
-    for (int64_t idx : index.Query(emb, 5)) {
-      const auto& r = recipes[static_cast<size_t>(idx)];
-      std::printf("  [%s]", r.class_name.c_str());
-      for (const auto& ing : r.ingredients) std::printf(" %s", ing.c_str());
-      std::printf("\n");
+    const double dataset_embed_ms = dataset_embed_watch.ElapsedMillis();
+
+    adamine::serve::ServeConfig serve_config;
+    serve_config.backend = backend == "ivf"
+                               ? adamine::serve::Backend::kIvf
+                               : adamine::serve::Backend::kExhaustive;
+    serve_config.micro_batch = serve_batch;
+    serve_config.cache_capacity = serve_cache;
+    if (serve_config.backend == adamine::serve::Backend::kIvf) {
+      serve_config.ivf.num_lists =
+          std::min<int64_t>(32, test.image_emb.rows());
+      serve_config.ivf.num_probes =
+          probes > 0 ? probes : std::min<int64_t>(4, serve_config.ivf.num_lists);
     }
+
+    if (command == "query") {
+      auto service = adamine::serve::RetrievalService::Create(
+          test.image_emb, serve_config);
+      if (!service.ok()) return Fail(service.status());
+      adamine::data::EncodedRecipe query;
+      query.ingredient_tokens =
+          pipe.vocab().Encode(adamine::text::Tokenize(arg2));
+      adamine::Stopwatch embed_watch;
+      Tensor emb = (*model)->EmbedRecipes({&query}).value();
+      emb = emb.Reshape({emb.numel()});
+      (*service)->RecordEmbedMillis(embed_watch.ElapsedMillis());
+      std::printf("top 5 dishes for \"%s\" (%s backend):\n", arg2.c_str(),
+                  adamine::serve::BackendName(serve_config.backend));
+      const auto& recipes = pipe.splits().test.recipes;
+      for (int64_t idx : (*service)->Query(emb, 5)) {
+        const auto& r = recipes[static_cast<size_t>(idx)];
+        std::printf("  [%s]", r.class_name.c_str());
+        for (const auto& ing : r.ingredients) std::printf(" %s", ing.c_str());
+        std::printf("\n");
+      }
+      std::printf("%s", (*service)->Snapshot().ToString().c_str());
+      return 0;
+    }
+
+    // serve: export the embedding bundle, reload it into the service, and
+    // replay the recipe embeddings as a recipe->image query stream.
+    if (auto st = io::SaveTensorBundle(
+            embeddings_path, {{"image_emb", test.image_emb},
+                              {"recipe_emb", test.recipe_emb}});
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("embedding bundle (%lld pairs) exported to %s\n",
+                static_cast<long long>(test.image_emb.rows()),
+                embeddings_path.c_str());
+    auto service = adamine::serve::RetrievalService::Load(
+        embeddings_path, "image_emb", serve_config);
+    if (!service.ok()) return Fail(service.status());
+    (*service)->RecordEmbedMillis(dataset_embed_ms);
+    std::printf("serving %lld items (%s backend, micro-batch %ld, "
+                "cache %ld)\n",
+                static_cast<long long>((*service)->size()),
+                adamine::serve::BackendName(serve_config.backend),
+                serve_batch, serve_cache);
+    // Two passes over the query stream: the second exercises the cache.
+    int64_t top1 = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      auto results = (*service)->QueryBatch(test.recipe_emb, 10);
+      if (pass == 0) {
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].empty() &&
+              results[i][0] == static_cast<int64_t>(i)) {
+            ++top1;
+          }
+        }
+      }
+    }
+    std::printf("recipe->image top-1: %.1f%% (%lld / %lld)\n",
+                100.0 * top1 / test.recipe_emb.rows(),
+                static_cast<long long>(top1),
+                static_cast<long long>(test.recipe_emb.rows()));
+    std::printf("%s", (*service)->Snapshot().ToString().c_str());
     return 0;
   }
 

@@ -89,11 +89,15 @@ std::vector<int64_t> RetrievalIndex::Query(const Tensor& query,
   const int64_t n = items_.rows();
   const int64_t d = items_.cols();
   std::vector<float> sims(static_cast<size_t>(n));
+  // Single float accumulation chain in ascending j — the per-element order
+  // of kernel::Gemm — so this scalar reference path stays bit-identical to
+  // the serving layer's batched GEMM scoring (this file is compiled with
+  // -ffp-contract=off; see src/CMakeLists.txt).
   for (int64_t i = 0; i < n; ++i) {
     const float* row = items_.data() + i * d;
-    double acc = 0.0;
-    for (int64_t j = 0; j < d; ++j) acc += double(row[j]) * query[j];
-    sims[static_cast<size_t>(i)] = static_cast<float>(acc);
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) acc += row[j] * query[j];
+    sims[static_cast<size_t>(i)] = acc;
   }
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);

@@ -22,9 +22,20 @@ BatchSampler::BatchSampler(const std::vector<int64_t>& labels,
   rng_.Shuffle(unlabeled_pool_);
 }
 
-int64_t BatchSampler::Draw(std::vector<int64_t>& pool, size_t& cursor) {
+int64_t BatchSampler::Draw(std::vector<int64_t>& pool, size_t& cursor,
+                           const std::vector<int64_t>& batch) {
   if (cursor >= pool.size()) {
+    // Epoch boundary mid-batch: reshuffle, but demote items already drawn
+    // into the current batch behind the not-yet-drawn ones (preserving the
+    // shuffled order within each group). The refilled prefix then cannot
+    // hand out a pair twice in one batch — a duplicate would be its own
+    // hardest negative at distance 0 and corrupt the triplet losses.
+    // NextBatch never asks a pool for more than pool.size() items, so the
+    // clean prefix is always long enough.
     rng_.Shuffle(pool);
+    std::stable_partition(pool.begin(), pool.end(), [&](int64_t item) {
+      return std::find(batch.begin(), batch.end(), item) == batch.end();
+    });
     cursor = 0;
   }
   return pool[cursor++];
@@ -48,10 +59,10 @@ std::vector<int64_t> BatchSampler::NextBatch() {
   std::vector<int64_t> batch;
   batch.reserve(static_cast<size_t>(want));
   for (int64_t i = 0; i < want_unlabeled; ++i) {
-    batch.push_back(Draw(unlabeled_pool_, unlabeled_cursor_));
+    batch.push_back(Draw(unlabeled_pool_, unlabeled_cursor_, batch));
   }
   for (int64_t i = 0; i < want_labeled; ++i) {
-    batch.push_back(Draw(labeled_pool_, labeled_cursor_));
+    batch.push_back(Draw(labeled_pool_, labeled_cursor_, batch));
   }
   return batch;
 }

@@ -25,8 +25,11 @@ class BatchSampler {
                uint64_t seed);
 
   /// Indices of the next mini-batch. Pools reshuffle automatically when
-  /// exhausted. The batch may be smaller than batch_size only if the whole
-  /// dataset is smaller.
+  /// exhausted; a reshuffle that lands mid-batch excludes the items already
+  /// drawn into that batch, so a batch never contains the same pair twice
+  /// (a duplicate would be its own hardest negative at distance 0). The
+  /// batch may be smaller than batch_size only if the whole dataset is
+  /// smaller.
   std::vector<int64_t> NextBatch();
 
   /// Number of batches that constitute one pass over the data.
@@ -54,8 +57,11 @@ class BatchSampler {
   Status SetState(const State& state);
 
  private:
-  /// Pops the next index from a pool, reshuffling when exhausted.
-  int64_t Draw(std::vector<int64_t>& pool, size_t& cursor);
+  /// Pops the next index from a pool, reshuffling when exhausted. Items in
+  /// `batch` (the partially built current batch) are kept out of the
+  /// refilled prefix so one batch never repeats an index.
+  int64_t Draw(std::vector<int64_t>& pool, size_t& cursor,
+               const std::vector<int64_t>& batch);
 
   int64_t batch_size_;
   std::vector<int64_t> labeled_pool_;

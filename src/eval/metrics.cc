@@ -15,7 +15,9 @@ std::vector<int64_t> MatchRanks(const Tensor& queries,
   ADAMINE_CHECK(SameShape(queries, candidates));
   const int64_t n = queries.rows();
   // Cosine similarity: higher = closer; rank counts strictly closer items
-  // (ties broken by candidate index).
+  // only (rank = 1 + #{s > match_sim}), the paper's protocol. Candidates
+  // tied with the match do not push it down, so two queries with identical
+  // similarity profiles get identical ranks regardless of bag position.
   Tensor sims = CosineSimilarityMatrix(queries, candidates);
   std::vector<int64_t> ranks(static_cast<size_t>(n));
   // The full ranking sweep is embarrassingly parallel over queries: each
@@ -27,8 +29,7 @@ std::vector<int64_t> MatchRanks(const Tensor& queries,
       int64_t rank = 1;
       for (int64_t j = 0; j < n; ++j) {
         if (j == i) continue;
-        const float s = row[j];
-        if (s > match_sim || (s == match_sim && j < i)) ++rank;
+        if (row[j] > match_sim) ++rank;
       }
       ranks[static_cast<size_t>(i)] = rank;
     }

@@ -22,8 +22,10 @@ struct RetrievalMetrics {
 
 /// Rank (1-based) of each query's true match. `queries` and `candidates`
 /// are [N, D] with row i of `candidates` being the match of query i; items
-/// are compared by cosine distance. Ties are broken by candidate index so
-/// results are deterministic.
+/// are compared by cosine distance. Rank counts strictly closer candidates
+/// only (rank = 1 + #{sim > match_sim}, the paper's protocol), so
+/// candidates tied with the match never push it down and the result is
+/// independent of the match's position in the bag.
 std::vector<int64_t> MatchRanks(const Tensor& queries,
                                 const Tensor& candidates);
 

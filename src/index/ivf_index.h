@@ -32,18 +32,48 @@ class IvfIndex {
   static StatusOr<IvfIndex> Build(Tensor items, const IvfConfig& config);
 
   /// Indices of (approximately) the `k` most cosine-similar items to the
-  /// unit query row [D], most similar first.
+  /// unit query row [D], most similar first. Requires k > 0 (checked).
   std::vector<int64_t> Query(const Tensor& query, int64_t k) const;
 
   /// Like Query with every list probed (exact, for recall measurement).
   std::vector<int64_t> QueryExact(const Tensor& query, int64_t k) const;
+
+  /// Micro-batched Query over the rows of `queries` [B, D]: both the
+  /// centroid scan and the candidate scoring go through the kernel layer's
+  /// tiled GEMM instead of per-query scalar loops. Candidate rows for the
+  /// whole batch are gathered once (the union of every query's probed
+  /// lists) and scored against all queries in one [B, U] GEMM; each query
+  /// then ranks only its own probed candidates. Results are bit-identical
+  /// to calling Query per row, for every thread count.
+  std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
+                                               int64_t k) const;
+
+  /// QueryBatch with every list probed (exact).
+  std::vector<std::vector<int64_t>> QueryBatchExact(const Tensor& queries,
+                                                    int64_t k) const;
+
+  /// Explicit-probe variants, for callers that own the probe dial (the
+  /// serving layer): `probes` must be positive (checked) and is clamped to
+  /// num_lists.
+  std::vector<int64_t> QueryWithProbes(const Tensor& query, int64_t k,
+                                       int64_t probes) const;
+  std::vector<std::vector<int64_t>> QueryBatchWithProbes(
+      const Tensor& queries, int64_t k, int64_t probes) const;
+
+  /// Runtime probe dial: overrides the config's num_probes for subsequent
+  /// queries. Rejects values outside (0, num_lists] — the same rule as
+  /// IvfConfig::Validate.
+  Status SetNumProbes(int64_t num_probes);
+  int64_t num_probes() const { return config_.num_probes; }
 
   int64_t size() const { return items_.rows(); }
   int64_t num_lists() const { return centroids_.rows(); }
 
   /// Fraction of Query(k) results that appear in QueryExact(k), averaged
   /// over the rows of `queries` — the standard recall@k measure of ANN
-  /// quality.
+  /// quality. Queries whose exact-truth set is empty are excluded from the
+  /// average (they carry no signal); at least one query must have a
+  /// non-empty truth set (checked).
   double RecallAtK(const Tensor& queries, int64_t k) const;
 
  private:
@@ -51,6 +81,9 @@ class IvfIndex {
 
   std::vector<int64_t> Search(const Tensor& query, int64_t k,
                               int64_t probes) const;
+  std::vector<std::vector<int64_t>> SearchBatch(const Tensor& queries,
+                                                int64_t k,
+                                                int64_t probes) const;
 
   IvfConfig config_;
   Tensor items_;      // [N, D]

@@ -1,0 +1,262 @@
+#include "serve/retrieval_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "io/serialize.h"
+#include "kernel/gemm.h"
+#include "kernel/kernel.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace adamine::serve {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kExhaustive:
+      return "exhaustive";
+    case Backend::kIvf:
+      return "ivf";
+  }
+  return "unknown";
+}
+
+Status ServeConfig::Validate() const {
+  if (micro_batch <= 0) {
+    return Status::InvalidArgument("micro_batch must be positive");
+  }
+  if (cache_capacity < 0) {
+    return Status::InvalidArgument("cache_capacity must be >= 0");
+  }
+  if (backend == Backend::kIvf) {
+    ADAMINE_RETURN_IF_ERROR(ivf.Validate());
+  }
+  return Status::Ok();
+}
+
+RetrievalService::RetrievalService(Tensor items, const ServeConfig& config)
+    : config_(config), items_(std::move(items)) {}
+
+StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
+    Tensor items, const ServeConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (items.ndim() != 2) {
+    return Status::InvalidArgument("items must be 2-D [N, D]");
+  }
+  std::unique_ptr<RetrievalService> service(
+      new RetrievalService(std::move(items), config));
+  if (config.backend == Backend::kIvf) {
+    // Tensor copies alias the buffer, so the index shares the item rows.
+    auto index = index::IvfIndex::Build(service->items_, config.ivf);
+    if (!index.ok()) return index.status();
+    service->index_ =
+        std::make_unique<index::IvfIndex>(std::move(index.value()));
+    service->probes_ = config.ivf.num_probes;
+  }
+  return service;
+}
+
+StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Load(
+    const std::string& path, const std::string& name,
+    const ServeConfig& config) {
+  auto bundle = io::LoadTensorBundle(path);
+  if (!bundle.ok()) return bundle.status();
+  for (auto& entry : bundle.value()) {
+    if (entry.name == name) {
+      return Create(std::move(entry.tensor), config);
+    }
+  }
+  return Status::NotFound("no tensor named '" + name + "' in " + path);
+}
+
+Status RetrievalService::SetProbes(int64_t probes) {
+  if (config_.backend != Backend::kIvf) {
+    return Status::FailedPrecondition(
+        "the probe dial only applies to the ivf backend");
+  }
+  if (probes <= 0 || probes > index_->num_lists()) {
+    return Status::InvalidArgument("need 0 < probes <= num_lists");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_ = probes;
+  return Status::Ok();
+}
+
+int64_t RetrievalService::probes() const {
+  if (config_.backend != Backend::kIvf) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+std::string RetrievalService::CacheKey(const float* query, int64_t k,
+                                       int64_t probes) const {
+  // Exact-match key: the raw query bytes plus everything that selects the
+  // result (k and the probe dial; the backend is fixed per service).
+  const size_t query_bytes = sizeof(float) * static_cast<size_t>(dim());
+  std::string key;
+  key.resize(query_bytes + 2 * sizeof(int64_t));
+  std::memcpy(key.data(), query, query_bytes);
+  std::memcpy(key.data() + query_bytes, &k, sizeof(k));
+  std::memcpy(key.data() + query_bytes + sizeof(k), &probes, sizeof(probes));
+  return key;
+}
+
+bool RetrievalService::CacheLookup(const std::string& key,
+                                   std::vector<int64_t>* result) {
+  if (config_.cache_capacity == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_map_.find(key);
+  if (it == cache_map_.end()) {
+    ++stats_.cache_misses;
+    return false;
+  }
+  ++stats_.cache_hits;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  *result = it->second->second;
+  return true;
+}
+
+void RetrievalService::CacheInsert(const std::string& key,
+                                   const std::vector<int64_t>& result) {
+  if (config_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    // A concurrent miss on the same query raced us here; refresh recency.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(key, result);
+  cache_map_[key] = cache_lru_.begin();
+  while (static_cast<int64_t>(cache_lru_.size()) > config_.cache_capacity) {
+    cache_map_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+std::vector<std::vector<int64_t>> RetrievalService::ScoreMicroBatch(
+    const Tensor& queries, int64_t k, int64_t probes) {
+  const int64_t m = queries.rows();
+  const int64_t d = queries.cols();
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  std::vector<std::vector<int64_t>> results;
+  double score_ms = 0.0;
+  double rank_ms = 0.0;
+  if (config_.backend == Backend::kIvf) {
+    // The IVF batched search fuses centroid scan, candidate GEMM and
+    // per-query ranking; account it to the score stage (see ServeStats).
+    Stopwatch watch;
+    results = index_->QueryBatchWithProbes(queries, k, probes);
+    score_ms = watch.ElapsedMillis();
+  } else {
+    const int64_t n = items_.rows();
+    Stopwatch watch;
+    Tensor sims({m, n});
+    kernel::Gemm(queries.data(), d, false, items_.data(), d, true, m, n, d,
+                 sims.data());
+    score_ms = watch.ElapsedMillis();
+    watch.Restart();
+    const int64_t take = std::min(k, n);
+    results.resize(static_cast<size_t>(m));
+    kernel::ParallelFor(m, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
+      std::vector<int64_t> order(static_cast<size_t>(n));
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* row = sims.data() + i * n;
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                          [row](int64_t a, int64_t b) {
+                            return row[a] > row[b] ||
+                                   (row[a] == row[b] && a < b);
+                          });
+        results[static_cast<size_t>(i)] =
+            std::vector<int64_t>(order.begin(), order.begin() + take);
+      }
+    });
+    rank_ms = watch.ElapsedMillis();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.score.Record(score_ms);
+    if (config_.backend == Backend::kExhaustive) {
+      stats_.rank.Record(rank_ms);
+    }
+  }
+  return results;
+}
+
+std::vector<int64_t> RetrievalService::Query(const Tensor& query, int64_t k) {
+  ADAMINE_CHECK_EQ(query.numel(), dim());
+  ADAMINE_CHECK_GT(k, 0);
+  const int64_t current_probes = probes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+  }
+  const std::string key = CacheKey(query.data(), k, current_probes);
+  std::vector<int64_t> cached;
+  if (CacheLookup(key, &cached)) return cached;
+  Tensor batch({1, dim()});
+  std::copy(query.data(), query.data() + dim(), batch.data());
+  auto results = ScoreMicroBatch(batch, k, current_probes);
+  CacheInsert(key, results[0]);
+  return std::move(results[0]);
+}
+
+std::vector<std::vector<int64_t>> RetrievalService::QueryBatch(
+    const Tensor& queries, int64_t k) {
+  ADAMINE_CHECK_EQ(queries.ndim(), 2);
+  ADAMINE_CHECK_EQ(queries.cols(), dim());
+  ADAMINE_CHECK_GT(k, 0);
+  const int64_t b = queries.rows();
+  const int64_t d = dim();
+  const int64_t current_probes = probes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.queries += b;
+  }
+  std::vector<std::vector<int64_t>> results(static_cast<size_t>(b));
+  for (int64_t start = 0; start < b; start += config_.micro_batch) {
+    const int64_t end = std::min(b, start + config_.micro_batch);
+    // Answer what the cache can; collect the misses for one shared GEMM.
+    std::vector<int64_t> miss_rows;
+    std::vector<std::string> miss_keys;
+    for (int64_t i = start; i < end; ++i) {
+      std::string key =
+          CacheKey(queries.data() + i * d, k, current_probes);
+      if (CacheLookup(key, &results[static_cast<size_t>(i)])) continue;
+      miss_rows.push_back(i);
+      miss_keys.push_back(std::move(key));
+    }
+    if (miss_rows.empty()) continue;
+    Tensor micro({static_cast<int64_t>(miss_rows.size()), d});
+    for (size_t r = 0; r < miss_rows.size(); ++r) {
+      const float* src = queries.data() + miss_rows[r] * d;
+      std::copy(src, src + d, micro.data() + static_cast<int64_t>(r) * d);
+    }
+    auto scored = ScoreMicroBatch(micro, k, current_probes);
+    for (size_t r = 0; r < miss_rows.size(); ++r) {
+      CacheInsert(miss_keys[r], scored[r]);
+      results[static_cast<size_t>(miss_rows[r])] = std::move(scored[r]);
+    }
+  }
+  return results;
+}
+
+void RetrievalService::RecordEmbedMillis(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.embed.Record(ms);
+}
+
+ServeStats RetrievalService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RetrievalService::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = ServeStats();
+}
+
+}  // namespace adamine::serve

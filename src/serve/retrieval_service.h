@@ -1,0 +1,143 @@
+#ifndef ADAMINE_SERVE_RETRIEVAL_SERVICE_H_
+#define ADAMINE_SERVE_RETRIEVAL_SERVICE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "index/ivf_index.h"
+#include "serve/serve_stats.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::serve {
+
+/// Scoring backend behind the service's single interface.
+enum class Backend {
+  /// Exhaustive cosine kNN: one tiled GEMM of the query micro-batch
+  /// against every item, then per-query top-k. Exact.
+  kExhaustive,
+  /// index::IvfIndex approximate search with a runtime probe dial.
+  kIvf,
+};
+
+const char* BackendName(Backend backend);
+
+struct ServeConfig {
+  Backend backend = Backend::kExhaustive;
+  /// Coarse-quantiser settings for Backend::kIvf (num_probes seeds the
+  /// probe dial; SetProbes adjusts it at runtime).
+  index::IvfConfig ivf;
+  /// Query rows scored per GEMM dispatch. QueryBatch splits larger inputs
+  /// into micro-batches of this width.
+  int64_t micro_batch = 32;
+  /// LRU query-result cache capacity in entries; 0 disables the cache.
+  int64_t cache_capacity = 1024;
+
+  Status Validate() const;
+};
+
+/// The serving layer over an exported embedding set: loads a bundle written
+/// by io::SaveTensorBundle (or wraps an in-memory tensor), fronts both the
+/// exhaustive and the IVF backend behind one interface, micro-batches
+/// incoming queries through the kernel layer's tiled GEMM, memoises repeat
+/// queries in an LRU cache, and keeps per-stage latency counters
+/// (ServeStats).
+///
+/// Determinism: results are bit-identical to the per-query scalar paths
+/// (core::RetrievalIndex::Query / index::IvfIndex::Query) for every kernel
+/// thread count — scoring goes through kernel::Gemm, whose accumulation
+/// order matches the scalar reference loops (see DESIGN.md, "Serving").
+///
+/// Thread safety: Query / QueryBatch / SetProbes / Snapshot may be called
+/// concurrently. Scoring serialises on an internal executor mutex (the
+/// kernel pool is a process-wide resource; parallelism comes from the
+/// micro-batch spreading over the pool, not from concurrent GEMMs), while
+/// cache hits proceed without waiting on in-flight scoring.
+class RetrievalService {
+ public:
+  /// Serves the rows of `items` [N, D] (L2-normalised model embeddings).
+  static StatusOr<std::unique_ptr<RetrievalService>> Create(
+      Tensor items, const ServeConfig& config);
+
+  /// Loads tensor `name` from the bundle at `path` (io::LoadTensorBundle)
+  /// and serves its rows.
+  static StatusOr<std::unique_ptr<RetrievalService>> Load(
+      const std::string& path, const std::string& name,
+      const ServeConfig& config);
+
+  /// Indices of the k most cosine-similar items to the unit query row [D],
+  /// most similar first. Served from the cache when the exact same
+  /// (query bytes, k, probes) was answered before.
+  std::vector<int64_t> Query(const Tensor& query, int64_t k);
+
+  /// Batched Query over the rows of `queries` [B, D]: rows are answered
+  /// from the cache where possible and the misses are scored in
+  /// micro-batches of config().micro_batch rows through one GEMM each.
+  /// results[i] corresponds to row i.
+  std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
+                                               int64_t k);
+
+  /// Runtime accuracy/latency dial for the IVF backend (rejected on the
+  /// exhaustive backend, which is always exact). Cached results are keyed
+  /// by the probe count, so dialling never serves stale mixes.
+  Status SetProbes(int64_t probes);
+
+  /// Current probe count (num_lists when exhaustive — every "list" is
+  /// always scanned).
+  int64_t probes() const;
+
+  /// Records one query-embedding forward pass run by the caller (the model
+  /// lives outside the service) into the embed stage of the stats.
+  void RecordEmbedMillis(double ms);
+
+  /// Consistent snapshot of the counters since construction / ResetStats.
+  ServeStats Snapshot() const;
+  void ResetStats();
+
+  int64_t size() const { return items_.rows(); }
+  int64_t dim() const { return items_.cols(); }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  RetrievalService(Tensor items, const ServeConfig& config);
+
+  std::string CacheKey(const float* query, int64_t k, int64_t probes) const;
+
+  /// Cache lookup; on hit moves the entry to the LRU front and fills
+  /// `result`. Counts the hit/miss.
+  bool CacheLookup(const std::string& key, std::vector<int64_t>* result);
+  void CacheInsert(const std::string& key, const std::vector<int64_t>& result);
+
+  /// Scores `queries` [M, D] (all cache misses) and ranks top-k per row.
+  /// Serialised on exec_mu_; records score/rank stage latencies.
+  std::vector<std::vector<int64_t>> ScoreMicroBatch(const Tensor& queries,
+                                                    int64_t k,
+                                                    int64_t probes);
+
+  ServeConfig config_;
+  Tensor items_;  // [N, D]; the IVF backend shares this buffer.
+  std::unique_ptr<index::IvfIndex> index_;  // Backend::kIvf only.
+  int64_t probes_ = 0;  // Probe dial (guarded by mu_); 0 on kExhaustive.
+
+  /// Serialises entry into the kernel pool (GEMM + ranking).
+  std::mutex exec_mu_;
+
+  /// Guards cache_*, stats_ and the probe dial.
+  mutable std::mutex mu_;
+  std::list<std::pair<std::string, std::vector<int64_t>>> cache_lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string,
+                                         std::vector<int64_t>>>::iterator>
+      cache_map_;
+  ServeStats stats_;
+};
+
+}  // namespace adamine::serve
+
+#endif  // ADAMINE_SERVE_RETRIEVAL_SERVICE_H_

@@ -1,0 +1,78 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace adamine::serve {
+
+namespace {
+
+/// Bucket b holds observations in [2^(b-1), 2^b) microseconds (bucket 0:
+/// anything below 1us; the last bucket also absorbs overflow).
+int BucketOf(double ms) {
+  const double us = ms * 1000.0;
+  int b = 0;
+  double bound = 1.0;
+  while (b < StageStats::kBuckets - 1 && us >= bound) {
+    bound *= 2.0;
+    ++b;
+  }
+  return b;
+}
+
+double BucketUpperMs(int b) {
+  double bound = 1.0;  // Upper bound of bucket 0, in microseconds.
+  for (int i = 0; i < b; ++i) bound *= 2.0;
+  return bound / 1000.0;
+}
+
+}  // namespace
+
+void StageStats::Record(double ms) {
+  ++count;
+  total_ms += ms;
+  max_ms = std::max(max_ms, ms);
+  ++buckets[static_cast<size_t>(BucketOf(ms))];
+}
+
+double StageStats::PercentileMs(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Smallest bucket whose cumulative count covers the percentile.
+  const double target = p / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[static_cast<size_t>(b)];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return BucketUpperMs(b);
+    }
+  }
+  return max_ms;
+}
+
+std::string ServeStats::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "queries %lld  batches %lld  cache hit-rate %.1f%% "
+                "(%lld hits / %lld misses)\n",
+                static_cast<long long>(queries),
+                static_cast<long long>(batches), 100.0 * cache_hit_rate(),
+                static_cast<long long>(cache_hits),
+                static_cast<long long>(cache_misses));
+  out += line;
+  const auto stage = [&](const char* name, const StageStats& s) {
+    std::snprintf(line, sizeof(line),
+                  "%-6s count %-7lld mean %8.3f ms  p50 %8.3f ms  "
+                  "p95 %8.3f ms  max %8.3f ms\n",
+                  name, static_cast<long long>(s.count), s.mean_ms(),
+                  s.PercentileMs(50), s.PercentileMs(95), s.max_ms);
+    out += line;
+  };
+  stage("embed", embed);
+  stage("score", score);
+  stage("rank", rank);
+  return out;
+}
+
+}  // namespace adamine::serve

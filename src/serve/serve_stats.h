@@ -1,0 +1,60 @@
+#ifndef ADAMINE_SERVE_SERVE_STATS_H_
+#define ADAMINE_SERVE_SERVE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace adamine::serve {
+
+/// Per-stage latency accounting: count / total / max plus a fixed
+/// power-of-two-microsecond histogram ([<1us, <2us, ..., <~2s, overflow])
+/// cheap enough to update on every batch and rich enough for p50/p95
+/// estimates in a stats snapshot.
+struct StageStats {
+  static constexpr int kBuckets = 22;
+
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+  std::array<int64_t, kBuckets> buckets{};
+
+  void Record(double ms);
+
+  double mean_ms() const { return count == 0 ? 0.0 : total_ms / count; }
+
+  /// Upper bound (in ms) of the histogram bucket containing the p-th
+  /// percentile observation, p in [0, 100]. 0 when nothing was recorded.
+  double PercentileMs(double p) const;
+};
+
+/// One consistent snapshot of a RetrievalService's counters: stage
+/// latencies for query embedding (recorded by the caller running the model
+/// forward), similarity scoring, and top-k ranking, plus query/batch/cache
+/// counters. For the IVF backend the score stage covers the whole batched
+/// search (centroid scan, candidate scoring and per-query ranking are one
+/// fused pass); the rank stage is populated by the exhaustive backend's
+/// top-k selection.
+struct ServeStats {
+  int64_t queries = 0;       // Query rows served (cache hits included).
+  int64_t batches = 0;       // Scoring micro-batches dispatched.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  StageStats embed;
+  StageStats score;
+  StageStats rank;
+
+  double cache_hit_rate() const {
+    const int64_t looked_up = cache_hits + cache_misses;
+    return looked_up == 0 ? 0.0
+                          : static_cast<double>(cache_hits) / looked_up;
+  }
+
+  /// Multi-line human-readable snapshot for the CLI / bench output.
+  std::string ToString() const;
+};
+
+}  // namespace adamine::serve
+
+#endif  // ADAMINE_SERVE_SERVE_STATS_H_

@@ -313,6 +313,37 @@ TEST(BatchSamplerTest, EpochCoversAllItems) {
   EXPECT_EQ(seen.size(), 40u);
 }
 
+TEST(BatchSamplerTest, NoDuplicatesAcrossEpochBoundary) {
+  // Regression: pool sizes not divisible by the per-pool batch split, so
+  // every few batches a pool exhausts mid-batch and reshuffles. The old
+  // Draw reshuffled the full pool, so the refilled prefix could repeat an
+  // index already drawn into the same batch — a pair that is its own
+  // hardest negative at distance 0.
+  std::vector<int64_t> labels(7, -1);   // 7 unlabeled ...
+  for (int i = 0; i < 5; ++i) labels.push_back(i % 3);  // ... + 5 labeled.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    BatchSampler sampler(labels, 8, seed);  // Split: 4 unlabeled + 4 labeled.
+    for (int b = 0; b < 50; ++b) {
+      auto batch = sampler.NextBatch();
+      std::set<int64_t> unique(batch.begin(), batch.end());
+      ASSERT_EQ(unique.size(), batch.size())
+          << "duplicate index in batch " << b << " (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(BatchSamplerTest, SinglePoolBoundaryNeverRepeatsWithinBatch) {
+  // Fully unlabeled pool of 10 with batch 4: every 5th batch straddles the
+  // epoch boundary (10 % 4 != 0).
+  std::vector<int64_t> labels(10, -1);
+  BatchSampler sampler(labels, 4, 11);
+  for (int b = 0; b < 100; ++b) {
+    auto batch = sampler.NextBatch();
+    std::set<int64_t> unique(batch.begin(), batch.end());
+    ASSERT_EQ(unique.size(), batch.size()) << "batch " << b;
+  }
+}
+
 TEST(BatchSamplerTest, LabeledHalfTracksClassDistribution) {
   // 3:1 imbalance between classes 0 and 1 must survive into batches.
   std::vector<int64_t> labels(200, -1);

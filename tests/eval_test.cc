@@ -27,13 +27,51 @@ TEST(MatchRanksTest, KnownRanking) {
   EXPECT_EQ(ranks[2], 1);
 }
 
-TEST(MatchRanksTest, TieBreakDeterministic) {
-  // Two identical candidates: earlier index wins the tie.
+TEST(MatchRanksTest, TiedCandidatesDoNotPushTheMatchDown) {
+  // Two identical candidates: only strictly closer items count, so both
+  // queries rank their match first regardless of bag position.
   Tensor queries = Tensor::FromVector({2, 2}, {1, 0, 1, 0});
   Tensor candidates = Tensor::FromVector({2, 2}, {1, 0, 1, 0});
   auto ranks = MatchRanks(queries, candidates);
-  EXPECT_EQ(ranks[0], 1);  // Candidate 0 beats candidate 1 on the tie.
-  EXPECT_EQ(ranks[1], 2);
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 1);
+}
+
+TEST(MatchRanksTest, TieHeavyBagIsPositionInvariant) {
+  // Regression for the old `j < i` tie-break: a bag of many identical
+  // pairs plus one strictly-closer distractor per query. Every query has
+  // the same similarity profile, so every rank must be identical; under
+  // the buggy rule query i was ranked 1 + i.
+  const int64_t n = 6;
+  std::vector<float> rows;
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(1.0f);
+    rows.push_back(0.0f);
+  }
+  Tensor queries = Tensor::FromVector({n, 2}, rows);
+  Tensor candidates = Tensor::FromVector({n, 2}, rows);
+  auto ranks = MatchRanks(queries, candidates);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ranks[static_cast<size_t>(i)], 1) << "query " << i;
+  }
+
+  // Add one strictly-closer distractor: candidate 0 points exactly along
+  // the queries, candidates 1..n-1 (the matches of queries 1..n-1) are all
+  // tied below it. Queries 1..n-1 must all rank exactly 2 — one strictly
+  // closer item, ties ignored. The buggy rule gave 2, 3, 4, ...
+  std::vector<float> cand_rows = rows;
+  cand_rows[1] = 0.2f;  // Candidate 0 becomes (1, 0.2).
+  std::vector<float> qrows;
+  for (int64_t i = 0; i < n; ++i) {
+    qrows.push_back(1.0f);
+    qrows.push_back(0.2f);
+  }
+  auto tilted_ranks = MatchRanks(Tensor::FromVector({n, 2}, qrows),
+                                 Tensor::FromVector({n, 2}, cand_rows));
+  EXPECT_EQ(tilted_ranks[0], 1);  // Query 0's match is the distractor.
+  for (int64_t i = 1; i < n; ++i) {
+    EXPECT_EQ(tilted_ranks[static_cast<size_t>(i)], 2) << "query " << i;
+  }
 }
 
 TEST(MetricsFromRanksTest, MedianAndRecall) {

@@ -153,6 +153,26 @@ TEST(IvfIndexTest, MoreProbesNeverHurtRecall) {
   EXPECT_NEAR(last, 1.0, 1e-9);  // All lists probed -> exact.
 }
 
+TEST(IvfIndexTest, RecallWellDefinedWhenKExceedsListSizes) {
+  // 12 items in 3 lists of ~4: k = 50 exceeds every list size, so the
+  // exact-truth sets are smaller than k. Recall must still be averaged
+  // over the truth-set sizes (never over k or over queries with no truth).
+  Tensor items = ClusteredUnitRows(4, 31);
+  Tensor queries = ClusteredUnitRows(2, 37);
+  index::IvfConfig config;
+  config.num_lists = 3;
+  config.num_probes = 1;
+  auto index = index::IvfIndex::Build(items.Clone(), config);
+  ASSERT_TRUE(index.ok());
+  const double partial = index->RecallAtK(queries, 50);
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);  // One probed list cannot cover all 12 items.
+  ASSERT_TRUE(index->SetNumProbes(3).ok());
+  // All lists probed: approx == exact, so recall is exactly 1 even though
+  // k is far larger than any list.
+  EXPECT_EQ(index->RecallAtK(queries, 50), 1.0);
+}
+
 TEST(PairedBootstrapTest, RejectsBadInput) {
   Rng rng(1);
   auto bad = eval::PairedBootstrap({1, 2}, {1}, 100, rng);

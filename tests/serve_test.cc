@@ -1,0 +1,376 @@
+// Serving-layer suite: backend equivalence (the micro-batched GEMM scoring
+// must be bit-identical to the per-query scalar paths for every kernel
+// thread count), LRU cache correctness under eviction, recall monotonicity
+// in the probe dial, stats accounting, and concurrent use (the
+// RetrievalServiceConcurrencyTest suite also runs under the tsan ctest
+// label; see tests/CMakeLists.txt).
+
+#include "serve/retrieval_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/embedder.h"
+#include "index/ivf_index.h"
+#include "io/serialize.h"
+#include "kernel/kernel.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace adamine {
+namespace {
+
+namespace serve = adamine::serve;
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int num_threads) { kernel::SetNumThreads(num_threads); }
+  ~ThreadGuard() { kernel::SetNumThreads(1); }
+};
+
+/// Well-separated clusters of unit rows, the IVF-friendly geometry.
+Tensor ClusteredUnitRows(int64_t clusters, int64_t per_cluster, int64_t dim,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Tensor anchors = L2NormalizeRows(Tensor::Randn({clusters, dim}, rng));
+  Tensor points({clusters * per_cluster, dim});
+  for (int64_t c = 0; c < clusters; ++c) {
+    for (int64_t i = 0; i < per_cluster; ++i) {
+      const int64_t row = c * per_cluster + i;
+      for (int64_t j = 0; j < dim; ++j) {
+        points.At(row, j) =
+            anchors.At(c, j) + static_cast<float>(rng.Normal(0, 0.05));
+      }
+    }
+  }
+  return L2NormalizeRows(points);
+}
+
+Tensor RowOf(const Tensor& m, int64_t i) {
+  Tensor row({m.cols()});
+  std::copy(m.data() + i * m.cols(), m.data() + (i + 1) * m.cols(),
+            row.data());
+  return row;
+}
+
+serve::ServeConfig ExhaustiveConfig(int64_t micro_batch = 32,
+                                    int64_t cache = 0) {
+  serve::ServeConfig config;
+  config.backend = serve::Backend::kExhaustive;
+  config.micro_batch = micro_batch;
+  config.cache_capacity = cache;
+  return config;
+}
+
+serve::ServeConfig IvfServeConfig(int64_t num_lists, int64_t num_probes,
+                                  int64_t micro_batch = 32,
+                                  int64_t cache = 0) {
+  serve::ServeConfig config;
+  config.backend = serve::Backend::kIvf;
+  config.ivf.num_lists = num_lists;
+  config.ivf.num_probes = num_probes;
+  config.ivf.seed = 9;
+  config.micro_batch = micro_batch;
+  config.cache_capacity = cache;
+  return config;
+}
+
+TEST(ServeConfigTest, Validation) {
+  EXPECT_TRUE(ExhaustiveConfig().Validate().ok());
+  serve::ServeConfig bad = ExhaustiveConfig();
+  bad.micro_batch = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ExhaustiveConfig();
+  bad.cache_capacity = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = IvfServeConfig(4, 8);  // probes > lists.
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RetrievalServiceTest, ExhaustiveMatchesScalarPathAtEveryWidth) {
+  Tensor items = ClusteredUnitRows(6, 40, 16, 3);
+  Tensor queries = ClusteredUnitRows(6, 4, 16, 5);
+  // The per-query scalar reference path.
+  core::RetrievalIndex scalar(items);
+  std::vector<std::vector<int64_t>> expect;
+  for (int64_t i = 0; i < queries.rows(); ++i) {
+    expect.push_back(scalar.Query(RowOf(queries, i), 10));
+  }
+  for (int width : {1, 2, 3, 4}) {
+    ThreadGuard guard(width);
+    for (int64_t micro_batch : {1, 7, 64}) {
+      auto service = serve::RetrievalService::Create(
+          items, ExhaustiveConfig(micro_batch));
+      ASSERT_TRUE(service.ok());
+      auto got = (*service)->QueryBatch(queries, 10);
+      ASSERT_EQ(got.size(), expect.size());
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i], expect[i])
+            << "query " << i << " width " << width << " micro-batch "
+            << micro_batch;
+      }
+    }
+  }
+}
+
+TEST(RetrievalServiceTest, IvfMatchesScalarPathAtEveryWidth) {
+  Tensor items = ClusteredUnitRows(8, 30, 16, 7);
+  Tensor queries = ClusteredUnitRows(8, 3, 16, 11);
+  index::IvfConfig ivf;
+  ivf.num_lists = 8;
+  ivf.num_probes = 3;
+  ivf.seed = 9;
+  auto index = index::IvfIndex::Build(items.Clone(), ivf);
+  ASSERT_TRUE(index.ok());
+  std::vector<std::vector<int64_t>> expect;
+  for (int64_t i = 0; i < queries.rows(); ++i) {
+    expect.push_back(index->Query(RowOf(queries, i), 10));
+  }
+  for (int width : {1, 2, 3, 4}) {
+    ThreadGuard guard(width);
+    for (int64_t micro_batch : {1, 5, 64}) {
+      auto service = serve::RetrievalService::Create(
+          items, IvfServeConfig(8, 3, micro_batch));
+      ASSERT_TRUE(service.ok());
+      auto got = (*service)->QueryBatch(queries, 10);
+      ASSERT_EQ(got.size(), expect.size());
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i], expect[i])
+            << "query " << i << " width " << width << " micro-batch "
+            << micro_batch;
+      }
+    }
+  }
+}
+
+TEST(IvfIndexBatchTest, BatchedQueryMatchesPerQueryScalar) {
+  // Direct index-level equivalence, including the exact (all-probe) path.
+  Tensor items = ClusteredUnitRows(5, 25, 12, 13);
+  Tensor queries = ClusteredUnitRows(5, 4, 12, 17);
+  index::IvfConfig ivf;
+  ivf.num_lists = 5;
+  ivf.num_probes = 2;
+  auto index = index::IvfIndex::Build(items.Clone(), ivf);
+  ASSERT_TRUE(index.ok());
+  auto batched = index->QueryBatch(queries, 7);
+  auto batched_exact = index->QueryBatchExact(queries, 7);
+  for (int64_t i = 0; i < queries.rows(); ++i) {
+    Tensor q = RowOf(queries, i);
+    EXPECT_EQ(batched[static_cast<size_t>(i)], index->Query(q, 7));
+    EXPECT_EQ(batched_exact[static_cast<size_t>(i)], index->QueryExact(q, 7));
+  }
+}
+
+TEST(RetrievalServiceTest, CacheServesRepeatsAndEvictsLru) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 19);
+  auto service = serve::RetrievalService::Create(
+      items, ExhaustiveConfig(/*micro_batch=*/8, /*cache=*/2));
+  ASSERT_TRUE(service.ok());
+  Tensor q0 = RowOf(items, 0);
+  Tensor q1 = RowOf(items, 25);
+  Tensor q2 = RowOf(items, 50);
+
+  auto r0 = (*service)->Query(q0, 5);
+  auto r1 = (*service)->Query(q1, 5);
+  // Cache full {q1, q0}. A repeat is a hit and returns identical results.
+  EXPECT_EQ((*service)->Query(q0, 5), r0);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+
+  // q2 evicts the least-recently-used entry (q1).
+  auto r2 = (*service)->Query(q2, 5);
+  EXPECT_EQ((*service)->Query(q1, 5), r1);  // Miss: was evicted, rescored.
+  stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 4);
+
+  // Evicted-and-rescored results stay correct (scoring is deterministic).
+  EXPECT_EQ((*service)->Query(q2, 5), r2);  // Hit again.
+  stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 2);
+  EXPECT_GT(stats.cache_hit_rate(), 0.0);
+}
+
+TEST(RetrievalServiceTest, CacheKeyedByKAndProbes) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 23);
+  auto service =
+      serve::RetrievalService::Create(items, IvfServeConfig(4, 1, 8, 64));
+  ASSERT_TRUE(service.ok());
+  Tensor q = RowOf(items, 3);
+  auto k5 = (*service)->Query(q, 5);
+  auto k3 = (*service)->Query(q, 3);
+  EXPECT_EQ(k3.size(), 3u);
+  EXPECT_EQ(k5.size(), 5u);
+  // Same query at a different probe count must not reuse the cached entry.
+  ASSERT_TRUE((*service)->SetProbes(4).ok());
+  auto exact = (*service)->Query(q, 5);
+  EXPECT_EQ(exact.size(), 5u);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_misses, 3);
+}
+
+TEST(RetrievalServiceTest, ProbeDialRecallIsMonotone) {
+  Tensor items = ClusteredUnitRows(8, 30, 12, 29);
+  Tensor queries = ClusteredUnitRows(8, 3, 12, 31);
+  auto service =
+      serve::RetrievalService::Create(items, IvfServeConfig(8, 1));
+  ASSERT_TRUE(service.ok());
+  auto exact = serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_TRUE(exact.ok());
+  auto truth = (*exact)->QueryBatch(queries, 8);
+  double last = 0.0;
+  for (int64_t probes : {1, 2, 4, 8}) {
+    ASSERT_TRUE((*service)->SetProbes(probes).ok());
+    EXPECT_EQ((*service)->probes(), probes);
+    auto got = (*service)->QueryBatch(queries, 8);
+    double recall = 0.0;
+    for (size_t i = 0; i < got.size(); ++i) {
+      std::set<int64_t> t(truth[i].begin(), truth[i].end());
+      int64_t hits = 0;
+      for (int64_t item : got[i]) hits += t.count(item);
+      recall += static_cast<double>(hits) / static_cast<double>(t.size());
+    }
+    recall /= static_cast<double>(got.size());
+    EXPECT_GE(recall, last - 1e-12) << "probes " << probes;
+    last = recall;
+  }
+  EXPECT_NEAR(last, 1.0, 1e-12);  // All lists probed == exhaustive truth.
+}
+
+TEST(RetrievalServiceTest, LoadsExportedBundleAndRejectsMissingName) {
+  Tensor items = ClusteredUnitRows(3, 10, 8, 37);
+  const std::string path = testing::TempDir() + "/serve_bundle.bin";
+  ASSERT_TRUE(io::SaveTensorBundle(path, {{"image_emb", items}}).ok());
+  auto service = serve::RetrievalService::Load(path, "image_emb",
+                                               ExhaustiveConfig());
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->size(), items.rows());
+  EXPECT_EQ((*service)->dim(), items.cols());
+  auto top = (*service)->Query(RowOf(items, 4), 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 4);  // A stored row's nearest neighbour is itself.
+
+  auto missing = serve::RetrievalService::Load(path, "no_such_tensor",
+                                               ExhaustiveConfig());
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(RetrievalServiceTest, ProbeDialRejectedOnExhaustiveBackend) {
+  Tensor items = ClusteredUnitRows(3, 10, 8, 41);
+  auto service =
+      serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE((*service)->SetProbes(2).ok());
+  EXPECT_EQ((*service)->probes(), 0);
+}
+
+TEST(RetrievalServiceTest, StatsCountStagesAndBatches) {
+  Tensor items = ClusteredUnitRows(4, 16, 8, 43);
+  auto service = serve::RetrievalService::Create(
+      items, ExhaustiveConfig(/*micro_batch=*/16, /*cache=*/0));
+  ASSERT_TRUE(service.ok());
+  Tensor queries = ClusteredUnitRows(4, 8, 8, 47);  // 32 queries.
+  (*service)->QueryBatch(queries, 5);
+  (*service)->RecordEmbedMillis(1.5);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.queries, 32);
+  EXPECT_EQ(stats.batches, 2);  // 32 queries / micro-batch 16.
+  EXPECT_EQ(stats.score.count, 2);
+  EXPECT_EQ(stats.rank.count, 2);
+  EXPECT_EQ(stats.embed.count, 1);
+  EXPECT_NEAR(stats.embed.total_ms, 1.5, 1e-12);
+  EXPECT_GE(stats.embed.PercentileMs(50), 1.5);
+  EXPECT_GE(stats.score.PercentileMs(95), stats.score.PercentileMs(50));
+  EXPECT_FALSE(stats.ToString().empty());
+  (*service)->ResetStats();
+  EXPECT_EQ((*service)->Snapshot().queries, 0);
+}
+
+TEST(IvfIndexValidationTest, RejectsNonPositiveKAndProbes) {
+  Tensor items = ClusteredUnitRows(4, 10, 8, 53);
+  index::IvfConfig ivf;
+  ivf.num_lists = 4;
+  ivf.num_probes = 2;
+  auto index = index::IvfIndex::Build(items.Clone(), ivf);
+  ASSERT_TRUE(index.ok());
+  Tensor q = RowOf(items, 0);
+  EXPECT_DEATH(index->Query(q, 0), "\\(k\\) > \\(0\\)");
+  EXPECT_DEATH(index->Query(q, -3), "\\(k\\) > \\(0\\)");
+  EXPECT_DEATH(index->QueryWithProbes(q, 5, 0), "\\(probes\\) > \\(0\\)");
+  EXPECT_DEATH(index->QueryBatchWithProbes(items, 5, -1),
+               "\\(probes\\) > \\(0\\)");
+  EXPECT_FALSE(index->SetNumProbes(0).ok());
+  EXPECT_FALSE(index->SetNumProbes(5).ok());  // > num_lists.
+  ASSERT_TRUE(index->SetNumProbes(4).ok());
+  EXPECT_EQ(index->num_probes(), 4);
+}
+
+TEST(RetrievalServiceConcurrencyTest, ConcurrentQueriesAreConsistent) {
+  Tensor items = ClusteredUnitRows(6, 20, 12, 59);
+  Tensor queries = ClusteredUnitRows(6, 4, 12, 61);
+  auto service = serve::RetrievalService::Create(
+      items, ExhaustiveConfig(/*micro_batch=*/8, /*cache=*/16));
+  ASSERT_TRUE(service.ok());
+  auto expect = (*service)->QueryBatch(queries, 6);
+  (*service)->ResetStats();  // Count only the concurrent phase below.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int iter = 0; iter < 8; ++iter) {
+        if ((t + iter) % 2 == 0) {
+          auto got = (*service)->QueryBatch(queries, 6);
+          if (got != expect) mismatches.fetch_add(1);
+        } else {
+          const int64_t i = (t * 8 + iter) % queries.rows();
+          auto got = (*service)->Query(RowOf(queries, i), 6);
+          if (got != expect[static_cast<size_t>(i)]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.queries, 4 * 8 / 2 * static_cast<int64_t>(queries.rows()) +
+                               4 * 8 / 2);
+}
+
+TEST(RetrievalServiceConcurrencyTest, ConcurrentProbeDialAndQueries) {
+  Tensor items = ClusteredUnitRows(8, 15, 12, 67);
+  Tensor queries = ClusteredUnitRows(8, 2, 12, 71);
+  auto service = serve::RetrievalService::Create(
+      items, IvfServeConfig(8, 2, /*micro_batch=*/8, /*cache=*/32));
+  ASSERT_TRUE(service.ok());
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      for (int iter = 0; iter < 10; ++iter) {
+        auto got = (*service)->QueryBatch(queries, 5);
+        for (const auto& row : got) {
+          if (row.empty()) failed.store(true);
+        }
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int64_t probes : {1, 4, 8, 2, 8, 1}) {
+      if (!(*service)->SetProbes(probes).ok()) failed.store(true);
+    }
+  });
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace adamine
