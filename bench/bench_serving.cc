@@ -3,11 +3,21 @@
 // count. Reports QPS, per-query latency and recall@10, and verifies the
 // serving contract: results are bit-identical to the scalar reference
 // paths at every thread count (see DESIGN.md, "Serving").
+//
+// With --overload the bench instead sweeps offered load (client threads)
+// against a deliberately under-provisioned service (admission queue of
+// depth 4, 2 slots, an armed serve.score.delay stall emulating expensive
+// scoring) and reports shed rate, deadline-miss rate and the adaptive
+// probe dial's trace per level, writing the rows to
+// BENCH_serving_overload.json (see DESIGN.md, "Overload behavior").
 
 #include <cstdio>
 
+#include <atomic>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -16,6 +26,7 @@
 #include "kernel/kernel.h"
 #include "serve/retrieval_service.h"
 #include "tensor/ops.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace adamine {
@@ -204,7 +215,165 @@ int Run() {
   return bit_identical ? 0 : 1;
 }
 
+/// Offered-load sweep against an under-provisioned service: every scoring
+/// micro-batch is stalled (armed serve.score.delay, the same fault point
+/// the overload tests use) so a handful of clients is already more than
+/// capacity, and the admission queue + deadline + degradation machinery is
+/// what keeps latency bounded. Emits one table row and one JSON record per
+/// offered-load level.
+int RunOverload() {
+  constexpr int64_t kDelayMs = 4;       // Emulated per-batch scoring cost.
+  constexpr double kDeadlineMs = 40.0;  // Per-request budget.
+  constexpr int kRequestsPerClient = 40;
+  data::GeneratorConfig config;
+  config.num_recipes = 4000;
+  config.num_classes = 96;
+  config.seed = 42;
+  auto generator = data::RecipeGenerator::Create(config);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  data::Dataset dataset = generator->Generate();
+  Tensor items({dataset.size(), dataset.image_dim});
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Tensor& img = dataset.recipes[static_cast<size_t>(i)].image;
+    std::copy(img.data(), img.data() + dataset.image_dim,
+              items.data() + i * dataset.image_dim);
+  }
+  items = L2NormalizeRows(items);
+  Tensor queries = SliceRows(items, 0, 64);
+
+  serve::ServeConfig serve_config;
+  serve_config.backend = serve::Backend::kIvf;
+  serve_config.ivf.num_lists = kNumLists;
+  serve_config.ivf.num_probes = 8;
+  serve_config.ivf.seed = 9;
+  serve_config.micro_batch = 1;
+  serve_config.cache_capacity = 0;  // Measure the serve path, not repeats.
+  serve_config.max_inflight = 2;
+  serve_config.max_queue = 4;
+  serve_config.degradation.target_ms = static_cast<double>(kDelayMs) + 1.0;
+  serve_config.degradation.min_probes = 1;
+  serve_config.degradation.window = 8;
+  auto service = serve::RetrievalService::Create(items, serve_config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Overload sweep ==\n");
+  std::printf(
+      "(%lld items, ivf 8/%lld probes, %lld ms emulated batch cost, "
+      "%.0f ms deadline, %lld in flight + %lld queued)\n",
+      static_cast<long long>(items.rows()),
+      static_cast<long long>(kNumLists), static_cast<long long>(kDelayMs),
+      kDeadlineMs, static_cast<long long>(serve_config.max_inflight),
+      static_cast<long long>(serve_config.max_queue));
+
+  TablePrinter table({"clients", "offered", "ok", "shed%", "miss%", "QPS",
+                      "probes end", "dial", "health"});
+  std::string json = "[\n";
+  bool queue_bounded = true;
+  for (const int clients : {1, 2, 4, 8, 16}) {
+    // Each level starts healthy at full probes with fresh counters.
+    if (!(*service)->SetProbes(serve_config.ivf.num_probes).ok()) return 1;
+    (*service)->ResetStats();
+    fault::Arm(fault::kServeScoreDelay, /*skip=*/kDelayMs);
+    std::atomic<int64_t> ok_count{0};
+    std::atomic<int64_t> shed_count{0};
+    std::atomic<int64_t> miss_count{0};
+    // The probe dial's trace, sampled by client 0 after every request and
+    // compressed to its change points.
+    std::vector<int64_t> dial_trace;
+    Stopwatch watch;
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (int iter = 0; iter < kRequestsPerClient; ++iter) {
+          serve::QueryOptions options;
+          options.deadline_ms = kDeadlineMs;
+          const int64_t row =
+              (c * kRequestsPerClient + iter) % queries.rows();
+          Tensor q = RowOf(queries, row);
+          auto result = (*service)->QueryWithOptions(q, kTopK, options);
+          if (result.ok()) {
+            ok_count.fetch_add(1);
+          } else if (result.status().code() == StatusCode::kUnavailable) {
+            shed_count.fetch_add(1);
+          } else {
+            miss_count.fetch_add(1);
+          }
+          if (c == 0) {
+            const int64_t probes = (*service)->probes();
+            if (dial_trace.empty() || dial_trace.back() != probes) {
+              dial_trace.push_back(probes);
+            }
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double elapsed_s = watch.ElapsedSeconds();
+    fault::Reset();
+    const serve::ServeStats stats = (*service)->Snapshot();
+    if (stats.queue_peak > serve_config.max_queue) queue_bounded = false;
+    const int64_t offered = clients * kRequestsPerClient;
+    const double shed_rate =
+        100.0 * static_cast<double>(shed_count.load()) /
+        static_cast<double>(offered);
+    const double miss_rate =
+        100.0 * static_cast<double>(miss_count.load()) /
+        static_cast<double>(offered);
+    std::string dial;
+    for (size_t i = 0; i < dial_trace.size(); ++i) {
+      if (i > 0) dial += ">";
+      dial += std::to_string(dial_trace[i]);
+    }
+    table.AddRow({std::to_string(clients), std::to_string(offered),
+                  std::to_string(ok_count.load()),
+                  TablePrinter::Num(shed_rate, 1),
+                  TablePrinter::Num(miss_rate, 1),
+                  TablePrinter::Num(
+                      static_cast<double>(ok_count.load()) / elapsed_s, 0),
+                  std::to_string(stats.probes), dial,
+                  serve::HealthStateName(stats.health)});
+    char record[512];
+    std::snprintf(
+        record, sizeof(record),
+        "  {\"clients\": %d, \"offered\": %lld, \"ok\": %lld, "
+        "\"shed\": %lld, \"deadline_miss\": %lld, \"shed_rate\": %.4f, "
+        "\"miss_rate\": %.4f, \"qps\": %.1f, \"queue_peak\": %lld, "
+        "\"probes_end\": %lld, \"dial_downs\": %lld, \"dial_ups\": %lld, "
+        "\"dial_trace\": \"%s\", \"health\": \"%s\"}%s\n",
+        clients, static_cast<long long>(offered),
+        static_cast<long long>(ok_count.load()),
+        static_cast<long long>(shed_count.load()),
+        static_cast<long long>(miss_count.load()), shed_rate / 100.0,
+        miss_rate / 100.0,
+        static_cast<double>(ok_count.load()) / elapsed_s,
+        static_cast<long long>(stats.queue_peak),
+        static_cast<long long>(stats.probes),
+        static_cast<long long>(stats.probe_dial_downs),
+        static_cast<long long>(stats.probe_dial_ups), dial.c_str(),
+        serve::HealthStateName(stats.health), clients == 16 ? "" : ",");
+    json += record;
+  }
+  json += "]\n";
+  table.Print(std::cout);
+  std::printf("queue bounded by max_queue at every level: %s\n",
+              queue_bounded ? "yes" : "NO (BUG)");
+  std::ofstream out("BENCH_serving_overload.json");
+  out << json;
+  std::printf("wrote BENCH_serving_overload.json\n");
+  return queue_bounded ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace adamine
 
-int main() { return adamine::Run(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--overload") return adamine::RunOverload();
+  }
+  return adamine::Run();
+}

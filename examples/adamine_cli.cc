@@ -16,6 +16,19 @@
 //   --embeddings=PATH          where `serve` exports / reloads the
 //                              embedding bundle (io tensor bundle)
 //
+// Overload-safety flags (serve / query; see DESIGN.md "Overload
+// behavior"):
+//   --deadline-ms=MS           per-request latency budget; an exceeded
+//                              budget returns DEADLINE_EXCEEDED (0 = none)
+//   --max-inflight=N           admission control: at most N requests score
+//                              concurrently (0 disables admission)
+//   --max-queue=N              at most N more wait for a slot; the rest
+//                              are shed fast with UNAVAILABLE
+//   --degrade-target-ms=MS     IVF backend: when the score-stage p95
+//                              exceeds MS, probes dial down automatically
+//                              (and back up when healthy; 0 disables)
+//   --min-probes=N             floor of the adaptive probe dial
+//
 // `serve` loads the checkpoint, embeds the test split, exports the
 // embedding bundle, reloads it into a serve::RetrievalService and replays
 // the recipe embeddings as a query stream (recipe->image retrieval),
@@ -101,6 +114,11 @@ int main(int argc, char** argv) {
   long probes = 0;
   long serve_batch = 32;
   long serve_cache = 1024;
+  double deadline_ms = 0.0;
+  long max_inflight = 0;
+  long max_queue = 0;
+  double degrade_target_ms = 0.0;
+  long min_probes = 1;
   std::string embeddings_path = "/tmp/adamine_embeddings.bin";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -134,6 +152,21 @@ int main(int argc, char** argv) {
       serve_cache = std::atol(arg.c_str() + std::strlen("--cache="));
     } else if (arg.rfind("--embeddings=", 0) == 0) {
       embeddings_path = arg.substr(std::strlen("--embeddings="));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() + std::strlen("--deadline-ms="));
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      max_inflight = std::atol(arg.c_str() + std::strlen("--max-inflight="));
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      max_queue = std::atol(arg.c_str() + std::strlen("--max-queue="));
+    } else if (arg.rfind("--degrade-target-ms=", 0) == 0) {
+      degrade_target_ms =
+          std::atof(arg.c_str() + std::strlen("--degrade-target-ms="));
+    } else if (arg.rfind("--min-probes=", 0) == 0) {
+      min_probes = std::atol(arg.c_str() + std::strlen("--min-probes="));
+      if (min_probes <= 0) {
+        std::fprintf(stderr, "error: --min-probes must be positive\n");
+        return 1;
+      }
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -188,12 +221,19 @@ int main(int argc, char** argv) {
                                : adamine::serve::Backend::kExhaustive;
     serve_config.micro_batch = serve_batch;
     serve_config.cache_capacity = serve_cache;
+    serve_config.max_inflight = max_inflight;
+    serve_config.max_queue = max_queue;
     if (serve_config.backend == adamine::serve::Backend::kIvf) {
       serve_config.ivf.num_lists =
           std::min<int64_t>(32, test.image_emb.rows());
       serve_config.ivf.num_probes =
           probes > 0 ? probes : std::min<int64_t>(4, serve_config.ivf.num_lists);
+      serve_config.degradation.target_ms = degrade_target_ms;
+      serve_config.degradation.min_probes =
+          std::min<int64_t>(min_probes, serve_config.ivf.num_probes);
     }
+    adamine::serve::QueryOptions query_options;
+    query_options.deadline_ms = deadline_ms;
 
     if (command == "query") {
       auto service = adamine::serve::RetrievalService::Create(
@@ -209,7 +249,9 @@ int main(int argc, char** argv) {
       std::printf("top 5 dishes for \"%s\" (%s backend):\n", arg2.c_str(),
                   adamine::serve::BackendName(serve_config.backend));
       const auto& recipes = pipe.splits().test.recipes;
-      for (int64_t idx : (*service)->Query(emb, 5)) {
+      auto top5 = (*service)->QueryWithOptions(emb, 5, query_options);
+      if (!top5.ok()) return Fail(top5.status());
+      for (int64_t idx : top5.value()) {
         const auto& r = recipes[static_cast<size_t>(idx)];
         std::printf("  [%s]", r.class_name.c_str());
         for (const auto& ing : r.ingredients) std::printf(" %s", ing.c_str());
@@ -242,11 +284,14 @@ int main(int argc, char** argv) {
     // Two passes over the query stream: the second exercises the cache.
     int64_t top1 = 0;
     for (int pass = 0; pass < 2; ++pass) {
-      auto results = (*service)->QueryBatch(test.recipe_emb, 10);
+      auto results =
+          (*service)->QueryBatchWithOptions(test.recipe_emb, 10,
+                                            query_options);
+      if (!results.ok()) return Fail(results.status());
       if (pass == 0) {
-        for (size_t i = 0; i < results.size(); ++i) {
-          if (!results[i].empty() &&
-              results[i][0] == static_cast<int64_t>(i)) {
+        for (size_t i = 0; i < results.value().size(); ++i) {
+          if (!results.value()[i].empty() &&
+              results.value()[i][0] == static_cast<int64_t>(i)) {
             ++top1;
           }
         }

@@ -252,6 +252,24 @@ Status SaveTensorBundle(const std::string& path,
 StatusOr<std::vector<NamedTensor>> LoadTensorBundle(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::NotFound("cannot open for reading: " + path);
+  if (fault::ShouldFail(fault::kServeLoadRead)) {
+    // Simulate a torn read (truncated download, partial page-in): parse a
+    // half-length copy of the file. The bundle reader's bounds and CRC
+    // validation must turn this into a recoverable Status, never a crash
+    // or a garbage tensor.
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::istringstream torn(bytes);
+    auto result = ReadTensorBundle(torn);
+    if (result.ok()) {
+      return Status::DataLoss("torn read of " + path +
+                              " parsed cleanly (should be impossible)");
+    }
+    return Status::DataLoss("torn read of " + path + ": " +
+                            result.status().ToString());
+  }
   return ReadTensorBundle(is);
 }
 

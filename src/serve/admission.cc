@@ -1,0 +1,88 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "util/fault.h"
+
+namespace adamine::serve {
+
+AdmissionController::AdmissionController(int64_t max_inflight,
+                                         int64_t max_queue)
+    : max_inflight_(max_inflight), max_queue_(max_queue) {}
+
+Status AdmissionController::Admit(TimePoint deadline) {
+  if (fault::ShouldFail(fault::kServeQueueReject)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed;
+    return Status::Unavailable("injected admission reject");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!enabled()) {
+    ++stats_.admitted;
+    ++inflight_;
+    stats_.inflight_peak = std::max(stats_.inflight_peak, inflight_);
+    return Status::Ok();
+  }
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    ++stats_.admitted;
+    stats_.inflight_peak = std::max(stats_.inflight_peak, inflight_);
+    return Status::Ok();
+  }
+  if (queued_ >= max_queue_) {
+    ++stats_.shed;
+    return Status::Unavailable(
+        "service overloaded: " + std::to_string(inflight_) + " in flight, " +
+        std::to_string(queued_) + " queued");
+  }
+  ++queued_;
+  stats_.queue_peak = std::max(stats_.queue_peak, queued_);
+  const auto slot_available = [this] { return inflight_ < max_inflight_; };
+  bool got_slot = true;
+  if (deadline == TimePoint::max()) {
+    // wait_until with time_point::max can overflow the clock conversion on
+    // some standard libraries; an unbounded wait is what is meant anyway.
+    slot_free_.wait(lock, slot_available);
+  } else {
+    got_slot = slot_free_.wait_until(lock, deadline, slot_available);
+  }
+  --queued_;
+  if (!got_slot) {
+    ++stats_.queue_timeouts;
+    return Status::DeadlineExceeded("deadline expired while queued");
+  }
+  ++inflight_;
+  ++stats_.admitted;
+  stats_.inflight_peak = std::max(stats_.inflight_peak, inflight_);
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  slot_free_.notify_one();
+}
+
+int64_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+int64_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+AdmissionStats AdmissionController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AdmissionController::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = AdmissionStats();
+}
+
+}  // namespace adamine::serve

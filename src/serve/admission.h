@@ -1,0 +1,89 @@
+#ifndef ADAMINE_SERVE_ADMISSION_H_
+#define ADAMINE_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace adamine::serve {
+
+/// Counters of everything the admission controller decided since
+/// construction / Reset: how many requests ran, how many were shed at the
+/// door, how many timed out waiting for a slot, and how deep the in-flight
+/// and waiting populations ever got.
+struct AdmissionStats {
+  int64_t admitted = 0;        // Requests granted an execution slot.
+  int64_t shed = 0;            // Rejected fast with kUnavailable.
+  int64_t queue_timeouts = 0;  // Deadline expired while queued.
+  int64_t inflight_peak = 0;
+  int64_t queue_peak = 0;
+};
+
+/// Bounded admission queue with load-shedding, the front door of the
+/// serving layer: at most `max_inflight` requests hold execution slots at
+/// once, at most `max_queue` more may wait for one, and everything beyond
+/// that is rejected immediately with kUnavailable — so overload turns into
+/// fast, explicit errors instead of an unbounded convoy on the scoring
+/// mutex. Waiters with a deadline give up with kDeadlineExceeded when it
+/// passes. `max_inflight == 0` disables the controller entirely (every
+/// Admit succeeds; Release is a no-op beyond accounting).
+///
+/// Thread safety: all methods may be called concurrently.
+class AdmissionController {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  AdmissionController(int64_t max_inflight, int64_t max_queue);
+
+  /// Tries to take an execution slot. `deadline` bounds the wait when the
+  /// in-flight population is full (TimePoint::max() waits indefinitely).
+  /// Ok: a slot is held and must be returned with Release. The armed
+  /// fault point fault::kServeQueueReject sheds the request as if the
+  /// queue were full.
+  Status Admit(TimePoint deadline);
+
+  /// Returns the slot taken by a successful Admit and wakes one waiter.
+  void Release();
+
+  bool enabled() const { return max_inflight_ > 0; }
+  int64_t inflight() const;
+  int64_t queued() const;
+  AdmissionStats Snapshot() const;
+  void ResetStats();
+
+ private:
+  const int64_t max_inflight_;
+  const int64_t max_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int64_t inflight_ = 0;
+  int64_t queued_ = 0;
+  AdmissionStats stats_;
+};
+
+/// RAII slot holder: releases on destruction if the Admit succeeded.
+class AdmissionTicket {
+ public:
+  AdmissionTicket(AdmissionController& controller,
+                  AdmissionController::TimePoint deadline)
+      : controller_(controller), status_(controller.Admit(deadline)) {}
+  ~AdmissionTicket() {
+    if (status_.ok()) controller_.Release();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  AdmissionController& controller_;
+  Status status_;
+};
+
+}  // namespace adamine::serve
+
+#endif  // ADAMINE_SERVE_ADMISSION_H_

@@ -1,0 +1,84 @@
+#include "serve/degradation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adamine::serve {
+
+Status DegradationConfig::Validate() const {
+  if (min_probes <= 0) {
+    return Status::InvalidArgument("min_probes must be positive");
+  }
+  if (window <= 0) {
+    return Status::InvalidArgument("degradation window must be positive");
+  }
+  if (recover_ratio <= 0.0 || recover_ratio > 1.0) {
+    return Status::InvalidArgument("recover_ratio must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// p95 of the window by nearest-rank on a sorted copy. The windows are
+/// small (default 8), so the copy is noise next to one GEMM.
+double WindowP95(std::vector<double> window) {
+  std::sort(window.begin(), window.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(0.95 * static_cast<double>(window.size())));
+  return window[std::min(window.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+DegradationController::DegradationController(const DegradationConfig& config,
+                                             int64_t full_probes)
+    : config_(config),
+      full_probes_(std::max<int64_t>(full_probes, config.min_probes)),
+      probes_(full_probes_) {
+  window_.reserve(static_cast<size_t>(config_.window));
+}
+
+DegradationDecision DegradationController::Observe(double score_ms) {
+  DegradationDecision decision;
+  decision.probes = probes_;
+  if (!enabled()) return decision;
+  window_.push_back(score_ms);
+  if (static_cast<int64_t>(window_.size()) < config_.window) return decision;
+  const double p95 = WindowP95(window_);
+  window_.clear();
+  if (p95 > config_.target_ms) {
+    if (probes_ > config_.min_probes) {
+      probes_ = std::max(config_.min_probes, probes_ / 2);
+      ++dial_downs_;
+      decision.changed = true;
+      health_ = HealthState::kDegraded;
+    } else {
+      // The dial is at its floor and the target is still being missed:
+      // degradation has nothing left to trade.
+      health_ = HealthState::kUnhealthy;
+    }
+  } else if (p95 <= config_.target_ms * config_.recover_ratio &&
+             probes_ < full_probes_) {
+    probes_ = std::min(full_probes_, probes_ * 2);
+    ++dial_ups_;
+    decision.changed = true;
+    health_ = probes_ == full_probes_ ? HealthState::kHealthy
+                                      : HealthState::kDegraded;
+  } else if (probes_ == full_probes_) {
+    health_ = HealthState::kHealthy;
+  } else {
+    health_ = HealthState::kDegraded;
+  }
+  decision.probes = probes_;
+  return decision;
+}
+
+void DegradationController::OnManualSetProbes(int64_t probes) {
+  full_probes_ = std::max(probes, config_.min_probes);
+  probes_ = probes;
+  window_.clear();
+  health_ = HealthState::kHealthy;
+}
+
+}  // namespace adamine::serve

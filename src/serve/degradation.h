@@ -1,0 +1,76 @@
+#ifndef ADAMINE_SERVE_DEGRADATION_H_
+#define ADAMINE_SERVE_DEGRADATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace adamine::serve {
+
+/// Knobs of the adaptive accuracy/latency trade-off (see DESIGN.md,
+/// "Overload behavior"). The controller watches the score-stage latency in
+/// windows of `window` micro-batches; when the window p95 exceeds
+/// `target_ms` it halves the IVF probe dial (never below `min_probes`),
+/// and once the p95 recovers below `target_ms * recover_ratio` it doubles
+/// the dial back up (never above the configured full probe count).
+struct DegradationConfig {
+  /// p95 score-stage latency target in ms; <= 0 disables the controller.
+  double target_ms = 0.0;
+  /// Floor of the probe dial: degradation never trades away more accuracy
+  /// than probing this many lists.
+  int64_t min_probes = 1;
+  /// Micro-batches per control decision. Small windows react fast; large
+  /// windows smooth out one-off stalls.
+  int64_t window = 8;
+  /// Dial back up only when the p95 falls below target_ms * recover_ratio,
+  /// a hysteresis band that keeps the dial from oscillating on loads that
+  /// sit exactly at the target.
+  double recover_ratio = 0.5;
+
+  Status Validate() const;
+};
+
+/// Decision of one Observe call: whether the probe dial moved and where.
+struct DegradationDecision {
+  bool changed = false;
+  int64_t probes = 0;
+};
+
+/// Adaptive degradation state machine for the IVF backend. Plain data —
+/// the owner (RetrievalService) serialises access under its own mutex and
+/// applies the returned probe values; cached results are keyed by probes,
+/// so dialling is always consistent (see SetProbes).
+class DegradationController {
+ public:
+  /// `full_probes` is the healthy-state dial (the configured num_probes).
+  DegradationController(const DegradationConfig& config, int64_t full_probes);
+
+  /// Feeds one score-stage latency observation. At every window boundary
+  /// the dial may move; the decision carries the new value.
+  DegradationDecision Observe(double score_ms);
+
+  /// A manual SetProbes overrides the controller's notion of "full": the
+  /// dial recovers towards the operator's latest choice.
+  void OnManualSetProbes(int64_t probes);
+
+  HealthState health() const { return health_; }
+  int64_t probes() const { return probes_; }
+  int64_t dial_downs() const { return dial_downs_; }
+  int64_t dial_ups() const { return dial_ups_; }
+  bool enabled() const { return config_.target_ms > 0.0; }
+
+ private:
+  DegradationConfig config_;
+  int64_t full_probes_;
+  int64_t probes_;
+  HealthState health_ = HealthState::kHealthy;
+  std::vector<double> window_;
+  int64_t dial_downs_ = 0;
+  int64_t dial_ups_ = 0;
+};
+
+}  // namespace adamine::serve
+
+#endif  // ADAMINE_SERVE_DEGRADATION_H_

@@ -1,13 +1,16 @@
 #include "serve/retrieval_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "io/serialize.h"
 #include "kernel/gemm.h"
 #include "kernel/kernel.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace adamine::serve {
@@ -29,21 +32,78 @@ Status ServeConfig::Validate() const {
   if (cache_capacity < 0) {
     return Status::InvalidArgument("cache_capacity must be >= 0");
   }
+  if (cache_capacity_bytes < 0) {
+    return Status::InvalidArgument("cache_capacity_bytes must be >= 0");
+  }
+  if (max_inflight < 0 || max_queue < 0) {
+    return Status::InvalidArgument("max_inflight/max_queue must be >= 0");
+  }
+  if (max_inflight == 0 && max_queue > 0) {
+    return Status::InvalidArgument(
+        "max_queue requires admission control (max_inflight > 0)");
+  }
+  ADAMINE_RETURN_IF_ERROR(degradation.Validate());
   if (backend == Backend::kIvf) {
     ADAMINE_RETURN_IF_ERROR(ivf.Validate());
+    if (degradation.target_ms > 0.0 &&
+        degradation.min_probes > ivf.num_probes) {
+      return Status::InvalidArgument(
+          "degradation.min_probes must not exceed ivf.num_probes");
+    }
   }
   return Status::Ok();
 }
 
+namespace {
+
+/// The up-front embedding audit behind Create/Load: a corrupt or truncated
+/// bundle must surface as a descriptive Status here, never as a CHECK
+/// crash or silently wrong similarities later.
+Status ValidateItems(const Tensor& items) {
+  if (items.ndim() != 2) {
+    return Status::InvalidArgument("items must be 2-D [N, D]");
+  }
+  const int64_t n = items.rows();
+  const int64_t d = items.cols();
+  if (d <= 0) {
+    return Status::InvalidArgument("items have dimension " +
+                                   std::to_string(d) + "; need dim > 0");
+  }
+  const float* data = items.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const float v = data[i * d + j];
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "item row " + std::to_string(i) + " has a non-finite value at "
+            "column " + std::to_string(j) + " (corrupt embeddings?)");
+      }
+      norm_sq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (std::abs(norm - 1.0) > 1e-3) {
+      return Status::InvalidArgument(
+          "item row " + std::to_string(i) + " has L2 norm " +
+          std::to_string(norm) +
+          "; the service expects unit rows (within 1e-3)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 RetrievalService::RetrievalService(Tensor items, const ServeConfig& config)
-    : config_(config), items_(std::move(items)) {}
+    : config_(config), items_(std::move(items)) {
+  admission_ = std::make_unique<AdmissionController>(config_.max_inflight,
+                                                     config_.max_queue);
+}
 
 StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
     Tensor items, const ServeConfig& config) {
   ADAMINE_RETURN_IF_ERROR(config.Validate());
-  if (items.ndim() != 2) {
-    return Status::InvalidArgument("items must be 2-D [N, D]");
-  }
+  ADAMINE_RETURN_IF_ERROR(ValidateItems(items));
   std::unique_ptr<RetrievalService> service(
       new RetrievalService(std::move(items), config));
   if (config.backend == Backend::kIvf) {
@@ -53,6 +113,10 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
     service->index_ =
         std::make_unique<index::IvfIndex>(std::move(index.value()));
     service->probes_ = config.ivf.num_probes;
+    if (config.degradation.target_ms > 0.0) {
+      service->degradation_ = std::make_unique<DegradationController>(
+          config.degradation, config.ivf.num_probes);
+    }
   }
   return service;
 }
@@ -80,6 +144,7 @@ Status RetrievalService::SetProbes(int64_t probes) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   probes_ = probes;
+  if (degradation_) degradation_->OnManualSetProbes(probes);
   return Status::Ok();
 }
 
@@ -87,6 +152,19 @@ int64_t RetrievalService::probes() const {
   if (config_.backend != Backend::kIvf) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   return probes_;
+}
+
+HealthState RetrievalService::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degradation_ ? degradation_->health() : HealthState::kHealthy;
+}
+
+RetrievalService::TimePoint RetrievalService::DeadlineOf(
+    const QueryOptions& options) {
+  if (options.deadline_ms <= 0.0) return TimePoint::max();
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(
+             static_cast<int64_t>(options.deadline_ms * 1000.0));
 }
 
 std::string RetrievalService::CacheKey(const float* query, int64_t k,
@@ -117,9 +195,26 @@ bool RetrievalService::CacheLookup(const std::string& key,
   return true;
 }
 
+namespace {
+
+int64_t CacheEntryBytes(const std::string& key,
+                        const std::vector<int64_t>& result) {
+  return static_cast<int64_t>(key.size()) +
+         static_cast<int64_t>(result.size() * sizeof(int64_t));
+}
+
+}  // namespace
+
 void RetrievalService::CacheInsert(const std::string& key,
                                    const std::vector<int64_t>& result) {
   if (config_.cache_capacity == 0) return;
+  const int64_t entry_bytes = CacheEntryBytes(key, result);
+  if (config_.cache_capacity_bytes > 0 &&
+      entry_bytes > config_.cache_capacity_bytes) {
+    // The entry alone overflows the byte budget; inserting it would only
+    // evict everything else and then itself. Serve it uncached.
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_map_.find(key);
   if (it != cache_map_.end()) {
@@ -129,29 +224,56 @@ void RetrievalService::CacheInsert(const std::string& key,
   }
   cache_lru_.emplace_front(key, result);
   cache_map_[key] = cache_lru_.begin();
-  while (static_cast<int64_t>(cache_lru_.size()) > config_.cache_capacity) {
-    cache_map_.erase(cache_lru_.back().first);
+  cache_bytes_ += entry_bytes;
+  // Evict by whichever limit binds first: entry count or byte footprint.
+  while (static_cast<int64_t>(cache_lru_.size()) > config_.cache_capacity ||
+         (config_.cache_capacity_bytes > 0 &&
+          cache_bytes_ > config_.cache_capacity_bytes)) {
+    const auto& victim = cache_lru_.back();
+    cache_bytes_ -= CacheEntryBytes(victim.first, victim.second);
+    cache_map_.erase(victim.first);
     cache_lru_.pop_back();
+    ++stats_.cache_evictions;
   }
 }
 
-std::vector<std::vector<int64_t>> RetrievalService::ScoreMicroBatch(
-    const Tensor& queries, int64_t k, int64_t probes) {
+Status RetrievalService::DeadlineMiss(const char* where) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadline_misses;
+  }
+  return Status::DeadlineExceeded(std::string("deadline exceeded ") + where);
+}
+
+StatusOr<std::vector<std::vector<int64_t>>> RetrievalService::ScoreMicroBatch(
+    const Tensor& queries, int64_t k, int64_t probes, TimePoint deadline) {
   const int64_t m = queries.rows();
   const int64_t d = queries.cols();
   std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  // Re-check after acquiring the executor: a request that waited out its
+  // budget in line behind slow batches must fail before burning a GEMM.
+  if (std::chrono::steady_clock::now() >= deadline) {
+    return DeadlineMiss("waiting for the scoring executor");
+  }
   std::vector<std::vector<int64_t>> results;
   double score_ms = 0.0;
   double rank_ms = 0.0;
+  Stopwatch watch;
+  // Armed serve.score.delay simulates slow scoring (cold pages, CPU
+  // contention): the skip field carries the delay in milliseconds and the
+  // stall counts towards the score stage, so it drives the degradation
+  // controller exactly like a real slowdown.
+  const int64_t delay_ms = fault::ArmedSkip(fault::kServeScoreDelay);
+  if (delay_ms >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
   if (config_.backend == Backend::kIvf) {
     // The IVF batched search fuses centroid scan, candidate GEMM and
     // per-query ranking; account it to the score stage (see ServeStats).
-    Stopwatch watch;
     results = index_->QueryBatchWithProbes(queries, k, probes);
     score_ms = watch.ElapsedMillis();
   } else {
     const int64_t n = items_.rows();
-    Stopwatch watch;
     Tensor sims({m, n});
     kernel::Gemm(queries.data(), d, false, items_.data(), d, true, m, n, d,
                  sims.data());
@@ -182,13 +304,22 @@ std::vector<std::vector<int64_t>> RetrievalService::ScoreMicroBatch(
     if (config_.backend == Backend::kExhaustive) {
       stats_.rank.Record(rank_ms);
     }
+    if (degradation_) {
+      // The controller only moves the dial it owns: a manual SetProbes
+      // between this batch's dispatch and now is re-anchored, not undone
+      // (OnManualSetProbes resets the window).
+      const DegradationDecision decision = degradation_->Observe(score_ms);
+      if (decision.changed) probes_ = decision.probes;
+    }
   }
   return results;
 }
 
-std::vector<int64_t> RetrievalService::Query(const Tensor& query, int64_t k) {
+StatusOr<std::vector<int64_t>> RetrievalService::QueryWithOptions(
+    const Tensor& query, int64_t k, const QueryOptions& options) {
   ADAMINE_CHECK_EQ(query.numel(), dim());
   ADAMINE_CHECK_GT(k, 0);
+  const TimePoint deadline = DeadlineOf(options);
   const int64_t current_probes = probes();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -197,18 +328,23 @@ std::vector<int64_t> RetrievalService::Query(const Tensor& query, int64_t k) {
   const std::string key = CacheKey(query.data(), k, current_probes);
   std::vector<int64_t> cached;
   if (CacheLookup(key, &cached)) return cached;
+  AdmissionTicket ticket(*admission_, deadline);
+  ADAMINE_RETURN_IF_ERROR(ticket.status());
   Tensor batch({1, dim()});
   std::copy(query.data(), query.data() + dim(), batch.data());
-  auto results = ScoreMicroBatch(batch, k, current_probes);
-  CacheInsert(key, results[0]);
-  return std::move(results[0]);
+  auto results = ScoreMicroBatch(batch, k, current_probes, deadline);
+  if (!results.ok()) return results.status();
+  CacheInsert(key, results.value()[0]);
+  return std::move(results.value()[0]);
 }
 
-std::vector<std::vector<int64_t>> RetrievalService::QueryBatch(
-    const Tensor& queries, int64_t k) {
+StatusOr<std::vector<std::vector<int64_t>>>
+RetrievalService::QueryBatchWithOptions(const Tensor& queries, int64_t k,
+                                        const QueryOptions& options) {
   ADAMINE_CHECK_EQ(queries.ndim(), 2);
   ADAMINE_CHECK_EQ(queries.cols(), dim());
   ADAMINE_CHECK_GT(k, 0);
+  const TimePoint deadline = DeadlineOf(options);
   const int64_t b = queries.rows();
   const int64_t d = dim();
   const int64_t current_probes = probes();
@@ -216,6 +352,10 @@ std::vector<std::vector<int64_t>> RetrievalService::QueryBatch(
     std::lock_guard<std::mutex> lock(mu_);
     stats_.queries += b;
   }
+  // One admission slot covers the whole request; it is taken lazily at the
+  // first micro-batch that actually needs scoring, so cache-only requests
+  // never contend for a slot.
+  std::unique_ptr<AdmissionTicket> ticket;
   std::vector<std::vector<int64_t>> results(static_cast<size_t>(b));
   for (int64_t start = 0; start < b; start += config_.micro_batch) {
     const int64_t end = std::min(b, start + config_.micro_batch);
@@ -230,18 +370,42 @@ std::vector<std::vector<int64_t>> RetrievalService::QueryBatch(
       miss_keys.push_back(std::move(key));
     }
     if (miss_rows.empty()) continue;
+    if (!ticket) {
+      ticket = std::make_unique<AdmissionTicket>(*admission_, deadline);
+      ADAMINE_RETURN_IF_ERROR(ticket->status());
+    }
+    // A deadline check between micro-batches, so one slow batch cannot
+    // hold the rest of the request's budget hostage.
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return DeadlineMiss("between micro-batches");
+    }
     Tensor micro({static_cast<int64_t>(miss_rows.size()), d});
     for (size_t r = 0; r < miss_rows.size(); ++r) {
       const float* src = queries.data() + miss_rows[r] * d;
       std::copy(src, src + d, micro.data() + static_cast<int64_t>(r) * d);
     }
-    auto scored = ScoreMicroBatch(micro, k, current_probes);
+    auto scored = ScoreMicroBatch(micro, k, current_probes, deadline);
+    if (!scored.ok()) return scored.status();
     for (size_t r = 0; r < miss_rows.size(); ++r) {
-      CacheInsert(miss_keys[r], scored[r]);
-      results[static_cast<size_t>(miss_rows[r])] = std::move(scored[r]);
+      CacheInsert(miss_keys[r], scored.value()[r]);
+      results[static_cast<size_t>(miss_rows[r])] =
+          std::move(scored.value()[r]);
     }
   }
   return results;
+}
+
+std::vector<int64_t> RetrievalService::Query(const Tensor& query, int64_t k) {
+  auto result = QueryWithOptions(query, k, QueryOptions());
+  ADAMINE_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result.value());
+}
+
+std::vector<std::vector<int64_t>> RetrievalService::QueryBatch(
+    const Tensor& queries, int64_t k) {
+  auto result = QueryBatchWithOptions(queries, k, QueryOptions());
+  ADAMINE_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result.value());
 }
 
 void RetrievalService::RecordEmbedMillis(double ms) {
@@ -250,13 +414,34 @@ void RetrievalService::RecordEmbedMillis(double ms) {
 }
 
 ServeStats RetrievalService::Snapshot() const {
+  // The admission controller keeps its own mutex; read it first so the two
+  // locks are never nested.
+  const AdmissionStats admission = admission_->Snapshot();
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServeStats stats = stats_;
+  stats.admitted = admission.admitted;
+  stats.shed = admission.shed;
+  stats.queue_timeouts = admission.queue_timeouts;
+  stats.inflight_peak = admission.inflight_peak;
+  stats.queue_peak = admission.queue_peak;
+  stats.cache_bytes = cache_bytes_;
+  stats.probes = probes_;
+  if (degradation_) {
+    stats.health = degradation_->health();
+    stats.probe_dial_downs = degradation_->dial_downs() - dial_downs_base_;
+    stats.probe_dial_ups = degradation_->dial_ups() - dial_ups_base_;
+  }
+  return stats;
 }
 
 void RetrievalService::ResetStats() {
+  admission_->ResetStats();
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = ServeStats();
+  if (degradation_) {
+    dial_downs_base_ = degradation_->dial_downs();
+    dial_ups_base_ = degradation_->dial_ups();
+  }
 }
 
 }  // namespace adamine::serve

@@ -1,6 +1,7 @@
 #ifndef ADAMINE_SERVE_RETRIEVAL_SERVICE_H_
 #define ADAMINE_SERVE_RETRIEVAL_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -11,6 +12,8 @@
 #include <vector>
 
 #include "index/ivf_index.h"
+#include "serve/admission.h"
+#include "serve/degradation.h"
 #include "serve/serve_stats.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
@@ -38,8 +41,29 @@ struct ServeConfig {
   int64_t micro_batch = 32;
   /// LRU query-result cache capacity in entries; 0 disables the cache.
   int64_t cache_capacity = 1024;
+  /// LRU cache capacity in bytes (keys + results); 0 means unlimited by
+  /// bytes. Eviction honours whichever limit binds first, so large-k
+  /// results cannot blow past the intended memory budget.
+  int64_t cache_capacity_bytes = 0;
+  /// Admission control: at most max_inflight requests score concurrently
+  /// and at most max_queue more wait for a slot; the rest are shed with
+  /// kUnavailable. 0 disables admission control.
+  int64_t max_inflight = 0;
+  int64_t max_queue = 0;
+  /// Adaptive probe degradation for the IVF backend (target_ms <= 0
+  /// disables it; ignored on the exhaustive backend).
+  DegradationConfig degradation;
 
   Status Validate() const;
+};
+
+/// Per-request serving options.
+struct QueryOptions {
+  /// Latency budget in milliseconds, measured from entry into the service;
+  /// 0 means no deadline. Checked while queued for admission, before
+  /// scoring, and between micro-batches; an exceeded budget returns
+  /// kDeadlineExceeded instead of results.
+  double deadline_ms = 0.0;
 };
 
 /// The serving layer over an exported embedding set: loads a bundle written
@@ -48,6 +72,13 @@ struct ServeConfig {
 /// incoming queries through the kernel layer's tiled GEMM, memoises repeat
 /// queries in an LRU cache, and keeps per-stage latency counters
 /// (ServeStats).
+///
+/// Overload safety (see DESIGN.md, "Overload behavior"): requests may
+/// carry a deadline (QueryOptions), a bounded admission queue sheds excess
+/// load fast with kUnavailable, and on the IVF backend an adaptive
+/// degradation controller dials probes down when the score-stage p95
+/// exceeds its target (and back up when healthy), with the current
+/// HealthState exposed via Snapshot().
 ///
 /// Determinism: results are bit-identical to the per-query scalar paths
 /// (core::RetrievalIndex::Query / index::IvfIndex::Query) for every kernel
@@ -61,42 +92,62 @@ struct ServeConfig {
 /// cache hits proceed without waiting on in-flight scoring.
 class RetrievalService {
  public:
-  /// Serves the rows of `items` [N, D] (L2-normalised model embeddings).
+  /// Serves the rows of `items` [N, D]. The embeddings are validated up
+  /// front (2-D, dim > 0, every value finite, rows L2-normalised within
+  /// 1e-3) so a corrupt bundle is a descriptive Status, never a crash.
   static StatusOr<std::unique_ptr<RetrievalService>> Create(
       Tensor items, const ServeConfig& config);
 
   /// Loads tensor `name` from the bundle at `path` (io::LoadTensorBundle)
-  /// and serves its rows.
+  /// and serves its rows, with the same validation as Create.
   static StatusOr<std::unique_ptr<RetrievalService>> Load(
       const std::string& path, const std::string& name,
       const ServeConfig& config);
 
   /// Indices of the k most cosine-similar items to the unit query row [D],
   /// most similar first. Served from the cache when the exact same
-  /// (query bytes, k, probes) was answered before.
-  std::vector<int64_t> Query(const Tensor& query, int64_t k);
+  /// (query bytes, k, probes) was answered before. Fails with
+  /// kDeadlineExceeded (budget exhausted) or kUnavailable (load shed).
+  StatusOr<std::vector<int64_t>> QueryWithOptions(const Tensor& query,
+                                                  int64_t k,
+                                                  const QueryOptions& options);
 
-  /// Batched Query over the rows of `queries` [B, D]: rows are answered
-  /// from the cache where possible and the misses are scored in
+  /// Batched QueryWithOptions over the rows of `queries` [B, D]: rows are
+  /// answered from the cache where possible and the misses are scored in
   /// micro-batches of config().micro_batch rows through one GEMM each.
-  /// results[i] corresponds to row i.
+  /// results[i] corresponds to row i. The deadline is re-checked between
+  /// micro-batches, so one slow batch cannot hold the budget hostage.
+  StatusOr<std::vector<std::vector<int64_t>>> QueryBatchWithOptions(
+      const Tensor& queries, int64_t k, const QueryOptions& options);
+
+  /// Deadline-free conveniences for callers that did not configure
+  /// admission control (with it enabled these CHECK on a shed request —
+  /// overload-aware callers must use the WithOptions APIs).
+  std::vector<int64_t> Query(const Tensor& query, int64_t k);
   std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
                                                int64_t k);
 
   /// Runtime accuracy/latency dial for the IVF backend (rejected on the
   /// exhaustive backend, which is always exact). Cached results are keyed
-  /// by the probe count, so dialling never serves stale mixes.
+  /// by the probe count, so dialling never serves stale mixes. A manual
+  /// dial also re-anchors the degradation controller's "full" value.
   Status SetProbes(int64_t probes);
 
   /// Current probe count (num_lists when exhaustive — every "list" is
-  /// always scanned).
+  /// always scanned). The degradation controller may move this between
+  /// calls.
   int64_t probes() const;
+
+  /// Current health (kHealthy when degradation is disabled or inactive).
+  HealthState health() const;
 
   /// Records one query-embedding forward pass run by the caller (the model
   /// lives outside the service) into the embed stage of the stats.
   void RecordEmbedMillis(double ms);
 
-  /// Consistent snapshot of the counters since construction / ResetStats.
+  /// Consistent snapshot of the counters since construction / ResetStats,
+  /// including the overload counters (admission, deadlines, probe dial)
+  /// and the current health state.
   ServeStats Snapshot() const;
   void ResetStats();
 
@@ -105,7 +156,11 @@ class RetrievalService {
   const ServeConfig& config() const { return config_; }
 
  private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
   RetrievalService(Tensor items, const ServeConfig& config);
+
+  static TimePoint DeadlineOf(const QueryOptions& options);
 
   std::string CacheKey(const float* query, int64_t k, int64_t probes) const;
 
@@ -115,27 +170,40 @@ class RetrievalService {
   void CacheInsert(const std::string& key, const std::vector<int64_t>& result);
 
   /// Scores `queries` [M, D] (all cache misses) and ranks top-k per row.
-  /// Serialised on exec_mu_; records score/rank stage latencies.
-  std::vector<std::vector<int64_t>> ScoreMicroBatch(const Tensor& queries,
-                                                    int64_t k,
-                                                    int64_t probes);
+  /// Serialised on exec_mu_; records score/rank stage latencies, feeds the
+  /// degradation controller, and honours `deadline` (kDeadlineExceeded once
+  /// it has passed — checked after the executor mutex is acquired, so a
+  /// request that waited out its budget in line fails fast).
+  StatusOr<std::vector<std::vector<int64_t>>> ScoreMicroBatch(
+      const Tensor& queries, int64_t k, int64_t probes, TimePoint deadline);
+
+  /// Marks a scoring-path deadline miss and returns kDeadlineExceeded.
+  Status DeadlineMiss(const char* where);
 
   ServeConfig config_;
   Tensor items_;  // [N, D]; the IVF backend shares this buffer.
   std::unique_ptr<index::IvfIndex> index_;  // Backend::kIvf only.
   int64_t probes_ = 0;  // Probe dial (guarded by mu_); 0 on kExhaustive.
 
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<DegradationController> degradation_;  // kIvf only.
+
   /// Serialises entry into the kernel pool (GEMM + ranking).
   std::mutex exec_mu_;
 
-  /// Guards cache_*, stats_ and the probe dial.
+  /// Guards cache_*, stats_, the probe dial and the degradation controller.
   mutable std::mutex mu_;
   std::list<std::pair<std::string, std::vector<int64_t>>> cache_lru_;
   std::unordered_map<std::string,
                      std::list<std::pair<std::string,
                                          std::vector<int64_t>>>::iterator>
       cache_map_;
+  int64_t cache_bytes_ = 0;
   ServeStats stats_;
+  /// Controller dial counts at the last ResetStats, so Snapshot can report
+  /// "since reset" without rewinding the controller itself.
+  int64_t dial_downs_base_ = 0;
+  int64_t dial_ups_base_ = 0;
 };
 
 }  // namespace adamine::serve

@@ -5,6 +5,18 @@
 
 namespace adamine::serve {
 
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Bucket b holds observations in [2^(b-1), 2^b) microseconds (bucket 0:
@@ -60,6 +72,16 @@ std::string ServeStats::ToString() const {
                 static_cast<long long>(batches), 100.0 * cache_hit_rate(),
                 static_cast<long long>(cache_hits),
                 static_cast<long long>(cache_misses));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "health %s  probes %lld  shed %lld  queue-timeouts %lld  "
+                "deadline-misses %lld  dial %lld down / %lld up\n",
+                HealthStateName(health), static_cast<long long>(probes),
+                static_cast<long long>(shed),
+                static_cast<long long>(queue_timeouts),
+                static_cast<long long>(deadline_misses),
+                static_cast<long long>(probe_dial_downs),
+                static_cast<long long>(probe_dial_ups));
   out += line;
   const auto stage = [&](const char* name, const StageStats& s) {
     std::snprintf(line, sizeof(line),

@@ -7,6 +7,19 @@
 
 namespace adamine::serve {
 
+/// Coarse service health, driven by the degradation controller (see
+/// DESIGN.md, "Overload behavior"): kHealthy while serving at full
+/// accuracy within the latency target, kDegraded while accuracy has been
+/// dialled down to protect latency, kUnhealthy when the dial is at its
+/// floor and the latency target is still being missed.
+enum class HealthState {
+  kHealthy,
+  kDegraded,
+  kUnhealthy,
+};
+
+const char* HealthStateName(HealthState state);
+
 /// Per-stage latency accounting: count / total / max plus a fixed
 /// power-of-two-microsecond histogram ([<1us, <2us, ..., <~2s, overflow])
 /// cheap enough to update on every batch and rich enough for p50/p95
@@ -40,6 +53,20 @@ struct ServeStats {
   int64_t batches = 0;       // Scoring micro-batches dispatched.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  int64_t cache_bytes = 0;      // Current resident cache footprint.
+  int64_t cache_evictions = 0;  // Entries dropped by either capacity limit.
+
+  // Overload counters (see AdmissionStats and the degradation controller).
+  int64_t admitted = 0;         // Requests granted a scoring slot.
+  int64_t shed = 0;             // Rejected fast with kUnavailable.
+  int64_t queue_timeouts = 0;   // Deadline expired while queued.
+  int64_t deadline_misses = 0;  // Deadline expired during scoring.
+  int64_t inflight_peak = 0;
+  int64_t queue_peak = 0;
+  int64_t probe_dial_downs = 0;  // Degradation steps taken / undone.
+  int64_t probe_dial_ups = 0;
+  int64_t probes = 0;  // Current probe dial (0 on the exhaustive backend).
+  HealthState health = HealthState::kHealthy;
 
   StageStats embed;
   StageStats score;

@@ -23,6 +23,18 @@ inline constexpr char kAtomicWriteBytes[] = "io.atomic.write_bytes";
 inline constexpr char kTrainerNonfiniteLoss[] = "trainer.nonfinite_loss";
 inline constexpr char kTrainerCrashAfterCheckpoint[] =
     "trainer.crash_after_checkpoint";
+/// Serving-path fault points (see DESIGN.md, "Overload behavior").
+/// kServeScoreDelay follows the kAtomicWriteBytes convention of encoding a
+/// quantity in `skip`: arm with skip = the artificial per-micro-batch
+/// scoring delay in milliseconds (read via ArmedSkip, never consumed).
+inline constexpr char kServeScoreDelay[] = "serve.score.delay";
+/// Fires inside io::LoadTensorBundle: the bundle is parsed from a torn
+/// (half-length) copy of the file, so the reader's truncation handling —
+/// not a crash — must surface the error.
+inline constexpr char kServeLoadRead[] = "serve.load.read";
+/// Fires inside AdmissionController::Admit: the request is shed with
+/// kUnavailable as if the queue were full.
+inline constexpr char kServeQueueReject[] = "serve.queue.reject";
 
 /// Arms `point`: the next `skip` hits pass, then the following `fire` hits
 /// fail, after which the point disarms itself. Re-arming overwrites any

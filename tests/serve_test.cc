@@ -1,16 +1,23 @@
 // Serving-layer suite: backend equivalence (the micro-batched GEMM scoring
 // must be bit-identical to the per-query scalar paths for every kernel
-// thread count), LRU cache correctness under eviction, recall monotonicity
-// in the probe dial, stats accounting, and concurrent use (the
-// RetrievalServiceConcurrencyTest suite also runs under the tsan ctest
-// label; see tests/CMakeLists.txt).
+// thread count), LRU cache correctness under eviction (entries and bytes),
+// recall monotonicity in the probe dial, stats accounting, concurrent use,
+// and the overload-safety layer — deadlines, admission control, adaptive
+// probe degradation and the serve-path fault points (the
+// RetrievalServiceConcurrencyTest / AdmissionTest / OverloadTest suites
+// also run under the tsan ctest label, and the overload battery under the
+// `overload` label; see tests/CMakeLists.txt).
 
 #include "serve/retrieval_service.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -19,7 +26,10 @@
 #include "index/ivf_index.h"
 #include "io/serialize.h"
 #include "kernel/kernel.h"
+#include "serve/admission.h"
+#include "serve/degradation.h"
 #include "tensor/ops.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace adamine {
@@ -370,6 +380,460 @@ TEST(RetrievalServiceConcurrencyTest, ConcurrentProbeDialAndQueries) {
   });
   for (auto& w : workers) w.join();
   EXPECT_FALSE(failed.load());
+}
+
+// --- Overload-safety layer ---------------------------------------------
+
+/// Fixture for everything that arms fault points: a leaked schedule must
+/// never bleed into the determinism suites above.
+class ServeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+using AdmissionTest = ServeFaultTest;
+using OverloadTest = ServeFaultTest;
+using RetrievalServiceFaultTest = ServeFaultTest;
+using RetrievalServiceDeadlineTest = ServeFaultTest;
+
+TEST(ServeConfigOverloadTest, ValidatesOverloadFields) {
+  serve::ServeConfig config = ExhaustiveConfig();
+  config.cache_capacity_bytes = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExhaustiveConfig();
+  config.max_inflight = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExhaustiveConfig();
+  config.max_queue = 2;  // Queueing without admission control.
+  EXPECT_FALSE(config.Validate().ok());
+  config.max_inflight = 1;
+  EXPECT_TRUE(config.Validate().ok());
+  config = IvfServeConfig(8, 4);
+  config.degradation.target_ms = 5.0;
+  config.degradation.min_probes = 6;  // Floor above the configured probes.
+  EXPECT_FALSE(config.Validate().ok());
+  config.degradation.min_probes = 2;
+  EXPECT_TRUE(config.Validate().ok());
+  config.degradation.recover_ratio = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(RetrievalServiceValidationTest, RejectsNonFiniteEmbeddings) {
+  Tensor items = ClusteredUnitRows(3, 10, 8, 73);
+  items.At(7, 2) = std::numeric_limits<float>::quiet_NaN();
+  auto service = serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(service.status().message().find("non-finite"),
+            std::string::npos);
+  EXPECT_NE(service.status().message().find("row 7"), std::string::npos);
+}
+
+TEST(RetrievalServiceValidationTest, RejectsUnnormalisedEmbeddings) {
+  Tensor items = ClusteredUnitRows(3, 10, 8, 79);
+  for (int64_t j = 0; j < items.cols(); ++j) items.At(4, j) *= 3.0f;
+  auto service = serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(service.status().message().find("L2 norm"), std::string::npos);
+}
+
+TEST(RetrievalServiceValidationTest, LoadRejectsTruncatedBundle) {
+  Tensor items = ClusteredUnitRows(3, 10, 8, 83);
+  const std::string path = testing::TempDir() + "/serve_truncated.bin";
+  ASSERT_TRUE(io::SaveTensorBundle(path, {{"image_emb", items}}).ok());
+  // Tear the file in half on disk: Load must return a descriptive Status.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto service = serve::RetrievalService::Load(path, "image_emb",
+                                               ExhaustiveConfig());
+  EXPECT_FALSE(service.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(RetrievalServiceFaultTest, ArmedLoadReadFaultReturnsStatus) {
+  Tensor items = ClusteredUnitRows(3, 10, 8, 89);
+  const std::string path = testing::TempDir() + "/serve_fault_bundle.bin";
+  ASSERT_TRUE(io::SaveTensorBundle(path, {{"image_emb", items}}).ok());
+  fault::Arm(fault::kServeLoadRead);
+  auto torn = serve::RetrievalService::Load(path, "image_emb",
+                                            ExhaustiveConfig());
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kDataLoss);
+  fault::Reset();
+  auto service = serve::RetrievalService::Load(path, "image_emb",
+                                               ExhaustiveConfig());
+  EXPECT_TRUE(service.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(AdmissionTest, AdmitsUpToLimitAndShedsBeyondQueue) {
+  serve::AdmissionController controller(/*max_inflight=*/1, /*max_queue=*/1);
+  ASSERT_TRUE(controller.Admit(serve::AdmissionController::TimePoint::max())
+                  .ok());
+  // Fill the queue from a second thread, then the third request must shed.
+  std::atomic<bool> queued_done{false};
+  std::thread waiter([&] {
+    const auto status =
+        controller.Admit(serve::AdmissionController::TimePoint::max());
+    queued_done.store(true);
+    if (status.ok()) controller.Release();
+  });
+  while (controller.queued() < 1) std::this_thread::yield();
+  const auto shed =
+      controller.Admit(serve::AdmissionController::TimePoint::max());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  controller.Release();  // Frees the slot; the queued waiter proceeds.
+  waiter.join();
+  EXPECT_TRUE(queued_done.load());
+  const serve::AdmissionStats stats = controller.Snapshot();
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.queue_peak, 1);
+  EXPECT_EQ(stats.inflight_peak, 1);
+  EXPECT_EQ(controller.inflight(), 0);
+}
+
+TEST_F(AdmissionTest, QueuedRequestTimesOutAtItsDeadline) {
+  serve::AdmissionController controller(/*max_inflight=*/1, /*max_queue=*/4);
+  ASSERT_TRUE(controller.Admit(serve::AdmissionController::TimePoint::max())
+                  .ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  const auto status = controller.Admit(deadline);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(controller.Snapshot().queue_timeouts, 1);
+  controller.Release();
+}
+
+TEST_F(AdmissionTest, ArmedQueueRejectFaultShedsEveryRequest) {
+  serve::AdmissionController controller(/*max_inflight=*/8, /*max_queue=*/8);
+  fault::Arm(fault::kServeQueueReject, /*skip=*/1, /*fire=*/1);
+  EXPECT_TRUE(controller.Admit(serve::AdmissionController::TimePoint::max())
+                  .ok());  // Skipped hit.
+  const auto status =
+      controller.Admit(serve::AdmissionController::TimePoint::max());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  controller.Release();
+}
+
+TEST(DegradationTest, DialsDownOnMissedTargetAndRecoversWithHysteresis) {
+  serve::DegradationConfig config;
+  config.target_ms = 5.0;
+  config.min_probes = 1;
+  config.window = 4;
+  config.recover_ratio = 0.5;
+  serve::DegradationController controller(config, /*full_probes=*/8);
+  EXPECT_EQ(controller.probes(), 8);
+  EXPECT_EQ(controller.health(), serve::HealthState::kHealthy);
+  // One slow window halves the dial: 8 -> 4.
+  for (int i = 0; i < 4; ++i) controller.Observe(20.0);
+  EXPECT_EQ(controller.probes(), 4);
+  EXPECT_EQ(controller.health(), serve::HealthState::kDegraded);
+  // Two more slow windows: 4 -> 2 -> 1.
+  for (int i = 0; i < 8; ++i) controller.Observe(20.0);
+  EXPECT_EQ(controller.probes(), 1);
+  EXPECT_EQ(controller.dial_downs(), 3);
+  // Still over target with nothing left to trade: unhealthy.
+  for (int i = 0; i < 4; ++i) controller.Observe(20.0);
+  EXPECT_EQ(controller.probes(), 1);
+  EXPECT_EQ(controller.health(), serve::HealthState::kUnhealthy);
+  // Latency in the hysteresis band (under target, above the recovery
+  // threshold): the dial holds rather than oscillating.
+  for (int i = 0; i < 4; ++i) controller.Observe(4.0);
+  EXPECT_EQ(controller.probes(), 1);
+  EXPECT_EQ(controller.health(), serve::HealthState::kDegraded);
+  // Fully recovered latency doubles the dial back up to full.
+  for (int i = 0; i < 12; ++i) controller.Observe(1.0);
+  EXPECT_EQ(controller.probes(), 8);
+  EXPECT_EQ(controller.health(), serve::HealthState::kHealthy);
+  EXPECT_EQ(controller.dial_ups(), 3);
+}
+
+TEST(DegradationTest, ManualSetProbesReanchorsTheController) {
+  serve::DegradationConfig config;
+  config.target_ms = 5.0;
+  config.window = 2;
+  serve::DegradationController controller(config, /*full_probes=*/8);
+  for (int i = 0; i < 4; ++i) controller.Observe(20.0);
+  EXPECT_LT(controller.probes(), 8);
+  controller.OnManualSetProbes(4);
+  EXPECT_EQ(controller.probes(), 4);
+  EXPECT_EQ(controller.health(), serve::HealthState::kHealthy);
+  // Recovery now targets the operator's choice, not the old full value.
+  for (int i = 0; i < 4; ++i) controller.Observe(20.0);
+  for (int i = 0; i < 8; ++i) controller.Observe(0.5);
+  EXPECT_EQ(controller.probes(), 4);
+}
+
+TEST_F(RetrievalServiceDeadlineTest, GenerousDeadlineMatchesNoDeadline) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 97);
+  auto service = serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_TRUE(service.ok());
+  Tensor q = RowOf(items, 3);
+  const auto plain = (*service)->Query(q, 5);
+  serve::QueryOptions options;
+  options.deadline_ms = 60'000.0;
+  auto bounded = (*service)->QueryWithOptions(q, 5, options);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded.value(), plain);
+}
+
+TEST_F(RetrievalServiceDeadlineTest, SlowScoringFailsBetweenMicroBatches) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 101);
+  Tensor queries = ClusteredUnitRows(4, 2, 8, 103);  // 8 rows.
+  auto service = serve::RetrievalService::Create(
+      items, ExhaustiveConfig(/*micro_batch=*/1, /*cache=*/0));
+  ASSERT_TRUE(service.ok());
+  // Every micro-batch stalls 25 ms; the budget covers at most a couple of
+  // the 8 needed, so the between-batches check must fire.
+  fault::Arm(fault::kServeScoreDelay, /*skip=*/25);
+  serve::QueryOptions options;
+  options.deadline_ms = 40.0;
+  auto result = (*service)->QueryBatchWithOptions(queries, 5, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE((*service)->Snapshot().deadline_misses, 1);
+  fault::Reset();
+  // Without the stall the same request fits its budget again.
+  auto recovered = (*service)->QueryBatchWithOptions(queries, 5, options);
+  EXPECT_TRUE(recovered.ok());
+}
+
+TEST_F(RetrievalServiceDeadlineTest, ExpiredDeadlineFailsBeforeScoring) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 107);
+  auto service = serve::RetrievalService::Create(
+      items, ExhaustiveConfig(/*micro_batch=*/8, /*cache=*/0));
+  ASSERT_TRUE(service.ok());
+  serve::QueryOptions options;
+  options.deadline_ms = 1e-6;  // Effectively already expired on entry.
+  auto result = (*service)->QueryWithOptions(RowOf(items, 0), 5, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RetrievalServiceCacheBytesTest, EvictsByByteBudget) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 109);
+  serve::ServeConfig config = ExhaustiveConfig(/*micro_batch=*/8,
+                                               /*cache=*/1000);
+  // One entry costs key (8 floats + 2 int64 = 48 bytes) + 5 results
+  // (40 bytes) = 88 bytes; a 200-byte budget holds exactly two entries.
+  config.cache_capacity_bytes = 200;
+  auto service = serve::RetrievalService::Create(items, config);
+  ASSERT_TRUE(service.ok());
+  Tensor q0 = RowOf(items, 0);
+  Tensor q1 = RowOf(items, 25);
+  Tensor q2 = RowOf(items, 50);
+  (*service)->Query(q0, 5);
+  (*service)->Query(q1, 5);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_bytes, 176);
+  EXPECT_EQ(stats.cache_evictions, 0);
+  // The third entry overflows the byte budget long before the 1000-entry
+  // limit: the LRU entry (q0) goes.
+  (*service)->Query(q2, 5);
+  stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_bytes, 176);
+  EXPECT_EQ(stats.cache_evictions, 1);
+  (*service)->Query(q1, 5);  // Still cached.
+  (*service)->Query(q0, 5);  // Evicted: rescored.
+  stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 4);
+}
+
+TEST(RetrievalServiceCacheBytesTest, OversizedEntryIsServedUncached) {
+  Tensor items = ClusteredUnitRows(4, 20, 8, 113);
+  serve::ServeConfig config = ExhaustiveConfig(/*micro_batch=*/8,
+                                               /*cache=*/1000);
+  config.cache_capacity_bytes = 64;  // Below any single entry's cost.
+  auto service = serve::RetrievalService::Create(items, config);
+  ASSERT_TRUE(service.ok());
+  Tensor q = RowOf(items, 0);
+  const auto first = (*service)->Query(q, 5);
+  EXPECT_EQ((*service)->Query(q, 5), first);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 0);  // Nothing was ever admitted to the cache.
+  EXPECT_EQ(stats.cache_bytes, 0);
+}
+
+TEST_F(RetrievalServiceFaultTest, ScoreDelayDrivesDegradationAndRecovery) {
+  Tensor items = ClusteredUnitRows(8, 15, 12, 127);
+  Tensor queries = ClusteredUnitRows(8, 2, 12, 131);  // 16 rows.
+  serve::ServeConfig config =
+      IvfServeConfig(8, 4, /*micro_batch=*/1, /*cache=*/0);
+  config.degradation.target_ms = 2.0;
+  config.degradation.min_probes = 1;
+  config.degradation.window = 2;
+  auto service = serve::RetrievalService::Create(items, config);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->probes(), 4);
+  EXPECT_EQ((*service)->health(), serve::HealthState::kHealthy);
+  // 10 ms per micro-batch against a 2 ms target: each 2-batch window dials
+  // down (4 -> 2 -> 1), after which the service reports it has nothing
+  // left to trade.
+  fault::Arm(fault::kServeScoreDelay, /*skip=*/10);
+  (*service)->QueryBatch(SliceRows(queries, 0, 4), 5);
+  EXPECT_EQ((*service)->health(), serve::HealthState::kDegraded);
+  (*service)->QueryBatch(queries, 5);
+  EXPECT_EQ((*service)->probes(), config.degradation.min_probes);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_GE(stats.probe_dial_downs, 2);
+  EXPECT_NE(stats.health, serve::HealthState::kHealthy);
+  // Disarming the stall recovers the dial to full and health to healthy.
+  fault::Reset();
+  (*service)->QueryBatch(queries, 5);
+  EXPECT_EQ((*service)->probes(), 4);
+  EXPECT_EQ((*service)->health(), serve::HealthState::kHealthy);
+  EXPECT_GE((*service)->Snapshot().probe_dial_ups, 2);
+}
+
+TEST(RetrievalServiceConcurrencyTest, ProbeDialStressNeverTearsResults) {
+  Tensor items = ClusteredUnitRows(8, 15, 12, 137);
+  Tensor queries = ClusteredUnitRows(8, 2, 12, 139);
+  serve::ServeConfig config =
+      IvfServeConfig(8, 2, /*micro_batch=*/4, /*cache=*/64);
+  auto service = serve::RetrievalService::Create(items, config);
+  ASSERT_TRUE(service.ok());
+  // The service's index is built deterministically from (items, ivf
+  // config); an identical stand-alone build yields the per-probe truth.
+  auto index = index::IvfIndex::Build(items.Clone(), config.ivf);
+  ASSERT_TRUE(index.ok());
+  const std::vector<int64_t> dial_values = {1, 2, 4, 8};
+  std::vector<std::vector<std::vector<int64_t>>> truth;
+  for (int64_t probes : dial_values) {
+    truth.push_back(index->QueryBatchWithProbes(queries, 5, probes));
+  }
+  std::atomic<int> torn{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      for (int iter = 0; iter < 12; ++iter) {
+        auto got = (*service)->QueryBatch(queries, 5);
+        for (size_t row = 0; row < got.size(); ++row) {
+          // Every row must equal the reference for *some* probe value that
+          // was ever set — a mix within a row would be a torn read of the
+          // dial.
+          bool consistent = false;
+          for (const auto& expect : truth) {
+            if (got[row] == expect[row]) {
+              consistent = true;
+              break;
+            }
+          }
+          if (!consistent) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread dialer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      ASSERT_TRUE(
+          (*service)
+              ->SetProbes(dial_values[static_cast<size_t>(i++) %
+                                      dial_values.size()])
+              .ok());
+      std::this_thread::yield();
+    }
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  dialer.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST_F(OverloadTest, ShedsDegradesAndRecoversUnderOverload) {
+  Tensor items = ClusteredUnitRows(8, 15, 12, 149);
+  Tensor queries = ClusteredUnitRows(8, 2, 12, 151);
+  serve::ServeConfig config =
+      IvfServeConfig(8, 4, /*micro_batch=*/4, /*cache=*/0);
+  config.max_inflight = 1;
+  config.max_queue = 1;
+  config.degradation.target_ms = 2.0;
+  config.degradation.min_probes = 1;
+  config.degradation.window = 2;
+  auto service = serve::RetrievalService::Create(items, config);
+  ASSERT_TRUE(service.ok());
+
+  // The un-overloaded reference, per probe value the dial can visit, from
+  // the scalar per-query path at several thread counts (the bit-identity
+  // contract holds under overload machinery too).
+  auto index = index::IvfIndex::Build(items.Clone(), config.ivf);
+  ASSERT_TRUE(index.ok());
+  for (int width : {1, 2, 4}) {
+    ThreadGuard guard(width);
+    auto got = (*service)->QueryBatch(queries, 5);
+    for (int64_t i = 0; i < queries.rows(); ++i) {
+      EXPECT_EQ(got[static_cast<size_t>(i)],
+                index->QueryWithProbes(RowOf(queries, i), 5, 4))
+          << "width " << width;
+    }
+  }
+  (*service)->ResetStats();
+
+  // Offered load far above capacity: every micro-batch stalls 15 ms, four
+  // clients offer concurrent requests with 60 ms budgets into a queue of
+  // depth 1. The excess must shed fast or miss its deadline — it must NOT
+  // pile up (queue_peak stays within max_queue).
+  fault::Arm(fault::kServeScoreDelay, /*skip=*/15);
+  std::atomic<int64_t> ok_count{0};
+  std::atomic<int64_t> shed_count{0};
+  std::atomic<int64_t> deadline_count{0};
+  std::atomic<int64_t> other_count{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int iter = 0; iter < 6; ++iter) {
+        serve::QueryOptions options;
+        options.deadline_ms = 60.0;
+        const int64_t row = (t * 6 + iter) % queries.rows();
+        auto result =
+            (*service)->QueryWithOptions(RowOf(queries, row), 5, options);
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          shed_count.fetch_add(1);
+        } else if (result.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          deadline_count.fetch_add(1);
+        } else {
+          other_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(other_count.load(), 0);
+  EXPECT_GT(ok_count.load(), 0);  // The service kept serving...
+  EXPECT_GT(shed_count.load() + deadline_count.load(), 0)  // ...and shed.
+      << "offered load above capacity must shed or deadline-fail";
+  EXPECT_LE(stats.queue_peak, config.max_queue);
+  EXPECT_LE(stats.inflight_peak, config.max_inflight);
+  EXPECT_EQ(stats.shed, shed_count.load());
+  // Sustained overload drove the probe dial to its floor and health out of
+  // kHealthy (kDegraded on the way down, kUnhealthy once at the floor).
+  EXPECT_EQ((*service)->probes(), config.degradation.min_probes);
+  EXPECT_NE(stats.health, serve::HealthState::kHealthy);
+
+  // Recovery: disarm the stall, serve a healthy stream, and the dial walks
+  // back to full probes with health kHealthy.
+  fault::Reset();
+  for (int iter = 0; iter < 8; ++iter) {
+    (*service)->QueryBatch(queries, 5);
+    if ((*service)->health() == serve::HealthState::kHealthy) break;
+  }
+  EXPECT_EQ((*service)->probes(), 4);
+  EXPECT_EQ((*service)->health(), serve::HealthState::kHealthy);
 }
 
 }  // namespace
