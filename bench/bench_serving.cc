@@ -25,6 +25,7 @@
 #include "index/ivf_index.h"
 #include "kernel/kernel.h"
 #include "serve/retrieval_service.h"
+#include "serve/sharded_service.h"
 #include "tensor/ops.h"
 #include "util/fault.h"
 #include "util/stopwatch.h"
@@ -368,12 +369,185 @@ int RunOverload() {
   return queue_bounded ? 0 : 1;
 }
 
+/// Sharded fan-out/fan-in sweep: shard count x injected failure mode
+/// (healthy fleet / one replica of every shard killed / one whole shard
+/// down / a slow replica hedged around), reporting QPS, fan-out latency
+/// percentiles, coverage and the retry/hedge/breaker counters. The healthy
+/// rows double as a correctness gate: their merged results must be
+/// bit-identical to the unsharded exhaustive service. Writes one JSON
+/// record per row to BENCH_serving_shards.json (see DESIGN.md, "Sharded
+/// serving and failover").
+int RunShards() {
+  constexpr int kPasses = 3;
+  data::GeneratorConfig config;
+  config.num_recipes = 4000;
+  config.num_classes = 96;
+  config.seed = 42;
+  auto generator = data::RecipeGenerator::Create(config);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  data::Dataset dataset = generator->Generate();
+  Tensor items({dataset.size(), dataset.image_dim});
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Tensor& img = dataset.recipes[static_cast<size_t>(i)].image;
+    std::copy(img.data(), img.data() + dataset.image_dim,
+              items.data() + i * dataset.image_dim);
+  }
+  items = L2NormalizeRows(items);
+  Tensor queries = SliceRows(items, 0, 128);
+  std::printf("== Sharded serving sweep ==\n");
+  std::printf("(%lld items of dim %lld, %lld queries/batch, top-%lld, "
+              "%d passes per level)\n",
+              static_cast<long long>(items.rows()),
+              static_cast<long long>(items.cols()),
+              static_cast<long long>(queries.rows()),
+              static_cast<long long>(kTopK), kPasses);
+
+  // The unsharded exhaustive answer every healthy configuration must
+  // reproduce bit for bit.
+  serve::ServeConfig flat_config;
+  flat_config.backend = serve::Backend::kExhaustive;
+  flat_config.cache_capacity = 0;
+  auto flat = serve::RetrievalService::Create(items, flat_config);
+  if (!flat.ok()) {
+    std::fprintf(stderr, "%s\n", flat.status().ToString().c_str());
+    return 1;
+  }
+  auto truth =
+      (*flat)->QueryBatchScored(queries, kTopK, serve::QueryOptions{});
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Mode {
+    const char* name;
+    int64_t replicas;
+    bool kill_replica0;   // serve.shard.fail on replica 0 of every shard.
+    bool kill_shard0;     // serve.shard.fail on every replica of shard 0.
+    int64_t stall_ms;     // serve.shard.delay on replica 0 of every shard.
+    double hedge_ms;
+  };
+  const Mode modes[] = {
+      {"healthy", 1, false, false, 0, 0.0},
+      {"replica-killed", 2, true, false, 0, 0.0},
+      {"slow-replica+hedge", 2, false, false, 5, 1.0},
+      {"shard-down", 1, false, true, 0, 0.0},
+  };
+
+  TablePrinter table({"shards", "mode", "ok", "partial", "QPS", "p50 ms",
+                      "p95 ms", "coverage", "retries", "hedge f/w",
+                      "breaker opens"});
+  std::string json = "[\n";
+  bool first_record = true;
+  bool bit_identical = true;
+  for (const int64_t shards : {int64_t{1}, int64_t{2}, int64_t{4}}) {
+    for (const Mode& mode : modes) {
+      if (mode.kill_shard0 && shards == 1) continue;  // Nothing to degrade to.
+      serve::ShardedServeConfig sharded_config;
+      sharded_config.num_shards = shards;
+      sharded_config.num_replicas = mode.replicas;
+      sharded_config.shard.backend = serve::Backend::kExhaustive;
+      sharded_config.shard_timeout_ms = 50.0;
+      sharded_config.hedge_ms = mode.hedge_ms;
+      sharded_config.retry.backoff_base_ms = 0.5;
+      sharded_config.retry.backoff_max_ms = 2.0;
+      auto service =
+          serve::ShardedRetrievalService::Create(items, sharded_config);
+      if (!service.ok()) {
+        std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+        return 1;
+      }
+      fault::Reset();
+      for (int64_t s = 0; s < shards; ++s) {
+        if (mode.kill_replica0) {
+          fault::Arm(fault::ShardReplicaPoint(fault::kServeShardFail, s, 0));
+        }
+        if (mode.stall_ms > 0) {
+          fault::Arm(fault::ShardReplicaPoint(fault::kServeShardDelay, s, 0),
+                     /*skip=*/mode.stall_ms);
+        }
+      }
+      if (mode.kill_shard0) {
+        for (int64_t r = 0; r < mode.replicas; ++r) {
+          fault::Arm(fault::ShardReplicaPoint(fault::kServeShardFail, 0, r));
+        }
+      }
+
+      int64_t ok_requests = 0;
+      int64_t partial_requests = 0;
+      (void)(*service)->QueryBatch(queries, kTopK);  // Warm-up.
+      (*service)->ResetStats();
+      Stopwatch watch;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        auto got = (*service)->QueryBatch(queries, kTopK);
+        if (!got.ok()) continue;
+        ++ok_requests;
+        if (got->partial) ++partial_requests;
+        if (!got->partial && got->results != truth.value()) {
+          bit_identical = false;
+        }
+      }
+      const double elapsed_s = watch.ElapsedSeconds();
+      fault::Reset();
+      const serve::ShardedServeStats stats = (*service)->Snapshot();
+      const double qps =
+          elapsed_s > 0.0
+              ? static_cast<double>(ok_requests * queries.rows()) / elapsed_s
+              : 0.0;
+      table.AddRow(
+          {std::to_string(shards), mode.name, std::to_string(ok_requests),
+           std::to_string(partial_requests), TablePrinter::Num(qps, 0),
+           TablePrinter::Num(stats.fanout.PercentileMs(50), 3),
+           TablePrinter::Num(stats.fanout.PercentileMs(95), 3),
+           TablePrinter::Num(stats.coverage.mean(), 3),
+           std::to_string(stats.retries),
+           std::to_string(stats.hedges_fired) + "/" +
+               std::to_string(stats.hedges_won),
+           std::to_string(stats.breaker_opens)});
+      char record[512];
+      std::snprintf(
+          record, sizeof(record),
+          "%s  {\"shards\": %lld, \"replicas\": %lld, \"mode\": \"%s\", "
+          "\"ok\": %lld, \"partial\": %lld, \"failed\": %lld, "
+          "\"qps\": %.1f, \"fanout_p50_ms\": %.4f, \"fanout_p95_ms\": %.4f, "
+          "\"coverage_mean\": %.4f, \"retries\": %lld, "
+          "\"hedges_fired\": %lld, \"hedges_won\": %lld, "
+          "\"timeouts\": %lld, \"breaker_opens\": %lld}",
+          first_record ? "" : ",\n", static_cast<long long>(shards),
+          static_cast<long long>(mode.replicas), mode.name,
+          static_cast<long long>(ok_requests),
+          static_cast<long long>(partial_requests),
+          static_cast<long long>(stats.failed), qps,
+          stats.fanout.PercentileMs(50), stats.fanout.PercentileMs(95),
+          stats.coverage.mean(), static_cast<long long>(stats.retries),
+          static_cast<long long>(stats.hedges_fired),
+          static_cast<long long>(stats.hedges_won),
+          static_cast<long long>(stats.timeouts),
+          static_cast<long long>(stats.breaker_opens));
+      json += record;
+      first_record = false;
+    }
+  }
+  json += "\n]\n";
+  table.Print(std::cout);
+  std::printf("healthy rows bit-identical to the unsharded service: %s\n",
+              bit_identical ? "yes" : "NO (BUG)");
+  std::ofstream out("BENCH_serving_shards.json");
+  out << json;
+  std::printf("wrote BENCH_serving_shards.json\n");
+  return bit_identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace adamine
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--overload") return adamine::RunOverload();
+    if (std::string(argv[i]) == "--shards") return adamine::RunShards();
   }
   return adamine::Run();
 }

@@ -29,6 +29,25 @@
 //                              (and back up when healthy; 0 disables)
 //   --min-probes=N             floor of the adaptive probe dial
 //
+// Sharded-serving flags (serve; see DESIGN.md "Sharded serving and
+// failover"). With --shards=N > 1 the exported corpus is partitioned
+// across N exhaustive-backend shards whose merged answers are
+// bit-identical to the unsharded service:
+//   --shards=N                 corpus partitions (default 1 = unsharded)
+//   --replicas=N               replicas per shard; failover + hedging
+//                              target (default 1)
+//   --shard-timeout-ms=MS      per-attempt replica budget; slower replicas
+//                              count as transient failures (0 = none)
+//   --retry-max=N              retry rounds per shard after the first
+//   --hedge-ms=MS              fire a duplicate attempt at another replica
+//                              after MS without an answer (0 disables)
+//   --breaker-failures=N       consecutive failures that open a replica's
+//                              circuit breaker
+//   --breaker-open-ms=MS       how long an open breaker rejects traffic
+//                              before the half-open probe
+//   --require-full-coverage    fail requests instead of returning partial
+//                              results when shards are down
+//
 // `serve` loads the checkpoint, embeds the test split, exports the
 // embedding bundle, reloads it into a serve::RetrievalService and replays
 // the recipe embeddings as a query stream (recipe->image retrieval),
@@ -66,6 +85,7 @@
 #include "io/checkpoint.h"
 #include "io/serialize.h"
 #include "serve/retrieval_service.h"
+#include "serve/sharded_service.h"
 #include "text/tokenizer.h"
 #include "util/stopwatch.h"
 
@@ -119,6 +139,14 @@ int main(int argc, char** argv) {
   long max_queue = 0;
   double degrade_target_ms = 0.0;
   long min_probes = 1;
+  long shards = 1;
+  long replicas = 1;
+  double shard_timeout_ms = 0.0;
+  long retry_max = 2;
+  double hedge_ms = 0.0;
+  long breaker_failures = 3;
+  double breaker_open_ms = 100.0;
+  bool require_full_coverage = false;
   std::string embeddings_path = "/tmp/adamine_embeddings.bin";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -167,6 +195,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --min-probes must be positive\n");
         return 1;
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atol(arg.c_str() + std::strlen("--shards="));
+      if (shards <= 0) {
+        std::fprintf(stderr, "error: --shards must be positive\n");
+        return 1;
+      }
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      replicas = std::atol(arg.c_str() + std::strlen("--replicas="));
+      if (replicas <= 0) {
+        std::fprintf(stderr, "error: --replicas must be positive\n");
+        return 1;
+      }
+    } else if (arg.rfind("--shard-timeout-ms=", 0) == 0) {
+      shard_timeout_ms =
+          std::atof(arg.c_str() + std::strlen("--shard-timeout-ms="));
+    } else if (arg.rfind("--retry-max=", 0) == 0) {
+      retry_max = std::atol(arg.c_str() + std::strlen("--retry-max="));
+    } else if (arg.rfind("--hedge-ms=", 0) == 0) {
+      hedge_ms = std::atof(arg.c_str() + std::strlen("--hedge-ms="));
+    } else if (arg.rfind("--breaker-failures=", 0) == 0) {
+      breaker_failures =
+          std::atol(arg.c_str() + std::strlen("--breaker-failures="));
+    } else if (arg.rfind("--breaker-open-ms=", 0) == 0) {
+      breaker_open_ms =
+          std::atof(arg.c_str() + std::strlen("--breaker-open-ms="));
+    } else if (arg == "--require-full-coverage") {
+      require_full_coverage = true;
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -272,6 +327,59 @@ int main(int argc, char** argv) {
     std::printf("embedding bundle (%lld pairs) exported to %s\n",
                 static_cast<long long>(test.image_emb.rows()),
                 embeddings_path.c_str());
+
+    // Sharded path: partition the reloaded corpus across --shards
+    // fault-tolerant shards and replay the same query stream through the
+    // fan-out/fan-in merge.
+    if (shards > 1) {
+      if (backend == "ivf") {
+        std::fprintf(stderr,
+                     "error: --shards requires --backend=exhaustive (the "
+                     "merge needs per-hit scores)\n");
+        return 1;
+      }
+      auto bundle = io::LoadTensorBundle(embeddings_path);
+      if (!bundle.ok()) return Fail(bundle.status());
+      Tensor corpus;
+      for (const io::NamedTensor& entry : bundle.value()) {
+        if (entry.name == "image_emb") corpus = entry.tensor;
+      }
+      adamine::serve::ShardedServeConfig sharded_config;
+      sharded_config.num_shards = shards;
+      sharded_config.num_replicas = replicas;
+      sharded_config.shard = serve_config;
+      sharded_config.shard_timeout_ms = shard_timeout_ms;
+      sharded_config.hedge_ms = hedge_ms;
+      sharded_config.retry.retry_max = retry_max;
+      sharded_config.breaker.failure_threshold = breaker_failures;
+      sharded_config.breaker.open_ms = breaker_open_ms;
+      sharded_config.require_full_coverage = require_full_coverage;
+      auto sharded = adamine::serve::ShardedRetrievalService::Create(
+          corpus, sharded_config);
+      if (!sharded.ok()) return Fail(sharded.status());
+      std::printf("serving %lld items across %ld shards x %ld replicas\n",
+                  static_cast<long long>((*sharded)->size()), shards,
+                  replicas);
+      auto results = (*sharded)->QueryBatchWithOptions(test.recipe_emb, 10,
+                                                       query_options);
+      if (!results.ok()) return Fail(results.status());
+      int64_t sharded_top1 = 0;
+      for (size_t i = 0; i < results->results.size(); ++i) {
+        if (!results->results[i].empty() &&
+            results->results[i][0].index == static_cast<int64_t>(i)) {
+          ++sharded_top1;
+        }
+      }
+      std::printf("recipe->image top-1: %.1f%% (%lld / %lld)  coverage %.3f"
+                  "%s\n",
+                  100.0 * sharded_top1 / test.recipe_emb.rows(),
+                  static_cast<long long>(sharded_top1),
+                  static_cast<long long>(test.recipe_emb.rows()),
+                  results->coverage, results->partial ? " (partial)" : "");
+      std::printf("%s", (*sharded)->Snapshot().ToString().c_str());
+      return 0;
+    }
+
     auto service = adamine::serve::RetrievalService::Load(
         embeddings_path, "image_emb", serve_config);
     if (!service.ok()) return Fail(service.status());

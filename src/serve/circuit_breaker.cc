@@ -1,0 +1,104 @@
+#include "serve/circuit_breaker.h"
+
+namespace adamine::serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Status CircuitBreakerConfig::Validate() const {
+  if (failure_threshold <= 0) {
+    return Status::InvalidArgument("breaker failure_threshold must be > 0");
+  }
+  if (open_ms < 0.0) {
+    return Status::InvalidArgument("breaker open_ms must be >= 0");
+  }
+  return Status::Ok();
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
+    : config_(config) {}
+
+bool CircuitBreaker::Allow(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < open_until_) return false;
+      state_ = BreakerState::kHalfOpen;
+      ++half_opens_;
+      probe_inflight_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe at a time: extra traffic keeps failing fast until the
+      // outstanding probe's verdict is in.
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    probe_inflight_ = false;
+    ++closes_;
+  }
+}
+
+void CircuitBreaker::OnFailure(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: the replica is still sick; back to open for
+    // another cool-off window.
+    state_ = BreakerState::kOpen;
+    probe_inflight_ = false;
+    open_until_ =
+        now + std::chrono::microseconds(
+                  static_cast<int64_t>(config_.open_ms * 1000.0));
+    ++opens_;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_ =
+        now + std::chrono::microseconds(
+                  static_cast<int64_t>(config_.open_ms * 1000.0));
+    ++opens_;
+  }
+  // A failure reported while already open (an attempt that was in flight
+  // when the breaker tripped) changes nothing: the cool-off clock is not
+  // re-extended by stragglers.
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreakerStats CircuitBreaker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CircuitBreakerStats stats;
+  stats.state = state_;
+  stats.consecutive_failures = consecutive_failures_;
+  stats.opens = opens_;
+  stats.half_opens = half_opens_;
+  stats.closes = closes_;
+  return stats;
+}
+
+}  // namespace adamine::serve

@@ -1,0 +1,93 @@
+#ifndef ADAMINE_SERVE_CIRCUIT_BREAKER_H_
+#define ADAMINE_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace adamine::serve {
+
+/// Breaker state machine (see DESIGN.md, "Sharded serving and failover"):
+/// kClosed passes traffic and counts consecutive transient failures;
+/// kOpen fails fast — the replica gets no traffic until `open_ms` elapses;
+/// kHalfOpen lets exactly one probe through, whose outcome either closes
+/// the breaker (success) or re-opens it for another `open_ms` (failure).
+enum class BreakerState {
+  kClosed,
+  kOpen,
+  kHalfOpen,
+};
+
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerConfig {
+  /// Consecutive transient failures that trip kClosed -> kOpen. Transience
+  /// is the caller's call (Status::IsTransient); non-transient errors must
+  /// not be fed to the breaker — they say nothing about replica health.
+  int64_t failure_threshold = 3;
+  /// How long an open breaker rejects traffic before allowing the
+  /// half-open probe.
+  double open_ms = 100.0;
+
+  Status Validate() const;
+};
+
+/// Counters and current state of one replica's breaker, for stats
+/// snapshots.
+struct CircuitBreakerStats {
+  BreakerState state = BreakerState::kClosed;
+  int64_t consecutive_failures = 0;
+  int64_t opens = 0;       // kClosed/kHalfOpen -> kOpen transitions.
+  int64_t half_opens = 0;  // kOpen -> kHalfOpen transitions.
+  int64_t closes = 0;      // kHalfOpen -> kClosed transitions.
+};
+
+/// Per-shard-replica circuit breaker. The ShardClient asks Allow() before
+/// every attempt and reports the outcome with OnSuccess / OnFailure; time
+/// is passed in by the caller so the state machine is unit-testable without
+/// sleeping.
+///
+/// Thread safety: all methods may be called concurrently (a replica is
+/// shared by every in-flight query of its shard).
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config);
+
+  /// True if an attempt may be sent to the replica now. An open breaker
+  /// whose open_ms has elapsed transitions to half-open and admits exactly
+  /// one probe; further Allow() calls fail until that probe resolves via
+  /// OnSuccess / OnFailure.
+  bool Allow(TimePoint now);
+
+  /// The replica answered: resets the failure streak; a half-open probe
+  /// success closes the breaker.
+  void OnSuccess();
+
+  /// The replica failed transiently (or timed out): extends the failure
+  /// streak, tripping the breaker at failure_threshold; a half-open probe
+  /// failure re-opens for another open_ms.
+  void OnFailure(TimePoint now);
+
+  BreakerState state() const;
+  CircuitBreakerStats Snapshot() const;
+
+ private:
+  const CircuitBreakerConfig config_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int64_t consecutive_failures_ = 0;
+  bool probe_inflight_ = false;  // kHalfOpen: the single probe is out.
+  TimePoint open_until_{};
+  int64_t opens_ = 0;
+  int64_t half_opens_ = 0;
+  int64_t closes_ = 0;
+};
+
+}  // namespace adamine::serve
+
+#endif  // ADAMINE_SERVE_CIRCUIT_BREAKER_H_

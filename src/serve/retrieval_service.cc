@@ -247,8 +247,6 @@ Status RetrievalService::DeadlineMiss(const char* where) {
 
 StatusOr<std::vector<std::vector<int64_t>>> RetrievalService::ScoreMicroBatch(
     const Tensor& queries, int64_t k, int64_t probes, TimePoint deadline) {
-  const int64_t m = queries.rows();
-  const int64_t d = queries.cols();
   std::lock_guard<std::mutex> exec_lock(exec_mu_);
   // Re-check after acquiring the executor: a request that waited out its
   // budget in line behind slow batches must fail before burning a GEMM.
@@ -273,29 +271,13 @@ StatusOr<std::vector<std::vector<int64_t>>> RetrievalService::ScoreMicroBatch(
     results = index_->QueryBatchWithProbes(queries, k, probes);
     score_ms = watch.ElapsedMillis();
   } else {
-    const int64_t n = items_.rows();
-    Tensor sims({m, n});
-    kernel::Gemm(queries.data(), d, false, items_.data(), d, true, m, n, d,
-                 sims.data());
-    score_ms = watch.ElapsedMillis();
-    watch.Restart();
-    const int64_t take = std::min(k, n);
-    results.resize(static_cast<size_t>(m));
-    kernel::ParallelFor(m, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
-      std::vector<int64_t> order(static_cast<size_t>(n));
-      for (int64_t i = i0; i < i1; ++i) {
-        const float* row = sims.data() + i * n;
-        std::iota(order.begin(), order.end(), 0);
-        std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                          [row](int64_t a, int64_t b) {
-                            return row[a] > row[b] ||
-                                   (row[a] == row[b] && a < b);
-                          });
-        results[static_cast<size_t>(i)] =
-            std::vector<int64_t>(order.begin(), order.begin() + take);
-      }
-    });
-    rank_ms = watch.ElapsedMillis();
+    const std::vector<std::vector<ScoredHit>> hits =
+        ExhaustiveTopK(queries, k, &score_ms, &rank_ms);
+    results.resize(hits.size());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      results[i].reserve(hits[i].size());
+      for (const ScoredHit& hit : hits[i]) results[i].push_back(hit.index);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -311,6 +293,103 @@ StatusOr<std::vector<std::vector<int64_t>>> RetrievalService::ScoreMicroBatch(
       const DegradationDecision decision = degradation_->Observe(score_ms);
       if (decision.changed) probes_ = decision.probes;
     }
+  }
+  return results;
+}
+
+std::vector<std::vector<ScoredHit>> RetrievalService::ExhaustiveTopK(
+    const Tensor& queries, int64_t k, double* score_ms, double* rank_ms) {
+  const int64_t m = queries.rows();
+  const int64_t d = queries.cols();
+  const int64_t n = items_.rows();
+  Stopwatch watch;
+  Tensor sims({m, n});
+  kernel::Gemm(queries.data(), d, false, items_.data(), d, true, m, n, d,
+               sims.data());
+  *score_ms = watch.ElapsedMillis();
+  watch.Restart();
+  const int64_t take = std::min(k, n);
+  std::vector<std::vector<ScoredHit>> results(static_cast<size_t>(m));
+  kernel::ParallelFor(m, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* row = sims.data() + i * n;
+      std::iota(order.begin(), order.end(), 0);
+      std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                        [row](int64_t a, int64_t b) {
+                          return row[a] > row[b] ||
+                                 (row[a] == row[b] && a < b);
+                        });
+      std::vector<ScoredHit>& out = results[static_cast<size_t>(i)];
+      out.reserve(static_cast<size_t>(take));
+      for (int64_t j = 0; j < take; ++j) {
+        out.push_back(ScoredHit{order[static_cast<size_t>(j)],
+                                row[order[static_cast<size_t>(j)]]});
+      }
+    }
+  });
+  *rank_ms = watch.ElapsedMillis();
+  return results;
+}
+
+StatusOr<std::vector<std::vector<ScoredHit>>>
+RetrievalService::ScoreMicroBatchScored(const Tensor& queries, int64_t k,
+                                        TimePoint deadline) {
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  if (std::chrono::steady_clock::now() >= deadline) {
+    return DeadlineMiss("waiting for the scoring executor");
+  }
+  // The same emulated-slow-scoring fault as the unscored path, so overload
+  // experiments exercise the sharded layer identically.
+  const int64_t delay_ms = fault::ArmedSkip(fault::kServeScoreDelay);
+  if (delay_ms >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  double score_ms = 0.0;
+  double rank_ms = 0.0;
+  std::vector<std::vector<ScoredHit>> results =
+      ExhaustiveTopK(queries, k, &score_ms, &rank_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.score.Record(score_ms);
+    stats_.rank.Record(rank_ms);
+  }
+  return results;
+}
+
+StatusOr<std::vector<std::vector<ScoredHit>>>
+RetrievalService::QueryBatchScored(const Tensor& queries, int64_t k,
+                                   const QueryOptions& options) {
+  if (config_.backend != Backend::kExhaustive) {
+    return Status::FailedPrecondition(
+        "scored queries require the exhaustive backend");
+  }
+  ADAMINE_CHECK_EQ(queries.ndim(), 2);
+  ADAMINE_CHECK_EQ(queries.cols(), dim());
+  ADAMINE_CHECK_GT(k, 0);
+  const TimePoint deadline = DeadlineOf(options);
+  const int64_t b = queries.rows();
+  const int64_t d = dim();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.queries += b;
+  }
+  AdmissionTicket ticket(*admission_, deadline);
+  ADAMINE_RETURN_IF_ERROR(ticket.status());
+  std::vector<std::vector<ScoredHit>> results;
+  results.reserve(static_cast<size_t>(b));
+  for (int64_t start = 0; start < b; start += config_.micro_batch) {
+    const int64_t end = std::min(b, start + config_.micro_batch);
+    if (start > 0 && std::chrono::steady_clock::now() >= deadline) {
+      return DeadlineMiss("between micro-batches");
+    }
+    Tensor micro({end - start, d});
+    std::copy(queries.data() + start * d, queries.data() + end * d,
+              micro.data());
+    auto scored = ScoreMicroBatchScored(micro, k, deadline);
+    if (!scored.ok()) return scored.status();
+    for (auto& row : scored.value()) results.push_back(std::move(row));
   }
   return results;
 }

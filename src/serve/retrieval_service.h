@@ -57,6 +57,18 @@ struct ServeConfig {
   Status Validate() const;
 };
 
+/// One retrieved item with its cosine score — the currency of the sharded
+/// merge path, where per-shard top-k lists are re-ranked globally and
+/// shard-local tie-breaking alone cannot order candidates across shards.
+struct ScoredHit {
+  int64_t index = 0;  // Row id in the service's item set.
+  float score = 0.0f;
+
+  bool operator==(const ScoredHit& other) const {
+    return index == other.index && score == other.score;
+  }
+};
+
 /// Per-request serving options.
 struct QueryOptions {
   /// Latency budget in milliseconds, measured from entry into the service;
@@ -120,6 +132,18 @@ class RetrievalService {
   StatusOr<std::vector<std::vector<int64_t>>> QueryBatchWithOptions(
       const Tensor& queries, int64_t k, const QueryOptions& options);
 
+  /// QueryBatchWithOptions variant that also returns each hit's cosine
+  /// score, for callers that merge results across services (the sharded
+  /// layer). Scores come straight from the same GEMM that ranks the hits,
+  /// so (index, score) pairs are bit-identical at every thread count and
+  /// identical for any row subset served (each query x item dot product is
+  /// an independent ascending chain). Bypasses the LRU cache — cached
+  /// entries store indices only. Exhaustive backend only (the IVF fused
+  /// search does not surface scores); rejected with kFailedPrecondition
+  /// otherwise.
+  StatusOr<std::vector<std::vector<ScoredHit>>> QueryBatchScored(
+      const Tensor& queries, int64_t k, const QueryOptions& options);
+
   /// Deadline-free conveniences for callers that did not configure
   /// admission control (with it enabled these CHECK on a shed request —
   /// overload-aware callers must use the WithOptions APIs).
@@ -176,6 +200,18 @@ class RetrievalService {
   /// request that waited out its budget in line fails fast).
   StatusOr<std::vector<std::vector<int64_t>>> ScoreMicroBatch(
       const Tensor& queries, int64_t k, int64_t probes, TimePoint deadline);
+
+  /// Scored twin of ScoreMicroBatch for the exhaustive backend (same
+  /// locking, deadline, fault and stats behaviour).
+  StatusOr<std::vector<std::vector<ScoredHit>>> ScoreMicroBatchScored(
+      const Tensor& queries, int64_t k, TimePoint deadline);
+
+  /// The exhaustive GEMM + per-row top-k, with scores. Assumes exec_mu_ is
+  /// held; reports stage latencies through the out-params.
+  std::vector<std::vector<ScoredHit>> ExhaustiveTopK(const Tensor& queries,
+                                                     int64_t k,
+                                                     double* score_ms,
+                                                     double* rank_ms);
 
   /// Marks a scoring-path deadline miss and returns kDeadlineExceeded.
   Status DeadlineMiss(const char* where);

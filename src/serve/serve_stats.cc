@@ -62,6 +62,27 @@ double StageStats::PercentileMs(double p) const {
   return max_ms;
 }
 
+void CoverageHistogram::Record(double coverage) {
+  if (coverage < 0.0) coverage = 0.0;
+  if (coverage > 1.0) coverage = 1.0;
+  ++count;
+  total += coverage;
+  const int b = std::min(kBuckets - 1, static_cast<int>(coverage * 10.0));
+  ++buckets[static_cast<size_t>(b)];
+}
+
+std::string CoverageHistogram::ToString() const {
+  char head[64];
+  std::snprintf(head, sizeof(head), "cov mean %.3f [", mean());
+  std::string out = head;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (b > 0) out += " ";
+    out += std::to_string(buckets[static_cast<size_t>(b)]);
+  }
+  out += "]";
+  return out;
+}
+
 std::string ServeStats::ToString() const {
   char line[256];
   std::string out;

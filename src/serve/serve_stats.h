@@ -41,6 +41,26 @@ struct StageStats {
   double PercentileMs(double p) const;
 };
 
+/// Histogram of per-request corpus coverage for the sharded serving layer:
+/// bucket i counts requests whose coverage fell in [i/10, (i+1)/10), with
+/// full coverage (exactly 1.0) in the last bucket. Cheap enough to update
+/// on every fan-in; rich enough to show whether degraded answers are rare
+/// blips or the steady state.
+struct CoverageHistogram {
+  static constexpr int kBuckets = 11;
+
+  int64_t count = 0;
+  double total = 0.0;
+  std::array<int64_t, kBuckets> buckets{};
+
+  void Record(double coverage);
+
+  double mean() const { return count == 0 ? 0.0 : total / count; }
+
+  /// "cov mean 0.97 [0 0 ... 12]" — the one-line form used in snapshots.
+  std::string ToString() const;
+};
+
 /// One consistent snapshot of a RetrievalService's counters: stage
 /// latencies for query embedding (recorded by the caller running the model
 /// forward), similarity scoring, and top-k ranking, plus query/batch/cache

@@ -1,0 +1,408 @@
+#include "serve/shard_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace adamine::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr ShardClient::TimePoint kNever = ShardClient::TimePoint::max();
+
+/// `t + ms`, saturating: the "no deadline" sentinel stays at infinity
+/// instead of wrapping around.
+ShardClient::TimePoint AddMs(ShardClient::TimePoint t, double ms) {
+  if (t == kNever) return kNever;
+  return t + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Status RetryPolicy::Validate() const {
+  if (retry_max < 0) {
+    return Status::InvalidArgument("retry_max must be >= 0");
+  }
+  if (backoff_base_ms < 0.0) {
+    return Status::InvalidArgument("backoff_base_ms must be >= 0");
+  }
+  if (backoff_max_ms < backoff_base_ms) {
+    return Status::InvalidArgument("backoff_max_ms must be >= backoff_base_ms");
+  }
+  return Status::Ok();
+}
+
+double RetryPolicy::BackoffMs(int64_t retry, uint64_t salt) const {
+  double backoff = backoff_base_ms;
+  for (int64_t i = 0; i < retry && backoff < backoff_max_ms; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, backoff_max_ms);
+  const uint64_t h = SplitMix64(jitter_seed ^
+                                SplitMix64(salt * 0x100000001b3ULL +
+                                           static_cast<uint64_t>(retry)));
+  // Top 53 bits -> uniform double in [0, 1); no RNG state, so a replay of
+  // the same (seed, shard, retry) backs off identically.
+  const double frac =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return backoff * (0.5 + 0.5 * frac);
+}
+
+Status ShardClientConfig::Validate() const {
+  if (shard_timeout_ms < 0.0) {
+    return Status::InvalidArgument("shard_timeout_ms must be >= 0");
+  }
+  if (hedge_ms < 0.0) {
+    return Status::InvalidArgument("hedge_ms must be >= 0");
+  }
+  ADAMINE_RETURN_IF_ERROR(retry.Validate());
+  return breaker.Validate();
+}
+
+ShardClient::ShardClient(int64_t shard_index, int64_t global_offset,
+                         std::vector<std::shared_ptr<RetrievalService>>
+                             replicas,
+                         const ShardClientConfig& config)
+    : shard_index_(shard_index),
+      global_offset_(global_offset),
+      size_(replicas.empty() ? 0 : replicas.front()->size()),
+      config_(config),
+      replicas_(std::move(replicas)) {
+  ADAMINE_CHECK_MSG(!replicas_.empty(), "shard needs at least one replica");
+  for (const auto& replica : replicas_) {
+    ADAMINE_CHECK_MSG(replica != nullptr, "null replica service");
+    ADAMINE_CHECK_MSG(replica->size() == size_,
+                      "replicas of one shard must serve the same rows");
+    breakers_.push_back(std::make_unique<CircuitBreaker>(config_.breaker));
+  }
+}
+
+ShardClient::~ShardClient() {
+  std::lock_guard<std::mutex> lock(reaper_mu_);
+  for (ReaperEntry& entry : outstanding_) {
+    if (entry.thread.joinable()) entry.thread.join();
+  }
+  outstanding_.clear();
+}
+
+void ShardClient::Reap() {
+  std::lock_guard<std::mutex> lock(reaper_mu_);
+  auto it = outstanding_.begin();
+  while (it != outstanding_.end()) {
+    if (it->finished->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t ShardClient::NextAllowedReplica(int64_t* cursor, TimePoint now) {
+  const int64_t n = num_replicas();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t replica = (*cursor + i) % n;
+    if (breakers_[static_cast<size_t>(replica)]->Allow(now)) {
+      *cursor = replica + 1;
+      return replica;
+    }
+  }
+  return -1;
+}
+
+std::shared_ptr<ShardClient::Attempt> ShardClient::Launch(
+    const std::shared_ptr<QueryState>& state, int64_t replica, bool hedge,
+    const Tensor& queries, int64_t k, TimePoint attempt_deadline) {
+  auto attempt = std::make_shared<Attempt>();
+  attempt->replica = replica;
+  attempt->hedge = hedge;
+  auto finished = std::make_shared<std::atomic<bool>>(false);
+  std::shared_ptr<RetrievalService> service =
+      replicas_[static_cast<size_t>(replica)];
+  const int64_t shard = shard_index_;
+  const int64_t offset = global_offset_;
+  // `queries` is copied by value: Tensor copies share the underlying buffer,
+  // so the attempt keeps the data alive without duplicating it.
+  std::thread worker([state, attempt, finished, service, queries, k,
+                      attempt_deadline, shard, replica, offset] {
+    Status status;
+    std::vector<std::vector<ScoredHit>> results;
+    // Replica-scoped fault points first, then the fleet-wide bare points
+    // (short-circuit: a scoped kill does not consume the bare schedule).
+    const std::string scoped_fail =
+        fault::ShardReplicaPoint(fault::kServeShardFail, shard, replica);
+    if (fault::ShouldFail(scoped_fail) ||
+        fault::ShouldFail(fault::kServeShardFail)) {
+      status = Status::Unavailable("injected fault " +
+                                   std::string(fault::kServeShardFail) +
+                                   " at shard " + std::to_string(shard) +
+                                   " replica " + std::to_string(replica));
+    } else {
+      const std::string scoped_delay =
+          fault::ShardReplicaPoint(fault::kServeShardDelay, shard, replica);
+      int64_t stall_ms = fault::ArmedSkip(scoped_delay);
+      if (stall_ms < 0) stall_ms = fault::ArmedSkip(fault::kServeShardDelay);
+      if (stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      }
+      QueryOptions options;
+      if (attempt_deadline != kNever) {
+        // The replica's own deadline is whatever budget is left *after* any
+        // injected network stall, so a wedged hop and a slow replica look
+        // the same to the coordinator.
+        const double remaining =
+            std::chrono::duration<double, std::milli>(attempt_deadline -
+                                                      Clock::now())
+                .count();
+        if (remaining <= 0.0) {
+          status = Status::DeadlineExceeded(
+              "shard " + std::to_string(shard) + " replica " +
+              std::to_string(replica) +
+              ": attempt deadline expired before the replica was queried");
+        } else {
+          options.deadline_ms = remaining;
+        }
+      }
+      if (status.ok()) {
+        auto got = service->QueryBatchScored(queries, k, options);
+        if (got.ok()) {
+          results = std::move(got).value();
+          for (std::vector<ScoredHit>& row : results) {
+            for (ScoredHit& hit : row) hit.index += offset;
+          }
+        } else {
+          status = got.status();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      attempt->status = std::move(status);
+      attempt->results = std::move(results);
+      attempt->completed = true;
+      state->done.push_back(attempt);
+    }
+    state->cv.notify_all();
+    finished->store(true, std::memory_order_release);
+  });
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    ReaperEntry entry;
+    entry.thread = std::move(worker);
+    entry.finished = std::move(finished);
+    outstanding_.push_back(std::move(entry));
+  }
+  return attempt;
+}
+
+StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
+    const Tensor& queries, int64_t k, TimePoint deadline) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+  }
+  Reap();
+
+  auto state = std::make_shared<QueryState>();
+  std::vector<std::shared_ptr<Attempt>> inflight;
+  int64_t cursor = 0;  // Replica rotation; deterministic from replica 0.
+  // Per-attempt budget: whatever is left of the request deadline, tightened
+  // by shard_timeout_ms when configured.
+  const auto attempt_deadline = [this, deadline](TimePoint now) {
+    if (config_.shard_timeout_ms <= 0.0) return deadline;
+    return std::min(deadline, AddMs(now, config_.shard_timeout_ms));
+  };
+  Status last_error = Status::Unavailable(
+      "shard " + std::to_string(shard_index_) +
+      ": every replica circuit breaker is open");
+
+  // Charges every attempt still in flight to its replica's breaker, exactly
+  // once (the penalised flag survives into a straggler's completion).
+  const auto penalise_inflight = [&](TimePoint now) {
+    std::vector<int64_t> charged;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      for (const std::shared_ptr<Attempt>& attempt : inflight) {
+        if (!attempt->completed && !attempt->penalised) {
+          attempt->penalised = true;
+          charged.push_back(attempt->replica);
+        }
+      }
+    }
+    for (int64_t replica : charged) {
+      breakers_[static_cast<size_t>(replica)]->OnFailure(now);
+    }
+  };
+
+  for (int64_t round = 0; round <= config_.retry.retry_max; ++round) {
+    if (round > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.retries;
+      }
+      // Back off before retrying, bounded by the request deadline. A
+      // straggler from an earlier round completing during the backoff wakes
+      // the wait — its result is consumed below instead of going to waste.
+      const double backoff_ms = config_.retry.BackoffMs(
+          round - 1, static_cast<uint64_t>(shard_index_));
+      const TimePoint wake = std::min(deadline, AddMs(Clock::now(),
+                                                      backoff_ms));
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait_until(lock, wake,
+                           [&state] { return !state->done.empty(); });
+    }
+    const TimePoint round_start = Clock::now();
+    if (round_start >= deadline) {
+      penalise_inflight(round_start);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.exhausted;
+      return Status::DeadlineExceeded(
+          "shard " + std::to_string(shard_index_) +
+          ": request deadline expired during failover");
+    }
+
+    // Launch this round's primary attempt — unless an earlier attempt
+    // already delivered an outcome (consume it first) or every breaker is
+    // open (ride on whatever is still in flight).
+    bool pending;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      pending = !state->done.empty();
+    }
+    if (!pending) {
+      const int64_t primary = NextAllowedReplica(&cursor, round_start);
+      if (primary >= 0) {
+        inflight.push_back(Launch(state, primary, /*hedge=*/false, queries, k,
+                                  attempt_deadline(round_start)));
+      } else if (inflight.empty()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.exhausted;
+        return last_error;
+      }
+    }
+
+    TimePoint round_deadline = deadline;
+    if (config_.shard_timeout_ms > 0.0) {
+      round_deadline = std::min(deadline,
+                                AddMs(round_start, config_.shard_timeout_ms));
+    }
+    TimePoint hedge_at = kNever;
+    if (config_.hedge_ms > 0.0 && num_replicas() > 1) {
+      hedge_at = AddMs(round_start, config_.hedge_ms);
+    }
+    bool hedged = false;
+
+    // Consume attempt outcomes until the round succeeds, fails, or times
+    // out; fire the hedge when the primary is slow.
+    bool round_over = false;
+    while (!round_over) {
+      std::shared_ptr<Attempt> outcome;
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        const TimePoint wake =
+            std::min(round_deadline, hedged ? kNever : hedge_at);
+        state->cv.wait_until(lock, wake,
+                             [&state] { return !state->done.empty(); });
+        if (!state->done.empty()) {
+          outcome = state->done.front();
+          state->done.erase(state->done.begin());
+        }
+      }
+      if (outcome != nullptr) {
+        inflight.erase(std::remove(inflight.begin(), inflight.end(), outcome),
+                       inflight.end());
+        if (outcome->status.ok()) {
+          if (!outcome->penalised) {
+            breakers_[static_cast<size_t>(outcome->replica)]->OnSuccess();
+          }
+          if (outcome->hedge) {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.hedges_won;
+          }
+          return std::move(outcome->results);
+        }
+        if (!outcome->status.IsTransient()) {
+          // A corrupt query is corrupt on every replica: fail fast, no
+          // breaker feedback (the replica did nothing wrong).
+          return outcome->status;
+        }
+        if (!outcome->penalised) {
+          breakers_[static_cast<size_t>(outcome->replica)]->OnFailure(
+              Clock::now());
+        }
+        last_error = outcome->status;
+        if (inflight.empty()) round_over = true;  // Next round (retry).
+        continue;
+      }
+      const TimePoint now = Clock::now();
+      if (now >= round_deadline) {
+        penalise_inflight(now);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.timeouts;
+        }
+        if (now >= deadline) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.exhausted;
+          return Status::DeadlineExceeded(
+              "shard " + std::to_string(shard_index_) +
+              ": request deadline expired waiting on replicas");
+        }
+        last_error = Status::DeadlineExceeded(
+            "shard " + std::to_string(shard_index_) +
+            ": no replica answered within shard_timeout_ms");
+        round_over = true;
+        continue;
+      }
+      if (!hedged && now >= hedge_at) {
+        hedged = true;
+        const int64_t backup = NextAllowedReplica(&cursor, now);
+        if (backup >= 0) {
+          inflight.push_back(Launch(state, backup, /*hedge=*/true, queries, k,
+                                    attempt_deadline(now)));
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.hedges_fired;
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.exhausted;
+  }
+  return last_error;
+}
+
+ShardClientStats ShardClient::Snapshot() const {
+  ShardClientStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.replicas.reserve(breakers_.size());
+  for (const auto& breaker : breakers_) {
+    out.replicas.push_back(breaker->Snapshot());
+  }
+  return out;
+}
+
+void ShardClient::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = ShardClientStats{};
+}
+
+}  // namespace adamine::serve

@@ -30,6 +30,11 @@ std::atomic<int64_t> g_armed_count{0};
 
 }  // namespace
 
+std::string ShardReplicaPoint(const std::string& point, int64_t shard,
+                              int64_t replica) {
+  return point + "." + std::to_string(shard) + "." + std::to_string(replica);
+}
+
 void Arm(const std::string& point, int64_t skip, int64_t fire) {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);

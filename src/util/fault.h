@@ -35,6 +35,27 @@ inline constexpr char kServeLoadRead[] = "serve.load.read";
 /// Fires inside AdmissionController::Admit: the request is shed with
 /// kUnavailable as if the queue were full.
 inline constexpr char kServeQueueReject[] = "serve.queue.reject";
+/// Fires inside ShardClient just before a replica attempt: the attempt
+/// returns kUnavailable without touching the replica, as if the process
+/// behind it had died. Arm the bare point to kill every replica of every
+/// shard, or arm the replica-scoped variant (ShardReplicaPoint) to kill
+/// one replica while the rest of the fleet stays healthy.
+inline constexpr char kServeShardFail[] = "serve.shard.fail";
+/// Per-shard stall: follows the kServeScoreDelay convention of encoding a
+/// quantity in `skip` — arm with skip = the artificial per-attempt delay in
+/// milliseconds (read via ArmedSkip, never consumed). The stall happens in
+/// the attempt thread before the replica is queried, so it models a slow
+/// network hop or a wedged replica; the fan-out coordinator's per-shard
+/// timeout — not the stalled attempt — bounds the caller's wait. Scopes
+/// with ShardReplicaPoint like kServeShardFail.
+inline constexpr char kServeShardDelay[] = "serve.shard.delay";
+
+/// "<point>.<shard>.<replica>": the replica-scoped variant of a serve-path
+/// fault point. ShardClient consults the scoped point first, then the bare
+/// one, so tests can take down one replica (or one whole shard, by arming
+/// every replica of it) without touching the others.
+std::string ShardReplicaPoint(const std::string& point, int64_t shard,
+                              int64_t replica);
 
 /// Arms `point`: the next `skip` hits pass, then the following `fire` hits
 /// fail, after which the point disarms itself. Re-arming overwrites any

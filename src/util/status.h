@@ -70,6 +70,18 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// True for the error categories that a retry against another replica may
+  /// cure: kUnavailable (load shed, replica down) and kDeadlineExceeded
+  /// (slow replica, expired per-attempt budget). Everything else — including
+  /// kOk — is non-transient: corrupt data or a caller bug looks exactly the
+  /// same on every replica, so retrying it only multiplies the damage. The
+  /// serving layer's retry policy routes every retry/no-retry decision
+  /// through this single classification (see serve::ShardClient).
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
+
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;
 

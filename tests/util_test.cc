@@ -25,6 +25,23 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad dim");
 }
 
+TEST(StatusTest, TransienceClassificationOfEveryCode) {
+  // The serving retry policy routes every retry decision through
+  // IsTransient, so this pins the classification of each code: only
+  // kUnavailable and kDeadlineExceeded may be retried against another
+  // replica — everything else (including kOk) looks the same everywhere.
+  EXPECT_FALSE(Status::Ok().IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::OutOfRange("x").IsTransient());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::Unimplemented("x").IsTransient());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsTransient());
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
+}
+
 StatusOr<int> ParsePositive(int x) {
   if (x <= 0) return Status::OutOfRange("must be positive");
   return x * 2;
