@@ -24,14 +24,6 @@ int configured_threads = 0;                // 0 = resolve default on first use.
 // nested kernels then run inline instead of re-entering the pool.
 thread_local bool in_parallel_region = false;
 
-// Serialises pool dispatch: ThreadPool::Run hands out exactly one job at a
-// time (its generation counter and chunk list are single-job state), so
-// concurrent kernel calls from different threads — e.g. shard replicas of
-// the sharded serving layer scoring in parallel — queue here instead of
-// corrupting each other's dispatch. Nested regions never reach this mutex
-// (they run inline above), so it cannot self-deadlock.
-std::mutex job_mu;
-
 int DefaultNumThreads() {
   if (const char* env = std::getenv("ADAMINE_NUM_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
@@ -81,8 +73,10 @@ void RunChunks(int64_t num_chunks, const std::function<void(int64_t)>& body) {
     for (int64_t c = 0; c < num_chunks; ++c) body(c);
     return;
   }
+  // Concurrent top-level dispatches from different threads — e.g. the
+  // sharded serving layer's per-shard fan-out — overlap on the pool; each
+  // caller drains its own job's chunks (see ThreadPool::Run).
   ThreadPool& p = GetPool();
-  std::lock_guard<std::mutex> job_lock(job_mu);
   in_parallel_region = true;
   p.Run(num_chunks, [&body](int64_t c) {
     in_parallel_region = true;  // Also marks the worker threads.

@@ -42,9 +42,9 @@ namespace internal {
 /// Runs body(chunk) for chunk in [0, num_chunks) on the global pool. Nested
 /// calls (a parallel body invoking another kernel) run inline so the pool is
 /// never re-entered; chunk decomposition is unchanged, so results are too.
-/// Concurrent calls from different threads are safe: dispatch is serialised
-/// on an internal job mutex (the pool runs one job at a time), so callers
-/// queue rather than corrupt each other's chunk lists.
+/// Concurrent calls from different threads are safe and overlap: the pool
+/// runs several jobs at once, each caller draining its own chunk list while
+/// idle workers help the oldest job first (see ThreadPool).
 void RunChunks(int64_t num_chunks, const std::function<void(int64_t)>& body);
 
 }  // namespace internal

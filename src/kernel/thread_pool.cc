@@ -8,7 +8,7 @@ ThreadPool::ThreadPool(int num_threads) : threads_(num_threads) {
   ADAMINE_CHECK_GE(num_threads, 1);
   workers_.reserve(static_cast<size_t>(num_threads - 1));
   for (int slot = 1; slot < num_threads; ++slot) {
-    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -17,53 +17,74 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  cv_start_.notify_all();
+  cv_work_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RetireLocked(Job* job) {
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (*it == job) {
+      jobs_.erase(it);
+      return;
+    }
+  }
 }
 
 void ThreadPool::Run(int64_t num_chunks,
                      const std::function<void(int64_t)>& fn) {
-  const int threads = threads_;
-  if (threads == 1 || num_chunks <= 1) {
+  if (threads_ == 1 || num_chunks <= 1) {
     for (int64_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
+  Job job;
+  job.fn = &fn;
+  job.num_chunks = num_chunks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
-    num_chunks_ = num_chunks;
-    active_workers_ = static_cast<int>(workers_.size());
-    ++generation_;
+    jobs_.push_back(&job);
   }
-  cv_start_.notify_all();
-  // The caller is slot 0: chunks 0, T, 2T, ... in ascending order.
-  for (int64_t c = 0; c < num_chunks; c += threads) fn(c);
+  cv_work_.notify_all();
+  // The caller drains its own job alongside the workers.
+  for (;;) {
+    const int64_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) break;
+    fn(c);
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return active_workers_ == 0; });
-  fn_ = nullptr;
+  // Workers that never woke have not retired the drained job; it must be
+  // out of the queue before this stack frame dies.
+  RetireLocked(&job);
+  cv_done_.wait(lock, [&job, num_chunks] {
+    return job.completed.load(std::memory_order_acquire) == num_chunks;
+  });
 }
 
-void ThreadPool::WorkerLoop(int slot) {
-  const int threads = threads_;
-  uint64_t seen_generation = 0;
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    const std::function<void(int64_t)>* fn;
-    int64_t num_chunks;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      fn = fn_;
-      num_chunks = num_chunks_;
+    cv_work_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+    if (shutdown_) return;
+    Job* job = jobs_.front();
+    // Claim under the lock: pairs with RetireLocked so a retired job is
+    // never claimed from.
+    const int64_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) {
+      RetireLocked(job);
+      continue;
     }
-    for (int64_t c = slot; c < num_chunks; c += threads) (*fn)(c);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) cv_done_.notify_one();
-    }
+    if (c + 1 == job->num_chunks) RetireLocked(job);
+    const int64_t num_chunks = job->num_chunks;
+    lock.unlock();
+    (*job->fn)(c);
+    // After this increment the posting thread may free the job, so only
+    // locals are touched from here on. The acq_rel pairs with the
+    // poster's acquire load: every chunk's writes happen-before Run()
+    // returns.
+    const int64_t done =
+        job->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    lock.lock();
+    if (done == num_chunks) cv_done_.notify_all();
   }
 }
 

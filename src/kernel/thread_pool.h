@@ -1,8 +1,10 @@
 #ifndef ADAMINE_KERNEL_THREAD_POOL_H_
 #define ADAMINE_KERNEL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -10,18 +12,25 @@
 
 namespace adamine::kernel {
 
-/// Persistent pool of `num_threads - 1` worker threads plus the calling
-/// thread. Work is dispatched as a fixed list of chunk indices with *static*
-/// assignment: chunk `c` always runs on slot `c % num_threads` (slot 0 is the
-/// caller), and every slot processes its chunks in ascending order. Because
-/// the chunk decomposition is a function of the problem size only — never of
-/// the thread count — any kernel whose chunks write disjoint outputs (or
-/// whose per-chunk partials are combined in chunk order) produces bit
-/// -identical results for every pool size, including 1.
+/// Persistent pool of `num_threads - 1` worker threads plus each calling
+/// thread. Run() posts a job — a fixed list of chunk indices — that the
+/// caller and any idle workers drain together, each claiming the next
+/// unclaimed chunk. Several jobs may be in flight at once: concurrent
+/// Run() calls from different threads each make progress on their own
+/// chunks while idle workers help the oldest posted job first, so e.g.
+/// the sharded serving layer's per-shard fan-out threads score
+/// concurrently instead of queueing on a single dispatch.
+///
+/// Chunk-to-thread assignment is dynamic, but that never changes a bit of
+/// any result: the chunk decomposition is a pure function of the problem
+/// size, and every kernel either writes disjoint outputs per chunk or
+/// folds per-chunk partials in ascending chunk order on the calling
+/// thread (see kernel.h), so *which* thread ran a chunk is unobservable.
 ///
 /// The pool is latency-oriented: workers sleep on a condition variable
-/// between jobs, so an idle pool costs nothing, and Run() on a single-thread
-/// pool degenerates to an inline loop with no synchronisation at all.
+/// while no job is posted, so an idle pool costs nothing, and Run() on a
+/// single-thread pool degenerates to an inline loop with no
+/// synchronisation at all.
 class ThreadPool {
  public:
   /// `num_threads` >= 1 is the total parallel width including the caller.
@@ -36,27 +45,39 @@ class ThreadPool {
   int num_threads() const { return threads_; }
 
   /// Executes fn(chunk) for every chunk in [0, num_chunks). The caller
-  /// participates as slot 0 and the call returns only after every chunk has
-  /// finished. `fn` must not throw and must not call Run() on this pool
-  /// (nested parallel regions are run inline by the ParallelFor layer).
+  /// claims chunks alongside the workers and the call returns only after
+  /// every chunk has finished. `fn` must not throw and must not call Run()
+  /// on this pool from inside a chunk (nested parallel regions are run
+  /// inline by the ParallelFor layer). Safe to call from several threads
+  /// at once; the jobs overlap.
   void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn);
 
  private:
-  void WorkerLoop(int slot);
+  /// One posted Run() call. Lives on the posting thread's stack: the job
+  /// leaves the dispatch queue once its last chunk is claimed, and Run()
+  /// returns only after every claimed chunk has finished, so a worker can
+  /// never touch a dead job.
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next_chunk{0};  // Next unclaimed chunk index.
+    std::atomic<int64_t> completed{0};   // Chunks fully executed.
+  };
 
-  /// Fixed pool width. Set before any worker is spawned: workers stride
-  /// their chunk lists by this value, so it must never be derived from
-  /// `workers_.size()` while the constructor is still emplacing threads.
+  void WorkerLoop();
+
+  /// Removes `job` from the dispatch queue if still present (the claimant
+  /// of the last chunk usually retires it first). Caller holds mu_.
+  void RetireLocked(Job* job);
+
+  /// Fixed pool width, set before any worker is spawned.
   int threads_ = 1;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  uint64_t generation_ = 0;   // Bumped once per Run(); wakes the workers.
-  int active_workers_ = 0;    // Workers still executing the current job.
-  int64_t num_chunks_ = 0;
-  const std::function<void(int64_t)>* fn_ = nullptr;
+  std::condition_variable cv_work_;  // Wakes workers: job posted / shutdown.
+  std::condition_variable cv_done_;  // Wakes posters: a job's chunks finished.
+  std::deque<Job*> jobs_;  // Jobs with unclaimed chunks, oldest first.
   bool shutdown_ = false;
 };
 

@@ -27,7 +27,8 @@ Status CircuitBreakerConfig::Validate() const {
 CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
     : config_(config) {}
 
-bool CircuitBreaker::Allow(TimePoint now) {
+bool CircuitBreaker::Allow(TimePoint now, bool* probe) {
+  if (probe != nullptr) *probe = false;
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case BreakerState::kClosed:
@@ -37,12 +38,14 @@ bool CircuitBreaker::Allow(TimePoint now) {
       state_ = BreakerState::kHalfOpen;
       ++half_opens_;
       probe_inflight_ = true;
+      if (probe != nullptr) *probe = true;
       return true;
     case BreakerState::kHalfOpen:
       // One probe at a time: extra traffic keeps failing fast until the
       // outstanding probe's verdict is in.
       if (probe_inflight_) return false;
       probe_inflight_ = true;
+      if (probe != nullptr) *probe = true;
       return true;
   }
   return false;
@@ -83,6 +86,11 @@ void CircuitBreaker::OnFailure(TimePoint now) {
   // A failure reported while already open (an attempt that was in flight
   // when the breaker tripped) changes nothing: the cool-off clock is not
   // re-extended by stragglers.
+}
+
+void CircuitBreaker::ReleaseProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) probe_inflight_ = false;
 }
 
 BreakerState CircuitBreaker::state() const {

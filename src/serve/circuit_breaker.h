@@ -60,8 +60,11 @@ class CircuitBreaker {
   /// True if an attempt may be sent to the replica now. An open breaker
   /// whose open_ms has elapsed transitions to half-open and admits exactly
   /// one probe; further Allow() calls fail until that probe resolves via
-  /// OnSuccess / OnFailure.
-  bool Allow(TimePoint now);
+  /// OnSuccess / OnFailure — or ReleaseProbe when the probe attempt ends
+  /// without a health verdict. When `probe` is non-null it is set to
+  /// whether this admission consumed the half-open probe slot, so the
+  /// caller can guarantee the slot is eventually resolved.
+  bool Allow(TimePoint now, bool* probe = nullptr);
 
   /// The replica answered: resets the failure streak; a half-open probe
   /// success closes the breaker.
@@ -71,6 +74,12 @@ class CircuitBreaker {
   /// streak, tripping the breaker at failure_threshold; a half-open probe
   /// failure re-opens for another open_ms.
   void OnFailure(TimePoint now);
+
+  /// Frees the half-open probe slot without a verdict. For probe attempts
+  /// that end in a non-transient error (which says nothing about replica
+  /// health): the breaker stays half-open and the next Allow() may send a
+  /// fresh probe, instead of the slot staying occupied forever.
+  void ReleaseProbe();
 
   BreakerState state() const;
   CircuitBreakerStats Snapshot() const;

@@ -98,9 +98,10 @@ struct QueryOptions {
 /// order matches the scalar reference loops (see DESIGN.md, "Serving").
 ///
 /// Thread safety: Query / QueryBatch / SetProbes / Snapshot may be called
-/// concurrently. Scoring serialises on an internal executor mutex (the
-/// kernel pool is a process-wide resource; parallelism comes from the
-/// micro-batch spreading over the pool, not from concurrent GEMMs), while
+/// concurrently. Scoring serialises *per service* on an internal executor
+/// mutex (within one service, parallelism comes from the micro-batch
+/// spreading over the kernel pool; distinct services — e.g. shard
+/// replicas — score concurrently, the pool interleaving their jobs), while
 /// cache hits proceed without waiting on in-flight scoring.
 class RetrievalService {
  public:

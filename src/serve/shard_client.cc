@@ -31,6 +31,21 @@ uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Delivers one attempt's final verdict to its replica's breaker. Success
+/// and transient failure are health signals; a non-transient error says
+/// nothing about the replica, so it only frees a half-open probe slot the
+/// attempt may have been holding.
+void ReportOutcome(CircuitBreaker* breaker, const Status& status,
+                   bool probe) {
+  if (status.ok()) {
+    breaker->OnSuccess();
+  } else if (status.IsTransient()) {
+    breaker->OnFailure(Clock::now());
+  } else if (probe) {
+    breaker->ReleaseProbe();
+  }
+}
+
 }  // namespace
 
 Status RetryPolicy::Validate() const {
@@ -112,11 +127,12 @@ void ShardClient::Reap() {
   }
 }
 
-int64_t ShardClient::NextAllowedReplica(int64_t* cursor, TimePoint now) {
+int64_t ShardClient::NextAllowedReplica(int64_t* cursor, TimePoint now,
+                                        bool* probe) {
   const int64_t n = num_replicas();
   for (int64_t i = 0; i < n; ++i) {
     const int64_t replica = (*cursor + i) % n;
-    if (breakers_[static_cast<size_t>(replica)]->Allow(now)) {
+    if (breakers_[static_cast<size_t>(replica)]->Allow(now, probe)) {
       *cursor = replica + 1;
       return replica;
     }
@@ -126,18 +142,23 @@ int64_t ShardClient::NextAllowedReplica(int64_t* cursor, TimePoint now) {
 
 std::shared_ptr<ShardClient::Attempt> ShardClient::Launch(
     const std::shared_ptr<QueryState>& state, int64_t replica, bool hedge,
-    const Tensor& queries, int64_t k, TimePoint attempt_deadline) {
+    bool probe, const Tensor& queries, int64_t k,
+    TimePoint attempt_deadline) {
   auto attempt = std::make_shared<Attempt>();
   attempt->replica = replica;
   attempt->hedge = hedge;
+  attempt->probe = probe;
   auto finished = std::make_shared<std::atomic<bool>>(false);
   std::shared_ptr<RetrievalService> service =
       replicas_[static_cast<size_t>(replica)];
+  CircuitBreaker* breaker = breakers_[static_cast<size_t>(replica)].get();
   const int64_t shard = shard_index_;
   const int64_t offset = global_offset_;
   // `queries` is copied by value: Tensor copies share the underlying buffer,
-  // so the attempt keeps the data alive without duplicating it.
-  std::thread worker([state, attempt, finished, service, queries, k,
+  // so the attempt keeps the data alive without duplicating it. `breaker`
+  // is a raw pointer into breakers_, which outlives the worker: the
+  // destructor joins every attempt thread before the breakers die.
+  std::thread worker([state, attempt, finished, service, breaker, queries, k,
                       attempt_deadline, shard, replica, offset] {
     Status status;
     std::vector<std::vector<ScoredHit>> results;
@@ -189,14 +210,27 @@ std::shared_ptr<ShardClient::Attempt> ShardClient::Launch(
         }
       }
     }
+    bool report = false;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       attempt->status = std::move(status);
       attempt->results = std::move(results);
       attempt->completed = true;
-      state->done.push_back(attempt);
+      if (attempt->abandoned) {
+        // The coordinator returned before this attempt landed (hedge
+        // loser, early failure, deadline): nobody will consume the
+        // outcome, so deliver the breaker verdict from here — otherwise a
+        // held half-open probe slot would stay occupied forever.
+        if (!attempt->resolved) {
+          attempt->resolved = true;
+          report = true;
+        }
+      } else {
+        state->done.push_back(attempt);
+      }
     }
     state->cv.notify_all();
+    if (report) ReportOutcome(breaker, attempt->status, attempt->probe);
     finished->store(true, std::memory_order_release);
   });
   {
@@ -219,6 +253,41 @@ StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
 
   auto state = std::make_shared<QueryState>();
   std::vector<std::shared_ptr<Attempt>> inflight;
+  auto result = QueryRounds(queries, k, deadline, state, &inflight);
+  // Whatever path the round loop took out, every attempt it left behind —
+  // a hedge loser on the success path, anything in flight on an early
+  // return, a straggler that landed after the last pop — still owes its
+  // breaker a verdict.
+  AbandonOutstanding(state, inflight);
+  return result;
+}
+
+void ShardClient::AbandonOutstanding(
+    const std::shared_ptr<QueryState>& state,
+    const std::vector<std::shared_ptr<Attempt>>& inflight) {
+  std::vector<std::shared_ptr<Attempt>> landed;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (const std::shared_ptr<Attempt>& attempt : inflight) {
+      if (attempt->resolved) continue;
+      if (attempt->completed) {
+        attempt->resolved = true;
+        landed.push_back(attempt);
+      } else {
+        attempt->abandoned = true;  // The worker reports when it finishes.
+      }
+    }
+  }
+  for (const std::shared_ptr<Attempt>& attempt : landed) {
+    ReportOutcome(breakers_[static_cast<size_t>(attempt->replica)].get(),
+                  attempt->status, attempt->probe);
+  }
+}
+
+StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::QueryRounds(
+    const Tensor& queries, int64_t k, TimePoint deadline,
+    const std::shared_ptr<QueryState>& state,
+    std::vector<std::shared_ptr<Attempt>>* inflight) {
   int64_t cursor = 0;  // Replica rotation; deterministic from replica 0.
   // Per-attempt budget: whatever is left of the request deadline, tightened
   // by shard_timeout_ms when configured.
@@ -231,20 +300,20 @@ StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
       ": every replica circuit breaker is open");
 
   // Charges every attempt still in flight to its replica's breaker, exactly
-  // once (the penalised flag survives into a straggler's completion).
+  // once (the resolved flag survives into a straggler's completion).
   const auto penalise_inflight = [&](TimePoint now) {
-    std::vector<int64_t> charged;
+    std::vector<std::shared_ptr<Attempt>> charged;
     {
       std::lock_guard<std::mutex> lock(state->mu);
-      for (const std::shared_ptr<Attempt>& attempt : inflight) {
-        if (!attempt->completed && !attempt->penalised) {
-          attempt->penalised = true;
-          charged.push_back(attempt->replica);
+      for (const std::shared_ptr<Attempt>& attempt : *inflight) {
+        if (!attempt->completed && !attempt->resolved) {
+          attempt->resolved = true;
+          charged.push_back(attempt);
         }
       }
     }
-    for (int64_t replica : charged) {
-      breakers_[static_cast<size_t>(replica)]->OnFailure(now);
+    for (const std::shared_ptr<Attempt>& attempt : charged) {
+      breakers_[static_cast<size_t>(attempt->replica)]->OnFailure(now);
     }
   };
 
@@ -284,11 +353,13 @@ StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
       pending = !state->done.empty();
     }
     if (!pending) {
-      const int64_t primary = NextAllowedReplica(&cursor, round_start);
+      bool probe = false;
+      const int64_t primary = NextAllowedReplica(&cursor, round_start, &probe);
       if (primary >= 0) {
-        inflight.push_back(Launch(state, primary, /*hedge=*/false, queries, k,
-                                  attempt_deadline(round_start)));
-      } else if (inflight.empty()) {
+        inflight->push_back(Launch(state, primary, /*hedge=*/false, probe,
+                                   queries, k,
+                                   attempt_deadline(round_start)));
+      } else if (inflight->empty()) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.exhausted;
         return last_error;
@@ -315,18 +386,28 @@ StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
         std::unique_lock<std::mutex> lock(state->mu);
         const TimePoint wake =
             std::min(round_deadline, hedged ? kNever : hedge_at);
-        state->cv.wait_until(lock, wake,
-                             [&state] { return !state->done.empty(); });
+        const auto landed = [&state] { return !state->done.empty(); };
+        if (wake == kNever) {
+          // wait_until with time_point::max can overflow the clock
+          // conversion on some standard libraries and busy-spin; an
+          // unbounded wait is what is meant anyway (an attempt is always
+          // in flight here, so a completion will wake us).
+          state->cv.wait(lock, landed);
+        } else {
+          state->cv.wait_until(lock, wake, landed);
+        }
         if (!state->done.empty()) {
           outcome = state->done.front();
           state->done.erase(state->done.begin());
         }
       }
       if (outcome != nullptr) {
-        inflight.erase(std::remove(inflight.begin(), inflight.end(), outcome),
-                       inflight.end());
+        inflight->erase(std::remove(inflight->begin(), inflight->end(),
+                                    outcome),
+                        inflight->end());
         if (outcome->status.ok()) {
-          if (!outcome->penalised) {
+          if (!outcome->resolved) {
+            outcome->resolved = true;
             breakers_[static_cast<size_t>(outcome->replica)]->OnSuccess();
           }
           if (outcome->hedge) {
@@ -337,15 +418,24 @@ StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
         }
         if (!outcome->status.IsTransient()) {
           // A corrupt query is corrupt on every replica: fail fast, no
-          // breaker feedback (the replica did nothing wrong).
+          // breaker feedback (the replica did nothing wrong) — but a held
+          // half-open probe slot must still be freed.
+          if (!outcome->resolved) {
+            outcome->resolved = true;
+            if (outcome->probe) {
+              breakers_[static_cast<size_t>(outcome->replica)]
+                  ->ReleaseProbe();
+            }
+          }
           return outcome->status;
         }
-        if (!outcome->penalised) {
+        if (!outcome->resolved) {
+          outcome->resolved = true;
           breakers_[static_cast<size_t>(outcome->replica)]->OnFailure(
               Clock::now());
         }
         last_error = outcome->status;
-        if (inflight.empty()) round_over = true;  // Next round (retry).
+        if (inflight->empty()) round_over = true;  // Next round (retry).
         continue;
       }
       const TimePoint now = Clock::now();
@@ -370,10 +460,11 @@ StatusOr<std::vector<std::vector<ScoredHit>>> ShardClient::Query(
       }
       if (!hedged && now >= hedge_at) {
         hedged = true;
-        const int64_t backup = NextAllowedReplica(&cursor, now);
+        bool probe = false;
+        const int64_t backup = NextAllowedReplica(&cursor, now, &probe);
         if (backup >= 0) {
-          inflight.push_back(Launch(state, backup, /*hedge=*/true, queries, k,
-                                    attempt_deadline(now)));
+          inflight->push_back(Launch(state, backup, /*hedge=*/true, probe,
+                                     queries, k, attempt_deadline(now)));
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.hedges_fired;
         }

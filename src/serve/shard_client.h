@@ -69,9 +69,11 @@ struct ShardClientStats {
 /// DESIGN.md, "Sharded serving and failover").
 ///
 /// Each attempt runs on its own thread so a wedged replica can never block
-/// the caller past its timeout; abandoned attempts park their (discarded)
-/// results and are joined opportunistically, or at destruction at the
-/// latest — never detached, so sanitizer runs see every thread retired.
+/// the caller past its timeout; abandoned attempts discard their results
+/// but still deliver their outcome to their replica's circuit breaker
+/// (releasing any half-open probe slot they held), and are joined
+/// opportunistically, or at destruction at the latest — never detached, so
+/// sanitizer runs see every thread retired.
 ///
 /// Thread safety: Query / Snapshot / ResetStats may be called concurrently.
 class ShardClient {
@@ -117,15 +119,24 @@ class ShardClient {
 
  private:
   /// One replica attempt, shared between its worker thread and the
-  /// coordinating Query call. `completed`, `status` and `results` are
-  /// guarded by the owning QueryState's mutex; `penalised` marks that the
-  /// coordinator already charged this attempt to the replica's breaker
-  /// (round timeout), so a straggling completion is not double-counted.
+  /// coordinating Query call. `completed`, `status`, `results`,
+  /// `resolved` and `abandoned` are guarded by the owning QueryState's
+  /// mutex. Every attempt resolves its replica's breaker exactly once:
+  /// `resolved` marks that the verdict has been delivered — by the
+  /// coordinator charging a timed-out round as a failure, by the
+  /// coordinator consuming the outcome, or by the worker thread itself
+  /// when the coordinator returned first and set `abandoned` (a hedge
+  /// loser, or any attempt in flight at an early return). Without the
+  /// abandonment path, an attempt holding a breaker's half-open probe
+  /// slot would leave the slot occupied forever. `probe` records whether
+  /// this attempt's Allow() consumed that slot.
   struct Attempt {
     int64_t replica = 0;
     bool hedge = false;
+    bool probe = false;
     bool completed = false;
-    bool penalised = false;
+    bool resolved = false;
+    bool abandoned = false;
     Status status;
     std::vector<std::vector<ScoredHit>> results;
   };
@@ -140,16 +151,35 @@ class ShardClient {
     std::vector<std::shared_ptr<Attempt>> done;
   };
 
+  /// The retry/hedge round loop behind Query. Factored out so Query can
+  /// resolve outstanding attempts on *every* return path.
+  StatusOr<std::vector<std::vector<ScoredHit>>> QueryRounds(
+      const Tensor& queries, int64_t k, TimePoint deadline,
+      const std::shared_ptr<QueryState>& state,
+      std::vector<std::shared_ptr<Attempt>>* inflight);
+
   /// Launches one attempt thread against `replica` and registers it with
-  /// the reaper. `attempt_deadline` bounds the replica's own scoring.
+  /// the reaper. `attempt_deadline` bounds the replica's own scoring;
+  /// `probe` says whether this attempt holds its breaker's half-open
+  /// probe slot.
   std::shared_ptr<Attempt> Launch(const std::shared_ptr<QueryState>& state,
-                                  int64_t replica, bool hedge,
+                                  int64_t replica, bool hedge, bool probe,
                                   const Tensor& queries, int64_t k,
                                   TimePoint attempt_deadline);
 
   /// Next replica in rotation whose breaker admits traffic at `now`, or -1
   /// when every replica is open (and no half-open probe slot is free).
-  int64_t NextAllowedReplica(int64_t* cursor, TimePoint now);
+  /// `probe` reports whether the admission consumed a half-open probe slot.
+  int64_t NextAllowedReplica(int64_t* cursor, TimePoint now, bool* probe);
+
+  /// Called once per Query, after the round loop returned: every attempt
+  /// the query still owns gets its breaker verdict delivered. Attempts
+  /// that completed but were never consumed report their real outcome
+  /// here; attempts still running are marked `abandoned` and report their
+  /// own outcome from the worker thread when they finish.
+  void AbandonOutstanding(
+      const std::shared_ptr<QueryState>& state,
+      const std::vector<std::shared_ptr<Attempt>>& inflight);
 
   /// Joins attempt threads that have finished since the last call.
   void Reap();

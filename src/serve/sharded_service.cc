@@ -150,16 +150,17 @@ ShardedRetrievalService::Create(Tensor items, const ShardedServeConfig& config) 
   client_config.retry = config.retry;
   client_config.breaker = config.breaker;
 
-  // Contiguous equal chunks (the last shard takes the remainder): shard s
-  // serves corpus rows [s*chunk, min((s+1)*chunk, N)), so local id i on
-  // shard s is corpus row s*chunk + i and per-shard result order equals the
+  // Balanced contiguous chunks: shard s serves corpus rows
+  // [s*N/S, (s+1)*N/S), so shard sizes differ by at most one row and no
+  // shard is ever empty for num_shards <= rows (a ceil-based chunk would
+  // starve trailing shards, e.g. 10 rows across 7 shards). Local id i on
+  // shard s is corpus row s*N/S + i, so per-shard result order equals the
   // global order restricted to the shard.
-  const int64_t chunk = (rows + config.num_shards - 1) / config.num_shards;
   std::vector<std::unique_ptr<ShardClient>> shards;
   shards.reserve(static_cast<size_t>(config.num_shards));
   for (int64_t s = 0; s < config.num_shards; ++s) {
-    const int64_t r0 = s * chunk;
-    const int64_t r1 = std::min(rows, r0 + chunk);
+    const int64_t r0 = s * rows / config.num_shards;
+    const int64_t r1 = (s + 1) * rows / config.num_shards;
     Tensor shard_items = SliceRows(items, r0, r1);
     std::vector<std::shared_ptr<RetrievalService>> replicas;
     replicas.reserve(static_cast<size_t>(config.num_replicas));

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "core/losses.h"
@@ -80,6 +81,36 @@ TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
     }
   });
   for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ConcurrentDispatchesFromManyThreadsStayExact) {
+  // The pool accepts concurrent jobs (the sharded serving layer dispatches
+  // one GEMM per shard from its fan-out threads): every caller must see
+  // every one of its own chunks run exactly once, with no cross-job
+  // interference. Runs under `ctest -L tsan` with the rest of
+  // ParallelForTest.
+  ThreadGuard guard(4);
+  constexpr int kCallers = 4;
+  constexpr int kPasses = 8;
+  constexpr int64_t kN = 1001;
+  std::vector<std::vector<int>> hits(
+      kCallers, std::vector<int>(static_cast<size_t>(kN), 0));
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&hits, t] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        kernel::ParallelFor(kN, 7, [&hits, t](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            ++hits[static_cast<size_t>(t)][static_cast<size_t>(i)];
+          }
+        });
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (const auto& per_caller : hits) {
+    for (int h : per_caller) ASSERT_EQ(h, kPasses);
+  }
 }
 
 TEST(ParallelForTest, ConfigureZeroKeepsCurrentWidth) {

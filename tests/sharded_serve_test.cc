@@ -1,12 +1,14 @@
 // Sharded-serving suite: the circuit-breaker state machine (driven with
 // fake time points, no sleeping), retry-policy determinism, sharded-vs-
 // unsharded bit-identity of the fan-out/fan-in merge across shard and
-// kernel-thread counts (including cosine ties split across shards and a
-// final shard smaller than k), and the failure battery — replica failover
-// through serve.shard.fail, whole-shard loss with honest partial coverage,
-// require_full_coverage, timeout budgets under serve.shard.delay, and
-// hedged requests. ShardedConcurrencyTest and ShardedFaultTest also run
-// under the tsan ctest label (see tests/CMakeLists.txt).
+// kernel-thread counts (including cosine ties split across shards, shards
+// smaller than k, and more shards than rows-per-shard), and the failure
+// battery — replica failover through serve.shard.fail, whole-shard loss
+// with honest partial coverage, require_full_coverage, timeout budgets
+// under serve.shard.delay, hedged requests, and abandoned half-open probe
+// attempts resolving their breaker. ShardedConcurrencyTest and
+// ShardedFaultTest also run under the tsan ctest label (see
+// tests/CMakeLists.txt).
 
 #include "serve/sharded_service.h"
 
@@ -151,6 +153,43 @@ TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
   EXPECT_EQ(stats.closes, 1);
 }
 
+TEST(CircuitBreakerTest, AllowReportsProbeAdmissions) {
+  serve::CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_ms = 10.0;
+  serve::CircuitBreaker breaker(config);
+  bool probe = true;
+  EXPECT_TRUE(breaker.Allow(At(0), &probe));
+  EXPECT_FALSE(probe);  // Closed: a normal admission, not a probe.
+  breaker.OnFailure(At(1));
+  EXPECT_FALSE(breaker.Allow(At(5), &probe));
+  EXPECT_FALSE(probe);  // Open: nothing admitted at all.
+  EXPECT_TRUE(breaker.Allow(At(12), &probe));
+  EXPECT_TRUE(probe);  // The half-open probe slot.
+  EXPECT_FALSE(breaker.Allow(At(13), &probe));
+  EXPECT_FALSE(probe);  // Slot already out.
+}
+
+TEST(CircuitBreakerTest, ReleaseProbeFreesTheSlotWithoutAVerdict) {
+  serve::CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_ms = 10.0;
+  serve::CircuitBreaker breaker(config);
+  breaker.OnFailure(At(0));
+  bool probe = false;
+  EXPECT_TRUE(breaker.Allow(At(11), &probe));
+  EXPECT_TRUE(probe);
+  EXPECT_FALSE(breaker.Allow(At(12)));  // Slot occupied.
+  // The probe attempt ended in a non-transient error — no health verdict.
+  // The slot must come back so a future attempt can still probe.
+  breaker.ReleaseProbe();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow(At(13), &probe));
+  EXPECT_TRUE(probe);
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kClosed);
+}
+
 TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
   serve::CircuitBreakerConfig config;
   config.failure_threshold = 2;
@@ -284,12 +323,13 @@ TEST(ShardedMergeTest, CosineTiesSplitAcrossShardsBreakOnGlobalId) {
   }
 }
 
-TEST(ShardedMergeTest, FinalShardSmallerThanK) {
+TEST(ShardedMergeTest, ShardsSmallerThanK) {
   Tensor items = ClusteredUnitRows(8, 8, 16, 7);  // 64 rows.
   Tensor queries = ClusteredUnitRows(8, 1, 16, 9);
   const int64_t k = 10;
-  // 7 shards of ceil(64/7) = 10 rows each; the last shard holds only 4 —
-  // fewer than k. The merge must cope with the short per-shard list.
+  // The balanced split hands 7 shards 9 or 10 rows each, so most shards
+  // return only 9 hits — fewer than k. The merge must cope with the short
+  // per-shard lists.
   auto service = serve::ShardedRetrievalService::Create(
       items, ShardedConfig(7, 1));
   ASSERT_TRUE(service.ok());
@@ -298,6 +338,31 @@ TEST(ShardedMergeTest, FinalShardSmallerThanK) {
   ASSERT_TRUE(got.ok());
   for (size_t i = 0; i < expect.size(); ++i) {
     EXPECT_EQ(got->results[i], expect[i]) << "query " << i;
+  }
+}
+
+TEST(ShardedMergeTest, MoreShardsThanRowsPerShard) {
+  // 10 rows across 7 shards: a ceil-based chunking (2 rows per shard)
+  // would hand shards 0-4 all ten rows and leave shards 5-6 empty,
+  // aborting in SliceRows. The balanced split gives every shard 1-2 rows
+  // and the merge stays exact — for any shard count up to one row per
+  // shard.
+  Tensor items = ClusteredUnitRows(2, 5, 8, 17);  // 10 rows.
+  Tensor queries = ClusteredUnitRows(2, 2, 8, 19);
+  const int64_t k = 4;
+  const auto expect = UnshardedScored(items, queries, k);
+  for (int64_t shards : {6, 7, 9, 10}) {
+    auto service = serve::ShardedRetrievalService::Create(
+        items, ShardedConfig(shards, 1));
+    ASSERT_TRUE(service.ok()) << "shards " << shards;
+    auto got = (*service)->QueryBatch(queries, k);
+    ASSERT_TRUE(got.ok()) << "shards " << shards;
+    EXPECT_FALSE(got->partial);
+    ASSERT_EQ(got->results.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got->results[i], expect[i])
+          << "query " << i << " shards " << shards;
+    }
   }
 }
 
@@ -485,6 +550,52 @@ TEST_F(ShardedFaultTest, HedgeWinsAgainstASlowPrimary) {
   const serve::ShardedServeStats stats = (*service)->Snapshot();
   EXPECT_GE(stats.hedges_fired, 1);
   EXPECT_GE(stats.hedges_won, 1);
+}
+
+TEST_F(ShardedFaultTest, AbandonedProbeAttemptStillResolvesTheBreaker) {
+  Tensor items = ClusteredUnitRows(4, 10, 8, 3);  // 40 rows.
+  Tensor queries = ClusteredUnitRows(4, 1, 8, 5);
+  const int64_t k = 5;
+
+  serve::ShardedServeConfig config = ShardedConfig(1, 2);
+  config.hedge_ms = 2.0;
+  config.retry.backoff_base_ms = 0.5;
+  config.retry.backoff_max_ms = 2.0;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_ms = 20.0;
+  auto service = serve::ShardedRetrievalService::Create(items, config);
+  ASSERT_TRUE(service.ok());
+
+  // Trip replica 0's breaker: one transient failure (threshold 1), then
+  // the fault disarms itself and replica 1 answers the query.
+  fault::Arm(fault::ShardReplicaPoint(fault::kServeShardFail, 0, 0),
+             /*skip=*/0, /*fire=*/1);
+  auto got = (*service)->QueryBatch(queries, k);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ((*service)->Snapshot().shards[0].replicas[0].state,
+            serve::BreakerState::kOpen);
+
+  // Let the cool-off elapse and make replica 0 slow. The next query's
+  // primary attempt is the half-open *probe*; after hedge_ms the hedge to
+  // replica 1 wins and the probe attempt is abandoned mid-stall.
+  fault::Arm(fault::ShardReplicaPoint(fault::kServeShardDelay, 0, 0),
+             /*skip=*/100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  got = (*service)->QueryBatch(queries, k);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->partial);
+
+  // The abandoned probe still answers once its stall ends, and its worker
+  // thread must deliver that verdict — closing the breaker — instead of
+  // leaving the replica half-open with the probe slot occupied forever
+  // (which would exclude it from rotation until process restart).
+  serve::BreakerState state = serve::BreakerState::kHalfOpen;
+  for (int i = 0; i < 400; ++i) {
+    state = (*service)->Snapshot().shards[0].replicas[0].state;
+    if (state == serve::BreakerState::kClosed) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(state, serve::BreakerState::kClosed);
 }
 
 // --- Concurrency (runs under `ctest -L tsan` too) ------------------------
