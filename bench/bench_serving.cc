@@ -10,10 +10,23 @@
 // scoring) and reports shed rate, deadline-miss rate and the adaptive
 // probe dial's trace per level, writing the rows to
 // BENCH_serving_overload.json (see DESIGN.md, "Overload behavior").
+//
+// With --rpc the bench drives a real TCP topology — shard servers behind
+// the wire protocol, dialled through ConnectShardedService — with an
+// open-loop Poisson arrival process (arrivals are scheduled up front from
+// a seeded exponential stream, so a slow server cannot slow the offered
+// load down: latency includes any time a request waited past its
+// scheduled arrival, the coordinated-omission-safe measurement). Sweeps
+// offered QPS healthy and with one shard server terminated mid-fleet,
+// and writes p50/p95/p99 rows to BENCH_serving_rpc.json (see DESIGN.md,
+// "Network serving").
 
 #include <cstdio>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,10 +37,13 @@
 #include "core/embedder.h"
 #include "index/ivf_index.h"
 #include "kernel/kernel.h"
+#include "net/remote_transport.h"
+#include "net/shard_server.h"
 #include "serve/retrieval_service.h"
 #include "serve/sharded_service.h"
 #include "tensor/ops.h"
 #include "util/fault.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace adamine {
@@ -541,6 +557,272 @@ int RunShards() {
   return bit_identical ? 0 : 1;
 }
 
+/// Sorted-percentile over a latency sample (v must be sorted ascending).
+double SortedPercentile(const std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Open-loop RPC sweep: a real multi-server TCP topology (three
+/// net::ShardServers over contiguous corpus slices, dialled through
+/// ConnectShardedService) under a Poisson arrival process, healthy and
+/// with one server Terminate()d mid-fleet. Open loop means the arrival
+/// schedule is fixed before the level starts — a deterministic seeded
+/// exponential stream — and a request's latency is measured from its
+/// *scheduled* arrival, so queueing behind a slow fleet is charged to the
+/// fleet, not hidden by a stalled client (no coordinated omission).
+///
+/// Two gates decide the exit code: the healthy topology must answer a
+/// full query batch bit-identically to the unsharded exhaustive service
+/// (the wire is invisible in the results), and the killed mode must
+/// degrade — partial results with honest coverage, zero failed requests,
+/// never a crash or hang.
+int RunRpc() {
+  constexpr int64_t kShards = 3;
+  constexpr int kClientThreads = 8;
+  constexpr double kDeadlineMs = 250.0;
+  constexpr double kLevelSeconds = 1.0;
+  data::GeneratorConfig config;
+  config.num_recipes = 4000;
+  config.num_classes = 96;
+  config.seed = 42;
+  auto generator = data::RecipeGenerator::Create(config);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  data::Dataset dataset = generator->Generate();
+  Tensor items({dataset.size(), dataset.image_dim});
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Tensor& img = dataset.recipes[static_cast<size_t>(i)].image;
+    std::copy(img.data(), img.data() + dataset.image_dim,
+              items.data() + i * dataset.image_dim);
+  }
+  items = L2NormalizeRows(items);
+  Tensor queries = SliceRows(items, 0, 64);
+
+  // The unsharded exhaustive answer the healthy remote topology must
+  // reproduce bit for bit.
+  serve::ServeConfig flat_config;
+  flat_config.backend = serve::Backend::kExhaustive;
+  flat_config.cache_capacity = 0;
+  auto flat = serve::RetrievalService::Create(items, flat_config);
+  if (!flat.ok()) {
+    std::fprintf(stderr, "%s\n", flat.status().ToString().c_str());
+    return 1;
+  }
+  auto truth =
+      (*flat)->QueryBatchScored(queries, kTopK, serve::QueryOptions{});
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  // Three real TCP servers, one per contiguous corpus slice.
+  std::vector<std::shared_ptr<serve::RetrievalService>> shard_services;
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  std::vector<std::string> endpoints;
+  const int64_t chunk = (items.rows() + kShards - 1) / kShards;
+  for (int64_t s = 0; s < kShards; ++s) {
+    const int64_t lo = s * chunk;
+    const int64_t hi = std::min(lo + chunk, items.rows());
+    serve::ServeConfig shard_config;
+    shard_config.backend = serve::Backend::kExhaustive;
+    shard_config.cache_capacity = 0;
+    auto service =
+        serve::RetrievalService::Create(SliceRows(items, lo, hi),
+                                        shard_config);
+    if (!service.ok()) {
+      std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+      return 1;
+    }
+    shard_services.push_back(std::move(service).value());
+    servers.push_back(std::make_unique<net::ShardServer>());
+    const Status started = servers.back()->Start(shard_services.back(),
+                                                 net::ShardServerConfig());
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    endpoints.push_back("127.0.0.1:" +
+                        std::to_string(servers.back()->port()));
+  }
+
+  serve::ShardedServeConfig sharded_config;
+  sharded_config.shard_timeout_ms = 200.0;
+  sharded_config.retry.retry_max = 1;
+  sharded_config.retry.backoff_base_ms = 0.5;
+  sharded_config.retry.backoff_max_ms = 2.0;
+  sharded_config.breaker.failure_threshold = 2;
+  sharded_config.breaker.open_ms = 200.0;
+  auto remote = net::ConnectShardedService(endpoints, sharded_config);
+  if (!remote.ok()) {
+    std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== RPC serving sweep (open loop) ==\n");
+  std::printf(
+      "(%lld items over %lld TCP shard servers, top-%lld, %.0f ms "
+      "deadline, %d client threads, %.0fs Poisson arrivals per level)\n",
+      static_cast<long long>(items.rows()),
+      static_cast<long long>(kShards), static_cast<long long>(kTopK),
+      kDeadlineMs, kClientThreads, kLevelSeconds);
+
+  // Gate 1, before anything is killed: the wire must be invisible.
+  bool bit_identical = true;
+  {
+    auto batch = (*remote)->QueryBatch(queries, kTopK);
+    if (!batch.ok() || batch->partial ||
+        batch->results != truth.value()) {
+      bit_identical = false;
+    }
+  }
+
+  TablePrinter table({"mode", "offered", "ok", "partial", "failed",
+                      "achieved", "p50 ms", "p95 ms", "p99 ms",
+                      "coverage", "breaker opens"});
+  std::string json = "[\n";
+  bool first_record = true;
+  int64_t killed_partial = 0;
+  int64_t killed_failed = 0;
+  for (const bool killed : {false, true}) {
+    if (killed) {
+      // kill -9's in-process twin: RST every connection, close the
+      // listener, flush nothing. The fleet must degrade, not fail.
+      servers[1]->Terminate();
+    }
+    for (const int offered : {250, 500, 1000, 2000}) {
+      const int64_t requests =
+          static_cast<int64_t>(offered * kLevelSeconds);
+      // The whole arrival schedule is drawn up front (open loop): request
+      // i fires at start + arrival_us[i] no matter how the fleet is doing.
+      Rng rng(1234 + static_cast<uint64_t>(offered) * 7 + (killed ? 1 : 0));
+      const double mean_gap_us = 1e6 / static_cast<double>(offered);
+      std::vector<int64_t> arrival_us(static_cast<size_t>(requests));
+      double at = 0.0;
+      for (int64_t i = 0; i < requests; ++i) {
+        at += -std::log(1.0 - rng.Uniform()) * mean_gap_us;
+        arrival_us[static_cast<size_t>(i)] =
+            static_cast<int64_t>(std::llround(at));
+      }
+      (*remote)->ResetStats();
+      std::vector<std::vector<double>> latencies(kClientThreads);
+      std::vector<int64_t> ok_counts(kClientThreads, 0);
+      std::vector<int64_t> partial_counts(kClientThreads, 0);
+      std::vector<int64_t> failed_counts(kClientThreads, 0);
+      std::vector<double> coverage_sums(kClientThreads, 0.0);
+      const auto start =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+      std::vector<std::thread> clients;
+      for (int t = 0; t < kClientThreads; ++t) {
+        clients.emplace_back([&, t] {
+          for (int64_t i = t; i < requests; i += kClientThreads) {
+            const auto scheduled =
+                start + std::chrono::microseconds(
+                            arrival_us[static_cast<size_t>(i)]);
+            std::this_thread::sleep_until(scheduled);
+            const int64_t row = i % queries.rows();
+            Tensor q = SliceRows(queries, row, row + 1);
+            serve::QueryOptions options;
+            options.deadline_ms = kDeadlineMs;
+            auto result =
+                (*remote)->QueryBatchWithOptions(q, kTopK, options);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - scheduled)
+                    .count();
+            latencies[static_cast<size_t>(t)].push_back(ms);
+            if (!result.ok()) {
+              ++failed_counts[static_cast<size_t>(t)];
+            } else {
+              coverage_sums[static_cast<size_t>(t)] += result->coverage;
+              if (result->partial) {
+                ++partial_counts[static_cast<size_t>(t)];
+              } else {
+                ++ok_counts[static_cast<size_t>(t)];
+              }
+            }
+          }
+        });
+      }
+      for (auto& c : clients) c.join();
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::vector<double> all;
+      int64_t ok = 0, partial = 0, failed = 0;
+      double coverage_sum = 0.0;
+      for (int t = 0; t < kClientThreads; ++t) {
+        all.insert(all.end(), latencies[static_cast<size_t>(t)].begin(),
+                   latencies[static_cast<size_t>(t)].end());
+        ok += ok_counts[static_cast<size_t>(t)];
+        partial += partial_counts[static_cast<size_t>(t)];
+        failed += failed_counts[static_cast<size_t>(t)];
+        coverage_sum += coverage_sums[static_cast<size_t>(t)];
+      }
+      std::sort(all.begin(), all.end());
+      const int64_t answered = ok + partial;
+      const double coverage_mean =
+          answered > 0 ? coverage_sum / static_cast<double>(answered) : 0.0;
+      const double achieved =
+          elapsed_s > 0.0 ? static_cast<double>(answered) / elapsed_s : 0.0;
+      if (killed) {
+        killed_partial += partial;
+        killed_failed += failed;
+      }
+      const serve::ShardedServeStats stats = (*remote)->Snapshot();
+      const char* mode = killed ? "shard-killed" : "healthy";
+      table.AddRow(
+          {mode, std::to_string(offered), std::to_string(ok),
+           std::to_string(partial), std::to_string(failed),
+           TablePrinter::Num(achieved, 0),
+           TablePrinter::Num(SortedPercentile(all, 50), 3),
+           TablePrinter::Num(SortedPercentile(all, 95), 3),
+           TablePrinter::Num(SortedPercentile(all, 99), 3),
+           TablePrinter::Num(coverage_mean, 3),
+           std::to_string(stats.breaker_opens)});
+      char record[512];
+      std::snprintf(
+          record, sizeof(record),
+          "%s  {\"mode\": \"%s\", \"offered_qps\": %d, "
+          "\"requests\": %lld, \"ok\": %lld, \"partial\": %lld, "
+          "\"failed\": %lld, \"achieved_qps\": %.1f, \"p50_ms\": %.4f, "
+          "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f, "
+          "\"coverage_mean\": %.4f, \"retries\": %lld, "
+          "\"timeouts\": %lld, \"breaker_opens\": %lld}",
+          first_record ? "" : ",\n", mode, offered,
+          static_cast<long long>(requests), static_cast<long long>(ok),
+          static_cast<long long>(partial), static_cast<long long>(failed),
+          achieved, SortedPercentile(all, 50), SortedPercentile(all, 95),
+          SortedPercentile(all, 99), all.empty() ? 0.0 : all.back(),
+          coverage_mean, static_cast<long long>(stats.retries),
+          static_cast<long long>(stats.timeouts),
+          static_cast<long long>(stats.breaker_opens));
+      json += record;
+      first_record = false;
+    }
+  }
+  json += "\n]\n";
+  table.Print(std::cout);
+  const bool degraded_cleanly = killed_partial > 0 && killed_failed == 0;
+  std::printf("healthy RPC answers bit-identical to the unsharded "
+              "service: %s\n",
+              bit_identical ? "yes" : "NO (BUG)");
+  std::printf("killed mode degraded to partial coverage without a failed "
+              "request: %s\n",
+              degraded_cleanly ? "yes" : "NO (BUG)");
+  std::ofstream out("BENCH_serving_rpc.json");
+  out << json;
+  std::printf("wrote BENCH_serving_rpc.json\n");
+  for (auto& server : servers) server->Stop();
+  return bit_identical && degraded_cleanly ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace adamine
 
@@ -548,6 +830,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--overload") return adamine::RunOverload();
     if (std::string(argv[i]) == "--shards") return adamine::RunShards();
+    if (std::string(argv[i]) == "--rpc") return adamine::RunRpc();
   }
   return adamine::Run();
 }

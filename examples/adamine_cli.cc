@@ -48,6 +48,22 @@
 //   --require-full-coverage    fail requests instead of returning partial
 //                              results when shards are down
 //
+// Network-serving flags (serve; see DESIGN.md "Network serving"). A
+// multi-process topology is N `--listen` processes (one per corpus slice)
+// plus one `--remote-shards` client that dials them all:
+//   --listen=[HOST:]PORT       serve this process's corpus slice over the
+//                              wire protocol instead of replaying queries
+//                              locally; blocks until SIGINT/SIGTERM, then
+//                              drains in-flight requests and exits
+//   --shard-index=I            with --listen: this server owns slice I of
+//   --shard-count=N            N contiguous corpus slices (defaults 0 of
+//                              1 = the whole corpus)
+//   --remote-shards=H:P,...    replay the query stream through remote
+//                              shard servers — one endpoint per shard, in
+//                              shard-index order; per-attempt timeouts,
+//                              retries, hedging and breakers apply per the
+//                              sharded flags above
+//
 // `serve` loads the checkpoint, embeds the test split, exports the
 // embedding bundle, reloads it into a serve::RetrievalService and replays
 // the recipe embeddings as a query stream (recipe->image retrieval),
@@ -72,10 +88,13 @@
 // dishes for a free-text ingredient list. With no arguments: train AdaMine
 // for 15 epochs, save to /tmp/adamine_model.bin, evaluate.
 
+#include <signal.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,8 +103,11 @@
 #include "eval/metrics.h"
 #include "io/checkpoint.h"
 #include "io/serialize.h"
+#include "net/remote_transport.h"
+#include "net/shard_server.h"
 #include "serve/retrieval_service.h"
 #include "serve/sharded_service.h"
+#include "tensor/ops.h"
 #include "text/tokenizer.h"
 #include "util/stopwatch.h"
 
@@ -147,6 +169,10 @@ int main(int argc, char** argv) {
   long breaker_failures = 3;
   double breaker_open_ms = 100.0;
   bool require_full_coverage = false;
+  std::string listen_spec;
+  std::string remote_shards;
+  long shard_index = 0;
+  long shard_count = 1;
   std::string embeddings_path = "/tmp/adamine_embeddings.bin";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -222,6 +248,22 @@ int main(int argc, char** argv) {
           std::atof(arg.c_str() + std::strlen("--breaker-open-ms="));
     } else if (arg == "--require-full-coverage") {
       require_full_coverage = true;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_spec = arg.substr(std::strlen("--listen="));
+    } else if (arg.rfind("--remote-shards=", 0) == 0) {
+      remote_shards = arg.substr(std::strlen("--remote-shards="));
+    } else if (arg.rfind("--shard-index=", 0) == 0) {
+      shard_index = std::atol(arg.c_str() + std::strlen("--shard-index="));
+      if (shard_index < 0) {
+        std::fprintf(stderr, "error: --shard-index must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--shard-count=", 0) == 0) {
+      shard_count = std::atol(arg.c_str() + std::strlen("--shard-count="));
+      if (shard_count <= 0) {
+        std::fprintf(stderr, "error: --shard-count must be positive\n");
+        return 1;
+      }
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -234,6 +276,29 @@ int main(int argc, char** argv) {
   if (resume && checkpoint_dir.empty()) {
     std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
     return 1;
+  }
+  if (shard_index >= shard_count) {
+    std::fprintf(stderr,
+                 "error: --shard-index must be < --shard-count (%ld)\n",
+                 shard_count);
+    return 1;
+  }
+  if (!listen_spec.empty() && !remote_shards.empty()) {
+    std::fprintf(stderr,
+                 "error: --listen and --remote-shards are exclusive (a "
+                 "process is a server or a client, not both)\n");
+    return 1;
+  }
+  // --listen shuts down via sigwait. The mask must be in place before any
+  // thread exists (the pipeline below spawns the kernel pool): a thread
+  // with SIGTERM unblocked would take the default disposition and kill the
+  // process before the drain runs.
+  sigset_t shutdown_set;
+  sigemptyset(&shutdown_set);
+  sigaddset(&shutdown_set, SIGINT);
+  sigaddset(&shutdown_set, SIGTERM);
+  if (!listen_spec.empty()) {
+    pthread_sigmask(SIG_BLOCK, &shutdown_set, nullptr);
   }
   const std::string command = !args.empty() ? args[0] : "eval";
   const std::string arg2 = args.size() > 1 ? args[1] : "adamine";
@@ -327,6 +392,124 @@ int main(int argc, char** argv) {
     std::printf("embedding bundle (%lld pairs) exported to %s\n",
                 static_cast<long long>(test.image_emb.rows()),
                 embeddings_path.c_str());
+
+    // --listen: this process becomes one shard server. It reloads the
+    // exported bundle, keeps its --shard-index slice of the corpus, and
+    // serves it over the wire protocol until SIGINT/SIGTERM (then drains
+    // gracefully). N such processes, indices 0..N-1, are the fleet a
+    // --remote-shards client dials.
+    if (!listen_spec.empty()) {
+      auto bundle = io::LoadTensorBundle(embeddings_path);
+      if (!bundle.ok()) return Fail(bundle.status());
+      Tensor corpus;
+      for (const io::NamedTensor& entry : bundle.value()) {
+        if (entry.name == "image_emb") corpus = entry.tensor;
+      }
+      const int64_t chunk =
+          (corpus.rows() + shard_count - 1) / shard_count;
+      const int64_t lo = std::min<int64_t>(shard_index * chunk,
+                                           corpus.rows());
+      const int64_t hi = std::min<int64_t>(lo + chunk, corpus.rows());
+      if (lo >= hi) {
+        std::fprintf(stderr,
+                     "error: shard %ld of %ld owns no rows (corpus has "
+                     "%lld)\n",
+                     shard_index, shard_count,
+                     static_cast<long long>(corpus.rows()));
+        return 1;
+      }
+      if (shard_count > 1) {
+        corpus = adamine::SliceRows(corpus, lo, hi);
+      }
+      auto service =
+          adamine::serve::RetrievalService::Create(corpus, serve_config);
+      if (!service.ok()) return Fail(service.status());
+
+      adamine::net::ShardServerConfig server_config;
+      if (listen_spec.find(':') != std::string::npos) {
+        auto endpoint = adamine::net::ParseEndpoint(listen_spec);
+        if (!endpoint.ok()) return Fail(endpoint.status());
+        server_config.host = endpoint->host;
+        server_config.port = endpoint->port;
+      } else {
+        server_config.port = std::atoi(listen_spec.c_str());
+      }
+      adamine::net::ShardServer server;
+      if (auto st = server.Start(
+              std::shared_ptr<adamine::serve::RetrievalService>(
+                  std::move(service).value()),
+              server_config);
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::printf(
+          "shard %ld/%ld serving rows [%lld, %lld) on %s:%d (%s backend) "
+          "— SIGINT/SIGTERM to drain and exit\n",
+          shard_index, shard_count, static_cast<long long>(lo),
+          static_cast<long long>(hi), server_config.host.c_str(),
+          server.port(), adamine::serve::BackendName(serve_config.backend));
+      std::fflush(stdout);
+      int sig = 0;
+      sigwait(&shutdown_set, &sig);
+      std::printf("signal %d: draining...\n", sig);
+      server.Stop();
+      const adamine::net::ShardServerStats stats = server.Snapshot();
+      std::printf(
+          "served %lld requests ok, %lld failed, %lld connections, "
+          "%lld garbage frames rejected\n",
+          static_cast<long long>(stats.requests_ok),
+          static_cast<long long>(stats.requests_failed),
+          static_cast<long long>(stats.connections_accepted),
+          static_cast<long long>(stats.frames_rejected));
+      return 0;
+    }
+
+    // --remote-shards: dial one endpoint per shard (in shard-index order)
+    // and replay the query stream through the remote fan-out — the same
+    // merge and failover machinery as the in-process sharded path, so
+    // healthy answers are bit-identical to the unsharded service and a
+    // dead server degrades coverage instead of failing requests.
+    if (!remote_shards.empty()) {
+      std::vector<std::string> endpoints;
+      std::string spec = remote_shards;
+      while (!spec.empty()) {
+        const size_t comma = spec.find(',');
+        endpoints.push_back(spec.substr(0, comma));
+        spec = comma == std::string::npos ? "" : spec.substr(comma + 1);
+      }
+      adamine::serve::ShardedServeConfig sharded_config;
+      sharded_config.shard_timeout_ms = shard_timeout_ms;
+      sharded_config.hedge_ms = hedge_ms;
+      sharded_config.retry.retry_max = retry_max;
+      sharded_config.breaker.failure_threshold = breaker_failures;
+      sharded_config.breaker.open_ms = breaker_open_ms;
+      sharded_config.require_full_coverage = require_full_coverage;
+      auto sharded =
+          adamine::net::ConnectShardedService(endpoints, sharded_config);
+      if (!sharded.ok()) return Fail(sharded.status());
+      std::printf("connected to %zu remote shards (%lld items, dim %lld)\n",
+                  endpoints.size(),
+                  static_cast<long long>((*sharded)->size()),
+                  static_cast<long long>((*sharded)->dim()));
+      auto results = (*sharded)->QueryBatchWithOptions(test.recipe_emb, 10,
+                                                       query_options);
+      if (!results.ok()) return Fail(results.status());
+      int64_t remote_top1 = 0;
+      for (size_t i = 0; i < results->results.size(); ++i) {
+        if (!results->results[i].empty() &&
+            results->results[i][0].index == static_cast<int64_t>(i)) {
+          ++remote_top1;
+        }
+      }
+      std::printf("recipe->image top-1: %.1f%% (%lld / %lld)  coverage %.3f"
+                  "%s\n",
+                  100.0 * remote_top1 / test.recipe_emb.rows(),
+                  static_cast<long long>(remote_top1),
+                  static_cast<long long>(test.recipe_emb.rows()),
+                  results->coverage, results->partial ? " (partial)" : "");
+      std::printf("%s", (*sharded)->Snapshot().ToString().c_str());
+      return 0;
+    }
 
     // Sharded path: partition the reloaded corpus across --shards
     // fault-tolerant shards and replay the same query stream through the

@@ -118,7 +118,7 @@ StatusOr<Tensor> ReadTensorRecord(wire::Reader& reader) {
   const int64_t remaining = reader.RemainingBytes();
   if (remaining >= 0 &&
       numel > remaining / static_cast<int64_t>(sizeof(float))) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "tensor header announces more data than the stream holds");
   }
   Tensor tensor(shape);
@@ -126,10 +126,10 @@ StatusOr<Tensor> ReadTensorRecord(wire::Reader& reader) {
       tensor.data(), static_cast<size_t>(numel) * sizeof(float)));
   auto stored_crc = reader.ReadU32();
   if (!stored_crc.ok()) {
-    return Status::InvalidArgument("truncated tensor record (missing CRC)");
+    return Status::DataLoss("truncated tensor record (missing CRC)");
   }
   if (*stored_crc != TensorRecordCrc(tensor)) {
-    return Status::InvalidArgument("tensor record CRC mismatch (corrupt)");
+    return Status::DataLoss("tensor record CRC mismatch (corrupt)");
   }
   return tensor;
 }

@@ -62,7 +62,11 @@ bool Writer::ok() const { return static_cast<bool>(os_); }
 
 Status Reader::ReadBytes(void* p, size_t n) {
   is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-  if (!is_) return Status::InvalidArgument("truncated stream");
+  if (!is_) {
+    return Status::DataLoss(
+        "truncated stream: wanted " + std::to_string(n) + " bytes, got " +
+        std::to_string(is_.gcount()));
+  }
   crc_.Update(p, n);
   return Status::Ok();
 }
@@ -99,7 +103,11 @@ StatusOr<double> Reader::ReadF64() {
 
 Status Reader::ReadRaw(void* p, size_t n) {
   is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-  if (!is_) return Status::InvalidArgument("truncated stream");
+  if (!is_) {
+    return Status::DataLoss(
+        "truncated stream: wanted " + std::to_string(n) + " bytes, got " +
+        std::to_string(is_.gcount()));
+  }
   return Status::Ok();
 }
 
@@ -121,10 +129,10 @@ Status VerifyCrc(Reader& reader, const std::string& what) {
   const uint32_t computed = reader.crc();
   uint32_t stored = 0;
   if (!reader.ReadRaw(&stored, sizeof(stored)).ok()) {
-    return Status::InvalidArgument("truncated " + what + " (missing CRC)");
+    return Status::DataLoss("truncated " + what + " (missing CRC)");
   }
   if (stored != computed) {
-    return Status::InvalidArgument(what + " CRC mismatch (corrupt file)");
+    return Status::DataLoss(what + " CRC mismatch (corrupt or torn bytes)");
   }
   return Status::Ok();
 }

@@ -55,8 +55,11 @@ class Writer {
 
 /// Little-endian binary reader mirroring Writer: checksummed reads feed the
 /// running CRC so the caller can compare against the stored checksum after
-/// the payload. All reads fail cleanly (Status, never partial garbage) on
-/// truncation.
+/// the payload. All reads fail cleanly on truncation with a descriptive
+/// kDataLoss Status (wanted vs got byte counts) — never a partial-garbage
+/// value and never a CHECK abort, because the bytes may come from an
+/// untrusted socket peer (see net::ShardServer), where a torn frame must
+/// be survivable.
 class Reader {
  public:
   explicit Reader(std::istream& is) : is_(is) {}
@@ -85,6 +88,7 @@ class Reader {
 };
 
 /// Reads `is`'s trailing stored CRC and compares it with `reader.crc()`.
+/// Truncation and mismatch both surface as kDataLoss.
 Status VerifyCrc(Reader& reader, const std::string& what);
 
 }  // namespace adamine::io::wire

@@ -1,0 +1,127 @@
+#ifndef ADAMINE_NET_FRAME_H_
+#define ADAMINE_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/retrieval_service.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::net {
+
+/// Wire protocol for the shard RPC boundary (see DESIGN.md, "Network
+/// serving"). Every message travels as one length-prefixed binary frame:
+///
+///   offset 0   magic   "ADRP" (4 raw bytes)
+///          4   u8      protocol version (kProtocolVersion)
+///          5   u8      message type (MessageType)
+///          6   u32     payload length in bytes (<= max_payload)
+///         10   ...     payload (little-endian fields, see Encode*)
+///   10+len     u32     CRC-32 of everything after the magic (version,
+///                      type, length, payload) — io::wire's checksum, so a
+///                      flipped bit anywhere in the frame is caught before
+///                      the payload is interpreted
+///
+/// The payloads themselves are written with io::wire::Writer, the same
+/// little-endian primitives as the on-disk ADMT/ADMB formats. Decoders
+/// treat the peer as untrusted: every length is bounds-checked against the
+/// bytes actually present before anything is allocated, and every
+/// malformed input surfaces as a descriptive kDataLoss Status — never a
+/// CHECK abort, never a partial-garbage value.
+inline constexpr char kFrameMagic[4] = {'A', 'D', 'R', 'P'};
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Bytes before the payload (magic + version + type + length).
+inline constexpr size_t kFrameHeaderBytes = 10;
+/// Bytes after the payload (the CRC).
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Default cap on a single frame's payload; a header announcing more is
+/// rejected as garbage without buffering for it.
+inline constexpr size_t kDefaultMaxPayload = 64u << 20;
+
+enum class MessageType : uint8_t {
+  /// Client -> server: a query batch to score.
+  kQueryRequest = 1,
+  /// Server -> client: per-row scored hits, or an error Status.
+  kQueryResponse = 2,
+  /// Client -> server: "describe yourself" (sent once per channel).
+  kInfoRequest = 3,
+  /// Server -> client: corpus rows and embedding dim served.
+  kInfoResponse = 4,
+};
+
+/// A query batch on the wire. `deadline_ms` is the *remaining* latency
+/// budget at send time (a duration, so client/server clock skew is
+/// irrelevant); 0 means no deadline. The server turns it into
+/// serve::QueryOptions, so the PR 4 admission/deadline stack enforces it
+/// server-side.
+struct QueryRequest {
+  uint64_t request_id = 0;
+  int64_t k = 0;
+  double deadline_ms = 0.0;
+  Tensor queries;  // [B, D] float32 rows.
+};
+
+/// The scored answer (or error) for one QueryRequest. `status` crosses the
+/// wire as (code, message), so a server-side shed/deadline/validation
+/// failure keeps its exact Status classification on the client — the
+/// retry/breaker machinery cannot tell a remote replica from a local one.
+struct QueryResponse {
+  uint64_t request_id = 0;
+  Status status;
+  std::vector<std::vector<serve::ScoredHit>> results;
+};
+
+struct InfoResponse {
+  uint64_t request_id = 0;
+  int64_t rows = 0;
+  int64_t dim = 0;
+};
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodeQueryResponse(const QueryResponse& response);
+std::string EncodeInfoRequest(uint64_t request_id);
+std::string EncodeInfoResponse(const InfoResponse& response);
+
+/// Payload decoders (the payload is the CRC-verified frame body handed out
+/// by FrameAssembler). All bounds are re-checked against payload.size();
+/// any violation is kDataLoss.
+StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload);
+StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload);
+StatusOr<uint64_t> DecodeInfoRequest(const std::string& payload);
+StatusOr<InfoResponse> DecodeInfoResponse(const std::string& payload);
+
+/// One CRC-verified frame lifted off the byte stream.
+struct Frame {
+  MessageType type = MessageType::kQueryRequest;
+  std::string payload;
+};
+
+/// Incremental frame reassembly over an untrusted byte stream. Feed
+/// whatever arrived (any fragmentation, including byte-at-a-time) with
+/// Append; Next then either extracts one complete CRC-verified frame
+/// (returns true), reports that more bytes are needed (returns false), or
+/// fails with kDataLoss on garbage — bad magic, unknown version or type,
+/// oversized length, or CRC mismatch. After kDataLoss the stream cannot be
+/// resynchronised (frame boundaries are length-derived), so the connection
+/// must be dropped.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void Append(const char* data, size_t n) { buffer_.append(data, n); }
+
+  StatusOr<bool> Next(Frame* frame);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  size_t max_payload_;
+};
+
+}  // namespace adamine::net
+
+#endif  // ADAMINE_NET_FRAME_H_

@@ -1,0 +1,103 @@
+#include "net/remote_transport.h"
+
+#include <chrono>
+#include <utility>
+
+namespace adamine::net {
+
+RemoteShardTransport::RemoteShardTransport(
+    std::unique_ptr<ShardChannel> channel, int64_t rows, int64_t dim)
+    : channel_(std::move(channel)), rows_(rows), dim_(dim) {}
+
+StatusOr<std::shared_ptr<RemoteShardTransport>> RemoteShardTransport::Connect(
+    const std::string& host, int port, const ShardChannelConfig& config,
+    double info_timeout_ms) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  auto channel = std::make_unique<ShardChannel>(host, port, config);
+  const TimePoint deadline =
+      info_timeout_ms <= 0.0
+          ? kNoDeadline
+          : std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        info_timeout_ms));
+  auto info = channel->Info(deadline);
+  if (!info.ok()) return info.status();
+  return std::shared_ptr<RemoteShardTransport>(new RemoteShardTransport(
+      std::move(channel), info->rows, info->dim));
+}
+
+StatusOr<std::vector<std::vector<serve::ScoredHit>>>
+RemoteShardTransport::QueryScored(const Tensor& queries, int64_t k,
+                                  TimePoint deadline) {
+  return channel_->Query(queries, k, deadline);
+}
+
+std::string RemoteShardTransport::description() const {
+  return channel_->host() + ":" + std::to_string(channel_->port());
+}
+
+StatusOr<RemoteEndpoint> ParseEndpoint(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon == spec.size() - 1) {
+    return Status::InvalidArgument("endpoint must be host:port, got '" +
+                                   spec + "'");
+  }
+  RemoteEndpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint port is not a number: '" +
+                                     spec + "'");
+    }
+  }
+  if (port_str.size() > 5) {
+    return Status::InvalidArgument("endpoint port out of range: '" + spec +
+                                   "'");
+  }
+  endpoint.port = std::stoi(port_str);
+  if (endpoint.port <= 0 || endpoint.port > 65535) {
+    return Status::InvalidArgument("endpoint port out of range: '" + spec +
+                                   "'");
+  }
+  return endpoint;
+}
+
+StatusOr<std::unique_ptr<serve::ShardedRetrievalService>>
+ConnectShardedService(const std::vector<std::string>& endpoints,
+                      const serve::ShardedServeConfig& config,
+                      const ShardChannelConfig& channel_config) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("no remote shard endpoints given");
+  }
+  std::vector<std::vector<std::shared_ptr<serve::ShardTransport>>> shards;
+  shards.reserve(endpoints.size());
+  int64_t dim = 0;
+  for (const std::string& spec : endpoints) {
+    auto endpoint = ParseEndpoint(spec);
+    if (!endpoint.ok()) return endpoint.status();
+    auto transport = RemoteShardTransport::Connect(
+        endpoint->host, endpoint->port, channel_config);
+    if (!transport.ok()) {
+      return Status(transport.status().code(),
+                    "shard endpoint " + spec + ": " +
+                        transport.status().message());
+    }
+    if (dim == 0) {
+      dim = (*transport)->dim();
+    } else if ((*transport)->dim() != dim) {
+      return Status::InvalidArgument(
+          "shard endpoint " + spec + " serves dim " +
+          std::to_string((*transport)->dim()) + ", but earlier shards serve " +
+          std::to_string(dim));
+    }
+    shards.push_back({std::move(transport).value()});
+  }
+  return serve::ShardedRetrievalService::CreateFromTransports(
+      std::move(shards), dim, config);
+}
+
+}  // namespace adamine::net

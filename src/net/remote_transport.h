@@ -1,0 +1,75 @@
+#ifndef ADAMINE_NET_REMOTE_TRANSPORT_H_
+#define ADAMINE_NET_REMOTE_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/shard_channel.h"
+#include "serve/shard_transport.h"
+#include "serve/sharded_service.h"
+#include "util/status.h"
+
+namespace adamine::net {
+
+/// serve::ShardTransport over a ShardChannel: one remote replica behind a
+/// TCP hop. Plugs into ShardClient / ShardedRetrievalService exactly like
+/// an in-process replica — retries, hedging and circuit breakers apply
+/// unchanged, because every transport failure surfaces in the same
+/// transient Status vocabulary (kConnectionLost, kUnavailable,
+/// kDeadlineExceeded).
+class RemoteShardTransport : public serve::ShardTransport {
+ public:
+  /// Dials host:port and asks the server to describe itself (Info RPC,
+  /// bounded by info_timeout_ms) so size()/dim() are known up front — the
+  /// topology layer needs them to compute global row offsets before any
+  /// query flows.
+  static StatusOr<std::shared_ptr<RemoteShardTransport>> Connect(
+      const std::string& host, int port,
+      const ShardChannelConfig& config = ShardChannelConfig(),
+      double info_timeout_ms = 2000.0);
+
+  StatusOr<std::vector<std::vector<serve::ScoredHit>>> QueryScored(
+      const Tensor& queries, int64_t k, TimePoint deadline) override;
+
+  int64_t size() const override { return rows_; }
+  int64_t dim() const { return dim_; }
+  std::string description() const override;
+
+  ShardChannelStats ChannelSnapshot() const { return channel_->Snapshot(); }
+
+ private:
+  RemoteShardTransport(std::unique_ptr<ShardChannel> channel, int64_t rows,
+                       int64_t dim);
+
+  std::unique_ptr<ShardChannel> channel_;
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+};
+
+/// One "host:port" endpoint spec (IPv4 dotted quad or "localhost").
+struct RemoteEndpoint {
+  std::string host;
+  int port = 0;
+};
+
+StatusOr<RemoteEndpoint> ParseEndpoint(const std::string& spec);
+
+/// Assembles a ShardedRetrievalService over remote shard servers: one
+/// endpoint per shard, *in shard order* (endpoint i serves the corpus rows
+/// after endpoints 0..i-1 — how `adamine_cli serve --listen` processes are
+/// laid out by the launcher). Each server is dialled and asked its shape;
+/// all must agree on dim. The result is the same fan-out/fan-in object the
+/// in-process path uses, so healthy answers stay bit-identical to the
+/// unsharded service and a dead server degrades coverage through the usual
+/// breaker machinery.
+StatusOr<std::unique_ptr<serve::ShardedRetrievalService>>
+ConnectShardedService(const std::vector<std::string>& endpoints,
+                      const serve::ShardedServeConfig& config,
+                      const ShardChannelConfig& channel_config =
+                          ShardChannelConfig());
+
+}  // namespace adamine::net
+
+#endif  // ADAMINE_NET_REMOTE_TRANSPORT_H_

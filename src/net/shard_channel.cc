@@ -1,0 +1,192 @@
+#include "net/shard_channel.h"
+
+#include <chrono>
+#include <utility>
+
+namespace adamine::net {
+
+namespace {
+
+/// Remaining budget in ms at `now` (0 = no deadline on the wire).
+double RemainingMs(TimePoint deadline) {
+  if (deadline == kNoDeadline) return 0.0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return -1.0;
+  return std::chrono::duration<double, std::milli>(deadline - now).count();
+}
+
+}  // namespace
+
+Status ShardChannelConfig::Validate() const {
+  if (connect_timeout_ms < 0.0) {
+    return Status::InvalidArgument(
+        "shard channel: negative connect timeout");
+  }
+  if (max_pool_size < 0) {
+    return Status::InvalidArgument(
+        "shard channel: max_pool_size must be >= 0");
+  }
+  if (max_payload_bytes == 0) {
+    return Status::InvalidArgument(
+        "shard channel: max_payload_bytes must be > 0");
+  }
+  return Status::Ok();
+}
+
+ShardChannel::ShardChannel(std::string host, int port,
+                           const ShardChannelConfig& config)
+    : host_(std::move(host)), port_(port), config_(config) {}
+
+ShardChannel::~ShardChannel() = default;
+
+ShardChannelStats ShardChannel::Snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+StatusOr<std::unique_ptr<ShardChannel::PooledConn>> ShardChannel::Checkout(
+    bool* from_pool) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      std::unique_ptr<PooledConn> conn = std::move(pool_.back());
+      pool_.pop_back();
+      *from_pool = true;
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.pool_hits;
+      return conn;
+    }
+  }
+  *from_pool = false;
+  auto fd = Dial(host_, port_, config_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  auto conn = std::make_unique<PooledConn>(config_.max_payload_bytes);
+  conn->fd = std::move(fd).value();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.dials;
+  return conn;
+}
+
+void ShardChannel::Checkin(std::unique_ptr<PooledConn> conn) {
+  // A connection with unconsumed bytes is out of frame-sync; never reuse.
+  if (conn->assembler.buffered_bytes() > 0) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (static_cast<int64_t>(pool_.size()) <
+      config_.max_pool_size) {
+    pool_.push_back(std::move(conn));
+  }
+  // Else ~PooledConn closes it.
+}
+
+StatusOr<std::string> ShardChannel::RoundTrip(const std::string& frame_bytes,
+                                              MessageType expect,
+                                              TimePoint deadline) {
+  bool from_pool = false;
+  auto checked_out = Checkout(&from_pool);
+  if (!checked_out.ok()) return checked_out.status();
+  std::unique_ptr<PooledConn> conn = std::move(checked_out).value();
+
+  Status sent =
+      SendAll(conn->fd.get(), frame_bytes.data(), frame_bytes.size(),
+              deadline);
+  if (!sent.ok() && from_pool &&
+      sent.code() == StatusCode::kConnectionLost) {
+    // The pooled connection went stale (server idle-reap, restart). The
+    // request never arrived, so one fresh dial and resend is free.
+    conn.reset();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.reconnects;
+    }
+    auto fresh = Checkout(&from_pool);
+    if (!fresh.ok()) return fresh.status();
+    conn = std::move(fresh).value();
+    sent = SendAll(conn->fd.get(), frame_bytes.data(), frame_bytes.size(),
+                   deadline);
+  }
+  if (!sent.ok()) return sent;
+
+  char buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    auto next = conn->assembler.Next(&frame);
+    if (!next.ok()) {
+      // Torn or corrupt response frame: the stream cannot be re-synced, so
+      // this is a transport casualty, not a server answer.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.torn_responses;
+      return Status::ConnectionLost("shard channel " + host_ + ":" +
+                                    std::to_string(port_) +
+                                    ": torn response frame: " +
+                                    next.status().message());
+    }
+    if (*next) {
+      if (frame.type != expect) {
+        return Status::ConnectionLost("shard channel: unexpected " +
+                                      std::to_string(static_cast<int>(
+                                          frame.type)) +
+                                      " frame");
+      }
+      // The request id is checked by the typed decoders' callers (Query /
+      // Info) — a mismatch drops the connection there.
+      Checkin(std::move(conn));
+      return std::move(frame.payload);
+    }
+    auto got = RecvSome(conn->fd.get(), buf, sizeof(buf), deadline);
+    if (!got.ok()) return got.status();
+    if (*got == 0) {
+      return Status::ConnectionLost("shard channel " + host_ + ":" +
+                                    std::to_string(port_) +
+                                    ": peer closed mid-response");
+    }
+    conn->assembler.Append(buf, *got);
+  }
+}
+
+StatusOr<InfoResponse> ShardChannel::Info(TimePoint deadline) {
+  const uint64_t id = next_request_id_.fetch_add(1);
+  auto payload =
+      RoundTrip(EncodeInfoRequest(id), MessageType::kInfoResponse, deadline);
+  if (!payload.ok()) return payload.status();
+  auto info = DecodeInfoResponse(*payload);
+  if (!info.ok()) {
+    return Status::ConnectionLost("shard channel: undecodable info: " +
+                                  info.status().message());
+  }
+  if (info->request_id != id) {
+    return Status::ConnectionLost("shard channel: response id mismatch");
+  }
+  return *info;
+}
+
+StatusOr<std::vector<std::vector<serve::ScoredHit>>> ShardChannel::Query(
+    const Tensor& queries, int64_t k, TimePoint deadline) {
+  if (RemainingMs(deadline) < 0.0) {
+    return Status::DeadlineExceeded("shard channel: deadline already past");
+  }
+  QueryRequest request;
+  request.request_id = next_request_id_.fetch_add(1);
+  request.k = k;
+  request.deadline_ms = RemainingMs(deadline);  // >= 0 here; 0 = unbounded.
+  request.queries = queries;
+
+  auto payload = RoundTrip(EncodeQueryRequest(request),
+                           MessageType::kQueryResponse, deadline);
+  if (!payload.ok()) return payload.status();
+  auto response = DecodeQueryResponse(*payload);
+  if (!response.ok()) {
+    // The frame's CRC passed but the payload is garbage — still a
+    // transport-layer casualty from the caller's point of view.
+    return Status::ConnectionLost("shard channel: undecodable response: " +
+                                  response.status().message());
+  }
+  if (response->request_id != request.request_id &&
+      !(response->request_id == 0 && !response->status.ok())) {
+    // Id 0 is the server's "could not even parse your request" answer.
+    return Status::ConnectionLost("shard channel: response id mismatch");
+  }
+  if (!response->status.ok()) return response->status;
+  return std::move(response->results);
+}
+
+}  // namespace adamine::net

@@ -1,0 +1,120 @@
+#ifndef ADAMINE_NET_SHARD_CHANNEL_H_
+#define ADAMINE_NET_SHARD_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/retrieval_service.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::net {
+
+struct ShardChannelConfig {
+  /// Bound on each TCP dial; 0 waits indefinitely.
+  double connect_timeout_ms = 1000.0;
+  /// Pooled idle connections kept for reuse (excess check-ins close).
+  int64_t max_pool_size = 4;
+  /// Frames announcing a larger payload are rejected as torn.
+  size_t max_payload_bytes = kDefaultMaxPayload;
+
+  Status Validate() const;
+};
+
+struct ShardChannelStats {
+  int64_t dials = 0;            // Fresh TCP connects.
+  int64_t pool_hits = 0;        // Requests served on a reused connection.
+  int64_t reconnects = 0;       // Stale pooled connection replaced mid-send.
+  int64_t torn_responses = 0;   // Response frames rejected (CRC/garbage).
+};
+
+/// Pooled client transport to one ShardServer (see DESIGN.md, "Network
+/// serving"). Each request checks a connection out of a small idle pool (or
+/// dials a new one under connect_timeout_ms), writes one request frame,
+/// reads exactly one response frame under the caller's deadline, and checks
+/// the connection back in.
+///
+/// Failure handling keeps the retry decision in one place — the Status
+/// vocabulary (see ErrnoStatus):
+///   - a pooled connection that fails during the *send* is silently
+///     replaced by one fresh dial (the server may have idle-reaped it; the
+///     request provably never arrived, so the retry is free);
+///   - any failure after the request may have reached the server — reset,
+///     torn/CRC-failed response frame, wrong response id or type — drops
+///     the connection and surfaces kConnectionLost (transient), so
+///     ShardClient's retry/hedge/breaker machinery decides what to do;
+///   - a deadline that expires mid-read drops the connection too: a late
+///     response must never be mistaken for the next request's answer;
+///   - an error Status *inside* a decoded response (the server shedding
+///     load, a deadline miss, a validation failure) propagates verbatim —
+///     the wire is invisible in that Status.
+///
+/// The remaining deadline budget travels in the request as a duration, so
+/// the server enforces it without any clock synchronisation.
+///
+/// Thread safety: Query / Info / Snapshot may be called concurrently.
+class ShardChannel {
+ public:
+  ShardChannel(std::string host, int port,
+               const ShardChannelConfig& config = ShardChannelConfig());
+  ~ShardChannel();
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  /// The server's corpus shape (rows, dim); used once at topology setup to
+  /// compute global row offsets.
+  StatusOr<InfoResponse> Info(TimePoint deadline);
+
+  /// Scores `queries` [B, D] on the remote shard: per-row top-k ScoredHits
+  /// with *shard-local* row ids (the caller adds the global offset).
+  StatusOr<std::vector<std::vector<serve::ScoredHit>>> Query(
+      const Tensor& queries, int64_t k, TimePoint deadline);
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+  ShardChannelStats Snapshot() const;
+
+ private:
+  struct PooledConn {
+    Fd fd;
+    FrameAssembler assembler;
+
+    explicit PooledConn(size_t max_payload) : assembler(max_payload) {}
+  };
+
+  /// Pops an idle pooled connection (from_pool = true) or dials a fresh
+  /// one. `deadline` only bounds the dial via connect_timeout_ms.
+  StatusOr<std::unique_ptr<PooledConn>> Checkout(bool* from_pool);
+  void Checkin(std::unique_ptr<PooledConn> conn);
+
+  /// Sends one encoded frame and reads exactly one response frame of type
+  /// `expect`, returning its payload (the request id inside is checked by
+  /// the typed callers). Implements the stale-pooled-connection resend and
+  /// the drop-on-any-doubt rules above.
+  StatusOr<std::string> RoundTrip(const std::string& frame_bytes,
+                                  MessageType expect, TimePoint deadline);
+
+  const std::string host_;
+  const int port_;
+  const ShardChannelConfig config_;
+
+  std::atomic<uint64_t> next_request_id_{1};
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<PooledConn>> pool_;
+
+  mutable std::mutex stats_mu_;
+  ShardChannelStats stats_;
+};
+
+}  // namespace adamine::net
+
+#endif  // ADAMINE_NET_SHARD_CHANNEL_H_

@@ -1,0 +1,609 @@
+#include "net/shard_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace adamine::net {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection fds.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = ~uint64_t{0};
+
+double ElapsedMs(TimePoint since, TimePoint now) {
+  return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+/// The armed net.write.stall quantity in ms (scoped variant wins), or 0.
+double ArmedStallMs(const std::string& scope) {
+  if (!fault::AnyArmed()) return 0.0;
+  if (!scope.empty()) {
+    const int64_t scoped =
+        fault::ArmedSkip(fault::ScopedPoint(fault::kNetWriteStall, scope));
+    if (scoped >= 0) return static_cast<double>(scoped);
+  }
+  const int64_t bare = fault::ArmedSkip(fault::kNetWriteStall);
+  return bare >= 0 ? static_cast<double>(bare) : 0.0;
+}
+
+/// Non-consuming armed check with the scoped-first convention.
+bool ArmedAt(const char* point, const std::string& scope) {
+  if (!fault::AnyArmed()) return false;
+  if (!scope.empty() && fault::IsArmed(fault::ScopedPoint(point, scope))) {
+    return true;
+  }
+  return fault::IsArmed(point);
+}
+
+}  // namespace
+
+Status ShardServerConfig::Validate() const {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("shard server: port out of range: " +
+                                   std::to_string(port));
+  }
+  if (num_workers < 1) {
+    return Status::InvalidArgument("shard server: num_workers must be >= 1");
+  }
+  if (idle_timeout_ms < 0.0 || drain_timeout_ms < 0.0) {
+    return Status::InvalidArgument("shard server: negative timeout");
+  }
+  if (max_payload_bytes == 0) {
+    return Status::InvalidArgument(
+        "shard server: max_payload_bytes must be > 0");
+  }
+  if (max_connections < 0) {
+    return Status::InvalidArgument(
+        "shard server: max_connections must be >= 0");
+  }
+  return Status::Ok();
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+bool ShardServer::WireFault(const char* point) const {
+  if (!fault::AnyArmed()) return false;
+  if (!config_.fault_scope.empty() &&
+      fault::ShouldFail(fault::ScopedPoint(point, config_.fault_scope))) {
+    return true;
+  }
+  return fault::ShouldFail(point);
+}
+
+Status ShardServer::Start(std::shared_ptr<serve::RetrievalService> service,
+                          const ShardServerConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (service == nullptr) {
+    return Status::InvalidArgument("shard server: null service");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (started_) {
+      return Status::FailedPrecondition("shard server: already started");
+    }
+  }
+  config_ = config;
+  service_ = std::move(service);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  const std::string ip =
+      config_.host == "localhost" ? "127.0.0.1" : config_.host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("shard server: not an IPv4 address: " +
+                                   config_.host);
+  }
+  listen_fd_ = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!listen_fd_.valid()) return ErrnoStatus(errno, "shard server: socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus(errno, "shard server: bind " + config_.host + ":" +
+                                  std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_.get(), 128) < 0) {
+    return ErrnoStatus(errno, "shard server: listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_.get(),
+                    reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus(errno, "shard server: getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  epoll_fd_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return ErrnoStatus(errno, "shard server: epoll_create1");
+  }
+  wake_fd_ = Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.valid()) return ErrnoStatus(errno, "shard server: eventfd");
+
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) <
+      0) {
+    return ErrnoStatus(errno, "shard server: epoll_ctl(listen)");
+  }
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0) {
+    return ErrnoStatus(errno, "shard server: epoll_ctl(wake)");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    started_ = true;
+    draining_ = false;
+    terminating_ = false;
+    loop_exited_ = false;
+  }
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::Ok();
+}
+
+void ShardServer::Stop() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  if (!started_) return;
+  draining_ = true;
+  lock.unlock();
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+  lock.lock();
+  state_cv_.wait(lock, [this] { return loop_exited_; });
+  const bool join_here = started_;
+  started_ = false;  // Claim the join exactly once.
+  lock.unlock();
+  if (!join_here) return;
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> work_lock(work_mu_);
+    work_shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // The loop normally closed the listener when it left service; cover its
+  // abnormal exits too so a stopped server never squats on the port.
+  listen_fd_.reset();
+}
+
+void ShardServer::Terminate() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!started_) return;
+    terminating_ = true;
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+  Stop();  // The loop RSTs everything and exits immediately.
+}
+
+ShardServerStats ShardServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ShardServer::LoopMain() {
+  bool loop_draining = false;
+  TimePoint drain_deadline = kNoDeadline;
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+
+  for (;;) {
+    bool draining_now = false;
+    bool terminating_now = false;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      draining_now = draining_;
+      terminating_now = terminating_;
+    }
+    if (terminating_now) {
+      // kill -9 semantics: every peer sees a reset, nothing is flushed, and
+      // the listening socket dies with the "process" — without closing it,
+      // the kernel would keep completing handshakes into an accept queue
+      // nobody drains, and a redialling client would hang on a connection
+      // that can never be answered instead of seeing ECONNREFUSED.
+      listen_fd_.reset();
+      std::vector<uint64_t> ids;
+      ids.reserve(conns_.size());
+      for (const auto& [id, conn] : conns_) ids.push_back(id);
+      for (uint64_t id : ids) CloseConn(id, /*reset=*/true);
+      break;
+    }
+    if (draining_now && !loop_draining) {
+      loop_draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  config_.drain_timeout_ms));
+      // Refuse new peers for good (close, not just EPOLL_CTL_DEL: a merely
+      // deafened listener would still let the kernel accept handshakes that
+      // then hang). Closing also releases the port for a successor server.
+      listen_fd_.reset();
+      std::vector<uint64_t> flushed;
+      for (auto& [id, conn] : conns_) {
+        conn.close_after_flush = true;
+        if (conn.inflight == 0 && conn.out.empty()) {
+          flushed.push_back(id);
+        } else {
+          UpdateEpoll(id, conn);
+        }
+      }
+      for (uint64_t id : flushed) CloseConn(id, /*reset=*/false);
+    }
+    if (loop_draining) {
+      if (conns_.empty()) break;
+      if (std::chrono::steady_clock::now() >= drain_deadline) {
+        std::vector<uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) ids.push_back(id);
+        for (uint64_t id : ids) CloseConn(id, /*reset=*/false);
+        break;
+      }
+    }
+
+    const bool timed =
+        loop_draining || config_.idle_timeout_ms > 0.0;
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, timed ? 50 : -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sane left to do.
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        uint64_t counter = 0;
+        [[maybe_unused]] ssize_t rc =
+            ::read(wake_fd_.get(), &counter, sizeof(counter));
+        continue;
+      }
+      if (id == kListenId) {
+        if (!loop_draining) AcceptPending();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // Closed earlier this batch.
+      Conn& conn = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConn(id, /*reset=*/false);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) && !loop_draining) {
+        if (!HandleReadable(id, conn)) {
+          CloseConn(id, /*reset=*/false);
+          continue;
+        }
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (!HandleWritable(id, conn)) {
+          CloseConn(id, /*reset=*/false);
+          continue;
+        }
+      }
+    }
+    DrainCompletions();
+    if (config_.idle_timeout_ms > 0.0 && !loop_draining) {
+      ReapIdle(std::chrono::steady_clock::now());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    loop_exited_ = true;
+  }
+  state_cv_.notify_all();
+}
+
+void ShardServer::AcceptPending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // Transient accept failures: the listener stays armed.
+    }
+    Fd accepted(fd);
+    if (config_.max_connections > 0 &&
+        static_cast<int64_t>(conns_.size()) >= config_.max_connections) {
+      continue;  // ~Fd closes: the peer sees an immediate FIN.
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    Conn conn;
+    conn.fd = std::move(accepted);
+    conn.assembler =
+        std::make_unique<FrameAssembler>(config_.max_payload_bytes);
+    conn.last_active = std::chrono::steady_clock::now();
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn.fd.get(), &ev) <
+        0) {
+      continue;  // ~Fd closes.
+    }
+    conns_.emplace(id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+bool ShardServer::HandleReadable(uint64_t conn_id, Conn& conn) {
+  if (conn.close_after_flush) return true;  // Stale EPOLLIN; reads are done.
+  char buf[64 * 1024];
+  // net.read.short: take one byte per wakeup so every frame arrives
+  // maximally fragmented; level-triggered epoll re-fires until the socket
+  // drains, so progress continues byte by byte.
+  const bool short_read = ArmedAt(fault::kNetReadShort, config_.fault_scope);
+  const size_t cap = short_read ? 1 : sizeof(buf);
+  const ssize_t got = ::recv(conn.fd.get(), buf, cap, MSG_DONTWAIT);
+  if (got == 0) return false;  // Clean EOF.
+  if (got < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+  conn.last_active = std::chrono::steady_clock::now();
+  conn.assembler->Append(buf, static_cast<size_t>(got));
+  for (;;) {
+    Frame frame;
+    auto next = conn.assembler->Next(&frame);
+    if (!next.ok()) {
+      // Unframeable stream: no response can be addressed to a request we
+      // could not delimit. Cut the peer off.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_rejected;
+      return false;
+    }
+    if (!*next) return true;  // Need more bytes.
+    switch (frame.type) {
+      case MessageType::kQueryRequest: {
+        auto request = DecodeQueryRequest(frame.payload);
+        if (!request.ok()) {
+          // The frame was intact (CRC passed) but its payload is garbage:
+          // tell the peer why, then close — request ids are unknowable.
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.frames_rejected;
+          }
+          QueryResponse response;
+          response.status = request.status();
+          conn.close_after_flush = true;  // Also stops further reads.
+          QueueWrite(conn_id, conn, EncodeQueryResponse(response));
+          return true;
+        }
+        ++conn.inflight;
+        {
+          std::lock_guard<std::mutex> lock(work_mu_);
+          WorkItem item;
+          item.conn_id = conn_id;
+          item.request = std::move(request).value();
+          item.arrival = std::chrono::steady_clock::now();
+          work_.push_back(std::move(item));
+        }
+        work_cv_.notify_one();
+        break;
+      }
+      case MessageType::kInfoRequest: {
+        auto id = DecodeInfoRequest(frame.payload);
+        if (!id.ok()) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.frames_rejected;
+          return false;
+        }
+        InfoResponse info;
+        info.request_id = *id;
+        info.rows = service_->size();
+        info.dim = service_->dim();
+        QueueWrite(conn_id, conn, EncodeInfoResponse(info));
+        break;
+      }
+      default: {
+        // A response type arriving at a server is a protocol violation.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_rejected;
+        return false;
+      }
+    }
+  }
+}
+
+bool ShardServer::HandleWritable(uint64_t conn_id, Conn& conn) {
+  while (!conn.out.empty()) {
+    const std::string& front = conn.out.front();
+    const ssize_t sent =
+        ::send(conn.fd.get(), front.data() + conn.out_offset,
+               front.size() - conn.out_offset,
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out_offset += static_cast<size_t>(sent);
+    conn.last_active = std::chrono::steady_clock::now();
+    if (conn.out_offset == front.size()) {
+      conn.out.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  if (conn.out.empty() && conn.close_after_flush && conn.inflight == 0) {
+    return false;  // Fully flushed; the deferred close happens now.
+  }
+  UpdateEpoll(conn_id, conn);
+  return true;
+}
+
+void ShardServer::QueueWrite(uint64_t conn_id, Conn& conn,
+                             std::string bytes) {
+  conn.out.push_back(std::move(bytes));
+  UpdateEpoll(conn_id, conn);
+}
+
+void ShardServer::UpdateEpoll(uint64_t conn_id, Conn& conn) {
+  bool loop_draining = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    loop_draining = draining_;
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  const bool want_read = !loop_draining && !conn.close_after_flush;
+  ev.events = (want_read ? static_cast<uint32_t>(EPOLLIN) : 0u) |
+              (conn.out.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+  ev.data.u64 = conn_id;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+}
+
+void ShardServer::CloseConn(uint64_t conn_id, bool reset) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd.get(), nullptr);
+  if (reset) {
+    ResetClose(std::move(it->second.fd));
+  }
+  conns_.erase(it);
+}
+
+void ShardServer::DrainCompletions() {
+  std::deque<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ready.swap(done_);
+  }
+  for (Completion& completion : ready) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (completion.reset) {
+        ++stats_.resets_injected;
+      } else if (completion.ok) {
+        ++stats_.requests_ok;
+      } else {
+        ++stats_.requests_failed;
+      }
+    }
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // Peer already gone; drop it.
+    Conn& conn = it->second;
+    --conn.inflight;
+    if (completion.reset) {
+      CloseConn(completion.conn_id, /*reset=*/true);
+      continue;
+    }
+    QueueWrite(completion.conn_id, conn, std::move(completion.bytes));
+    if (!HandleWritable(completion.conn_id, conn)) {
+      CloseConn(completion.conn_id, /*reset=*/false);
+    }
+  }
+}
+
+void ShardServer::ReapIdle(TimePoint now) {
+  std::vector<uint64_t> idle;
+  for (auto& [id, conn] : conns_) {
+    if (conn.inflight == 0 && conn.out.empty() &&
+        ElapsedMs(conn.last_active, now) > config_.idle_timeout_ms) {
+      idle.push_back(id);
+    }
+  }
+  for (uint64_t id : idle) {
+    CloseConn(id, /*reset=*/false);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_reaped;
+  }
+}
+
+void ShardServer::WorkerMain() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock,
+                    [this] { return work_shutdown_ || !work_.empty(); });
+      if (work_.empty()) return;  // Shutdown with a drained queue.
+      item = std::move(work_.front());
+      work_.pop_front();
+    }
+
+    QueryResponse response;
+    response.request_id = item.request.request_id;
+    serve::QueryOptions options;
+    bool expired = false;
+    if (item.request.deadline_ms > 0.0) {
+      // The wire carries a remaining budget; re-anchor it here so time the
+      // request spent queued inside the server counts against it.
+      const double remaining =
+          item.request.deadline_ms -
+          ElapsedMs(item.arrival, std::chrono::steady_clock::now());
+      if (remaining <= 0.0) {
+        response.status = Status::DeadlineExceeded(
+            "deadline expired in server queue");
+        expired = true;
+      } else {
+        options.deadline_ms = remaining;
+      }
+    }
+    if (!expired) {
+      auto results = service_->QueryBatchScored(item.request.queries,
+                                                item.request.k, options);
+      if (results.ok()) {
+        response.results = std::move(results).value();
+      } else {
+        response.status = results.status();
+      }
+    }
+
+    const double stall_ms = ArmedStallMs(config_.fault_scope);
+    if (stall_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(stall_ms));
+    }
+
+    Completion completion;
+    completion.conn_id = item.conn_id;
+    completion.ok = response.status.ok();
+    if (WireFault(fault::kNetConnReset)) {
+      completion.reset = true;
+    } else {
+      completion.bytes = EncodeQueryResponse(response);
+      if (WireFault(fault::kNetFrameCorrupt)) {
+        // Flip one payload byte: the frame still parses as a frame, but the
+        // client's CRC check must reject it.
+        completion.bytes[kFrameHeaderBytes] ^= 0x01;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(std::move(completion));
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc =
+        ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+}
+
+}  // namespace adamine::net

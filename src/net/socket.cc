@@ -1,0 +1,207 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace adamine::net {
+
+namespace {
+
+/// Remaining poll() budget in whole milliseconds, rounded up so a deadline
+/// 0.4 ms away still polls for 1 ms instead of busy-spinning; -1 (poll's
+/// "wait forever") for the no-deadline sentinel; 0 once the deadline has
+/// passed.
+int PollTimeoutMs(TimePoint deadline) {
+  if (deadline == kNoDeadline) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return 0;
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - now);
+  const int ms = static_cast<int>(std::min<int64_t>(
+      remaining.count() + 1, std::numeric_limits<int>::max()));
+  return ms;
+}
+
+Status WaitFor(int fd, short events, TimePoint deadline,
+               const char* context) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout = PollTimeoutMs(deadline);
+    if (timeout == 0) {
+      return Status::DeadlineExceeded(std::string(context) +
+                                      ": deadline expired");
+    }
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(errno, std::string(context) + ": poll");
+    }
+    if (rc == 0) continue;  // Re-check the deadline at the top.
+    // POLLERR/POLLHUP surface through the subsequent send/recv, which
+    // reports the precise errno.
+    return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Status ErrnoStatus(int err, const std::string& context) {
+  const std::string what = context + ": " + std::strerror(err);
+  switch (err) {
+    case ECONNRESET:
+    case EPIPE:
+    case ECONNREFUSED:
+    case ECONNABORTED:
+    case ENETRESET:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+    case ENOTCONN:
+    case ETIMEDOUT:
+      return Status::ConnectionLost(what);
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+    case EAGAIN:
+      return Status::Unavailable(what);
+    case EADDRINUSE:
+    case EADDRNOTAVAIL:
+    case EINVAL:
+    case EBADF:
+    case EACCES:
+    case EAFNOSUPPORT:
+      return Status::InvalidArgument(what);
+    default:
+      return Status::Internal(what);
+  }
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus(errno, "fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus(errno, "fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+void ResetClose(Fd fd) {
+  if (!fd.valid()) return;
+  struct linger hard;
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  // ~Fd closes, which with the zero linger aborts the connection (RST).
+}
+
+StatusOr<Fd> Dial(const std::string& host, int port,
+                  double connect_timeout_ms) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("dial: port out of range: " +
+                                   std::to_string(port));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("dial: not an IPv4 address: " + host);
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus(errno, "dial " + host + ": socket");
+  ADAMINE_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  const TimePoint deadline =
+      connect_timeout_ms <= 0.0
+          ? kNoDeadline
+          : std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        connect_timeout_ms));
+  const std::string where =
+      "dial " + host + ":" + std::to_string(port);
+  if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return ErrnoStatus(errno, where);
+    Status ready = WaitFor(fd.get(), POLLOUT, deadline, where.c_str());
+    if (!ready.ok()) {
+      // A timed-out dial is a connection casualty, not a request-deadline
+      // miss: the failover path should treat the replica as unreachable.
+      if (ready.code() == StatusCode::kDeadlineExceeded) {
+        return Status::ConnectionLost(where + ": connect timed out");
+      }
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus(errno, where + ": getsockopt");
+    }
+    if (err != 0) return ErrnoStatus(err, where);
+  }
+  // Back to blocking mode: per-request waits go through poll deadlines.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return ErrnoStatus(errno, where + ": clear O_NONBLOCK");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SendAll(int fd, const char* data, size_t n, TimePoint deadline) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(fd, data + sent, n - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ADAMINE_RETURN_IF_ERROR(WaitFor(fd, POLLOUT, deadline, "send"));
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return ErrnoStatus(rc < 0 ? errno : EPIPE, "send");
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> RecvSome(int fd, char* buf, size_t cap,
+                          TimePoint deadline) {
+  for (;;) {
+    const ssize_t rc = ::recv(fd, buf, cap, MSG_DONTWAIT);
+    if (rc > 0) return static_cast<size_t>(rc);
+    if (rc == 0) return size_t{0};  // Clean EOF.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      ADAMINE_RETURN_IF_ERROR(WaitFor(fd, POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus(errno, "recv");
+  }
+}
+
+}  // namespace adamine::net

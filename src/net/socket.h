@@ -1,0 +1,93 @@
+#ifndef ADAMINE_NET_SOCKET_H_
+#define ADAMINE_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace adamine::net {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// The "no deadline" sentinel shared by all socket waits.
+inline constexpr TimePoint kNoDeadline = TimePoint::max();
+
+/// Maps a socket/syscall errno to the library's Status vocabulary, so every
+/// network failure lands in exactly one retry class (see DESIGN.md,
+/// "Network serving" — failure taxonomy):
+///   - connection casualties (ECONNRESET, EPIPE, ECONNREFUSED,
+///     ECONNABORTED, ENETRESET, ENETUNREACH, EHOSTUNREACH, ENOTCONN,
+///     ETIMEDOUT) -> kConnectionLost, transient: reconnecting or failing
+///     over may cure it;
+///   - resource exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM, EAGAIN)
+///     -> kUnavailable, transient: backoff applies;
+///   - addressing/usage errors (EADDRINUSE, EADDRNOTAVAIL, EINVAL,
+///     EBADF, EACCES, EAFNOSUPPORT) -> kInvalidArgument, permanent;
+///   - everything else -> kInternal, permanent (an unknown failure must
+///     not silently become retryable).
+/// The message always carries `context` plus strerror(err).
+Status ErrnoStatus(int err, const std::string& context);
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+Status SetNonBlocking(int fd);
+
+/// Hard-closes `fd` with SO_LINGER {on, 0}: the kernel sends RST instead of
+/// FIN, so the peer observes ECONNRESET — how a kill -9'd process's
+/// connections die. Used by the net.conn.reset fault point and
+/// ShardServer::Terminate.
+void ResetClose(Fd fd);
+
+/// Blocking-mode TCP connect to host:port (IPv4 dotted quad or
+/// "localhost") bounded by connect_timeout_ms (0 = no bound). The returned
+/// fd is in blocking mode with TCP_NODELAY set; per-call deadlines are
+/// enforced by SendAll/RecvSome's poll, not by socket-level timeouts.
+StatusOr<Fd> Dial(const std::string& host, int port,
+                  double connect_timeout_ms);
+
+/// Writes all n bytes, tolerating partial writes and EINTR, waiting for
+/// writability (poll) up to `deadline`. SIGPIPE-safe (MSG_NOSIGNAL): a
+/// vanished peer surfaces as kConnectionLost, never a process-killing
+/// signal. kDeadlineExceeded when the deadline passes first.
+Status SendAll(int fd, const char* data, size_t n, TimePoint deadline);
+
+/// Reads 1..cap bytes into buf, waiting for readability up to `deadline`.
+/// Returns 0 on clean EOF (peer closed), kConnectionLost on reset,
+/// kDeadlineExceeded when the deadline passes with nothing readable.
+StatusOr<size_t> RecvSome(int fd, char* buf, size_t cap, TimePoint deadline);
+
+}  // namespace adamine::net
+
+#endif  // ADAMINE_NET_SOCKET_H_

@@ -88,8 +88,24 @@ Status ShardClientConfig::Validate() const {
   return breaker.Validate();
 }
 
+namespace {
+
+std::vector<std::shared_ptr<ShardTransport>> WrapInProcess(
+    std::vector<std::shared_ptr<RetrievalService>> services) {
+  std::vector<std::shared_ptr<ShardTransport>> transports;
+  transports.reserve(services.size());
+  for (auto& service : services) {
+    ADAMINE_CHECK_MSG(service != nullptr, "null replica service");
+    transports.push_back(
+        std::make_shared<InProcessShardTransport>(std::move(service)));
+  }
+  return transports;
+}
+
+}  // namespace
+
 ShardClient::ShardClient(int64_t shard_index, int64_t global_offset,
-                         std::vector<std::shared_ptr<RetrievalService>>
+                         std::vector<std::shared_ptr<ShardTransport>>
                              replicas,
                          const ShardClientConfig& config)
     : shard_index_(shard_index),
@@ -99,12 +115,19 @@ ShardClient::ShardClient(int64_t shard_index, int64_t global_offset,
       replicas_(std::move(replicas)) {
   ADAMINE_CHECK_MSG(!replicas_.empty(), "shard needs at least one replica");
   for (const auto& replica : replicas_) {
-    ADAMINE_CHECK_MSG(replica != nullptr, "null replica service");
+    ADAMINE_CHECK_MSG(replica != nullptr, "null replica transport");
     ADAMINE_CHECK_MSG(replica->size() == size_,
                       "replicas of one shard must serve the same rows");
     breakers_.push_back(std::make_unique<CircuitBreaker>(config_.breaker));
   }
 }
+
+ShardClient::ShardClient(int64_t shard_index, int64_t global_offset,
+                         std::vector<std::shared_ptr<RetrievalService>>
+                             replicas,
+                         const ShardClientConfig& config)
+    : ShardClient(shard_index, global_offset,
+                  WrapInProcess(std::move(replicas)), config) {}
 
 ShardClient::~ShardClient() {
   std::lock_guard<std::mutex> lock(reaper_mu_);
@@ -149,7 +172,7 @@ std::shared_ptr<ShardClient::Attempt> ShardClient::Launch(
   attempt->hedge = hedge;
   attempt->probe = probe;
   auto finished = std::make_shared<std::atomic<bool>>(false);
-  std::shared_ptr<RetrievalService> service =
+  std::shared_ptr<ShardTransport> transport =
       replicas_[static_cast<size_t>(replica)];
   CircuitBreaker* breaker = breakers_[static_cast<size_t>(replica)].get();
   const int64_t shard = shard_index_;
@@ -158,8 +181,8 @@ std::shared_ptr<ShardClient::Attempt> ShardClient::Launch(
   // so the attempt keeps the data alive without duplicating it. `breaker`
   // is a raw pointer into breakers_, which outlives the worker: the
   // destructor joins every attempt thread before the breakers die.
-  std::thread worker([state, attempt, finished, service, breaker, queries, k,
-                      attempt_deadline, shard, replica, offset] {
+  std::thread worker([state, attempt, finished, transport, breaker, queries,
+                      k, attempt_deadline, shard, replica, offset] {
     Status status;
     std::vector<std::vector<ScoredHit>> results;
     // Replica-scoped fault points first, then the fleet-wide bare points
@@ -180,34 +203,18 @@ std::shared_ptr<ShardClient::Attempt> ShardClient::Launch(
       if (stall_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
       }
-      QueryOptions options;
-      if (attempt_deadline != kNever) {
-        // The replica's own deadline is whatever budget is left *after* any
-        // injected network stall, so a wedged hop and a slow replica look
-        // the same to the coordinator.
-        const double remaining =
-            std::chrono::duration<double, std::milli>(attempt_deadline -
-                                                      Clock::now())
-                .count();
-        if (remaining <= 0.0) {
-          status = Status::DeadlineExceeded(
-              "shard " + std::to_string(shard) + " replica " +
-              std::to_string(replica) +
-              ": attempt deadline expired before the replica was queried");
-        } else {
-          options.deadline_ms = remaining;
+      // The transport enforces whatever budget is left *after* any injected
+      // network stall (an in-process replica converts it to QueryOptions; a
+      // remote one sends it on the wire), so a wedged hop and a slow
+      // replica look the same to the coordinator.
+      auto got = transport->QueryScored(queries, k, attempt_deadline);
+      if (got.ok()) {
+        results = std::move(got).value();
+        for (std::vector<ScoredHit>& row : results) {
+          for (ScoredHit& hit : row) hit.index += offset;
         }
-      }
-      if (status.ok()) {
-        auto got = service->QueryBatchScored(queries, k, options);
-        if (got.ok()) {
-          results = std::move(got).value();
-          for (std::vector<ScoredHit>& row : results) {
-            for (ScoredHit& hit : row) hit.index += offset;
-          }
-        } else {
-          status = got.status();
-        }
+      } else {
+        status = got.status();
       }
     }
     bool report = false;

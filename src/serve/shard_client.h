@@ -11,6 +11,7 @@
 
 #include "serve/circuit_breaker.h"
 #include "serve/retrieval_service.h"
+#include "serve/shard_transport.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -62,11 +63,14 @@ struct ShardClientStats {
   std::vector<CircuitBreakerStats> replicas;  // Breaker per replica.
 };
 
-/// Fault-tolerant client for one shard: owns R replica RetrievalServices
-/// (all serving the same row range) plus one circuit breaker per replica,
-/// and turns a fan-out call into at most 1 + retry_max attempt rounds of
+/// Fault-tolerant client for one shard: owns R replica ShardTransports
+/// (all serving the same row range — in-process services, remote RPC
+/// channels, or a mix) plus one circuit breaker per replica, and turns a
+/// fan-out call into at most 1 + retry_max attempt rounds of
 /// timeout-bounded, breaker-gated, optionally hedged replica queries (see
-/// DESIGN.md, "Sharded serving and failover").
+/// DESIGN.md, "Sharded serving and failover"). The failover machinery sees
+/// only the transport interface, so a replica behind a TCP hop gets
+/// exactly the same retry/hedge/breaker treatment as a local one.
 ///
 /// Each attempt runs on its own thread so a wedged replica can never block
 /// the caller past its timeout; abandoned attempts discard their results
@@ -84,6 +88,11 @@ class ShardClient {
   /// ids (the shard serves corpus rows [global_offset, global_offset +
   /// size())). Replica configs, validation and construction are the
   /// owner's job (ShardedRetrievalService).
+  ShardClient(int64_t shard_index, int64_t global_offset,
+              std::vector<std::shared_ptr<ShardTransport>> replicas,
+              const ShardClientConfig& config);
+
+  /// Convenience: wraps each service in an InProcessShardTransport.
   ShardClient(int64_t shard_index, int64_t global_offset,
               std::vector<std::shared_ptr<RetrievalService>> replicas,
               const ShardClientConfig& config);
@@ -188,7 +197,7 @@ class ShardClient {
   const int64_t global_offset_;
   const int64_t size_;
   const ShardClientConfig config_;
-  std::vector<std::shared_ptr<RetrievalService>> replicas_;
+  std::vector<std::shared_ptr<ShardTransport>> replicas_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
 
   mutable std::mutex stats_mu_;

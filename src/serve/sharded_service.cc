@@ -176,6 +176,57 @@ ShardedRetrievalService::Create(Tensor items, const ShardedServeConfig& config) 
       config, rows, dim, std::move(shards)));
 }
 
+StatusOr<std::unique_ptr<ShardedRetrievalService>>
+ShardedRetrievalService::CreateFromTransports(
+    std::vector<std::vector<std::shared_ptr<ShardTransport>>> shards,
+    int64_t dim, const ShardedServeConfig& config) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("transport topology has no shards");
+  }
+  if (dim <= 0) {
+    return Status::InvalidArgument("transport topology: dim must be > 0");
+  }
+  ShardClientConfig client_config;
+  client_config.shard_timeout_ms = config.shard_timeout_ms;
+  client_config.hedge_ms = config.hedge_ms;
+  client_config.retry = config.retry;
+  client_config.breaker = config.breaker;
+  ADAMINE_RETURN_IF_ERROR(client_config.Validate());
+
+  std::vector<std::unique_ptr<ShardClient>> clients;
+  clients.reserve(shards.size());
+  int64_t offset = 0;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    std::vector<std::shared_ptr<ShardTransport>>& replicas = shards[s];
+    if (replicas.empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " has no replica transports");
+    }
+    for (const auto& replica : replicas) {
+      if (replica == nullptr) {
+        return Status::InvalidArgument("shard " + std::to_string(s) +
+                                       ": null replica transport");
+      }
+      if (replica->size() != replicas.front()->size()) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) + ": replica sizes disagree (" +
+            replica->description() + " serves " +
+            std::to_string(replica->size()) + " rows, expected " +
+            std::to_string(replicas.front()->size()) + ")");
+      }
+    }
+    const int64_t size = replicas.front()->size();
+    clients.push_back(std::make_unique<ShardClient>(
+        static_cast<int64_t>(s), offset, std::move(replicas),
+        client_config));
+    offset += size;
+  }
+  ShardedServeConfig resolved = config;
+  resolved.num_shards = static_cast<int64_t>(shards.size());
+  return std::unique_ptr<ShardedRetrievalService>(new ShardedRetrievalService(
+      std::move(resolved), offset, dim, std::move(clients)));
+}
+
 StatusOr<ShardedQueryResult> ShardedRetrievalService::QueryBatchWithOptions(
     const Tensor& queries, int64_t k, const QueryOptions& options) {
   ADAMINE_CHECK_EQ(queries.ndim(), 2);

@@ -102,6 +102,21 @@ class ShardedRetrievalService {
   static StatusOr<std::unique_ptr<ShardedRetrievalService>> Create(
       Tensor items, const ShardedServeConfig& config);
 
+  /// Builds the fan-out layer over caller-supplied replica transports:
+  /// shards[s] holds the replica transports of shard s, which must serve
+  /// the corpus rows *in shard order* (shard s's global offset is the sum
+  /// of the preceding shards' sizes — exactly how Create partitions).
+  /// Replicas of one shard must agree on size. This is how a remote
+  /// topology is assembled (net::ConnectShardedService); the merge, the
+  /// failover machinery and the bit-identity guarantee are oblivious to
+  /// where the rows live. `config.num_shards` / `num_replicas` /
+  /// `config.shard` are ignored — the topology and the per-replica
+  /// services are the caller's.
+  static StatusOr<std::unique_ptr<ShardedRetrievalService>>
+  CreateFromTransports(
+      std::vector<std::vector<std::shared_ptr<ShardTransport>>> shards,
+      int64_t dim, const ShardedServeConfig& config);
+
   /// Top-k hits for each row of `queries` [B, D] against the whole corpus,
   /// global ids, most similar first. `options.deadline_ms` bounds the whole
   /// fan-out (each shard client additionally enforces shard_timeout_ms per

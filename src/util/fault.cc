@@ -35,6 +35,11 @@ std::string ShardReplicaPoint(const std::string& point, int64_t shard,
   return point + "." + std::to_string(shard) + "." + std::to_string(replica);
 }
 
+std::string ScopedPoint(const std::string& point, const std::string& scope) {
+  if (scope.empty()) return point;
+  return point + "." + scope;
+}
+
 void Arm(const std::string& point, int64_t skip, int64_t fire) {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);

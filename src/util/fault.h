@@ -50,12 +50,38 @@ inline constexpr char kServeShardFail[] = "serve.shard.fail";
 /// with ShardReplicaPoint like kServeShardFail.
 inline constexpr char kServeShardDelay[] = "serve.shard.delay";
 
+/// Wire-level fault points, consulted by net::ShardServer and
+/// net::ShardChannel (see DESIGN.md, "Network serving"). Each server/channel
+/// checks its scope-qualified variant ("<point>.<scope>", see ScopedPoint)
+/// first, then the bare point, so a test running several servers in one
+/// process can tear exactly one of them.
+/// The server hard-closes the connection (RST via SO_LINGER 0) instead of
+/// writing the response — the client sees ECONNRESET mid-read.
+inline constexpr char kNetConnReset[] = "net.conn.reset";
+/// The server's event loop consumes incoming bytes one at a time while
+/// armed — every frame arrives maximally fragmented, exercising the
+/// read-side reassembly state machine.
+inline constexpr char kNetReadShort[] = "net.read.short";
+/// Quantity-in-skip stall (ms, read via ArmedSkip like kServeScoreDelay):
+/// the server sleeps before writing each response, modelling a wedged or
+/// slow peer; the client's deadline/hedging machinery must bound the wait.
+inline constexpr char kNetWriteStall[] = "net.write.stall";
+/// The server flips one payload byte of the outgoing response frame, so the
+/// client's CRC check must reject it as a torn frame (kConnectionLost after
+/// the channel drops the connection) rather than decode garbage.
+inline constexpr char kNetFrameCorrupt[] = "net.frame.corrupt";
+
 /// "<point>.<shard>.<replica>": the replica-scoped variant of a serve-path
 /// fault point. ShardClient consults the scoped point first, then the bare
 /// one, so tests can take down one replica (or one whole shard, by arming
 /// every replica of it) without touching the others.
 std::string ShardReplicaPoint(const std::string& point, int64_t shard,
                               int64_t replica);
+
+/// "<point>.<scope>": the scope-qualified variant of a wire-level fault
+/// point (scope is the server's or channel's fault_scope config string).
+/// Empty scope returns the bare point.
+std::string ScopedPoint(const std::string& point, const std::string& scope);
 
 /// Arms `point`: the next `skip` hits pass, then the following `fire` hits
 /// fail, after which the point disarms itself. Re-arming overwrites any

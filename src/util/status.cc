@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kConnectionLost:
+      return "CONNECTION_LOST";
   }
   return "UNKNOWN";
 }

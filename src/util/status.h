@@ -20,7 +20,19 @@ enum class StatusCode {
   kDeadlineExceeded,
   kUnavailable,
   kDataLoss,
+  /// A transport-level connection failure: the TCP peer reset, the pipe
+  /// broke, the dial was refused, or the frame stream tore mid-message.
+  /// Distinct from kUnavailable (the peer answered and said "overloaded")
+  /// so network incidents are countable separately, but equally transient:
+  /// reconnecting to the same or another replica may well cure it.
+  kConnectionLost,
 };
+
+/// One past the last valid StatusCode, used by the transience pinning test
+/// to prove every code has an explicit retry classification. Keep in sync
+/// when adding codes (the test fails loudly if this drifts).
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kConnectionLost) + 1;
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
@@ -65,21 +77,29 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ConnectionLost(std::string msg) {
+    return Status(StatusCode::kConnectionLost, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// True for the error categories that a retry against another replica may
-  /// cure: kUnavailable (load shed, replica down) and kDeadlineExceeded
-  /// (slow replica, expired per-attempt budget). Everything else — including
-  /// kOk — is non-transient: corrupt data or a caller bug looks exactly the
-  /// same on every replica, so retrying it only multiplies the damage. The
-  /// serving layer's retry policy routes every retry/no-retry decision
-  /// through this single classification (see serve::ShardClient).
+  /// cure: kUnavailable (load shed, replica down), kDeadlineExceeded (slow
+  /// replica, expired per-attempt budget) and kConnectionLost (socket
+  /// reset, broken pipe, refused dial, torn frame stream). Everything else
+  /// — including kOk — is non-transient: corrupt data or a caller bug
+  /// looks exactly the same on every replica, so retrying it only
+  /// multiplies the damage. The serving layer's retry policy routes every
+  /// retry/no-retry decision through this single classification (see
+  /// serve::ShardClient), and the pinning test in tests/util_test.cc
+  /// enumerates every code so a new one cannot silently default to
+  /// non-retryable.
   bool IsTransient() const {
     return code_ == StatusCode::kUnavailable ||
-           code_ == StatusCode::kDeadlineExceeded;
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kConnectionLost;
   }
 
   /// "OK" or "<CODE>: <message>".

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -28,18 +29,45 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 TEST(StatusTest, TransienceClassificationOfEveryCode) {
   // The serving retry policy routes every retry decision through
   // IsTransient, so this pins the classification of each code: only
-  // kUnavailable and kDeadlineExceeded may be retried against another
-  // replica — everything else (including kOk) looks the same everywhere.
-  EXPECT_FALSE(Status::Ok().IsTransient());
-  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
-  EXPECT_FALSE(Status::OutOfRange("x").IsTransient());
-  EXPECT_FALSE(Status::FailedPrecondition("x").IsTransient());
-  EXPECT_FALSE(Status::NotFound("x").IsTransient());
-  EXPECT_FALSE(Status::Internal("x").IsTransient());
-  EXPECT_FALSE(Status::Unimplemented("x").IsTransient());
-  EXPECT_TRUE(Status::DeadlineExceeded("x").IsTransient());
-  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
-  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
+  // kUnavailable, kDeadlineExceeded and kConnectionLost may be retried
+  // against another replica — everything else (including kOk) looks the
+  // same everywhere. The table below must stay exhaustive: the size check
+  // against kNumStatusCodes fails the test when a code is added without an
+  // explicit entry here, so a new (e.g. network) code can never silently
+  // default to non-retryable.
+  const struct {
+    StatusCode code;
+    bool transient;
+  } pinned[] = {
+      {StatusCode::kOk, false},
+      {StatusCode::kInvalidArgument, false},
+      {StatusCode::kOutOfRange, false},
+      {StatusCode::kFailedPrecondition, false},
+      {StatusCode::kNotFound, false},
+      {StatusCode::kInternal, false},
+      {StatusCode::kUnimplemented, false},
+      {StatusCode::kDeadlineExceeded, true},
+      {StatusCode::kUnavailable, true},
+      {StatusCode::kDataLoss, false},
+      {StatusCode::kConnectionLost, true},
+  };
+  ASSERT_EQ(static_cast<int>(std::size(pinned)), kNumStatusCodes)
+      << "a StatusCode was added without pinning its retry classification";
+  for (const auto& entry : pinned) {
+    const Status status(entry.code, "x");
+    EXPECT_EQ(status.IsTransient(), entry.transient)
+        << StatusCodeName(entry.code);
+    // Every code must also have a real name (the switch in StatusCodeName
+    // is complete), so diagnostics never print UNKNOWN.
+    EXPECT_STRNE(StatusCodeName(entry.code), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, ConnectionLostFactoryAndName) {
+  Status s = Status::ConnectionLost("peer reset");
+  EXPECT_EQ(s.code(), StatusCode::kConnectionLost);
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(s.ToString(), "CONNECTION_LOST: peer reset");
 }
 
 StatusOr<int> ParsePositive(int x) {
