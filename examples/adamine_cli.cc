@@ -9,7 +9,9 @@
 //   example_adamine_cli serve   [scenario] [checkpoint.bin] [flags]
 //
 // Serving flags (serve / query):
-//   --backend=exhaustive|ivf   scoring backend (default exhaustive)
+//   --backend=NAME             scoring backend: any name registered with
+//                              the backend registry (serve/backend.h), e.g.
+//                              scalar, exhaustive, ivf (default exhaustive)
 //   --probes=N                 IVF probe dial (accuracy vs latency)
 //   --batch=N                  micro-batch width for GEMM scoring
 //   --cache=N                  LRU result-cache capacity (0 disables)
@@ -194,8 +196,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(std::strlen("--backend="));
-      if (backend != "exhaustive" && backend != "ivf") {
-        std::fprintf(stderr, "error: --backend must be exhaustive or ivf\n");
+      // The registry owns the backend name space: any registered name is
+      // accepted, and a miss lists every registered backend.
+      auto parsed = adamine::serve::BackendFromName(backend);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
         return 1;
       }
     } else if (arg.rfind("--probes=", 0) == 0) {
@@ -336,9 +342,7 @@ int main(int argc, char** argv) {
     const double dataset_embed_ms = dataset_embed_watch.ElapsedMillis();
 
     adamine::serve::ServeConfig serve_config;
-    serve_config.backend = backend == "ivf"
-                               ? adamine::serve::Backend::kIvf
-                               : adamine::serve::Backend::kExhaustive;
+    serve_config.backend = *adamine::serve::BackendFromName(backend);
     serve_config.micro_batch = serve_batch;
     serve_config.cache_capacity = serve_cache;
     serve_config.max_inflight = max_inflight;
@@ -515,10 +519,10 @@ int main(int argc, char** argv) {
     // fault-tolerant shards and replay the same query stream through the
     // fan-out/fan-in merge.
     if (shards > 1) {
-      if (backend == "ivf") {
+      if (serve_config.backend == adamine::serve::Backend::kIvf) {
         std::fprintf(stderr,
-                     "error: --shards requires --backend=exhaustive (the "
-                     "merge needs per-hit scores)\n");
+                     "error: --shards requires an exact backend (scalar or "
+                     "exhaustive) — the merge re-ranks per-hit scores\n");
         return 1;
       }
       auto bundle = io::LoadTensorBundle(embeddings_path);

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# One-command verification: plain tier-1 build + full test suite + the
+# registry-driven golden-diff harness, then the same golden harness (plus the
+# focused concurrency suites) under ThreadSanitizer. This is the flow CI runs;
+# a clean exit here means the tree is shippable.
+#
+#   scripts/check.sh          # everything (plain + tsan)
+#   scripts/check.sh --fast   # plain build + tests only, skip the tsan pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+echo "== tier-1: configure + build =="
+cmake -B build -S .
+cmake --build build -j
+
+echo "== tier-1: full test suite =="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: golden-diff harness (ctest -L golden) =="
+ctest --test-dir build -L golden --output-on-failure
+
+if [[ "$FAST" == "1" ]]; then
+  echo "check.sh: OK (fast mode, tsan pass skipped)"
+  exit 0
+fi
+
+echo "== tsan: configure + build (ADAMINE_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DADAMINE_SANITIZE=thread
+cmake --build build-tsan -j
+
+echo "== tsan: golden-diff harness =="
+ctest --test-dir build-tsan -L golden --output-on-failure
+
+echo "== tsan: concurrency suites (ctest -L tsan) =="
+ctest --test-dir build-tsan -L tsan --output-on-failure
+
+echo "check.sh: OK"

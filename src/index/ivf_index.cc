@@ -127,6 +127,18 @@ std::vector<int64_t> IvfIndex::Search(const Tensor& query, int64_t k,
 
 std::vector<std::vector<int64_t>> IvfIndex::SearchBatch(
     const Tensor& queries, int64_t k, int64_t probes) const {
+  const auto scored = SearchBatchScored(queries, k, probes);
+  std::vector<std::vector<int64_t>> results(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    results[i].reserve(scored[i].size());
+    for (const auto& [sim, item] : scored[i]) results[i].push_back(item);
+  }
+  return results;
+}
+
+std::vector<std::vector<std::pair<float, int64_t>>>
+IvfIndex::SearchBatchScored(const Tensor& queries, int64_t k,
+                            int64_t probes) const {
   const int64_t d = items_.cols();
   ADAMINE_CHECK_EQ(queries.ndim(), 2);
   ADAMINE_CHECK_EQ(queries.cols(), d);
@@ -174,7 +186,8 @@ std::vector<std::vector<int64_t>> IvfIndex::SearchBatch(
       union_items.push_back(item);
     }
   }
-  std::vector<std::vector<int64_t>> results(static_cast<size_t>(bsz));
+  std::vector<std::vector<std::pair<float, int64_t>>> results(
+      static_cast<size_t>(bsz));
   if (union_items.empty()) return results;  // Every probed list was empty.
   Tensor gathered = GatherRows(items_, union_items);
 
@@ -202,10 +215,7 @@ std::vector<std::vector<int64_t>> IvfIndex::SearchBatch(
       std::partial_sort(candidates.begin(), candidates.begin() + take,
                         candidates.end(), CandidateBefore);
       auto& out = results[static_cast<size_t>(i)];
-      out.reserve(static_cast<size_t>(take));
-      for (int64_t j = 0; j < take; ++j) {
-        out.push_back(candidates[static_cast<size_t>(j)].second);
-      }
+      out.assign(candidates.begin(), candidates.begin() + take);
     }
   });
   return results;
@@ -239,6 +249,12 @@ std::vector<int64_t> IvfIndex::QueryWithProbes(const Tensor& query,
 std::vector<std::vector<int64_t>> IvfIndex::QueryBatchWithProbes(
     const Tensor& queries, int64_t k, int64_t probes) const {
   return SearchBatch(queries, k, probes);
+}
+
+std::vector<std::vector<std::pair<float, int64_t>>>
+IvfIndex::QueryBatchScoredWithProbes(const Tensor& queries, int64_t k,
+                                     int64_t probes) const {
+  return SearchBatchScored(queries, k, probes);
 }
 
 double IvfIndex::RecallAtK(const Tensor& queries, int64_t k) const {

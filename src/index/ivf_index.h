@@ -2,6 +2,7 @@
 #define ADAMINE_INDEX_IVF_INDEX_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -60,6 +61,14 @@ class IvfIndex {
   std::vector<std::vector<int64_t>> QueryBatchWithProbes(
       const Tensor& queries, int64_t k, int64_t probes) const;
 
+  /// QueryBatchWithProbes keeping the (similarity, index) pairs the ranking
+  /// already computes, for callers that need per-hit scores (the serving
+  /// backend seam, where approximate answers still carry reference-bitwise
+  /// scores). Same order, same bit-identity guarantee.
+  std::vector<std::vector<std::pair<float, int64_t>>>
+  QueryBatchScoredWithProbes(const Tensor& queries, int64_t k,
+                             int64_t probes) const;
+
   /// Runtime probe dial: overrides the config's num_probes for subsequent
   /// queries. Rejects values outside (0, num_lists] — the same rule as
   /// IvfConfig::Validate.
@@ -84,6 +93,8 @@ class IvfIndex {
   std::vector<std::vector<int64_t>> SearchBatch(const Tensor& queries,
                                                 int64_t k,
                                                 int64_t probes) const;
+  std::vector<std::vector<std::pair<float, int64_t>>> SearchBatchScored(
+      const Tensor& queries, int64_t k, int64_t probes) const;
 
   IvfConfig config_;
   Tensor items_;      // [N, D]

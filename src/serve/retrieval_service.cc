@@ -3,12 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <numeric>
 #include <thread>
 
 #include "io/serialize.h"
-#include "kernel/gemm.h"
-#include "kernel/kernel.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/stopwatch.h"
@@ -17,12 +14,28 @@ namespace adamine::serve {
 
 const char* BackendName(Backend backend) {
   switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
     case Backend::kExhaustive:
       return "exhaustive";
     case Backend::kIvf:
       return "ivf";
   }
   return "unknown";
+}
+
+StatusOr<Backend> BackendFromName(const std::string& name) {
+  // The registry owns the name space: a miss here reports every registered
+  // backend, so the CLI, ServeConfig and ShardServer all fail the same way.
+  auto canonical = CanonicalBackendName(name);
+  if (!canonical.ok()) return canonical.status();
+  if (*canonical == "scalar") return Backend::kScalar;
+  if (*canonical == "exhaustive") return Backend::kExhaustive;
+  if (*canonical == "ivf") return Backend::kIvf;
+  return Status::InvalidArgument(
+      "backend '" + *canonical +
+      "' is registered but cannot back an embedded RetrievalService "
+      "(embeddable backends: scalar, exhaustive, ivf)");
 }
 
 Status ServeConfig::Validate() const {
@@ -106,17 +119,16 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
   ADAMINE_RETURN_IF_ERROR(ValidateItems(items));
   std::unique_ptr<RetrievalService> service(
       new RetrievalService(std::move(items), config));
-  if (config.backend == Backend::kIvf) {
-    // Tensor copies alias the buffer, so the index shares the item rows.
-    auto index = index::IvfIndex::Build(service->items_, config.ivf);
-    if (!index.ok()) return index.status();
-    service->index_ =
-        std::make_unique<index::IvfIndex>(std::move(index.value()));
-    service->probes_ = config.ivf.num_probes;
-    if (config.degradation.target_ms > 0.0) {
-      service->degradation_ = std::make_unique<DegradationController>(
-          config.degradation, config.ivf.num_probes);
-    }
+  // Tensor copies alias the buffer, so the backend shares the item rows.
+  BackendConfig backend_config;
+  backend_config.items = service->items_;
+  backend_config.ivf = config.ivf;
+  auto backend = CreateBackend(BackendName(config.backend), backend_config);
+  if (!backend.ok()) return backend.status();
+  service->backend_ = std::move(backend.value());
+  if (service->backend_->has_probes() && config.degradation.target_ms > 0.0) {
+    service->degradation_ = std::make_unique<DegradationController>(
+        config.degradation, service->backend_->probes());
   }
   return service;
 }
@@ -135,24 +147,15 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Load(
 }
 
 Status RetrievalService::SetProbes(int64_t probes) {
-  if (config_.backend != Backend::kIvf) {
-    return Status::FailedPrecondition(
-        "the probe dial only applies to the ivf backend");
-  }
-  if (probes <= 0 || probes > index_->num_lists()) {
-    return Status::InvalidArgument("need 0 < probes <= num_lists");
-  }
+  // The backend owns the dial (and its validation/rejection message); the
+  // service only re-anchors the degradation controller on success.
+  ADAMINE_RETURN_IF_ERROR(backend_->SetProbes(probes));
   std::lock_guard<std::mutex> lock(mu_);
-  probes_ = probes;
   if (degradation_) degradation_->OnManualSetProbes(probes);
   return Status::Ok();
 }
 
-int64_t RetrievalService::probes() const {
-  if (config_.backend != Backend::kIvf) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  return probes_;
-}
+int64_t RetrievalService::probes() const { return backend_->probes(); }
 
 HealthState RetrievalService::health() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -203,6 +206,14 @@ int64_t CacheEntryBytes(const std::string& key,
          static_cast<int64_t>(result.size() * sizeof(int64_t));
 }
 
+/// Strips per-hit scores for the ids-only serving APIs and the LRU cache.
+std::vector<int64_t> IdsOf(const std::vector<ScoredHit>& hits) {
+  std::vector<int64_t> ids;
+  ids.reserve(hits.size());
+  for (const ScoredHit& hit : hits) ids.push_back(hit.index);
+  return ids;
+}
+
 }  // namespace
 
 void RetrievalService::CacheInsert(const std::string& key,
@@ -245,132 +256,66 @@ Status RetrievalService::DeadlineMiss(const char* where) {
   return Status::DeadlineExceeded(std::string("deadline exceeded ") + where);
 }
 
-StatusOr<std::vector<std::vector<int64_t>>> RetrievalService::ScoreMicroBatch(
-    const Tensor& queries, int64_t k, int64_t probes, TimePoint deadline) {
+StatusOr<std::vector<std::vector<ScoredHit>>>
+RetrievalService::ScoreMicroBatch(const Tensor& queries, int64_t k,
+                                  int64_t probes, TimePoint deadline) {
   std::lock_guard<std::mutex> exec_lock(exec_mu_);
   // Re-check after acquiring the executor: a request that waited out its
   // budget in line behind slow batches must fail before burning a GEMM.
   if (std::chrono::steady_clock::now() >= deadline) {
     return DeadlineMiss("waiting for the scoring executor");
   }
-  std::vector<std::vector<int64_t>> results;
-  double score_ms = 0.0;
-  double rank_ms = 0.0;
-  Stopwatch watch;
   // Armed serve.score.delay simulates slow scoring (cold pages, CPU
   // contention): the skip field carries the delay in milliseconds and the
   // stall counts towards the score stage, so it drives the degradation
   // controller exactly like a real slowdown.
+  double stall_ms = 0.0;
   const int64_t delay_ms = fault::ArmedSkip(fault::kServeScoreDelay);
   if (delay_ms >= 0) {
+    Stopwatch stall;
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    stall_ms = stall.ElapsedMillis();
   }
-  if (config_.backend == Backend::kIvf) {
-    // The IVF batched search fuses centroid scan, candidate GEMM and
-    // per-query ranking; account it to the score stage (see ServeStats).
-    results = index_->QueryBatchWithProbes(queries, k, probes);
-    score_ms = watch.ElapsedMillis();
-  } else {
-    const std::vector<std::vector<ScoredHit>> hits =
-        ExhaustiveTopK(queries, k, &score_ms, &rank_ms);
-    results.resize(hits.size());
-    for (size_t i = 0; i < hits.size(); ++i) {
-      results[i].reserve(hits[i].size());
-      for (const ScoredHit& hit : hits[i]) results[i].push_back(hit.index);
-    }
-  }
+  // Qualified: the QueryBatch member function shadows the struct in here.
+  serve::QueryBatch batch{queries};
+  QueryOptions score_options;
+  score_options.probes = probes;
+  auto result = backend_->ScoreTopK(batch, /*filter=*/nullptr, k,
+                                    score_options);
+  if (!result.ok()) return result.status();
+  const double score_ms = stall_ms + result->score_ms;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;
     stats_.score.Record(score_ms);
-    if (config_.backend == Backend::kExhaustive) {
-      stats_.rank.Record(rank_ms);
-    }
+    if (result->rank_ms >= 0.0) stats_.rank.Record(result->rank_ms);
     if (degradation_) {
       // The controller only moves the dial it owns: a manual SetProbes
       // between this batch's dispatch and now is re-anchored, not undone
       // (OnManualSetProbes resets the window).
       const DegradationDecision decision = degradation_->Observe(score_ms);
-      if (decision.changed) probes_ = decision.probes;
-    }
-  }
-  return results;
-}
-
-std::vector<std::vector<ScoredHit>> RetrievalService::ExhaustiveTopK(
-    const Tensor& queries, int64_t k, double* score_ms, double* rank_ms) {
-  const int64_t m = queries.rows();
-  const int64_t d = queries.cols();
-  const int64_t n = items_.rows();
-  Stopwatch watch;
-  Tensor sims({m, n});
-  kernel::Gemm(queries.data(), d, false, items_.data(), d, true, m, n, d,
-               sims.data());
-  *score_ms = watch.ElapsedMillis();
-  watch.Restart();
-  const int64_t take = std::min(k, n);
-  std::vector<std::vector<ScoredHit>> results(static_cast<size_t>(m));
-  kernel::ParallelFor(m, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
-    std::vector<int64_t> order(static_cast<size_t>(n));
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* row = sims.data() + i * n;
-      std::iota(order.begin(), order.end(), 0);
-      std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                        [row](int64_t a, int64_t b) {
-                          return row[a] > row[b] ||
-                                 (row[a] == row[b] && a < b);
-                        });
-      std::vector<ScoredHit>& out = results[static_cast<size_t>(i)];
-      out.reserve(static_cast<size_t>(take));
-      for (int64_t j = 0; j < take; ++j) {
-        out.push_back(ScoredHit{order[static_cast<size_t>(j)],
-                                row[order[static_cast<size_t>(j)]]});
+      if (decision.changed) {
+        // The controller moves within (0, the seed probes], which every
+        // probed backend accepts.
+        const Status dialed = backend_->SetProbes(decision.probes);
+        ADAMINE_CHECK_MSG(dialed.ok(), dialed.ToString());
       }
     }
-  });
-  *rank_ms = watch.ElapsedMillis();
-  return results;
-}
-
-StatusOr<std::vector<std::vector<ScoredHit>>>
-RetrievalService::ScoreMicroBatchScored(const Tensor& queries, int64_t k,
-                                        TimePoint deadline) {
-  std::lock_guard<std::mutex> exec_lock(exec_mu_);
-  if (std::chrono::steady_clock::now() >= deadline) {
-    return DeadlineMiss("waiting for the scoring executor");
   }
-  // The same emulated-slow-scoring fault as the unscored path, so overload
-  // experiments exercise the sharded layer identically.
-  const int64_t delay_ms = fault::ArmedSkip(fault::kServeScoreDelay);
-  if (delay_ms >= 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
-  }
-  double score_ms = 0.0;
-  double rank_ms = 0.0;
-  std::vector<std::vector<ScoredHit>> results =
-      ExhaustiveTopK(queries, k, &score_ms, &rank_ms);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
-    stats_.score.Record(score_ms);
-    stats_.rank.Record(rank_ms);
-  }
-  return results;
+  return std::move(result->hits);
 }
 
 StatusOr<std::vector<std::vector<ScoredHit>>>
 RetrievalService::QueryBatchScored(const Tensor& queries, int64_t k,
                                    const QueryOptions& options) {
-  if (config_.backend != Backend::kExhaustive) {
-    return Status::FailedPrecondition(
-        "scored queries require the exhaustive backend");
-  }
   ADAMINE_CHECK_EQ(queries.ndim(), 2);
   ADAMINE_CHECK_EQ(queries.cols(), dim());
   ADAMINE_CHECK_GT(k, 0);
   const TimePoint deadline = DeadlineOf(options);
   const int64_t b = queries.rows();
   const int64_t d = dim();
+  const int64_t current_probes =
+      options.probes > 0 ? options.probes : probes();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.queries += b;
@@ -387,7 +332,7 @@ RetrievalService::QueryBatchScored(const Tensor& queries, int64_t k,
     Tensor micro({end - start, d});
     std::copy(queries.data() + start * d, queries.data() + end * d,
               micro.data());
-    auto scored = ScoreMicroBatchScored(micro, k, deadline);
+    auto scored = ScoreMicroBatch(micro, k, current_probes, deadline);
     if (!scored.ok()) return scored.status();
     for (auto& row : scored.value()) results.push_back(std::move(row));
   }
@@ -413,8 +358,9 @@ StatusOr<std::vector<int64_t>> RetrievalService::QueryWithOptions(
   std::copy(query.data(), query.data() + dim(), batch.data());
   auto results = ScoreMicroBatch(batch, k, current_probes, deadline);
   if (!results.ok()) return results.status();
-  CacheInsert(key, results.value()[0]);
-  return std::move(results.value()[0]);
+  std::vector<int64_t> ids = IdsOf(results.value()[0]);
+  CacheInsert(key, ids);
+  return ids;
 }
 
 StatusOr<std::vector<std::vector<int64_t>>>
@@ -466,9 +412,9 @@ RetrievalService::QueryBatchWithOptions(const Tensor& queries, int64_t k,
     auto scored = ScoreMicroBatch(micro, k, current_probes, deadline);
     if (!scored.ok()) return scored.status();
     for (size_t r = 0; r < miss_rows.size(); ++r) {
-      CacheInsert(miss_keys[r], scored.value()[r]);
-      results[static_cast<size_t>(miss_rows[r])] =
-          std::move(scored.value()[r]);
+      std::vector<int64_t> ids = IdsOf(scored.value()[r]);
+      CacheInsert(miss_keys[r], ids);
+      results[static_cast<size_t>(miss_rows[r])] = std::move(ids);
     }
   }
   return results;
@@ -493,9 +439,10 @@ void RetrievalService::RecordEmbedMillis(double ms) {
 }
 
 ServeStats RetrievalService::Snapshot() const {
-  // The admission controller keeps its own mutex; read it first so the two
-  // locks are never nested.
+  // The admission controller and the backend's probe dial keep their own
+  // synchronisation; read both before taking mu_ so locks never nest.
   const AdmissionStats admission = admission_->Snapshot();
+  const int64_t current_probes = backend_->probes();
   std::lock_guard<std::mutex> lock(mu_);
   ServeStats stats = stats_;
   stats.admitted = admission.admitted;
@@ -504,7 +451,7 @@ ServeStats RetrievalService::Snapshot() const {
   stats.inflight_peak = admission.inflight_peak;
   stats.queue_peak = admission.queue_peak;
   stats.cache_bytes = cache_bytes_;
-  stats.probes = probes_;
+  stats.probes = current_probes;
   if (degradation_) {
     stats.health = degradation_->health();
     stats.probe_dial_downs = degradation_->dial_downs() - dial_downs_base_;

@@ -13,6 +13,7 @@
 
 #include "index/ivf_index.h"
 #include "serve/admission.h"
+#include "serve/backend.h"
 #include "serve/degradation.h"
 #include "serve/serve_stats.h"
 #include "tensor/tensor.h"
@@ -20,16 +21,31 @@
 
 namespace adamine::serve {
 
-/// Scoring backend behind the service's single interface.
+/// Thin alias over the registry names of the backends an embedded
+/// RetrievalService can host (CreateBackend does the real work; see
+/// serve/backend.h). Kept as an enum so configs stay trivially copyable
+/// and switch-complete; BackendFromName maps any registered name string.
 enum class Backend {
-  /// Exhaustive cosine kNN: one tiled GEMM of the query micro-batch
+  /// The "scalar" reference backend: serial per-query dot products. Exact;
+  /// the golden-diff oracle every other backend is compared against.
+  kScalar,
+  /// The "exhaustive" backend: one tiled GEMM of the query micro-batch
   /// against every item, then per-query top-k. Exact.
   kExhaustive,
-  /// index::IvfIndex approximate search with a runtime probe dial.
+  /// The "ivf" backend: index::IvfIndex approximate search with a runtime
+  /// probe dial.
   kIvf,
 };
 
+/// The registry name of `backend` ("scalar", "exhaustive", "ivf").
 const char* BackendName(Backend backend);
+
+/// Maps a registry name to the enum. Unknown names fail with the
+/// registry's kInvalidArgument listing every registered backend; names
+/// that are registered but cannot back an embedded service (e.g.
+/// "sharded", a topology of services rather than a backend under one)
+/// fail with a kInvalidArgument naming the embeddable set.
+StatusOr<Backend> BackendFromName(const std::string& name);
 
 struct ServeConfig {
   Backend backend = Backend::kExhaustive;
@@ -50,52 +66,29 @@ struct ServeConfig {
   /// kUnavailable. 0 disables admission control.
   int64_t max_inflight = 0;
   int64_t max_queue = 0;
-  /// Adaptive probe degradation for the IVF backend (target_ms <= 0
-  /// disables it; ignored on the exhaustive backend).
+  /// Adaptive probe degradation for backends with a probe dial
+  /// (target_ms <= 0 disables it; ignored on dial-less backends).
   DegradationConfig degradation;
 
   Status Validate() const;
 };
 
-/// One retrieved item with its cosine score — the currency of the sharded
-/// merge path, where per-shard top-k lists are re-ranked globally and
-/// shard-local tie-breaking alone cannot order candidates across shards.
-struct ScoredHit {
-  int64_t index = 0;  // Row id in the service's item set.
-  float score = 0.0f;
-
-  bool operator==(const ScoredHit& other) const {
-    return index == other.index && score == other.score;
-  }
-};
-
-/// Per-request serving options.
-struct QueryOptions {
-  /// Latency budget in milliseconds, measured from entry into the service;
-  /// 0 means no deadline. Checked while queued for admission, before
-  /// scoring, and between micro-batches; an exceeded budget returns
-  /// kDeadlineExceeded instead of results.
-  double deadline_ms = 0.0;
-};
-
 /// The serving layer over an exported embedding set: loads a bundle written
-/// by io::SaveTensorBundle (or wraps an in-memory tensor), fronts both the
-/// exhaustive and the IVF backend behind one interface, micro-batches
-/// incoming queries through the kernel layer's tiled GEMM, memoises repeat
-/// queries in an LRU cache, and keeps per-stage latency counters
-/// (ServeStats).
+/// by io::SaveTensorBundle (or wraps an in-memory tensor), hosts a
+/// registry-created ScoringBackend behind one interface, micro-batches
+/// incoming queries through it, memoises repeat queries in an LRU cache,
+/// and keeps per-stage latency counters (ServeStats).
 ///
 /// Overload safety (see DESIGN.md, "Overload behavior"): requests may
 /// carry a deadline (QueryOptions), a bounded admission queue sheds excess
-/// load fast with kUnavailable, and on the IVF backend an adaptive
-/// degradation controller dials probes down when the score-stage p95
-/// exceeds its target (and back up when healthy), with the current
+/// load fast with kUnavailable, and on backends with a probe dial an
+/// adaptive degradation controller dials probes down when the score-stage
+/// p95 exceeds its target (and back up when healthy), with the current
 /// HealthState exposed via Snapshot().
 ///
-/// Determinism: results are bit-identical to the per-query scalar paths
-/// (core::RetrievalIndex::Query / index::IvfIndex::Query) for every kernel
-/// thread count — scoring goes through kernel::Gemm, whose accumulation
-/// order matches the scalar reference loops (see DESIGN.md, "Serving").
+/// Determinism: results are bit-identical to the scalar reference backend
+/// for every kernel thread count whenever the hosted backend is exact()
+/// (see serve/backend.h and DESIGN.md, "Backend registry").
 ///
 /// Thread safety: Query / QueryBatch / SetProbes / Snapshot may be called
 /// concurrently. Scoring serialises *per service* on an internal executor
@@ -127,21 +120,20 @@ class RetrievalService {
 
   /// Batched QueryWithOptions over the rows of `queries` [B, D]: rows are
   /// answered from the cache where possible and the misses are scored in
-  /// micro-batches of config().micro_batch rows through one GEMM each.
-  /// results[i] corresponds to row i. The deadline is re-checked between
-  /// micro-batches, so one slow batch cannot hold the budget hostage.
+  /// micro-batches of config().micro_batch rows through one backend call
+  /// each. results[i] corresponds to row i. The deadline is re-checked
+  /// between micro-batches, so one slow batch cannot hold the budget
+  /// hostage.
   StatusOr<std::vector<std::vector<int64_t>>> QueryBatchWithOptions(
       const Tensor& queries, int64_t k, const QueryOptions& options);
 
   /// QueryBatchWithOptions variant that also returns each hit's cosine
   /// score, for callers that merge results across services (the sharded
-  /// layer). Scores come straight from the same GEMM that ranks the hits,
-  /// so (index, score) pairs are bit-identical at every thread count and
-  /// identical for any row subset served (each query x item dot product is
-  /// an independent ascending chain). Bypasses the LRU cache — cached
-  /// entries store indices only. Exhaustive backend only (the IVF fused
-  /// search does not surface scores); rejected with kFailedPrecondition
-  /// otherwise.
+  /// layer). Every backend surfaces scores through the ScoringBackend
+  /// seam, and exact backends guarantee (index, score) pairs bit-identical
+  /// at every thread count and identical for any row subset served (each
+  /// query x item dot product is an independent ascending chain). Bypasses
+  /// the LRU cache — cached entries store indices only.
   StatusOr<std::vector<std::vector<ScoredHit>>> QueryBatchScored(
       const Tensor& queries, int64_t k, const QueryOptions& options);
 
@@ -152,15 +144,15 @@ class RetrievalService {
   std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
                                                int64_t k);
 
-  /// Runtime accuracy/latency dial for the IVF backend (rejected on the
-  /// exhaustive backend, which is always exact). Cached results are keyed
-  /// by the probe count, so dialling never serves stale mixes. A manual
-  /// dial also re-anchors the degradation controller's "full" value.
+  /// Runtime accuracy/latency dial, forwarded to the hosted backend
+  /// (backends without probes reject it with a descriptive
+  /// kFailedPrecondition naming themselves). Cached results are keyed by
+  /// the probe count, so dialling never serves stale mixes. A manual dial
+  /// also re-anchors the degradation controller's "full" value.
   Status SetProbes(int64_t probes);
 
-  /// Current probe count (num_lists when exhaustive — every "list" is
-  /// always scanned). The degradation controller may move this between
-  /// calls.
+  /// The hosted backend's current probe count (0 on backends without a
+  /// dial). The degradation controller may move this between calls.
   int64_t probes() const;
 
   /// Current health (kHealthy when degradation is disabled or inactive).
@@ -194,41 +186,32 @@ class RetrievalService {
   bool CacheLookup(const std::string& key, std::vector<int64_t>* result);
   void CacheInsert(const std::string& key, const std::vector<int64_t>& result);
 
-  /// Scores `queries` [M, D] (all cache misses) and ranks top-k per row.
-  /// Serialised on exec_mu_; records score/rank stage latencies, feeds the
-  /// degradation controller, and honours `deadline` (kDeadlineExceeded once
-  /// it has passed — checked after the executor mutex is acquired, so a
-  /// request that waited out its budget in line fails fast).
-  StatusOr<std::vector<std::vector<int64_t>>> ScoreMicroBatch(
+  /// Scores `queries` [M, D] (all cache misses) through the hosted backend
+  /// and ranks top-k per row, with scores. Serialised on exec_mu_; records
+  /// score/rank stage latencies, feeds the degradation controller, and
+  /// honours `deadline` (kDeadlineExceeded once it has passed — checked
+  /// after the executor mutex is acquired, so a request that waited out
+  /// its budget in line fails fast). `probes` pins the dial value the
+  /// caller keyed its cache entries by.
+  StatusOr<std::vector<std::vector<ScoredHit>>> ScoreMicroBatch(
       const Tensor& queries, int64_t k, int64_t probes, TimePoint deadline);
-
-  /// Scored twin of ScoreMicroBatch for the exhaustive backend (same
-  /// locking, deadline, fault and stats behaviour).
-  StatusOr<std::vector<std::vector<ScoredHit>>> ScoreMicroBatchScored(
-      const Tensor& queries, int64_t k, TimePoint deadline);
-
-  /// The exhaustive GEMM + per-row top-k, with scores. Assumes exec_mu_ is
-  /// held; reports stage latencies through the out-params.
-  std::vector<std::vector<ScoredHit>> ExhaustiveTopK(const Tensor& queries,
-                                                     int64_t k,
-                                                     double* score_ms,
-                                                     double* rank_ms);
 
   /// Marks a scoring-path deadline miss and returns kDeadlineExceeded.
   Status DeadlineMiss(const char* where);
 
   ServeConfig config_;
-  Tensor items_;  // [N, D]; the IVF backend shares this buffer.
-  std::unique_ptr<index::IvfIndex> index_;  // Backend::kIvf only.
-  int64_t probes_ = 0;  // Probe dial (guarded by mu_); 0 on kExhaustive.
+  Tensor items_;  // [N, D]; the hosted backend shares this buffer.
+  std::unique_ptr<ScoringBackend> backend_;  // Registry-created.
 
   std::unique_ptr<AdmissionController> admission_;
-  std::unique_ptr<DegradationController> degradation_;  // kIvf only.
+  std::unique_ptr<DegradationController> degradation_;  // Probed backends.
 
-  /// Serialises entry into the kernel pool (GEMM + ranking).
+  /// Serialises entry into the kernel pool (backend scoring).
   std::mutex exec_mu_;
 
-  /// Guards cache_*, stats_, the probe dial and the degradation controller.
+  /// Guards cache_*, stats_ and the degradation controller. The backend's
+  /// probe dial self-synchronises; lock order is mu_ -> backend, never the
+  /// reverse.
   mutable std::mutex mu_;
   std::list<std::pair<std::string, std::vector<int64_t>>> cache_lru_;
   std::unordered_map<std::string,

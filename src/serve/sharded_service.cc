@@ -46,10 +46,12 @@ Status ShardedServeConfig::Validate() const {
   if (num_replicas <= 0) {
     return Status::InvalidArgument("num_replicas must be positive");
   }
-  if (shard.backend != Backend::kExhaustive) {
+  if (shard.backend != Backend::kExhaustive &&
+      shard.backend != Backend::kScalar) {
     return Status::InvalidArgument(
-        "sharded serving requires the exhaustive shard backend (the merge "
-        "needs per-hit scores)");
+        "sharded serving requires an exact shard backend (scalar or "
+        "exhaustive) — the merge re-ranks per-hit scores globally, and an "
+        "approximate shard would silently change the answer");
   }
   ADAMINE_RETURN_IF_ERROR(shard.Validate());
   ShardClientConfig client;

@@ -1,6 +1,7 @@
-// Serving-layer suite: backend equivalence (the micro-batched GEMM scoring
-// must be bit-identical to the per-query scalar paths for every kernel
-// thread count), LRU cache correctness under eviction (entries and bytes),
+// Serving-layer suite: the policy shell around a registry-created scoring
+// backend — micro-batch splitting pinned to the scalar path (backend-level
+// bit-identity lives in tests/backend_golden_test.cc, ctest label
+// `golden`), LRU cache correctness under eviction (entries and bytes),
 // recall monotonicity in the probe dial, stats accounting, concurrent use,
 // and the overload-safety layer — deadlines, admission control, adaptive
 // probe degradation and the serve-path fault points (the
@@ -102,59 +103,26 @@ TEST(ServeConfigTest, Validation) {
   EXPECT_FALSE(bad.Validate().ok());
 }
 
-TEST(RetrievalServiceTest, ExhaustiveMatchesScalarPathAtEveryWidth) {
-  Tensor items = ClusteredUnitRows(6, 40, 16, 3);
-  Tensor queries = ClusteredUnitRows(6, 4, 16, 5);
-  // The per-query scalar reference path.
+// Backend-vs-scalar bit-identity now lives in the registry-driven golden
+// suite (tests/backend_golden_test.cc, ctest label `golden`), which
+// auto-compares every registered backend across the corpus × k × threads ×
+// shards × probes matrix. This thin wrapper keeps the *service*-level
+// micro-batching (cache rows + GEMM split widths) pinned to the scalar
+// path — the one dimension the backend-level harness does not sweep.
+TEST(RetrievalServiceTest, MicroBatchSplitsMatchScalarPath) {
+  Tensor items = ClusteredUnitRows(6, 10, 16, 3);
+  Tensor queries = ClusteredUnitRows(6, 2, 16, 5);
   core::RetrievalIndex scalar(items);
   std::vector<std::vector<int64_t>> expect;
   for (int64_t i = 0; i < queries.rows(); ++i) {
     expect.push_back(scalar.Query(RowOf(queries, i), 10));
   }
-  for (int width : {1, 2, 3, 4}) {
-    ThreadGuard guard(width);
-    for (int64_t micro_batch : {1, 7, 64}) {
-      auto service = serve::RetrievalService::Create(
-          items, ExhaustiveConfig(micro_batch));
-      ASSERT_TRUE(service.ok());
-      auto got = (*service)->QueryBatch(queries, 10);
-      ASSERT_EQ(got.size(), expect.size());
-      for (size_t i = 0; i < expect.size(); ++i) {
-        EXPECT_EQ(got[i], expect[i])
-            << "query " << i << " width " << width << " micro-batch "
-            << micro_batch;
-      }
-    }
-  }
-}
-
-TEST(RetrievalServiceTest, IvfMatchesScalarPathAtEveryWidth) {
-  Tensor items = ClusteredUnitRows(8, 30, 16, 7);
-  Tensor queries = ClusteredUnitRows(8, 3, 16, 11);
-  index::IvfConfig ivf;
-  ivf.num_lists = 8;
-  ivf.num_probes = 3;
-  ivf.seed = 9;
-  auto index = index::IvfIndex::Build(items.Clone(), ivf);
-  ASSERT_TRUE(index.ok());
-  std::vector<std::vector<int64_t>> expect;
-  for (int64_t i = 0; i < queries.rows(); ++i) {
-    expect.push_back(index->Query(RowOf(queries, i), 10));
-  }
-  for (int width : {1, 2, 3, 4}) {
-    ThreadGuard guard(width);
-    for (int64_t micro_batch : {1, 5, 64}) {
-      auto service = serve::RetrievalService::Create(
-          items, IvfServeConfig(8, 3, micro_batch));
-      ASSERT_TRUE(service.ok());
-      auto got = (*service)->QueryBatch(queries, 10);
-      ASSERT_EQ(got.size(), expect.size());
-      for (size_t i = 0; i < expect.size(); ++i) {
-        EXPECT_EQ(got[i], expect[i])
-            << "query " << i << " width " << width << " micro-batch "
-            << micro_batch;
-      }
-    }
+  for (int64_t micro_batch : {1, 7, 64}) {
+    auto service = serve::RetrievalService::Create(
+        items, ExhaustiveConfig(micro_batch));
+    ASSERT_TRUE(service.ok());
+    auto got = (*service)->QueryBatch(queries, 10);
+    EXPECT_EQ(got, expect) << "micro-batch " << micro_batch;
   }
 }
 
@@ -279,7 +247,13 @@ TEST(RetrievalServiceTest, ProbeDialRejectedOnExhaustiveBackend) {
   auto service =
       serve::RetrievalService::Create(items, ExhaustiveConfig());
   ASSERT_TRUE(service.ok());
-  EXPECT_FALSE((*service)->SetProbes(2).ok());
+  const Status rejected = (*service)->SetProbes(2);
+  ASSERT_FALSE(rejected.ok());
+  // The rejection comes from the hosted backend and names it, so a client
+  // of a multi-backend deployment knows which dial it fumbled.
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.message().find("exhaustive"), std::string::npos)
+      << rejected.ToString();
   EXPECT_EQ((*service)->probes(), 0);
 }
 

@@ -4,13 +4,16 @@
 // article: kernel-closed sockets, never-flushed responses, refused redials.
 //
 //   adamine_shard_server <bundle> <tensor_name> <port_file> [stall_ms]
+//                        [backend]
 //
-// Loads tensor <tensor_name> from the ADMB bundle at <bundle>, serves it
-// exhaustively on a kernel-picked port, writes that port to <port_file>
-// (atomically, via a rename, so a polling parent never reads a torn write),
-// and then blocks forever — its only exit is a signal. A nonzero stall_ms
-// arms net.write.stall in this process, delaying every query response by
-// that long: the window the parent uses to kill the process mid-query.
+// Loads tensor <tensor_name> from the ADMB bundle at <bundle>, serves it on
+// a kernel-picked port, writes that port to <port_file> (atomically, via a
+// rename, so a polling parent never reads a torn write), and then blocks
+// forever — its only exit is a signal. A nonzero stall_ms arms
+// net.write.stall in this process, delaying every query response by that
+// long: the window the parent uses to kill the process mid-query. The
+// optional backend argument is any embeddable registry name (default
+// exhaustive), resolved through serve::BackendFromName.
 
 #include <unistd.h>
 
@@ -27,20 +30,28 @@
 namespace {
 
 int Run(int argc, char** argv) {
-  if (argc < 4 || argc > 5) {
+  if (argc < 4 || argc > 6) {
     std::fprintf(stderr,
-                 "usage: %s <bundle> <tensor_name> <port_file> [stall_ms]\n",
+                 "usage: %s <bundle> <tensor_name> <port_file> [stall_ms] "
+                 "[backend]\n",
                  argv[0]);
     return 64;
   }
   const std::string bundle_path = argv[1];
   const std::string tensor_name = argv[2];
   const std::string port_file = argv[3];
-  const long stall_ms = argc == 5 ? std::strtol(argv[4], nullptr, 10) : 0;
+  const long stall_ms = argc >= 5 ? std::strtol(argv[4], nullptr, 10) : 0;
+  const std::string backend_name = argc >= 6 ? argv[5] : "exhaustive";
 
   namespace serve = adamine::serve;
+  auto backend = serve::BackendFromName(backend_name);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "adamine_shard_server: %s\n",
+                 backend.status().ToString().c_str());
+    return 64;
+  }
   serve::ServeConfig serve_config;
-  serve_config.backend = serve::Backend::kExhaustive;
+  serve_config.backend = *backend;
   serve_config.cache_capacity = 0;
   auto service =
       serve::RetrievalService::Load(bundle_path, tensor_name, serve_config);

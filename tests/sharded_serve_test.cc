@@ -264,107 +264,16 @@ TEST(ShardedServeConfigTest, CreateRejectsMoreShardsThanRows) {
 }
 
 // --- Merge determinism ---------------------------------------------------
-
-TEST(ShardedMergeTest, BitIdenticalToUnshardedAcrossShardsAndThreads) {
-  Tensor items = ClusteredUnitRows(6, 40, 16, 3);    // 240 rows.
-  Tensor queries = ClusteredUnitRows(6, 4, 16, 5);   // 24 queries.
-  const int64_t k = 10;
-  const auto expect = UnshardedScored(items, queries, k);
-  for (int width : {1, 2, 4}) {
-    ThreadGuard guard(width);
-    for (int64_t shards : {1, 3, 7}) {
-      auto service = serve::ShardedRetrievalService::Create(
-          items, ShardedConfig(shards, 1));
-      ASSERT_TRUE(service.ok());
-      auto got = (*service)->QueryBatch(queries, k);
-      ASSERT_TRUE(got.ok());
-      EXPECT_FALSE(got->partial);
-      EXPECT_EQ(got->coverage, 1.0);
-      ASSERT_EQ(got->results.size(), expect.size());
-      for (size_t i = 0; i < expect.size(); ++i) {
-        EXPECT_EQ(got->results[i], expect[i])
-            << "query " << i << " shards " << shards << " width " << width;
-      }
-    }
-  }
-}
-
-TEST(ShardedMergeTest, CosineTiesSplitAcrossShardsBreakOnGlobalId) {
-  // Duplicate the corpus: rows i and i + 30 are bitwise identical, so every
-  // query sees exact score ties whose members land on *different* shards
-  // (chunking 60 rows 3 ways splits at 20 and 40). The merge must break
-  // those ties on the global row id, exactly like the unsharded comparator.
-  Tensor base = ClusteredUnitRows(5, 6, 8, 11);  // 30 rows.
-  Tensor items = ConcatRows(base, base);         // 60 rows, every row twice.
-  Tensor queries = ClusteredUnitRows(5, 2, 8, 13);
-  const int64_t k = 8;
-  const auto expect = UnshardedScored(items, queries, k);
-  // Sanity: the reference answer does contain cross-half ties.
-  bool saw_tie = false;
-  for (const auto& row : expect) {
-    for (size_t j = 1; j < row.size(); ++j) {
-      if (row[j].score == row[j - 1].score &&
-          row[j].index == row[j - 1].index + 30) {
-        saw_tie = true;
-      }
-    }
-  }
-  EXPECT_TRUE(saw_tie);
-  for (int64_t shards : {2, 3, 7}) {
-    auto service = serve::ShardedRetrievalService::Create(
-        items, ShardedConfig(shards, 1));
-    ASSERT_TRUE(service.ok());
-    auto got = (*service)->QueryBatch(queries, k);
-    ASSERT_TRUE(got.ok());
-    for (size_t i = 0; i < expect.size(); ++i) {
-      EXPECT_EQ(got->results[i], expect[i])
-          << "query " << i << " shards " << shards;
-    }
-  }
-}
-
-TEST(ShardedMergeTest, ShardsSmallerThanK) {
-  Tensor items = ClusteredUnitRows(8, 8, 16, 7);  // 64 rows.
-  Tensor queries = ClusteredUnitRows(8, 1, 16, 9);
-  const int64_t k = 10;
-  // The balanced split hands 7 shards 9 or 10 rows each, so most shards
-  // return only 9 hits — fewer than k. The merge must cope with the short
-  // per-shard lists.
-  auto service = serve::ShardedRetrievalService::Create(
-      items, ShardedConfig(7, 1));
-  ASSERT_TRUE(service.ok());
-  const auto expect = UnshardedScored(items, queries, k);
-  auto got = (*service)->QueryBatch(queries, k);
-  ASSERT_TRUE(got.ok());
-  for (size_t i = 0; i < expect.size(); ++i) {
-    EXPECT_EQ(got->results[i], expect[i]) << "query " << i;
-  }
-}
-
-TEST(ShardedMergeTest, MoreShardsThanRowsPerShard) {
-  // 10 rows across 7 shards: a ceil-based chunking (2 rows per shard)
-  // would hand shards 0-4 all ten rows and leave shards 5-6 empty,
-  // aborting in SliceRows. The balanced split gives every shard 1-2 rows
-  // and the merge stays exact — for any shard count up to one row per
-  // shard.
-  Tensor items = ClusteredUnitRows(2, 5, 8, 17);  // 10 rows.
-  Tensor queries = ClusteredUnitRows(2, 2, 8, 19);
-  const int64_t k = 4;
-  const auto expect = UnshardedScored(items, queries, k);
-  for (int64_t shards : {6, 7, 9, 10}) {
-    auto service = serve::ShardedRetrievalService::Create(
-        items, ShardedConfig(shards, 1));
-    ASSERT_TRUE(service.ok()) << "shards " << shards;
-    auto got = (*service)->QueryBatch(queries, k);
-    ASSERT_TRUE(got.ok()) << "shards " << shards;
-    EXPECT_FALSE(got->partial);
-    ASSERT_EQ(got->results.size(), expect.size());
-    for (size_t i = 0; i < expect.size(); ++i) {
-      EXPECT_EQ(got->results[i], expect[i])
-          << "query " << i << " shards " << shards;
-    }
-  }
-}
+//
+// The merge bit-identity battery (unsharded-vs-sharded across shard counts
+// and thread widths, cross-shard score ties breaking on global id, shards
+// returning fewer than k hits, shard counts up to one row per shard) moved
+// into the registry-driven golden suite: the "sharded" backend in
+// tests/backend_golden_test.cc (ctest label `golden`) runs every registered
+// backend — this topology included — against the scalar reference over the
+// corpus × k × threads × shards × probes matrix. This file keeps what the
+// golden harness cannot see: the failover machinery (breakers, retries,
+// hedging, partial coverage) and the concurrent sharded suites below.
 
 // --- Fault tolerance -----------------------------------------------------
 
