@@ -20,6 +20,12 @@
 // offered QPS healthy and with one shard server terminated mid-fleet,
 // and writes p50/p95/p99 rows to BENCH_serving_rpc.json (see DESIGN.md,
 // "Network serving").
+//
+// With --quant the bench sweeps the int8 two-stage backend against the
+// float exhaustive scan (memory footprint x QPS x recall across
+// rerank_factor), gates on full bit-identity plus the >= 3x scan-memory
+// reduction, and writes BENCH_serving_quant.json (see DESIGN.md,
+// "Quantized scoring").
 
 #include <cstdio>
 
@@ -36,13 +42,16 @@
 #include "bench_common.h"
 #include "core/embedder.h"
 #include "index/ivf_index.h"
+#include "kernel/int8dot.h"
 #include "kernel/kernel.h"
 #include "net/remote_transport.h"
+#include "quant/int8_corpus.h"
 #include "net/shard_server.h"
 #include "serve/retrieval_service.h"
 #include "serve/sharded_service.h"
 #include "tensor/ops.h"
 #include "util/fault.h"
+#include "util/percentile.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -155,7 +164,7 @@ int Run() {
   // The sweep addresses backends by registry name, resolved through the same
   // BackendFromName lookup the CLI uses — adding a registered backend here is
   // a one-string change.
-  for (const std::string backend_name : {"exhaustive", "ivf"}) {
+  for (const std::string backend_name : {"exhaustive", "ivf", "quantized"}) {
     const bool use_ivf = backend_name == "ivf";
     for (const int64_t batch : {int64_t{1}, int64_t{16}, int64_t{64}}) {
       // The thread-1 result of this config, for the bit-identity check.
@@ -195,7 +204,7 @@ int Run() {
         }
         const double scalar_ms = use_ivf ? scalar_ivf_ms : scalar_exact_ms;
         table.AddRow(
-            {use_ivf ? "serve ivf(4/32)" : "serve exhaustive",
+            {use_ivf ? "serve ivf(4/32)" : "serve " + backend_name,
              std::to_string(threads), std::to_string(batch),
              TablePrinter::Num(qps(ms), 0), TablePrinter::Num(ms, 3),
              TablePrinter::Num(RecallAgainst(truth_exact, results), 3),
@@ -566,14 +575,12 @@ int RunShards() {
   return bit_identical ? 0 : 1;
 }
 
-/// Sorted-percentile over a latency sample (v must be sorted ascending).
+/// Nearest-rank percentile over an ascending latency sample — an observed
+/// value, never an interpolated one (util/percentile.h; the old local
+/// interpolation reported p95 = 95.05 on {1..100}, a latency no request
+/// ever saw).
 double SortedPercentile(const std::vector<double>& v, double p) {
-  if (v.empty()) return 0.0;
-  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return v[lo] + (v[hi] - v[lo]) * frac;
+  return util::SortedPercentile(v, p);
 }
 
 /// Open-loop RPC sweep: a real multi-server TCP topology (three
@@ -832,6 +839,157 @@ int RunRpc() {
   return bit_identical && degraded_cleanly ? 0 : 1;
 }
 
+/// Quantized-scoring sweep: memory footprint x QPS x recall for the int8
+/// two-stage backend against the float exhaustive scan, straight through
+/// the ScoringBackend seam (no service, no cache — pure scoring). Because
+/// the quantized backend's candidate selection is interval-verified, its
+/// recall is exactly 1.0 by construction; the bench *checks* that (full
+/// (index, score) bit-identity against the exhaustive backend) rather than
+/// assuming it, and the exit code gates on bit-identity, the >= 3x scan
+/// memory reduction, and the int8 scan beating the float scan's QPS at
+/// equal (= perfect) recall. Writes BENCH_serving_quant.json.
+int RunQuant() {
+  constexpr int64_t kRows = 40000;
+  constexpr int64_t kDim = 128;
+  constexpr int64_t kQueries = 256;
+  constexpr int64_t kBatch = 64;
+  constexpr int kThreads = 4;
+  Rng rng(1234);
+  Tensor items = L2NormalizeRows(Tensor::Randn({kRows, kDim}, rng));
+  Tensor queries = SliceRows(items, 0, kQueries);
+  std::printf("== Quantized scoring (int8 %s kernel) ==\n",
+              kernel::Int8DotIsa());
+  std::printf("(%lld items of dim %lld, %lld queries in batches of %lld, "
+              "top-%lld, %d threads)\n",
+              static_cast<long long>(kRows), static_cast<long long>(kDim),
+              static_cast<long long>(kQueries),
+              static_cast<long long>(kBatch),
+              static_cast<long long>(kTopK), kThreads);
+
+  // Memory: what each backend's scan has to touch per full pass.
+  auto quantized_corpus = quant::QuantizeRows(items);
+  if (!quantized_corpus.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 quantized_corpus.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t float_bytes = kRows * kDim * static_cast<int64_t>(
+                                                 sizeof(float));
+  const int64_t quant_bytes = quant::QuantizedBytes(*quantized_corpus);
+  const double mem_reduction = static_cast<double>(float_bytes) /
+                               static_cast<double>(quant_bytes);
+
+  serve::BackendConfig backend_config;
+  backend_config.items = items;
+  auto exhaustive = serve::CreateBackend("exhaustive", backend_config);
+  if (!exhaustive.ok()) {
+    std::fprintf(stderr, "%s\n", exhaustive.status().ToString().c_str());
+    return 1;
+  }
+
+  kernel::SetNumThreads(kThreads);
+  const auto sweep = [&](serve::ScoringBackend& backend,
+                         std::vector<std::vector<serve::ScoredHit>>* hits)
+      -> double {
+    double total_ms = 0.0;
+    for (int r = -1; r < kRepeats; ++r) {  // r == -1 is the warm-up.
+      hits->clear();
+      Stopwatch watch;
+      for (int64_t start = 0; start < kQueries; start += kBatch) {
+        Tensor micro({kBatch, kDim});
+        std::copy(queries.data() + start * kDim,
+                  queries.data() + (start + kBatch) * kDim, micro.data());
+        auto result = backend.ScoreTopK(serve::QueryBatch{micro},
+                                        /*filter=*/nullptr, kTopK, {});
+        ADAMINE_CHECK_MSG(result.ok(), result.status().ToString());
+        for (auto& row : result->hits) hits->push_back(std::move(row));
+      }
+      if (r >= 0) total_ms += watch.ElapsedMillis();
+    }
+    return total_ms / (kRepeats * kQueries);
+  };
+
+  std::vector<std::vector<serve::ScoredHit>> exact_hits;
+  const double exhaustive_ms = sweep(**exhaustive, &exact_hits);
+  std::vector<std::vector<int64_t>> exact_ids;
+  for (const auto& row : exact_hits) {
+    exact_ids.push_back({});
+    for (const auto& hit : row) exact_ids.back().push_back(hit.index);
+  }
+
+  const auto qps = [](double ms) { return ms > 0.0 ? 1000.0 / ms : 0.0; };
+  TablePrinter table({"backend", "rerank", "QPS", "ms/query", "recall@10",
+                      "scan MiB", "mem vs float"});
+  const auto mib = [](int64_t bytes) {
+    return TablePrinter::Num(static_cast<double>(bytes) / (1 << 20), 1);
+  };
+  table.AddRow({"exhaustive (float)", "-",
+                TablePrinter::Num(qps(exhaustive_ms), 0),
+                TablePrinter::Num(exhaustive_ms, 3), "1.000",
+                mib(float_bytes), "1.00x"});
+
+  std::string json = "[\n";
+  char record[512];
+  std::snprintf(
+      record, sizeof(record),
+      "  {\"backend\": \"exhaustive\", \"rerank_factor\": 0, "
+      "\"qps\": %.1f, \"ms_per_query\": %.4f, \"recall\": 1.0, "
+      "\"scan_bytes\": %lld, \"mem_reduction\": 1.0}",
+      qps(exhaustive_ms), exhaustive_ms,
+      static_cast<long long>(float_bytes));
+  json += record;
+
+  bool bit_identical = true;
+  double best_quant_qps = 0.0;
+  for (const int64_t rerank : {int64_t{1}, int64_t{2}, int64_t{4},
+                               int64_t{8}}) {
+    backend_config.rerank_factor = rerank;
+    auto quantized = serve::CreateBackend("quantized", backend_config);
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<serve::ScoredHit>> hits;
+    const double ms = sweep(**quantized, &hits);
+    if (hits != exact_hits) bit_identical = false;
+    std::vector<std::vector<int64_t>> ids;
+    for (const auto& row : hits) {
+      ids.push_back({});
+      for (const auto& hit : row) ids.back().push_back(hit.index);
+    }
+    const double recall = RecallAgainst(exact_ids, ids);
+    best_quant_qps = std::max(best_quant_qps, qps(ms));
+    table.AddRow({"quantized (int8)", std::to_string(rerank),
+                  TablePrinter::Num(qps(ms), 0), TablePrinter::Num(ms, 3),
+                  TablePrinter::Num(recall, 3), mib(quant_bytes),
+                  TablePrinter::Num(mem_reduction, 2) + "x"});
+    std::snprintf(
+        record, sizeof(record),
+        ",\n  {\"backend\": \"quantized\", \"rerank_factor\": %lld, "
+        "\"qps\": %.1f, \"ms_per_query\": %.4f, \"recall\": %.4f, "
+        "\"scan_bytes\": %lld, \"mem_reduction\": %.2f}",
+        static_cast<long long>(rerank), qps(ms), ms, recall,
+        static_cast<long long>(quant_bytes), mem_reduction);
+    json += record;
+  }
+  kernel::SetNumThreads(1);
+  json += "\n]\n";
+  table.Print(std::cout);
+
+  const bool mem_ok = mem_reduction >= 3.0;
+  const bool qps_ok = best_quant_qps > qps(exhaustive_ms);
+  std::printf("bit-identical to the exhaustive backend: %s\n",
+              bit_identical ? "yes" : "NO (BUG)");
+  std::printf("scan memory reduction %.2fx (gate: >= 3x): %s\n",
+              mem_reduction, mem_ok ? "ok" : "FAIL");
+  std::printf("int8 scan beats float exhaustive QPS at equal recall: %s\n",
+              qps_ok ? "yes" : "NO");
+  std::ofstream out("BENCH_serving_quant.json");
+  out << json;
+  std::printf("wrote BENCH_serving_quant.json\n");
+  return bit_identical && mem_ok && qps_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace adamine
 
@@ -840,6 +998,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--overload") return adamine::RunOverload();
     if (std::string(argv[i]) == "--shards") return adamine::RunShards();
     if (std::string(argv[i]) == "--rpc") return adamine::RunRpc();
+    if (std::string(argv[i]) == "--quant") return adamine::RunQuant();
   }
   return adamine::Run();
 }

@@ -11,8 +11,12 @@
 // Serving flags (serve / query):
 //   --backend=NAME             scoring backend: any name registered with
 //                              the backend registry (serve/backend.h), e.g.
-//                              scalar, exhaustive, ivf (default exhaustive)
+//                              scalar, exhaustive, ivf, quantized (default
+//                              exhaustive)
 //   --probes=N                 IVF probe dial (accuracy vs latency)
+//   --rerank-factor=N          quantized backend: exact-rerank candidate
+//                              floor of N * k rows (default 4); results are
+//                              bit-identical to exhaustive at any setting
 //   --batch=N                  micro-batch width for GEMM scoring
 //   --cache=N                  LRU result-cache capacity (0 disables)
 //   --embeddings=PATH          where `serve` exports / reloads the
@@ -156,6 +160,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   std::string backend = "exhaustive";
   long probes = 0;
+  long rerank_factor = 4;
   long serve_batch = 32;
   long serve_cache = 1024;
   double deadline_ms = 0.0;
@@ -206,6 +211,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--probes=", 0) == 0) {
       probes = std::atol(arg.c_str() + std::strlen("--probes="));
+    } else if (arg.rfind("--rerank-factor=", 0) == 0) {
+      rerank_factor = std::atol(arg.c_str() + std::strlen("--rerank-factor="));
+      if (rerank_factor <= 0) {
+        std::fprintf(stderr, "error: --rerank-factor must be positive\n");
+        return 2;
+      }
     } else if (arg.rfind("--batch=", 0) == 0) {
       serve_batch = std::atol(arg.c_str() + std::strlen("--batch="));
     } else if (arg.rfind("--cache=", 0) == 0) {
@@ -347,6 +358,7 @@ int main(int argc, char** argv) {
     serve_config.cache_capacity = serve_cache;
     serve_config.max_inflight = max_inflight;
     serve_config.max_queue = max_queue;
+    serve_config.rerank_factor = rerank_factor;
     if (serve_config.backend == adamine::serve::Backend::kIvf) {
       serve_config.ivf.num_lists =
           std::min<int64_t>(32, test.image_emb.rows());

@@ -25,6 +25,17 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "== tier-1: golden-diff harness (ctest -L golden) =="
 ctest --test-dir build -L golden --output-on-failure
 
+echo "== tier-1: quant kernels + backend (ctest -L quant) =="
+ctest --test-dir build -L quant --output-on-failure
+
+# The quantized backend and golden matrix promise bit-identical results at
+# every thread count; pin that against the pool-size dial explicitly.
+for threads in 1 4; do
+  echo "== tier-1: golden + quant at ADAMINE_NUM_THREADS=$threads =="
+  ADAMINE_NUM_THREADS=$threads \
+    ctest --test-dir build -L 'golden|quant' --output-on-failure
+done
+
 if [[ "$FAST" == "1" ]]; then
   echo "check.sh: OK (fast mode, tsan pass skipped)"
   exit 0

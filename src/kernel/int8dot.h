@@ -1,0 +1,41 @@
+#ifndef ADAMINE_KERNEL_INT8DOT_H_
+#define ADAMINE_KERNEL_INT8DOT_H_
+
+#include <cstdint>
+
+namespace adamine::kernel {
+
+/// Integer dot products over int8 codes — the scoring inner loop of the
+/// quantized backend (src/quant/). All arithmetic is exact int32, so unlike
+/// the float kernels there is no accumulation-order subtlety: every
+/// implementation below returns the same bits by construction, and the
+/// ref-vs-fast harness (tests/quant_test.cc) pins that across lengths,
+/// alignments and adversarial code patterns.
+///
+/// Overflow contract: |a[i]|, |b[i]| <= 127, so each product is <= 16129 and
+/// an int32 accumulator is safe for n <= 2^31 / 16129 ~= 133k elements.
+/// Callers (the quantizer) must enforce n <= kInt8DotMaxElems.
+inline constexpr int64_t kInt8DotMaxElems = 1 << 17;  // 131072, under the bound
+
+/// Scalar reference: a plain ascending loop, kept free of manual unrolling
+/// so it stays the obviously-correct baseline the fast path is diffed
+/// against (ggml's test-backend-ops methodology).
+int32_t Int8DotRef(const int8_t* a, const int8_t* b, int64_t n);
+
+/// Fast path: AVX2 (sign-extend to i16, _mm256_madd_epi16, i32 accumulate)
+/// when the CPU supports it, otherwise an auto-vectorisation-friendly scalar
+/// loop. Dispatched once at process start; bit-equal to Int8DotRef always.
+int32_t Int8Dot(const int8_t* a, const int8_t* b, int64_t n);
+
+/// Which implementation Int8Dot dispatches to: "avx2" or "scalar".
+const char* Int8DotIsa();
+
+/// out[r] = Int8Dot(codes + r * dim, query, dim) for r in [0, rows).
+/// Parallelised over row chunks (disjoint writes), so the result is
+/// bit-identical at every thread count.
+void Int8ScanRows(const int8_t* codes, int64_t rows, int64_t dim,
+                  const int8_t* query, int32_t* out);
+
+}  // namespace adamine::kernel
+
+#endif  // ADAMINE_KERNEL_INT8DOT_H_

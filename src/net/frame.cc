@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "io/wire.h"
+#include "util/check.h"
 
 namespace adamine::net {
 
@@ -28,6 +29,15 @@ uint32_t GetU32(const char* p) {
 /// CRC-32 over everything after the magic (io::wire's checksum), so torn or
 /// bit-flipped frames are rejected before their payload is interpreted.
 std::string WrapFrame(MessageType type, const std::string& payload) {
+  // The length field is a u32; silently truncating a larger payload would
+  // emit a frame whose announced length disagrees with its bytes — garbage
+  // the peer rightly cuts the connection over. Encoding such a payload is a
+  // caller bug (the assembler would never accept it anyway), so fail loudly
+  // at the source.
+  ADAMINE_CHECK_MSG(payload.size() <= kMaxFramePayload,
+                    "frame payload of " << payload.size()
+                                        << " bytes exceeds kMaxFramePayload ("
+                                        << kMaxFramePayload << ")");
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
   out.append(kFrameMagic, sizeof(kFrameMagic));

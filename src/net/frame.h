@@ -1,6 +1,7 @@
 #ifndef ADAMINE_NET_FRAME_H_
 #define ADAMINE_NET_FRAME_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,6 +40,13 @@ inline constexpr size_t kFrameTrailerBytes = 4;
 /// Default cap on a single frame's payload; a header announcing more is
 /// rejected as garbage without buffering for it.
 inline constexpr size_t kDefaultMaxPayload = 64u << 20;
+/// Absolute ceiling on the configurable cap. FrameAssembler clamps its
+/// configured max to this, so even a deliberately "unlimited" config (e.g.
+/// SIZE_MAX) cannot be talked into multi-gigabyte buffering by a hostile
+/// 4-byte length prefix: the length field is a u32, and without a ceiling a
+/// cap >= 4 GiB would accept any announced length and then buffer towards
+/// it indefinitely.
+inline constexpr size_t kMaxFramePayload = 1u << 30;
 
 enum class MessageType : uint8_t {
   /// Client -> server: a query batch to score.
@@ -108,14 +116,19 @@ struct Frame {
 /// must be dropped.
 class FrameAssembler {
  public:
+  /// The configured cap is clamped to kMaxFramePayload: an announced length
+  /// must be rejected with kDataLoss *before* any buffering happens for it,
+  /// and that guarantee has to hold for every configuration, including a
+  /// caller who passes SIZE_MAX meaning "unlimited".
   explicit FrameAssembler(size_t max_payload = kDefaultMaxPayload)
-      : max_payload_(max_payload) {}
+      : max_payload_(std::min(max_payload, kMaxFramePayload)) {}
 
   void Append(const char* data, size_t n) { buffer_.append(data, n); }
 
   StatusOr<bool> Next(Frame* frame);
 
   size_t buffered_bytes() const { return buffer_.size(); }
+  size_t max_payload() const { return max_payload_; }
 
  private:
   std::string buffer_;

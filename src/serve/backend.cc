@@ -15,20 +15,19 @@
 
 #include "kernel/gemm.h"
 #include "kernel/kernel.h"
+#include "quant/quantized_backend.h"
 #include "serve/sharded_service.h"
 #include "util/stopwatch.h"
 
 namespace adamine::serve {
 
-namespace {
-
-/// Inner product as a single float accumulation chain in ascending j — the
-/// per-element order of kernel::Gemm and of index::IvfIndex's scalar path.
 float DotAscending(const float* a, const float* b, int64_t d) {
   float acc = 0.0f;
   for (int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
   return acc;
 }
+
+namespace {
 
 Status ValidateBackendItems(const Tensor& items) {
   if (!items.defined() || items.ndim() != 2) {
@@ -301,6 +300,16 @@ Registry& GlobalRegistry() {
               new ShardedBackend(std::move(service).value()));
         },
         BackendTraits{/*has_probes=*/false, /*sharded=*/true}};
+    r->entries["quantized"] = {
+        [](const BackendConfig& config)
+            -> StatusOr<std::unique_ptr<ScoringBackend>> {
+          ADAMINE_RETURN_IF_ERROR(ValidateBackendItems(config.items));
+          // Two-stage int8 scan + exact rerank (src/quant/); registered
+          // here rather than from its own TU so static-lib dead-stripping
+          // cannot lose the entry.
+          return quant::CreateQuantizedBackend(config);
+        },
+        BackendTraits{}};
     return r;
   }();
   return registry;

@@ -13,6 +13,14 @@
 
 namespace adamine::serve {
 
+/// Inner product as a single float accumulation chain in ascending j — the
+/// per-element order of kernel::Gemm and of index::IvfIndex's scalar path.
+/// This is *the* reference similarity: every exact backend must produce
+/// scores with these bits. Defined in backend.cc, which is on the
+/// -ffp-contract=off list, so callers in other TUs get the un-fused chain
+/// regardless of their own compile flags.
+float DotAscending(const float* a, const float* b, int64_t d);
+
 /// One retrieved item with its cosine score — the currency of the sharded
 /// merge path, where per-shard top-k lists are re-ranked globally and
 /// shard-local tie-breaking alone cannot order candidates across shards.
@@ -83,6 +91,12 @@ struct BackendConfig {
   /// Topology for sharded backends ("sharded", "remote").
   int64_t num_shards = 1;
   int64_t num_replicas = 1;
+  /// Candidate floor for two-stage backends ("quantized"): the approximate
+  /// scan keeps at least min(N, rerank_factor * k) rows for the exact
+  /// rerank. Must be >= 1; larger values trade scan selectivity for rerank
+  /// headroom but never change results (the verified interval selection
+  /// already guarantees exactness — see src/quant/quantized_backend.cc).
+  int64_t rerank_factor = 4;
 };
 
 /// A scoring backend: one way to turn a query batch into per-query top-k

@@ -20,6 +20,8 @@ const char* BackendName(Backend backend) {
       return "exhaustive";
     case Backend::kIvf:
       return "ivf";
+    case Backend::kQuantized:
+      return "quantized";
   }
   return "unknown";
 }
@@ -32,10 +34,11 @@ StatusOr<Backend> BackendFromName(const std::string& name) {
   if (*canonical == "scalar") return Backend::kScalar;
   if (*canonical == "exhaustive") return Backend::kExhaustive;
   if (*canonical == "ivf") return Backend::kIvf;
+  if (*canonical == "quantized") return Backend::kQuantized;
   return Status::InvalidArgument(
       "backend '" + *canonical +
       "' is registered but cannot back an embedded RetrievalService "
-      "(embeddable backends: scalar, exhaustive, ivf)");
+      "(embeddable backends: scalar, exhaustive, ivf, quantized)");
 }
 
 Status ServeConfig::Validate() const {
@@ -56,6 +59,9 @@ Status ServeConfig::Validate() const {
         "max_queue requires admission control (max_inflight > 0)");
   }
   ADAMINE_RETURN_IF_ERROR(degradation.Validate());
+  if (rerank_factor < 1) {
+    return Status::InvalidArgument("rerank_factor must be >= 1");
+  }
   if (backend == Backend::kIvf) {
     ADAMINE_RETURN_IF_ERROR(ivf.Validate());
     if (degradation.target_ms > 0.0 &&
@@ -123,6 +129,7 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
   BackendConfig backend_config;
   backend_config.items = service->items_;
   backend_config.ivf = config.ivf;
+  backend_config.rerank_factor = config.rerank_factor;
   auto backend = CreateBackend(BackendName(config.backend), backend_config);
   if (!backend.ok()) return backend.status();
   service->backend_ = std::move(backend.value());
@@ -344,7 +351,13 @@ StatusOr<std::vector<int64_t>> RetrievalService::QueryWithOptions(
   ADAMINE_CHECK_EQ(query.numel(), dim());
   ADAMINE_CHECK_GT(k, 0);
   const TimePoint deadline = DeadlineOf(options);
-  const int64_t current_probes = probes();
+  // The effective probe count — a per-request override when set, else the
+  // dial — selects the result, so it must drive both the scoring and the
+  // cache key. Keying by the dial alone while an override was in force
+  // would file override-scored results under the dial's namespace (and
+  // vice versa), serving stale mixes after the next SetProbes.
+  const int64_t current_probes =
+      options.probes > 0 ? options.probes : probes();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
@@ -372,7 +385,9 @@ RetrievalService::QueryBatchWithOptions(const Tensor& queries, int64_t k,
   const TimePoint deadline = DeadlineOf(options);
   const int64_t b = queries.rows();
   const int64_t d = dim();
-  const int64_t current_probes = probes();
+  // Effective probes (override or dial) — see QueryWithOptions.
+  const int64_t current_probes =
+      options.probes > 0 ? options.probes : probes();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.queries += b;

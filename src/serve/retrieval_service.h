@@ -35,9 +35,14 @@ enum class Backend {
   /// The "ivf" backend: index::IvfIndex approximate search with a runtime
   /// probe dial.
   kIvf,
+  /// The "quantized" backend: int8 approximate scan + exact float rerank
+  /// (src/quant/). Exact — bit-identical to the scalar reference — with a
+  /// ~4x smaller scan footprint; tune via ServeConfig::rerank_factor.
+  kQuantized,
 };
 
-/// The registry name of `backend` ("scalar", "exhaustive", "ivf").
+/// The registry name of `backend` ("scalar", "exhaustive", "ivf",
+/// "quantized").
 const char* BackendName(Backend backend);
 
 /// Maps a registry name to the enum. Unknown names fail with the
@@ -52,6 +57,10 @@ struct ServeConfig {
   /// Coarse-quantiser settings for Backend::kIvf (num_probes seeds the
   /// probe dial; SetProbes adjusts it at runtime).
   index::IvfConfig ivf;
+  /// Candidate floor for Backend::kQuantized: the approximate scan keeps at
+  /// least min(N, rerank_factor * k) rows for the exact rerank (>= 1; see
+  /// serve/backend.h).
+  int64_t rerank_factor = 4;
   /// Query rows scored per GEMM dispatch. QueryBatch splits larger inputs
   /// into micro-batches of this width.
   int64_t micro_batch = 32;

@@ -1,0 +1,36 @@
+#ifndef ADAMINE_UTIL_PERCENTILE_H_
+#define ADAMINE_UTIL_PERCENTILE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adamine::util {
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element such that at least p percent of the sample is <= it, i.e.
+/// v[ceil(p/100 * n) - 1] (clamped to the sample). This is the reporting
+/// convention for latency tails — the returned value is always an
+/// *observed* latency. Linear interpolation (and the off-by-one
+/// ceil(p*n) indexing) both misreport small samples: interpolating
+/// {1..100} gives p95 = 95.05 and p99 = 99.01, numbers no request ever
+/// saw; ceil(p*n) without the -1 reads one rank too deep (p95 of 100
+/// samples would return the 96th). Pinned by tests/util_test.cc on a known
+/// 100-sample distribution.
+inline double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  ADAMINE_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile " << p);
+  const double n = static_cast<double>(sorted.size());
+  int64_t rank = static_cast<int64_t>(std::ceil(p / 100.0 * n));
+  if (rank < 1) rank = 1;  // p = 0 means the minimum.
+  if (rank > static_cast<int64_t>(sorted.size())) {
+    rank = static_cast<int64_t>(sorted.size());
+  }
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+}  // namespace adamine::util
+
+#endif  // ADAMINE_UTIL_PERCENTILE_H_

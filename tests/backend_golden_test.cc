@@ -75,6 +75,27 @@ Tensor RowSlice(const Tensor& t, int64_t begin, int64_t end) {
   return out;
 }
 
+/// Quantization-hostile geometry: still unit rows (the service-level
+/// contract every backend shares), but each row mixes one dominant
+/// coordinate with a tail spanning seven orders of magnitude. Per-row int8
+/// quantization sets its scale from the dominant value, so the tail is
+/// crushed to zero codes and the measured reconstruction error is huge
+/// relative to the score gaps — the quantized backend's interval selection
+/// gets almost no discrimination and must stay bit-identical purely through
+/// its verified-cutoff rerank.
+Tensor MixedMagnitudeUnitRows(int64_t rows, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Tensor out({rows, dim});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < dim; ++j) {
+      const double mag = std::pow(10.0, -static_cast<double>((j + r) % 7));
+      out.At(r, j) = static_cast<float>(rng.Normal(0.0, 1.0) * mag);
+    }
+    out.At(r, rng.UniformInt(dim)) += 1.0f;
+  }
+  return L2NormalizeRows(out);
+}
+
 /// Every row the same unit vector: all (query, item) scores are exactly
 /// equal, so only the (score desc, global id asc) tie rule orders anything.
 Tensor IdenticalUnitRows(int64_t rows, int64_t dim, uint64_t seed) {
@@ -193,6 +214,8 @@ const std::vector<Corpus>& GoldenCorpora() {
        ClusteredUnitRows(2, 2, 8, 26)},
       {"single", ClusteredUnitRows(1, 1, 8, 27),
        ClusteredUnitRows(2, 1, 8, 28)},
+      {"mixed_magnitude", MixedMagnitudeUnitRows(24, 8, 29),
+       MixedMagnitudeUnitRows(4, 8, 30)},
   };
   return corpora;
 }
@@ -511,7 +534,7 @@ TEST(BackendRegistryTest, EnumRoundTripsThroughTheRegistry) {
   // maps to a registered name and back.
   for (const serve::Backend backend :
        {serve::Backend::kScalar, serve::Backend::kExhaustive,
-        serve::Backend::kIvf}) {
+        serve::Backend::kIvf, serve::Backend::kQuantized}) {
     const std::string name = serve::BackendName(backend);
     ASSERT_TRUE(serve::CanonicalBackendName(name).ok()) << name;
     auto round = serve::BackendFromName(name);

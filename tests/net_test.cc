@@ -12,6 +12,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -213,6 +214,54 @@ TEST(NetFrameTest, RejectsOversizedLengthWithoutBuffering) {
   ASSERT_FALSE(next.ok());
   EXPECT_EQ(next.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(next.status().message().find("cap"), std::string::npos);
+}
+
+TEST(NetFrameTest, UnlimitedCapConfigStillRejectsHostileLengthPrefix) {
+  // Regression: the configured cap used to be taken at face value, so an
+  // assembler built with SIZE_MAX ("no limit") would accept *any* u32
+  // length announcement — a hostile peer could send 10 header bytes
+  // claiming a 4 GiB - 1 payload and the assembler would dutifully buffer
+  // toward it forever. The cap is now clamped to kMaxFramePayload in the
+  // constructor, so the announcement must die with kDataLoss before any
+  // buffering happens for it.
+  std::string header(net::kFrameMagic, 4);
+  header.push_back(static_cast<char>(net::kProtocolVersion));
+  header.push_back(static_cast<char>(MessageType::kQueryRequest));
+  const uint32_t hostile = 0xFFFFFFFFu;
+  header.append(reinterpret_cast<const char*>(&hostile), sizeof(hostile));
+
+  FrameAssembler assembler(std::numeric_limits<size_t>::max());
+  EXPECT_EQ(assembler.max_payload(), net::kMaxFramePayload);
+  assembler.Append(header.data(), header.size());
+  Frame frame;
+  auto next = assembler.Next(&frame);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kDataLoss);
+  // Nothing beyond the 10 header bytes was ever held for the announced
+  // payload.
+  EXPECT_EQ(assembler.buffered_bytes(), net::kFrameHeaderBytes);
+}
+
+TEST(NetFrameTest, DefaultAndSmallCapsAreHonoured) {
+  // The default cap stays below the absolute ceiling...
+  EXPECT_EQ(FrameAssembler().max_payload(), net::kDefaultMaxPayload);
+  EXPECT_LT(net::kDefaultMaxPayload, net::kMaxFramePayload);
+  // ...and a deliberately tiny cap still applies unchanged: a frame with a
+  // 17-byte payload is garbage to an assembler capped at 16.
+  std::string bytes = EncodeInfoRequest(7);  // 8-byte payload.
+  FrameAssembler tiny(/*max_payload=*/16);
+  EXPECT_EQ(tiny.max_payload(), 16u);
+  tiny.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto next = tiny.Next(&frame);
+  ASSERT_TRUE(next.ok());  // 8 <= 16: passes.
+  EXPECT_TRUE(*next);
+
+  FrameAssembler tinier(/*max_payload=*/4);
+  tinier.Append(bytes.data(), bytes.size());
+  auto rejected = tinier.Next(&frame);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(NetFrameTest, RejectsUnknownVersionAndType) {

@@ -194,6 +194,78 @@ TEST(RetrievalServiceTest, CacheKeyedByKAndProbes) {
   EXPECT_EQ(stats.cache_misses, 3);
 }
 
+TEST(RetrievalServiceTest, PerRequestProbesOverrideIsScoredAndKeyed) {
+  // Regression: the cached query paths used to read the dial (probes())
+  // and ignore options.probes entirely, so an override request was scored
+  // at the dial setting and filed under the dial's cache key. With a
+  // clustered corpus and the dial at 1 probe, a full-probe override must
+  // return the exhaustive answer — pre-fix it returned the 1-probe answer.
+  const int64_t kLists = 8;
+  Tensor items = ClusteredUnitRows(kLists, 4, 12, 43);  // k=8 spans clusters.
+  auto service = serve::RetrievalService::Create(
+      items, IvfServeConfig(kLists, 1, 32, /*cache=*/8));
+  ASSERT_TRUE(service.ok());
+  auto exact = serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_TRUE(exact.ok());
+
+  // A query between clusters so 1 probe genuinely misses neighbours.
+  Tensor queries = ClusteredUnitRows(kLists, 1, 12, 47);
+  Tensor q = RowOf(queries, 1);
+  auto truth = (*exact)->Query(q, 8);
+
+  serve::QueryOptions all_lists;
+  all_lists.probes = kLists;
+  auto overridden = (*service)->QueryWithOptions(q, 8, all_lists);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(*overridden, truth);  // Scored at the override, not the dial.
+
+  // The override's entry lives under its own key: repeating the override
+  // is a hit, while the same query at the dial setting is a miss that
+  // re-scores (pre-fix both collided on one entry).
+  auto repeat = (*service)->QueryWithOptions(q, 8, all_lists);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(*repeat, truth);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+
+  auto dialed = (*service)->Query(q, 8);
+  stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_NE(dialed, truth);  // 1 probe on this corpus misses neighbours.
+
+  // Batched path honours the override the same way.
+  auto batch = (*service)->QueryBatchWithOptions(queries, 8, all_lists);
+  ASSERT_TRUE(batch.ok());
+  auto batch_truth = (*exact)->QueryBatch(queries, 8);
+  EXPECT_EQ(*batch, batch_truth);
+}
+
+TEST(RetrievalServiceTest, DialingProbesRescoresInsteadOfServingStale) {
+  // Companion regression: results cached at one dial setting must not be
+  // served after SetProbes moves the dial — the key includes the effective
+  // probe count, so the re-dialed query is a miss and re-scores.
+  const int64_t kLists = 8;
+  Tensor items = ClusteredUnitRows(kLists, 4, 12, 53);  // k=8 spans clusters.
+  auto service = serve::RetrievalService::Create(
+      items, IvfServeConfig(kLists, 1, 32, /*cache=*/8));
+  ASSERT_TRUE(service.ok());
+  Tensor q = RowOf(ClusteredUnitRows(kLists, 1, 12, 59), 1);
+
+  auto coarse = (*service)->Query(q, 8);
+  ASSERT_TRUE((*service)->SetProbes(kLists).ok());
+  auto fine = (*service)->Query(q, 8);
+  serve::ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_misses, 2);  // Second query re-scored, no reuse.
+  EXPECT_NE(coarse, fine);
+
+  auto exact = serve::RetrievalService::Create(items, ExhaustiveConfig());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(fine, (*exact)->Query(q, 8));
+}
+
 TEST(RetrievalServiceTest, ProbeDialRecallIsMonotone) {
   Tensor items = ClusteredUnitRows(8, 30, 12, 29);
   Tensor queries = ClusteredUnitRows(8, 3, 12, 31);

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/fault.h"
+#include "util/percentile.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table_printer.h"
@@ -279,6 +280,36 @@ TEST(FaultInjectingStreambufTest, ZeroBudgetFailsImmediately) {
   os << "x";
   EXPECT_FALSE(os.good());
   EXPECT_TRUE(target.str().empty());
+}
+
+TEST(SortedPercentileTest, NearestRankOnKnownHundredSamples) {
+  // Regression for the bench's tail reporting. With the samples {1..100}
+  // the nearest-rank percentile is exactly the matching sample: p95 is the
+  // 95th value (95.0), p99 the 99th (99.0). The interpolating formula the
+  // bench used to ship reported p95 = 95.05 and p99 = 99.01 — latencies no
+  // request ever observed — and the other classic off-by-one
+  // (ceil(p/100*n) without the -1) reads one rank too deep (96.0).
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_EQ(util::SortedPercentile(sorted, 50.0), 50.0);
+  EXPECT_EQ(util::SortedPercentile(sorted, 95.0), 95.0);
+  EXPECT_EQ(util::SortedPercentile(sorted, 99.0), 99.0);
+  EXPECT_EQ(util::SortedPercentile(sorted, 100.0), 100.0);
+  EXPECT_EQ(util::SortedPercentile(sorted, 0.0), 1.0);
+}
+
+TEST(SortedPercentileTest, SmallSamplesAndEdgeRanks) {
+  // n = 1: every percentile is the only observation.
+  EXPECT_EQ(util::SortedPercentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(util::SortedPercentile({7.5}, 50.0), 7.5);
+  EXPECT_EQ(util::SortedPercentile({7.5}, 100.0), 7.5);
+  // n = 4: p50 -> rank ceil(0.5*4)=2, p75 -> rank 3, p76 -> rank 4.
+  const std::vector<double> four = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(util::SortedPercentile(four, 50.0), 20.0);
+  EXPECT_EQ(util::SortedPercentile(four, 75.0), 30.0);
+  EXPECT_EQ(util::SortedPercentile(four, 76.0), 40.0);
+  // Empty sample reports 0 rather than reading out of bounds.
+  EXPECT_EQ(util::SortedPercentile({}, 95.0), 0.0);
 }
 
 TEST(FaultInjectingStreambufTest, CharAtATimeHonoursBudget) {
