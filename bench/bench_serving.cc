@@ -26,6 +26,16 @@
 // rerank_factor), gates on full bit-identity plus the >= 3x scan-memory
 // reduction, and writes BENCH_serving_quant.json (see DESIGN.md,
 // "Quantized scoring").
+//
+// With --ingest the bench drives the "mutable" backend with a paced
+// open-loop ingest stream (WAL-acknowledged Adds) racing a paced open-loop
+// query stream while the background maintenance thread seals and merges,
+// sweeping ingest rate x compaction pressure (seal_threshold). Query
+// latency is measured from the scheduled arrival (coordinated-omission
+// safe), the read-only cell is the baseline, and the exit code gates the
+// worst active-ingest p95 within a budgeted multiple of it. Writes
+// BENCH_serving_ingest.json (see DESIGN.md, "Live mutation and crash
+// recovery").
 
 #include <cstdio>
 
@@ -44,6 +54,7 @@
 #include "index/ivf_index.h"
 #include "kernel/int8dot.h"
 #include "kernel/kernel.h"
+#include "mutate/mutable_backend.h"
 #include "net/remote_transport.h"
 #include "quant/int8_corpus.h"
 #include "net/shard_server.h"
@@ -990,6 +1001,215 @@ int RunQuant() {
   return bit_identical && mem_ok && qps_ok ? 0 : 1;
 }
 
+/// Ingest-while-serving sweep over the "mutable" backend: a paced
+/// open-loop Add stream (batches of kIngestBatch rows, one WAL sync each)
+/// races a paced open-loop query stream while background maintenance
+/// seals and merges underneath both. Latencies are measured from each
+/// query's *scheduled* arrival, so a seal or merge that stalls the scorer
+/// shows up as queue delay instead of silently thinning the offered load.
+/// The 0-rows/s cell is the read-only baseline; the exit code gates every
+/// active cell's p95 within kIngestP95Budget x that baseline (plus a
+/// small absolute floor so a microsecond-level baseline cannot make the
+/// gate flaky).
+int RunIngest() {
+  constexpr int64_t kRows = 20000;
+  constexpr int64_t kDim = 128;
+  constexpr int64_t kBatch = 16;       // Query rows per micro-batch.
+  constexpr int64_t kQueryBatches = 120;
+  constexpr double kQueryIntervalMs = 25.0;
+  constexpr int64_t kIngestBatch = 8;  // Rows per acknowledged Add batch.
+  // One scoring thread: the ingest stream, the background seal/merge
+  // thread and the scorer already contend for the machine, and the bench
+  // measures that contention rather than hiding it behind parallelism.
+  constexpr int kThreads = 1;
+  // Gate: every active cell's p95 within this multiple of the read-only
+  // baseline, with an absolute floor so a lucky-fast baseline on a noisy
+  // shared machine cannot flake the gate. Compaction churn legitimately
+  // costs a few x on one core; a seal or merge that blocked queries on the
+  // corpus lock would cost hundreds of x and still trip this.
+  constexpr double kIngestP95Budget = 15.0;  // x read-only p95.
+  constexpr double kIngestP95FloorMs = 50.0;
+
+  Rng rng(4321);
+  Tensor items = L2NormalizeRows(Tensor::Randn({kRows, kDim}, rng));
+  Tensor queries = SliceRows(items, 0, kBatch * 8);
+  // The ingest stream: fresh unit rows, pre-generated so pacing measures
+  // the backend, not the generator.
+  const int64_t max_ingest_rows =
+      static_cast<int64_t>(12000.0 * kQueryBatches * kQueryIntervalMs / 1e3);
+  Tensor fresh = L2NormalizeRows(Tensor::Randn({max_ingest_rows, kDim}, rng));
+
+  std::printf("== Ingest-while-serving (mutable backend) ==\n");
+  std::printf("(%lld seeded items of dim %lld, %lld-row query batches "
+              "every %.0f ms, %lld-row ingest batches, %d threads)\n",
+              static_cast<long long>(kRows), static_cast<long long>(kDim),
+              static_cast<long long>(kBatch), kQueryIntervalMs,
+              static_cast<long long>(kIngestBatch), kThreads);
+  kernel::SetNumThreads(kThreads);
+
+  struct Cell {
+    int64_t seal_threshold;
+    double ingest_rate;  // Rows/s; 0 = the read-only baseline.
+  };
+  const std::vector<Cell> cells = {
+      {4096, 0.0},     // Baseline: no mutation, no compaction.
+      {4096, 1000.0},  // Gentle: seals every ~4 s of ingest.
+      {4096, 3000.0},
+      {512, 1000.0},   // Compaction pressure: constant seal + merge churn.
+      {512, 3000.0},
+  };
+
+  TablePrinter table({"seal_thresh", "ingest rows/s", "acked rows/s",
+                      "query p50 ms", "p95 ms", "p99 ms", "seals",
+                      "merges"});
+  std::string json = "[\n";
+  char record[512];
+  double baseline_p95 = 0.0;
+  double worst_active_p95 = 0.0;
+  bool ingest_ok = true;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    serve::BackendConfig backend_config;
+    backend_config.items = items;
+    backend_config.seal_threshold = cell.seal_threshold;
+    auto backend = serve::CreateBackend("mutable", backend_config);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+
+    {
+      // Start every cell from the sealed steady state (seeded rows in a
+      // segment, empty memtable) and warm the scorer off the measured
+      // clock, so cell-to-cell differences are ingest interference, not
+      // seeding leftovers.
+      auto* mutable_backend =
+          static_cast<mutate::MutableBackend*>(backend->get());
+      const Status flushed = mutable_backend->corpus()->Flush();
+      ADAMINE_CHECK_MSG(flushed.ok(), flushed.ToString());
+      Tensor warm({kBatch, kDim});
+      std::copy(queries.data(), queries.data() + kBatch * kDim, warm.data());
+      auto warmed = (*backend)->ScoreTopK(serve::QueryBatch{warm},
+                                          /*filter=*/nullptr, kTopK, {});
+      ADAMINE_CHECK_MSG(warmed.ok(), warmed.status().ToString());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> acked_rows{0};
+    std::atomic<bool> ingest_failed{false};
+    std::thread ingester;
+    const auto start = std::chrono::steady_clock::now();
+    if (cell.ingest_rate > 0.0) {
+      ingester = std::thread([&] {
+        const double interval_ms =
+            1e3 * static_cast<double>(kIngestBatch) / cell.ingest_rate;
+        int64_t offset = 0;
+        for (int64_t tick = 0; !stop.load(); ++tick) {
+          const auto arrival =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              tick * interval_ms));
+          std::this_thread::sleep_until(arrival);
+          if (stop.load()) return;
+          if (offset + kIngestBatch > fresh.rows()) return;
+          Tensor rows({kIngestBatch, kDim});
+          std::copy(fresh.data() + offset * kDim,
+                    fresh.data() + (offset + kIngestBatch) * kDim,
+                    rows.data());
+          offset += kIngestBatch;
+          auto* mutable_backend =
+              static_cast<mutate::MutableBackend*>(backend->get());
+          if (!mutable_backend->corpus()->AddBatch(rows).ok()) {
+            ingest_failed.store(true);
+            return;
+          }
+          acked_rows.fetch_add(kIngestBatch);
+        }
+      });
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<size_t>(kQueryBatches));
+    for (int64_t b = 0; b < kQueryBatches; ++b) {
+      const auto arrival =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          b * kQueryIntervalMs));
+      std::this_thread::sleep_until(arrival);
+      Tensor micro({kBatch, kDim});
+      const int64_t q0 = (b * kBatch) % queries.rows();
+      std::copy(queries.data() + q0 * kDim,
+                queries.data() + (q0 + kBatch) * kDim, micro.data());
+      auto result = (*backend)->ScoreTopK(serve::QueryBatch{micro},
+                                          /*filter=*/nullptr, kTopK, {});
+      ADAMINE_CHECK_MSG(result.ok(), result.status().ToString());
+      const auto done = std::chrono::steady_clock::now();
+      latencies.push_back(
+          std::chrono::duration<double, std::milli>(done - arrival).count());
+    }
+    stop.store(true);
+    if (ingester.joinable()) ingester.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (ingest_failed.load()) {
+      std::fprintf(stderr, "ingest stream failed\n");
+      return 1;
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = SortedPercentile(latencies, 50);
+    const double p95 = SortedPercentile(latencies, 95);
+    const double p99 = SortedPercentile(latencies, 99);
+    const double acked_rate =
+        static_cast<double>(acked_rows.load()) / elapsed_s;
+    const auto stats = static_cast<mutate::MutableBackend*>(backend->get())
+                           ->corpus()
+                           ->GetStats();
+    if (cell.ingest_rate == 0.0) {
+      baseline_p95 = p95;
+    } else {
+      worst_active_p95 = std::max(worst_active_p95, p95);
+      if (p95 > std::max(kIngestP95Budget * baseline_p95,
+                         kIngestP95FloorMs)) {
+        ingest_ok = false;
+      }
+    }
+    table.AddRow({std::to_string(cell.seal_threshold),
+                  TablePrinter::Num(cell.ingest_rate, 0),
+                  TablePrinter::Num(acked_rate, 0),
+                  TablePrinter::Num(p50, 3), TablePrinter::Num(p95, 3),
+                  TablePrinter::Num(p99, 3), std::to_string(stats.seals),
+                  std::to_string(stats.merges)});
+    std::snprintf(
+        record, sizeof(record),
+        "%s  {\"seal_threshold\": %lld, \"ingest_rate_target\": %.0f, "
+        "\"ingest_rate_acked\": %.0f, \"query_p50_ms\": %.4f, "
+        "\"query_p95_ms\": %.4f, \"query_p99_ms\": %.4f, "
+        "\"seals\": %lld, \"merges\": %lld, \"live_rows\": %lld}",
+        c == 0 ? "" : ",\n",
+        static_cast<long long>(cell.seal_threshold), cell.ingest_rate,
+        acked_rate, p50, p95, p99, static_cast<long long>(stats.seals),
+        static_cast<long long>(stats.merges),
+        static_cast<long long>((*backend)->size()));
+    json += record;
+  }
+  kernel::SetNumThreads(1);
+  json += "\n]\n";
+  table.Print(std::cout);
+  std::printf("read-only p95 %.3f ms; worst active-ingest p95 %.3f ms "
+              "(gate: <= max(%.0fx baseline, %.1f ms)): %s\n",
+              baseline_p95, worst_active_p95, kIngestP95Budget,
+              kIngestP95FloorMs, ingest_ok ? "ok" : "FAIL");
+  std::ofstream out("BENCH_serving_ingest.json");
+  out << json;
+  std::printf("wrote BENCH_serving_ingest.json\n");
+  return ingest_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace adamine
 
@@ -999,6 +1219,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--shards") return adamine::RunShards();
     if (std::string(argv[i]) == "--rpc") return adamine::RunRpc();
     if (std::string(argv[i]) == "--quant") return adamine::RunQuant();
+    if (std::string(argv[i]) == "--ingest") return adamine::RunIngest();
   }
   return adamine::Run();
 }

@@ -70,6 +70,22 @@
 //                              retries, hedging and breakers apply per the
 //                              sharded flags above
 //
+// Live-mutation flags (serve; see DESIGN.md "Live mutation and crash
+// recovery"). The "mutable" backend accepts Add / Delete while serving,
+// WAL-acknowledged before the call returns:
+//   --wal-dir=DIR              durable home for the mutable backend's WAL,
+//                              sealed segments and manifest; reopening the
+//                              same DIR recovers the corpus (acknowledged
+//                              mutations survive kill -9). Empty = a
+//                              throwaway temp dir
+//   --ingest                   with --backend=mutable: serve the first
+//                              half of the corpus, live-ingest the second
+//                              half through the service (printing acked
+//                              rows/s), then replay the query stream —
+//                              top-1 matches static serving because the
+//                              just-ingested rows are immediately
+//                              retrievable
+//
 // `serve` loads the checkpoint, embeds the test split, exports the
 // embedding bundle, reloads it into a serve::RetrievalService and replays
 // the recipe embeddings as a query stream (recipe->image retrieval),
@@ -180,6 +196,8 @@ int main(int argc, char** argv) {
   std::string remote_shards;
   long shard_index = 0;
   long shard_count = 1;
+  std::string wal_dir;
+  bool ingest = false;
   std::string embeddings_path = "/tmp/adamine_embeddings.bin";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -281,6 +299,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --shard-count must be positive\n");
         return 1;
       }
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      wal_dir = arg.substr(std::strlen("--wal-dir="));
+    } else if (arg == "--ingest") {
+      ingest = true;
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -304,6 +326,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --listen and --remote-shards are exclusive (a "
                  "process is a server or a client, not both)\n");
+    return 1;
+  }
+  if (ingest && backend != "mutable") {
+    std::fprintf(stderr,
+                 "error: --ingest needs a backend that accepts mutation "
+                 "(use --backend=mutable)\n");
+    return 1;
+  }
+  if (ingest && (shards > 1 || !listen_spec.empty() ||
+                 !remote_shards.empty())) {
+    std::fprintf(stderr,
+                 "error: --ingest applies to the plain (unsharded, local) "
+                 "serve path\n");
     return 1;
   }
   // --listen shuts down via sigwait. The mask must be in place before any
@@ -359,6 +394,7 @@ int main(int argc, char** argv) {
     serve_config.max_inflight = max_inflight;
     serve_config.max_queue = max_queue;
     serve_config.rerank_factor = rerank_factor;
+    serve_config.wal_dir = wal_dir;
     if (serve_config.backend == adamine::serve::Backend::kIvf) {
       serve_config.ivf.num_lists =
           std::min<int64_t>(32, test.image_emb.rows());
@@ -579,9 +615,52 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto service = adamine::serve::RetrievalService::Load(
-        embeddings_path, "image_emb", serve_config);
-    if (!service.ok()) return Fail(service.status());
+    // --ingest: start the mutable service over the first half of the
+    // corpus and live-Add the second half through it — every Add is
+    // WAL-acknowledged before it returns, and the replayed query stream
+    // below retrieves the just-ingested rows (ids are assigned in Add
+    // order, so global row i keeps id i and the top-1 check is unchanged).
+    adamine::StatusOr<std::unique_ptr<adamine::serve::RetrievalService>>
+        service = adamine::Status(adamine::StatusCode::kInternal,
+                                  "service not constructed");
+    if (ingest) {
+      auto bundle = io::LoadTensorBundle(embeddings_path);
+      if (!bundle.ok()) return Fail(bundle.status());
+      Tensor corpus;
+      for (const io::NamedTensor& entry : bundle.value()) {
+        if (entry.name == "image_emb") corpus = entry.tensor;
+      }
+      const int64_t half = corpus.rows() / 2;
+      service = adamine::serve::RetrievalService::Create(
+          adamine::SliceRows(corpus, 0, half), serve_config);
+      if (!service.ok()) return Fail(service.status());
+      adamine::Stopwatch ingest_watch;
+      for (int64_t i = half; i < corpus.rows(); ++i) {
+        Tensor row({corpus.cols()});
+        std::copy(corpus.data() + i * corpus.cols(),
+                  corpus.data() + (i + 1) * corpus.cols(), row.data());
+        auto id = (*service)->Add(row);
+        if (!id.ok()) return Fail(id.status());
+        if (*id != i) {
+          std::fprintf(stderr, "error: ingested row %lld got id %lld\n",
+                       static_cast<long long>(i),
+                       static_cast<long long>(*id));
+          return 1;
+        }
+      }
+      const double ingest_ms = ingest_watch.ElapsedMillis();
+      const int64_t ingested = corpus.rows() - half;
+      std::printf(
+          "live-ingested %lld rows in %.1f ms (%.0f acked rows/s, "
+          "wal %s)\n",
+          static_cast<long long>(ingested), ingest_ms,
+          1e3 * static_cast<double>(ingested) / ingest_ms,
+          wal_dir.empty() ? "ephemeral" : wal_dir.c_str());
+    } else {
+      service = adamine::serve::RetrievalService::Load(
+          embeddings_path, "image_emb", serve_config);
+      if (!service.ok()) return Fail(service.status());
+    }
     (*service)->RecordEmbedMillis(dataset_embed_ms);
     std::printf("serving %lld items (%s backend, micro-batch %ld, "
                 "cache %ld)\n",

@@ -28,6 +28,12 @@ ctest --test-dir build -L golden --output-on-failure
 echo "== tier-1: quant kernels + backend (ctest -L quant) =="
 ctest --test-dir build -L quant --output-on-failure
 
+# Live-mutation battery: WAL / manifest corruption sweeps, the recovery
+# state machine under the mutate.* fault points, and the forked kill -9
+# crash tests. Runs in --fast mode too — crash safety is not optional.
+echo "== tier-1: live mutation + crash recovery (ctest -L mutate) =="
+ctest --test-dir build -L mutate --output-on-failure
+
 # The quantized backend and golden matrix promise bit-identical results at
 # every thread count; pin that against the pool-size dial explicitly.
 for threads in 1 4; do

@@ -1,5 +1,8 @@
 #include "io/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -62,6 +65,30 @@ uint32_t TensorRecordCrc(const Tensor& tensor) {
   crc.Update(tensor.data(),
              static_cast<size_t>(tensor.numel()) * sizeof(float));
   return crc.value();
+}
+
+/// fsyncs `path` (a file opened read-only, or a directory with
+/// O_DIRECTORY), honoring the kIoFsync fault point. Durability, not
+/// atomicity: rename alone orders nothing against power loss.
+Status SyncPath(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + " for fsync");
+  }
+  if (fault::ShouldFail(fault::kIoFsync) || ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("fsync failed for " + path);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::string ParentDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 }  // namespace
@@ -230,6 +257,14 @@ Status AtomicWriteFile(const std::string& path,
     std::remove(tmp.c_str());
     return status;
   }
+  // The temp file's bytes must be on stable storage before the rename makes
+  // them reachable under `path` — otherwise a power loss can publish a
+  // zero-length or partial file through a perfectly durable rename.
+  status = SyncPath(tmp, /*directory=*/false);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
   if (fault::ShouldFail(fault::kAtomicRename)) {
     // A simulated crash between flush and rename: the temp file stays
     // behind (as it would after a real crash) and the target is untouched.
@@ -239,7 +274,11 @@ Status AtomicWriteFile(const std::string& path,
     std::remove(tmp.c_str());
     return Status::Internal("cannot rename " + tmp + " to " + path);
   }
-  return Status::Ok();
+  // The rename itself lives in the directory; without this sync a crash can
+  // roll the directory back to the pre-rename state even though the file's
+  // data was synced. The renamed file is already in place, so on failure we
+  // report the lost durability guarantee but leave the file alone.
+  return SyncPath(ParentDirOf(path), /*directory=*/true);
 }
 
 Status SaveTensorBundle(const std::string& path,

@@ -54,11 +54,17 @@ Status SaveTensorBundle(const std::string& path,
                         const std::vector<NamedTensor>& bundle);
 StatusOr<std::vector<NamedTensor>> LoadTensorBundle(const std::string& path);
 
-/// Runs `write` against a stream on `path + ".tmp"`, flushes, and renames
-/// the temp file onto `path` — so `path` atomically transitions from its
-/// old content to the new content and a crash at any point leaves the old
-/// file intact (at worst plus a stale .tmp, which readers never touch). On
-/// any failure the temp file is removed and a non-OK Status returned.
+/// Runs `write` against a stream on `path + ".tmp"`, flushes and fsyncs
+/// the temp file, renames it onto `path`, then fsyncs the parent directory
+/// — so `path` atomically transitions from its old content to the new
+/// content, a crash at any point leaves the old file intact (at worst plus
+/// a stale .tmp, which readers never touch), and once the call returns Ok
+/// the new content survives power loss (rename alone is atomic but not
+/// durable: without the fsync pair the kernel may still hold both the data
+/// and the directory entry in cache). A failed fsync — including the
+/// injected io.fsync.fail fault — is a descriptive error, never a silent
+/// claim of durability. On any failure before the rename the temp file is
+/// removed and a non-OK Status returned.
 Status AtomicWriteFile(const std::string& path,
                        const std::function<Status(std::ostream&)>& write);
 

@@ -1,0 +1,164 @@
+#include "mutate/manifest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/serialize.h"
+#include "io/wire.h"
+#include "util/fault.h"
+
+namespace adamine::mutate {
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'A', 'D', 'M', 'M'};
+constexpr uint32_t kManifestVersion = 1;
+constexpr int64_t kMaxManifestSegments = 1'000'000;
+constexpr int64_t kMaxManifestTombstones = int64_t{1} << 40;
+constexpr int64_t kMaxNameLen = 4096;
+
+Status SerializeManifest(std::ostream& os, const Manifest& manifest) {
+  io::wire::Writer writer(os);
+  writer.WriteRaw(kManifestMagic, 4);
+  writer.WriteU32(kManifestVersion);
+  writer.WriteI64(manifest.generation);
+  writer.WriteI64(manifest.dim);
+  writer.WriteI64(manifest.next_id);
+  writer.WriteI64(static_cast<int64_t>(manifest.wal_file.size()));
+  writer.WriteBytes(manifest.wal_file.data(), manifest.wal_file.size());
+  writer.WriteI64(static_cast<int64_t>(manifest.segments.size()));
+  for (const std::string& segment : manifest.segments) {
+    writer.WriteI64(static_cast<int64_t>(segment.size()));
+    writer.WriteBytes(segment.data(), segment.size());
+  }
+  writer.WriteI64(static_cast<int64_t>(manifest.tombstones.size()));
+  writer.WriteBytes(manifest.tombstones.data(),
+                    manifest.tombstones.size() * sizeof(int64_t));
+  const uint32_t crc = writer.crc();
+  writer.WriteRaw(&crc, sizeof(crc));
+  if (!writer.ok()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadName(io::wire::Reader& reader, const char* what) {
+  auto len = reader.ReadI64();
+  if (!len.ok()) return len.status();
+  if (*len <= 0 || *len > kMaxNameLen) {
+    return Status::DataLoss(std::string("implausible ") + what +
+                            " name length in manifest");
+  }
+  std::string name(static_cast<size_t>(*len), '\0');
+  ADAMINE_RETURN_IF_ERROR(
+      reader.ReadBytes(name.data(), static_cast<size_t>(*len)));
+  return name;
+}
+
+}  // namespace
+
+std::string ManifestFileName(int64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "MANIFEST-%08lld",
+                static_cast<long long>(generation));
+  return buf;
+}
+
+int64_t ParseManifestGeneration(const std::string& file) {
+  long long generation = -1;
+  if (std::sscanf(file.c_str(), "MANIFEST-%8lld", &generation) != 1 ||
+      file != ManifestFileName(generation)) {
+    return -1;
+  }
+  return generation;
+}
+
+Status WriteManifestFile(const std::string& dir, const Manifest& manifest) {
+  if (manifest.generation < 0 || manifest.dim <= 0 || manifest.next_id < 0 ||
+      manifest.wal_file.empty()) {
+    return Status::InvalidArgument("manifest is missing required fields");
+  }
+  const std::string path = dir + "/" + ManifestFileName(manifest.generation);
+  if (fault::ShouldFail(fault::kMutateManifestTorn)) {
+    // A crash mid-commit with no temp-file discipline: half the manifest's
+    // bytes under the final name, never fsynced. Recovery must reject this
+    // generation and fall back to the previous one.
+    std::ostringstream buffer;
+    ADAMINE_RETURN_IF_ERROR(SerializeManifest(buffer, manifest));
+    const std::string bytes = buffer.str();
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() / 2));
+    return Status::Internal("injected torn manifest commit at " + path);
+  }
+  return io::AtomicWriteFile(path, [&manifest](std::ostream& os) {
+    return SerializeManifest(os, manifest);
+  });
+}
+
+StatusOr<Manifest> LoadManifestFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open manifest at " + path);
+  io::wire::Reader reader(is);
+  char magic[4];
+  if (!reader.ReadRaw(magic, 4).ok() ||
+      std::memcmp(magic, kManifestMagic, 4) != 0) {
+    return Status::DataLoss("bad magic for manifest " + path);
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kManifestVersion) {
+    return Status::DataLoss("unsupported manifest version " +
+                            std::to_string(*version) + " in " + path);
+  }
+  Manifest manifest;
+  auto generation = reader.ReadI64();
+  if (!generation.ok()) return generation.status();
+  manifest.generation = *generation;
+  auto dim = reader.ReadI64();
+  if (!dim.ok()) return dim.status();
+  manifest.dim = *dim;
+  auto next_id = reader.ReadI64();
+  if (!next_id.ok()) return next_id.status();
+  manifest.next_id = *next_id;
+  if (manifest.generation < 0 || manifest.dim <= 0 || manifest.next_id < 0) {
+    return Status::DataLoss("implausible manifest fields in " + path);
+  }
+  auto wal_file = ReadName(reader, "WAL");
+  if (!wal_file.ok()) return wal_file.status();
+  manifest.wal_file = std::move(wal_file.value());
+  auto num_segments = reader.ReadI64();
+  if (!num_segments.ok()) return num_segments.status();
+  if (*num_segments < 0 || *num_segments > kMaxManifestSegments) {
+    return Status::DataLoss("implausible segment count in " + path);
+  }
+  const int64_t remaining = reader.RemainingBytes();
+  if (remaining >= 0 && *num_segments > remaining / 8) {
+    return Status::DataLoss(
+        "manifest announces more segments than " + path + " holds");
+  }
+  for (int64_t i = 0; i < *num_segments; ++i) {
+    auto segment = ReadName(reader, "segment");
+    if (!segment.ok()) return segment.status();
+    manifest.segments.push_back(std::move(segment.value()));
+  }
+  auto num_tombstones = reader.ReadI64();
+  if (!num_tombstones.ok()) return num_tombstones.status();
+  if (*num_tombstones < 0 || *num_tombstones > kMaxManifestTombstones) {
+    return Status::DataLoss("implausible tombstone count in " + path);
+  }
+  const int64_t remaining_tombstones = reader.RemainingBytes();
+  if (remaining_tombstones >= 0 &&
+      *num_tombstones > remaining_tombstones / 8) {
+    return Status::DataLoss(
+        "manifest announces more tombstones than " + path + " holds");
+  }
+  manifest.tombstones.resize(static_cast<size_t>(*num_tombstones));
+  ADAMINE_RETURN_IF_ERROR(reader.ReadBytes(
+      manifest.tombstones.data(),
+      manifest.tombstones.size() * sizeof(int64_t)));
+  ADAMINE_RETURN_IF_ERROR(io::wire::VerifyCrc(reader, "manifest " + path));
+  return manifest;
+}
+
+}  // namespace adamine::mutate

@@ -1,0 +1,53 @@
+#ifndef ADAMINE_MUTATE_MANIFEST_H_
+#define ADAMINE_MUTATE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adamine::mutate {
+
+/// The root of the corpus's on-disk state: one generation-numbered file
+/// naming everything that is live — the WAL, the sealed segment set, and
+/// the tombstoned ids among the sealed rows. Committing a new generation
+/// is the atomic "swap" of the mutable index: a reader of MANIFEST-N sees
+/// either the pre-seal or the post-seal world, never a mix, because the
+/// manifest is written via io::AtomicWriteFile (temp + fsync + rename +
+/// directory fsync) and the previous generation is deleted only after the
+/// new one is durable.
+struct Manifest {
+  int64_t generation = 0;
+  int64_t dim = 0;      // Embedding dimension; pinned so a foreign or
+                        // corrupt directory cannot masquerade as this
+                        // corpus.
+  int64_t next_id = 0;  // Lower bound for id assignment after recovery.
+  std::string wal_file;               // Basename of the live WAL.
+  std::vector<std::string> segments;  // Basenames, scan order.
+  std::vector<int64_t> tombstones;    // Deleted ids among the sealed rows
+                                      // (memtable deletions live in the
+                                      // WAL until seal folds them in).
+};
+
+/// "MANIFEST-<generation>" (fixed-width, so lexicographic and numeric
+/// order agree).
+std::string ManifestFileName(int64_t generation);
+
+/// The generation of a manifest file name, or -1 if `file` is not one.
+int64_t ParseManifestGeneration(const std::string& file);
+
+/// Commits `manifest` to dir/ManifestFileName(generation) in the ADMM
+/// versioned-CRC format. Under an armed mutate.manifest.torn fault, half
+/// the manifest's bytes are written directly to the final path instead —
+/// the torn-manifest crash shape recovery must fall back from.
+Status WriteManifestFile(const std::string& dir, const Manifest& manifest);
+
+/// Loads and CRC-checks the manifest at `path`. A torn or corrupt manifest
+/// is a descriptive error (the caller falls back to the previous
+/// generation), never garbage state.
+StatusOr<Manifest> LoadManifestFile(const std::string& path);
+
+}  // namespace adamine::mutate
+
+#endif  // ADAMINE_MUTATE_MANIFEST_H_

@@ -1,0 +1,159 @@
+#include "mutate/mutable_backend.h"
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "kernel/gemm.h"
+#include "kernel/kernel.h"
+#include "util/stopwatch.h"
+
+namespace adamine::mutate {
+
+namespace {
+
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+MutableBackend::MutableBackend(std::unique_ptr<MutableCorpus> corpus,
+                               std::string owned_dir)
+    : corpus_(std::move(corpus)), owned_dir_(std::move(owned_dir)) {}
+
+MutableBackend::~MutableBackend() {
+  corpus_.reset();  // Stops the maintenance thread before the dir goes.
+  if (!owned_dir_.empty()) RemoveDirRecursive(owned_dir_);
+}
+
+StatusOr<int64_t> MutableBackend::Add(const Tensor& row) {
+  return corpus_->Add(row);
+}
+
+Status MutableBackend::Delete(int64_t id) { return corpus_->Delete(id); }
+
+StatusOr<serve::TopKResult> MutableBackend::ScoreTopKImpl(
+    const serve::QueryBatch& batch, const serve::Filter* /*filter*/,
+    int64_t k, const serve::QueryOptions& /*options*/) {
+  const std::shared_ptr<const CorpusSnapshot> snap = corpus_->snapshot();
+  const int64_t b = batch.queries.rows();
+  const int64_t d = snap->dim;
+  serve::TopKResult out;
+  Stopwatch watch;
+  // One GEMM per sealed segment; the per-element accumulation order is the
+  // scalar reference chain, so these scores carry reference bits.
+  std::vector<Tensor> segment_sims;
+  segment_sims.reserve(snap->sealed.size());
+  for (const auto& segment : snap->sealed) {
+    Tensor sims({b, segment->size()});
+    kernel::Gemm(batch.queries.data(), d, false, segment->rows.data(), d,
+                 true, b, segment->size(), d, sims.data());
+    segment_sims.push_back(std::move(sims));
+  }
+  out.score_ms = watch.ElapsedMillis();
+  watch.Restart();
+  out.hits.resize(static_cast<size_t>(b));
+  kernel::ParallelFor(b, kernel::kRowGrain, [&](int64_t i0, int64_t i1) {
+    std::vector<std::pair<float, int64_t>> candidates;
+    for (int64_t i = i0; i < i1; ++i) {
+      candidates.clear();
+      candidates.reserve(static_cast<size_t>(snap->live_rows));
+      for (size_t s = 0; s < snap->sealed.size(); ++s) {
+        const SealedSegment& segment = *snap->sealed[s];
+        const float* sims =
+            segment_sims[s].data() + i * segment.size();
+        for (int64_t r = 0; r < segment.size(); ++r) {
+          const int64_t id = segment.ids[static_cast<size_t>(r)];
+          if (snap->deleted(id)) continue;
+          candidates.emplace_back(sims[r], id);
+        }
+      }
+      // Memtable rows: the scalar reference chain per (query, row) —
+      // bit-identical to the GEMM path by the determinism contract.
+      const float* query = batch.queries.data() + i * d;
+      for (int64_t r = 0; r < snap->mem_rows; ++r) {
+        const MemChunk& chunk =
+            *snap->mem[static_cast<size_t>(r / MemChunk::kRows)];
+        const int64_t slot = r % MemChunk::kRows;
+        const int64_t id = chunk.ids[static_cast<size_t>(slot)];
+        if (snap->deleted(id)) continue;
+        candidates.emplace_back(
+            serve::DotAscending(chunk.data.data() + slot * d, query, d), id);
+      }
+      const int64_t take =
+          std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+      std::partial_sort(candidates.begin(), candidates.begin() + take,
+                        candidates.end(),
+                        [](const auto& a, const auto& b2) {
+                          return a.first > b2.first ||
+                                 (a.first == b2.first &&
+                                  a.second < b2.second);
+                        });
+      std::vector<serve::ScoredHit>& hits =
+          out.hits[static_cast<size_t>(i)];
+      hits.reserve(static_cast<size_t>(take));
+      for (int64_t j = 0; j < take; ++j) {
+        hits.push_back(serve::ScoredHit{candidates[static_cast<size_t>(j)].second,
+                                        candidates[static_cast<size_t>(j)].first});
+      }
+    }
+  });
+  out.rank_ms = watch.ElapsedMillis();
+  return out;
+}
+
+StatusOr<std::unique_ptr<serve::ScoringBackend>> CreateMutableBackend(
+    const serve::BackendConfig& config) {
+  MutableCorpusConfig corpus_config;
+  corpus_config.dim = config.items.cols();
+  corpus_config.seal_threshold = config.seal_threshold;
+  std::string dir = config.wal_dir;
+  std::string owned_dir;
+  if (dir.empty()) {
+    const char* base = ::getenv("TMPDIR");
+    if (base == nullptr || *base == '\0') base = "/tmp";
+    std::string templ = std::string(base) + "/adamine-mutable-XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      return Status::Internal("cannot create an ephemeral corpus dir under " +
+                              std::string(base));
+    }
+    dir = owned_dir = buf.data();
+  }
+  auto corpus = MutableCorpus::Open(dir, corpus_config);
+  if (!corpus.ok()) {
+    if (!owned_dir.empty()) RemoveDirRecursive(owned_dir);
+    return corpus.status();
+  }
+  // A fresh corpus (no id ever assigned) is seeded with the item rows in
+  // order, so ids equal the static backends' row indices and the golden
+  // harness can diff it against the scalar oracle directly. A recovered
+  // corpus is the source of truth; the items are ignored.
+  if (corpus.value()->snapshot()->next_id == 0 && config.items.rows() > 0) {
+    auto seeded = corpus.value()->AddBatch(config.items);
+    if (!seeded.ok()) {
+      corpus.value().reset();
+      if (!owned_dir.empty()) RemoveDirRecursive(owned_dir);
+      return seeded.status();
+    }
+  }
+  return std::unique_ptr<serve::ScoringBackend>(new MutableBackend(
+      std::move(corpus.value()), std::move(owned_dir)));
+}
+
+}  // namespace adamine::mutate

@@ -1,0 +1,703 @@
+// The crash-safe mutable corpus: WAL-acknowledged mutations over an
+// in-memory memtable, sealed into immutable ADMS segments named by an
+// atomically-swapped manifest. The durability argument is boundary-local:
+// every state the process can die in is one of (a) torn WAL tail — replay
+// truncates it, (b) orphaned segment not yet in a manifest — recovery
+// deletes it, (c) torn manifest — recovery falls back one generation, and
+// in every case the previous generation's manifest + WAL still hold the
+// complete acknowledged history (see DESIGN.md, "Live mutation and crash
+// recovery").
+
+#include "mutate/mutable_corpus.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "kernel/kernel.h"
+#include "mutate/manifest.h"
+#include "util/fault.h"
+
+namespace adamine::mutate {
+
+namespace {
+
+std::string WalFileName(int64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08lld.admw",
+                static_cast<long long>(generation));
+  return buf;
+}
+
+bool IsWalFileName(const std::string& file) {
+  long long generation = -1;
+  return std::sscanf(file.c_str(), "wal-%8lld.admw", &generation) == 1 &&
+         file == WalFileName(generation);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool BitSet(const std::vector<uint64_t>& bits, int64_t id) {
+  const size_t word = static_cast<size_t>(id >> 6);
+  return word < bits.size() && ((bits[word] >> (id & 63)) & 1);
+}
+
+void SetBit(std::vector<uint64_t>* bits, int64_t id) {
+  const size_t word = static_cast<size_t>(id >> 6);
+  if (word >= bits->size()) bits->resize(word + 1, 0);
+  (*bits)[word] |= uint64_t{1} << (id & 63);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::NotFound("cannot list directory " + dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+}  // namespace
+
+Status MutableCorpusConfig::Validate() const {
+  if (dim <= 0) return Status::InvalidArgument("corpus dim must be > 0");
+  if (seal_threshold < 1) {
+    return Status::InvalidArgument("seal_threshold must be >= 1");
+  }
+  if (merge_threshold < 2) {
+    return Status::InvalidArgument("merge_threshold must be >= 2");
+  }
+  return Status::Ok();
+}
+
+MemChunk::MemChunk(int64_t dim)
+    : ids(static_cast<size_t>(kRows)),
+      data(static_cast<size_t>(kRows * dim)) {}
+
+MutableCorpus::MutableCorpus(std::string dir,
+                             const MutableCorpusConfig& config)
+    : dir_(std::move(dir)), config_(config) {}
+
+MutableCorpus::~MutableCorpus() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+StatusOr<std::unique_ptr<MutableCorpus>> MutableCorpus::Open(
+    const std::string& dir, const MutableCorpusConfig& config) {
+  ADAMINE_RETURN_IF_ERROR(config.Validate());
+  if (dir.empty()) return Status::InvalidArgument("corpus dir must be set");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::NotFound("cannot create corpus directory " + dir);
+  }
+  std::unique_ptr<MutableCorpus> corpus(new MutableCorpus(dir, config));
+  ADAMINE_RETURN_IF_ERROR(corpus->Recover());
+  if (config.background) {
+    corpus->maintenance_ = std::thread([raw = corpus.get()] {
+      raw->MaintenanceLoop();
+    });
+  }
+  return corpus;
+}
+
+Status MutableCorpus::Recover() {
+  auto names = ListDir(dir_);
+  if (!names.ok()) return names.status();
+
+  // Newest intact manifest wins; a torn newest generation (crash
+  // mid-commit) falls back to the previous one, which by the commit
+  // protocol still names the complete acknowledged history.
+  std::vector<std::pair<int64_t, std::string>> manifests;
+  for (const std::string& name : *names) {
+    const int64_t generation = ParseManifestGeneration(name);
+    if (generation >= 0) manifests.emplace_back(generation, name);
+  }
+  std::sort(manifests.rbegin(), manifests.rend());
+  Manifest manifest;
+  std::string chosen;
+  for (const auto& [generation, name] : manifests) {
+    auto loaded = LoadManifestFile(dir_ + "/" + name);
+    if (loaded.ok()) {
+      manifest = std::move(loaded.value());
+      chosen = name;
+      break;
+    }
+  }
+  if (chosen.empty() && !manifests.empty()) {
+    return Status::DataLoss("every manifest in " + dir_ +
+                            " is torn or corrupt; cannot recover");
+  }
+
+  auto bitmap = std::make_shared<std::vector<uint64_t>>();
+  if (chosen.empty()) {
+    // Fresh corpus: a durable WAL first, then the generation-0 manifest
+    // naming it. A crash between the two re-enters this branch.
+    wal_file_ = WalFileName(0);
+    auto writer = WalWriter::Create(dir_ + "/" + wal_file_);
+    if (!writer.ok()) return writer.status();
+    wal_ = std::move(writer.value());
+    Manifest fresh;
+    fresh.generation = 0;
+    fresh.dim = config_.dim;
+    fresh.wal_file = wal_file_;
+    ADAMINE_RETURN_IF_ERROR(WriteManifestFile(dir_, fresh));
+    generation_ = 0;
+  } else {
+    if (manifest.dim != config_.dim) {
+      return Status::InvalidArgument(
+          dir_ + " holds a corpus of dim " + std::to_string(manifest.dim) +
+          " but the config says " + std::to_string(config_.dim));
+    }
+    generation_ = manifest.generation;
+    next_id_ = manifest.next_id;
+    wal_file_ = manifest.wal_file;
+    std::unordered_set<std::string> live_files;
+    for (const std::string& file : manifest.segments) {
+      auto segment = LoadSegmentFile(dir_ + "/" + file, config_.dim);
+      if (!segment.ok()) {
+        return Status::DataLoss("manifest " + chosen + " names segment " +
+                                file + " which failed to load: " +
+                                segment.status().ToString());
+      }
+      sealed_.push_back(std::make_shared<const SealedSegment>(
+          std::move(segment.value())));
+      live_files.insert(file);
+    }
+    for (const int64_t id : manifest.tombstones) SetBit(bitmap.get(), id);
+    for (const auto& segment : sealed_) {
+      for (const int64_t id : segment->ids) {
+        next_id_ = std::max(next_id_, id + 1);
+        if (!BitSet(*bitmap, id)) live_ids_.insert(id);
+      }
+    }
+
+    // Replay the WAL: adds rebuild the memtable, deletes rebuild the
+    // tombstones, and the records themselves become the pending backlog
+    // the next seal re-logs. A torn tail is truncated before the log is
+    // reopened for appending — those bytes were never acknowledged.
+    const std::string wal_path = dir_ + "/" + wal_file_;
+    auto replay = ReplayWal(wal_path, config_.dim);
+    if (!replay.ok()) {
+      return Status::DataLoss("manifest " + chosen + " names WAL " +
+                              wal_file_ + " which failed to replay: " +
+                              replay.status().ToString());
+    }
+    for (WalRecord& record : replay->records) {
+      if (record.kind == WalRecord::Kind::kAdd) {
+        const int64_t pos = mem_rows_;
+        const size_t chunk = static_cast<size_t>(pos / MemChunk::kRows);
+        if (chunk == chunks_.size()) {
+          chunks_.push_back(std::make_shared<MemChunk>(config_.dim));
+        }
+        const int64_t slot = pos % MemChunk::kRows;
+        chunks_[chunk]->ids[static_cast<size_t>(slot)] = record.id;
+        std::memcpy(chunks_[chunk]->data.data() + slot * config_.dim,
+                    record.row.data(),
+                    static_cast<size_t>(config_.dim) * sizeof(float));
+        ++mem_rows_;
+        next_id_ = std::max(next_id_, record.id + 1);
+        if (!BitSet(*bitmap, record.id)) live_ids_.insert(record.id);
+      } else {
+        SetBit(bitmap.get(), record.id);
+        live_ids_.erase(record.id);
+      }
+      pending_.push_back(std::move(record));
+    }
+    auto writer = WalWriter::OpenForAppend(wal_path, replay->valid_bytes);
+    if (!writer.ok()) return writer.status();
+    wal_ = std::move(writer.value());
+
+    // Everything the chosen manifest does not name is a crash artefact:
+    // orphaned segments from an interrupted seal/merge, a rotated-but-
+    // uncommitted WAL, torn or superseded manifests, temp-file debris.
+    for (const std::string& name : *names) {
+      const int64_t seq = ParseSegmentSeq(name);
+      if (seq >= 0) seg_seq_ = std::max(seg_seq_, seq + 1);
+      bool keep = name == chosen || name == wal_file_ ||
+                  (seq >= 0 && live_files.count(name) > 0);
+      if (!keep && (seq >= 0 || IsWalFileName(name) ||
+                    ParseManifestGeneration(name) >= 0 ||
+                    EndsWith(name, ".tmp"))) {
+        ::unlink((dir_ + "/" + name).c_str());
+      }
+    }
+  }
+  tombstones_ = std::move(bitmap);
+  PublishSnapshotLocked();
+  return Status::Ok();
+}
+
+void MutableCorpus::PublishSnapshotLocked() {
+  auto snapshot = std::make_shared<CorpusSnapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->dim = config_.dim;
+  snapshot->sealed = sealed_;
+  snapshot->mem.assign(chunks_.begin(), chunks_.end());
+  snapshot->mem_rows = mem_rows_;
+  snapshot->live_rows = static_cast<int64_t>(live_ids_.size());
+  snapshot->next_id = next_id_;
+  snapshot->tombstones = tombstones_;
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const CorpusSnapshot> MutableCorpus::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+int64_t MutableCorpus::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int64_t MutableCorpus::live_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(live_ids_.size());
+}
+
+MutableCorpus::Stats MutableCorpus::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.generation = generation_;
+  stats.seals = seals_;
+  stats.merges = merges_;
+  stats.sealed_segments = static_cast<int64_t>(sealed_.size());
+  stats.mem_rows = mem_rows_;
+  stats.wal_records = static_cast<int64_t>(pending_.size());
+  return stats;
+}
+
+StatusOr<int64_t> MutableCorpus::AddRows(const float* data, int64_t n) {
+  bool want_seal = false;
+  int64_t first = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_failed_) {
+      return Status::FailedPrecondition(
+          "the corpus at " + dir_ + " lost its WAL and is read-only; "
+          "re-open it to recover");
+    }
+    first = next_id_;
+    // Log first, acknowledge after: the WAL sync on the last record is the
+    // durability point for the whole batch. A failure leaves the corpus
+    // read-only (the file may end mid-record) and acknowledges nothing.
+    std::vector<WalRecord> records;
+    records.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      WalRecord record;
+      record.kind = WalRecord::Kind::kAdd;
+      record.id = first + i;
+      record.row.assign(data + i * config_.dim,
+                        data + (i + 1) * config_.dim);
+      const Status appended = wal_->Append(record, /*sync=*/i + 1 == n);
+      if (!appended.ok()) {
+        wal_failed_ = true;
+        return appended;
+      }
+      records.push_back(std::move(record));
+    }
+    for (WalRecord& record : records) {
+      const int64_t pos = mem_rows_;
+      const size_t chunk = static_cast<size_t>(pos / MemChunk::kRows);
+      if (chunk == chunks_.size()) {
+        chunks_.push_back(std::make_shared<MemChunk>(config_.dim));
+      }
+      const int64_t slot = pos % MemChunk::kRows;
+      chunks_[chunk]->ids[static_cast<size_t>(slot)] = record.id;
+      std::memcpy(chunks_[chunk]->data.data() + slot * config_.dim,
+                  record.row.data(),
+                  static_cast<size_t>(config_.dim) * sizeof(float));
+      ++mem_rows_;
+      live_ids_.insert(record.id);
+      pending_.push_back(std::move(record));
+    }
+    next_id_ = first + n;
+    ++epoch_;
+    PublishSnapshotLocked();
+    want_seal = mem_rows_ >= config_.seal_threshold;
+  }
+  if (want_seal) maintenance_cv_.notify_all();
+  return first;
+}
+
+StatusOr<int64_t> MutableCorpus::Add(const float* row) {
+  return AddRows(row, 1);
+}
+
+StatusOr<int64_t> MutableCorpus::Add(const Tensor& row) {
+  if (!row.defined() || row.numel() != config_.dim) {
+    return Status::InvalidArgument(
+        "row must hold exactly dim = " + std::to_string(config_.dim) +
+        " values");
+  }
+  return AddRows(row.data(), 1);
+}
+
+StatusOr<int64_t> MutableCorpus::AddBatch(const Tensor& rows) {
+  if (!rows.defined() || rows.ndim() != 2 || rows.cols() != config_.dim) {
+    return Status::InvalidArgument(
+        "rows must be 2-D [N, " + std::to_string(config_.dim) + "]");
+  }
+  return AddRows(rows.data(), rows.rows());
+}
+
+Status MutableCorpus::Delete(int64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_failed_) {
+      return Status::FailedPrecondition(
+          "the corpus at " + dir_ + " lost its WAL and is read-only; "
+          "re-open it to recover");
+    }
+    if (live_ids_.count(id) == 0) {
+      return Status::NotFound("id " + std::to_string(id) +
+                              " is not a live row");
+    }
+    WalRecord record;
+    record.kind = WalRecord::Kind::kDelete;
+    record.id = id;
+    const Status appended = wal_->Append(record, /*sync=*/true);
+    if (!appended.ok()) {
+      wal_failed_ = true;
+      return appended;
+    }
+    live_ids_.erase(id);
+    auto bitmap = std::make_shared<std::vector<uint64_t>>(*tombstones_);
+    SetBit(bitmap.get(), id);
+    tombstones_ = std::move(bitmap);
+    pending_.push_back(std::move(record));
+    ++epoch_;
+    PublishSnapshotLocked();
+  }
+  return Status::Ok();
+}
+
+Status MutableCorpus::DoSeal() {
+  // Caller holds maintenance_mu_. Freeze the state to seal outside the
+  // corpus mutex (mutations keep flowing), then commit under it.
+  std::vector<std::shared_ptr<MemChunk>> chunks;
+  std::shared_ptr<const std::vector<uint64_t>> frozen_tombstones;
+  int64_t seal_rows = 0;
+  int64_t generation = 0;
+  size_t frozen_pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_failed_) {
+      return Status::FailedPrecondition(
+          "the corpus at " + dir_ + " lost its WAL; seal refused");
+    }
+    if (mem_rows_ == 0 && pending_.empty()) return Status::Ok();
+    seal_rows = mem_rows_;
+    chunks = chunks_;
+    frozen_tombstones = tombstones_;
+    generation = generation_;
+    frozen_pending = pending_.size();
+  }
+
+  // Rows already tombstoned at freeze time are dropped here; rows deleted
+  // while the segment is being written stay in it and are tombstoned via
+  // the manifest (and the re-logged WAL tail) at commit below.
+  std::vector<int64_t> ids;
+  std::vector<int64_t> source_rows;
+  ids.reserve(static_cast<size_t>(seal_rows));
+  source_rows.reserve(static_cast<size_t>(seal_rows));
+  for (int64_t r = 0; r < seal_rows; ++r) {
+    const auto& chunk = *chunks[static_cast<size_t>(r / MemChunk::kRows)];
+    const int64_t id = chunk.ids[static_cast<size_t>(r % MemChunk::kRows)];
+    if (BitSet(*frozen_tombstones, id)) continue;
+    ids.push_back(id);
+    source_rows.push_back(r);
+  }
+  std::string segment_file;
+  Tensor rows;
+  if (!ids.empty()) {
+    int64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = seg_seq_++;
+    }
+    segment_file = SegmentFileName(seq);
+    rows = Tensor({static_cast<int64_t>(ids.size()), config_.dim});
+    const int64_t dim = config_.dim;
+    kernel::ParallelFor(
+        static_cast<int64_t>(ids.size()), kernel::kRowGrain,
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const int64_t src = source_rows[static_cast<size_t>(r)];
+            const auto& chunk =
+                *chunks[static_cast<size_t>(src / MemChunk::kRows)];
+            std::memcpy(rows.data() + r * dim,
+                        chunk.data.data() + (src % MemChunk::kRows) * dim,
+                        static_cast<size_t>(dim) * sizeof(float));
+          }
+        });
+    ADAMINE_RETURN_IF_ERROR(
+        WriteSegmentFile(dir_ + "/" + segment_file, ids, rows));
+  }
+  if (fault::ShouldFail(fault::kMutateSealCrash)) {
+    // Crash between segment write and manifest commit: the segment (if
+    // any) is an orphan the next recovery must delete. The corpus keeps
+    // serving its pre-seal state.
+    return Status::Internal("injected crash after sealing " +
+                            (segment_file.empty() ? std::string("(empty)")
+                                                  : segment_file) +
+                            ", before manifest commit");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Rotate the WAL: the records that arrived after the freeze are re-
+  // logged into the next generation's log, so the new manifest + new WAL
+  // again hold the complete un-sealed history. Until the manifest commits,
+  // the OLD manifest + OLD WAL do — every crash point is covered by one
+  // complete generation or the other.
+  const std::string new_wal = WalFileName(generation + 1);
+  auto writer = WalWriter::Create(dir_ + "/" + new_wal);
+  if (!writer.ok()) return writer.status();
+  for (size_t i = frozen_pending; i < pending_.size(); ++i) {
+    ADAMINE_RETURN_IF_ERROR(
+        writer.value()->Append(pending_[i], /*sync=*/false));
+  }
+  ADAMINE_RETURN_IF_ERROR(writer.value()->Sync());
+
+  Manifest manifest;
+  manifest.generation = generation + 1;
+  manifest.dim = config_.dim;
+  manifest.next_id = next_id_;
+  manifest.wal_file = new_wal;
+  for (const auto& segment : sealed_) {
+    manifest.segments.push_back(segment->file);
+  }
+  if (!ids.empty()) manifest.segments.push_back(segment_file);
+  for (const auto& segment : sealed_) {
+    for (const int64_t id : segment->ids) {
+      if (BitSet(*tombstones_, id)) manifest.tombstones.push_back(id);
+    }
+  }
+  for (const int64_t id : ids) {
+    if (BitSet(*tombstones_, id)) manifest.tombstones.push_back(id);
+  }
+  // On commit failure everything written so far (segment, rotated WAL, a
+  // possibly-torn manifest) is left as-is — exactly the debris of a real
+  // crash here — and the in-memory state stays at the old generation, so
+  // serving continues and recovery knows how to clean up.
+  ADAMINE_RETURN_IF_ERROR(WriteManifestFile(dir_, manifest));
+
+  if (!ids.empty()) {
+    SealedSegment sealed;
+    sealed.file = segment_file;
+    sealed.ids = std::move(ids);
+    sealed.rows = std::move(rows);
+    sealed_.push_back(
+        std::make_shared<const SealedSegment>(std::move(sealed)));
+  }
+  // Rebase the memtable onto the rows that arrived mid-seal. Fresh chunks:
+  // readers of older snapshots keep the old ones alive.
+  std::vector<std::shared_ptr<MemChunk>> tail;
+  int64_t tail_rows = 0;
+  for (int64_t r = seal_rows; r < mem_rows_; ++r) {
+    const auto& chunk = *chunks_[static_cast<size_t>(r / MemChunk::kRows)];
+    const size_t dst_chunk = static_cast<size_t>(tail_rows / MemChunk::kRows);
+    if (dst_chunk == tail.size()) {
+      tail.push_back(std::make_shared<MemChunk>(config_.dim));
+    }
+    const int64_t slot = tail_rows % MemChunk::kRows;
+    tail[dst_chunk]->ids[static_cast<size_t>(slot)] =
+        chunk.ids[static_cast<size_t>(r % MemChunk::kRows)];
+    std::memcpy(tail[dst_chunk]->data.data() + slot * config_.dim,
+                chunk.data.data() + (r % MemChunk::kRows) * config_.dim,
+                static_cast<size_t>(config_.dim) * sizeof(float));
+    ++tail_rows;
+  }
+  chunks_ = std::move(tail);
+  mem_rows_ = tail_rows;
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(frozen_pending));
+  const std::string old_wal = wal_file_;
+  wal_ = std::move(writer.value());
+  wal_file_ = new_wal;
+  ::unlink((dir_ + "/" + old_wal).c_str());
+  const int64_t old_generation = generation_;
+  generation_ = generation + 1;
+  ::unlink((dir_ + "/" + ManifestFileName(old_generation)).c_str());
+  ++seals_;
+  // Content is unchanged (the sealed rows just moved storage), so the
+  // epoch stays — only the structural snapshot swaps.
+  PublishSnapshotLocked();
+  return Status::Ok();
+}
+
+Status MutableCorpus::DoMerge() {
+  // Caller holds maintenance_mu_, which also serialises against DoSeal —
+  // the sealed set cannot change under us; only the tombstone bitmap can
+  // grow, which commit handles like seal does.
+  std::vector<std::shared_ptr<const SealedSegment>> sealed;
+  std::shared_ptr<const std::vector<uint64_t>> frozen_tombstones;
+  int64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_failed_) {
+      return Status::FailedPrecondition(
+          "the corpus at " + dir_ + " lost its WAL; merge refused");
+    }
+    sealed = sealed_;
+    frozen_tombstones = tombstones_;
+    generation = generation_;
+  }
+  if (sealed.empty()) return Status::Ok();
+  int64_t dead = 0;
+  int64_t survivors = 0;
+  for (const auto& segment : sealed) {
+    for (const int64_t id : segment->ids) {
+      if (BitSet(*frozen_tombstones, id)) {
+        ++dead;
+      } else {
+        ++survivors;
+      }
+    }
+  }
+  if (sealed.size() < 2 && dead == 0) return Status::Ok();
+
+  std::string segment_file;
+  std::vector<int64_t> ids;
+  Tensor rows;
+  if (survivors > 0) {
+    ids.reserve(static_cast<size_t>(survivors));
+    std::vector<const float*> sources;
+    sources.reserve(static_cast<size_t>(survivors));
+    for (const auto& segment : sealed) {
+      for (size_t i = 0; i < segment->ids.size(); ++i) {
+        const int64_t id = segment->ids[i];
+        if (BitSet(*frozen_tombstones, id)) continue;
+        ids.push_back(id);
+        sources.push_back(segment->rows.data() +
+                          static_cast<int64_t>(i) * config_.dim);
+      }
+    }
+    rows = Tensor({survivors, config_.dim});
+    const int64_t dim = config_.dim;
+    kernel::ParallelFor(survivors, kernel::kRowGrain,
+                        [&](int64_t r0, int64_t r1) {
+                          for (int64_t r = r0; r < r1; ++r) {
+                            std::memcpy(
+                                rows.data() + r * dim,
+                                sources[static_cast<size_t>(r)],
+                                static_cast<size_t>(dim) * sizeof(float));
+                          }
+                        });
+    int64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = seg_seq_++;
+    }
+    segment_file = SegmentFileName(seq);
+    ADAMINE_RETURN_IF_ERROR(
+        WriteSegmentFile(dir_ + "/" + segment_file, ids, rows));
+  }
+  if (fault::ShouldFail(fault::kMutateMergeCrash)) {
+    return Status::Internal("injected crash after merging into " +
+                            (segment_file.empty() ? std::string("(empty)")
+                                                  : segment_file) +
+                            ", before manifest commit");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Manifest manifest;
+  manifest.generation = generation + 1;
+  manifest.dim = config_.dim;
+  manifest.next_id = next_id_;
+  manifest.wal_file = wal_file_;  // Merge does not rotate the WAL.
+  if (!segment_file.empty()) manifest.segments.push_back(segment_file);
+  for (const int64_t id : ids) {
+    // Deletes that landed mid-merge: the row made it into the merged
+    // segment, so its tombstone rides the manifest (and the live WAL).
+    if (BitSet(*tombstones_, id)) manifest.tombstones.push_back(id);
+  }
+  ADAMINE_RETURN_IF_ERROR(WriteManifestFile(dir_, manifest));
+
+  std::vector<std::string> old_files;
+  for (const auto& segment : sealed_) old_files.push_back(segment->file);
+  sealed_.clear();
+  if (!segment_file.empty()) {
+    SealedSegment merged;
+    merged.file = segment_file;
+    merged.ids = std::move(ids);
+    merged.rows = std::move(rows);
+    sealed_.push_back(
+        std::make_shared<const SealedSegment>(std::move(merged)));
+  }
+  for (const std::string& file : old_files) {
+    ::unlink((dir_ + "/" + file).c_str());
+  }
+  const int64_t old_generation = generation_;
+  generation_ = generation + 1;
+  ::unlink((dir_ + "/" + ManifestFileName(old_generation)).c_str());
+  ++merges_;
+  PublishSnapshotLocked();
+  return Status::Ok();
+}
+
+Status MutableCorpus::Flush() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  return DoSeal();
+}
+
+Status MutableCorpus::Merge() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  return DoMerge();
+}
+
+void MutableCorpus::MaintenanceLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    maintenance_cv_.wait(lock, [this] {
+      return stop_ || mem_rows_ >= config_.seal_threshold ||
+             static_cast<int64_t>(sealed_.size()) >= config_.merge_threshold;
+    });
+    if (stop_) return;
+    const bool want_seal = mem_rows_ >= config_.seal_threshold;
+    lock.unlock();
+    bool failed = false;
+    {
+      std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+      if (want_seal) failed = !DoSeal().ok();
+    }
+    bool want_merge = false;
+    {
+      std::lock_guard<std::mutex> state(mu_);
+      want_merge = static_cast<int64_t>(sealed_.size()) >=
+                   config_.merge_threshold;
+    }
+    if (want_merge) {
+      std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+      failed = !DoMerge().ok() || failed;
+    }
+    lock.lock();
+    if (failed) {
+      // Back off: the trigger condition still holds (the op failed), so
+      // re-running immediately would spin against a persistent fault.
+      maintenance_cv_.wait_for(lock, std::chrono::milliseconds(200),
+                               [this] { return stop_; });
+      if (stop_) return;
+    }
+  }
+}
+
+}  // namespace adamine::mutate

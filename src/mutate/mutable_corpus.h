@@ -1,0 +1,198 @@
+#ifndef ADAMINE_MUTATE_MUTABLE_CORPUS_H_
+#define ADAMINE_MUTATE_MUTABLE_CORPUS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "mutate/segment.h"
+#include "mutate/wal.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adamine::mutate {
+
+struct MutableCorpusConfig {
+  int64_t dim = 0;  // Embedding dimension; required.
+  /// Memtable rows that trigger a background seal (memtable -> sealed
+  /// segment + WAL rotation + manifest commit). Small values create
+  /// compaction pressure; tests use 2-8, serving defaults to 4096.
+  int64_t seal_threshold = 4096;
+  /// Sealed-segment count that triggers a background merge into one
+  /// compacted segment (tombstoned rows dropped for good).
+  int64_t merge_threshold = 4;
+  /// Start the maintenance thread. Tests that want to drive every seal /
+  /// merge explicitly (via Flush / Merge) turn this off so boundaries are
+  /// deterministic.
+  bool background = true;
+
+  Status Validate() const;
+};
+
+/// A fixed-capacity slab of memtable rows. Chunks are allocated at full
+/// capacity and never reallocated, so a writer appending at row i while a
+/// reader scans rows < i touches disjoint memory — the snapshot's
+/// mem_rows bound (published under the corpus mutex) is what makes a row
+/// visible.
+struct MemChunk {
+  explicit MemChunk(int64_t dim);
+
+  static constexpr int64_t kRows = 256;
+
+  std::vector<int64_t> ids;  // [kRows]
+  std::vector<float> data;   // [kRows * dim]
+};
+
+/// An immutable view of the corpus at one instant, handed to readers as a
+/// shared_ptr: queries scan it without locks while mutations, seals and
+/// merges publish fresh snapshots — in-flight queries never see a
+/// half-sealed state, they finish against the world they started in.
+struct CorpusSnapshot {
+  /// Bumped by every acknowledged Add / Delete (not by seal / merge, which
+  /// reshape storage without changing results); the serving layer keys its
+  /// result cache by this.
+  int64_t epoch = 0;
+  int64_t dim = 0;
+  std::vector<std::shared_ptr<const SealedSegment>> sealed;  // Scan order.
+  std::vector<std::shared_ptr<const MemChunk>> mem;
+  int64_t mem_rows = 0;   // Visible memtable rows across the chunks.
+  int64_t live_rows = 0;  // Non-tombstoned rows across sealed + mem.
+  int64_t next_id = 0;
+  /// Tombstone bitmap, one bit per assigned id, copied on write: scans
+  /// skip set bits, merges drop them for good.
+  std::shared_ptr<const std::vector<uint64_t>> tombstones;
+
+  bool deleted(int64_t id) const {
+    const size_t word = static_cast<size_t>(id >> 6);
+    return word < tombstones->size() &&
+           ((*tombstones)[word] >> (id & 63)) & 1;
+  }
+};
+
+/// A crash-safe mutable vector corpus (see DESIGN.md, "Live mutation and
+/// crash recovery"): Add / Delete are WAL-acknowledged (durable before the
+/// call returns), reads are snapshot-isolated, the memtable seals into
+/// immutable ADMS segments named by an atomically-swapped manifest, and
+/// Open() recovers the exact acknowledged state after kill -9 at any
+/// boundary — replaying the WAL, discarding orphaned temp segments, and
+/// falling back one generation past a torn manifest.
+///
+/// Thread safety: all public methods may be called concurrently. Mutations
+/// serialise on an internal mutex; snapshot() is a shared_ptr copy under
+/// the same mutex; Flush / Merge serialise with the background maintenance
+/// thread on a separate maintenance mutex.
+class MutableCorpus {
+ public:
+  static StatusOr<std::unique_ptr<MutableCorpus>> Open(
+      const std::string& dir, const MutableCorpusConfig& config);
+
+  /// Stops the maintenance thread. Does NOT flush: durability comes from
+  /// the WAL, not from shutdown ceremony.
+  ~MutableCorpus();
+
+  MutableCorpus(const MutableCorpus&) = delete;
+  MutableCorpus& operator=(const MutableCorpus&) = delete;
+
+  /// Appends one embedding row ([dim] or [1, dim]) and returns its id.
+  /// On return the mutation is on stable storage. After a WAL failure the
+  /// corpus keeps serving reads but rejects further mutations with
+  /// kFailedPrecondition — re-open through recovery to resume.
+  StatusOr<int64_t> Add(const Tensor& row);
+  StatusOr<int64_t> Add(const float* row);
+
+  /// Appends every row of `rows` [N, dim] under one WAL sync — the batched
+  /// seeding path. Returns the first assigned id (the batch is
+  /// contiguous).
+  StatusOr<int64_t> AddBatch(const Tensor& rows);
+
+  /// Tombstones `id`. kNotFound for ids never assigned or already deleted.
+  Status Delete(int64_t id);
+
+  /// The current immutable read view.
+  std::shared_ptr<const CorpusSnapshot> snapshot() const;
+
+  /// Synchronous seal: freezes the memtable into a sealed segment, rotates
+  /// the WAL (re-logging the records that arrived mid-seal), and commits
+  /// the next manifest generation. No-op on an empty memtable + empty WAL
+  /// tail.
+  Status Flush();
+
+  /// Synchronous merge: compacts every sealed segment into one, dropping
+  /// tombstoned rows for good, and commits the next manifest generation.
+  /// No-op below two segments with nothing tombstoned.
+  Status Merge();
+
+  int64_t epoch() const;
+  int64_t live_rows() const;
+  int64_t dim() const { return config_.dim; }
+  const std::string& dir() const { return dir_; }
+
+  struct Stats {
+    int64_t generation = 0;
+    int64_t seals = 0;
+    int64_t merges = 0;
+    int64_t sealed_segments = 0;
+    int64_t mem_rows = 0;
+    int64_t wal_records = 0;  // Records in the live WAL (the seal backlog).
+  };
+  Stats GetStats() const;
+
+ private:
+  MutableCorpus(std::string dir, const MutableCorpusConfig& config);
+
+  /// Rebuilds in-memory state from the directory: newest intact manifest,
+  /// its segments, its WAL (torn tail discarded), then deletes orphans.
+  Status Recover();
+
+  /// Appends rows [first_row, first_row + n) of `data` to the WAL and the
+  /// memtable under mu_. The WAL is synced once at the end; ids are
+  /// assigned contiguously from next_id_.
+  StatusOr<int64_t> AddRows(const float* data, int64_t n);
+
+  /// The seal / merge bodies; callers hold maintenance_mu_.
+  Status DoSeal();
+  Status DoMerge();
+
+  void MaintenanceLoop();
+  void PublishSnapshotLocked();  // Caller holds mu_.
+
+  const std::string dir_;
+  const MutableCorpusConfig config_;
+
+  /// Serialises seal/merge against each other (background thread vs
+  /// explicit Flush / Merge). Never held while mu_ is held; DoSeal/DoMerge
+  /// take mu_ in short critical sections.
+  std::mutex maintenance_mu_;
+
+  /// Guards everything below.
+  mutable std::mutex mu_;
+  std::condition_variable maintenance_cv_;
+  std::unique_ptr<WalWriter> wal_;
+  std::string wal_file_;  // Basename of the live WAL.
+  bool wal_failed_ = false;
+  std::vector<WalRecord> pending_;  // Mirror of the live WAL's records.
+  std::vector<std::shared_ptr<const SealedSegment>> sealed_;
+  std::vector<std::shared_ptr<MemChunk>> chunks_;
+  int64_t mem_rows_ = 0;
+  std::shared_ptr<const std::vector<uint64_t>> tombstones_;
+  std::unordered_set<int64_t> live_ids_;
+  int64_t next_id_ = 0;
+  int64_t generation_ = 0;
+  int64_t seg_seq_ = 0;  // Next sealed-segment file sequence number.
+  int64_t epoch_ = 0;
+  int64_t seals_ = 0;
+  int64_t merges_ = 0;
+  std::shared_ptr<const CorpusSnapshot> snapshot_;
+  bool stop_ = false;
+
+  std::thread maintenance_;
+};
+
+}  // namespace adamine::mutate
+
+#endif  // ADAMINE_MUTATE_MUTABLE_CORPUS_H_

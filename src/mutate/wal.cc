@@ -1,0 +1,215 @@
+#include "mutate/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/wire.h"
+#include "util/fault.h"
+
+namespace adamine::mutate {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'A', 'D', 'M', 'W'};
+constexpr uint32_t kWalVersion = 1;
+constexpr int64_t kHeaderBytes = 8;  // magic + version.
+/// Backstop on the per-record dim field: a torn tail can place arbitrary
+/// bytes where a length lives, and the parser must not trust them.
+constexpr int64_t kMaxWalDim = int64_t{1} << 20;
+
+/// The record's on-disk bytes: kind, id, [dim, row], then a CRC-32 of all
+/// preceding record bytes. One buffer per append, so a record reaches the
+/// file in a single write() and a crash tears at most one record.
+std::string EncodeRecord(const WalRecord& record) {
+  std::string buf;
+  const uint8_t kind = static_cast<uint8_t>(record.kind);
+  buf.append(reinterpret_cast<const char*>(&kind), sizeof(kind));
+  buf.append(reinterpret_cast<const char*>(&record.id), sizeof(record.id));
+  if (record.kind == WalRecord::Kind::kAdd) {
+    const int64_t dim = static_cast<int64_t>(record.row.size());
+    buf.append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    buf.append(reinterpret_cast<const char*>(record.row.data()),
+               record.row.size() * sizeof(float));
+  }
+  io::wire::Crc32 crc;
+  crc.Update(buf.data(), buf.size());
+  const uint32_t checksum = crc.value();
+  buf.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return buf;
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t r = ::write(fd, data + written, n - written);
+    if (r < 0) return Status::Internal("WAL write failed for " + path);
+    written += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+bool ReadField(const std::string& bytes, size_t* pos, T* out) {
+  if (bytes.size() - *pos < sizeof(T)) return false;
+  std::memcpy(out, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+WalWriter::WalWriter(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::NotFound("cannot create WAL at " + path);
+  std::string header(kWalMagic, 4);
+  header.append(reinterpret_cast<const char*>(&kWalVersion),
+                sizeof(kWalVersion));
+  Status status = WriteAll(fd, header.data(), header.size(), path);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal("fsync failed for new WAL " + path);
+  }
+  if (!status.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path));
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, int64_t valid_bytes) {
+  if (valid_bytes < kHeaderBytes) {
+    return Status::InvalidArgument("WAL valid_bytes shorter than the header");
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return Status::Internal("cannot truncate torn tail of " + path);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return Status::NotFound("cannot open WAL at " + path);
+  // The truncation must be durable before new appends land after it —
+  // otherwise a crash could resurrect the discarded tear in front of them.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("fsync failed reopening WAL " + path);
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path));
+}
+
+Status WalWriter::Append(const WalRecord& record, bool sync) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "WAL " + path_ + " failed a previous append; re-open via recovery");
+  }
+  if (record.kind == WalRecord::Kind::kAdd && record.row.empty()) {
+    return Status::InvalidArgument("WAL add record needs a row");
+  }
+  const std::string buf = EncodeRecord(record);
+  if (fault::ShouldFail(fault::kMutateWalTorn)) {
+    // A crash mid-write(): half the record's bytes land, no fsync, and the
+    // mutation is NOT acknowledged. Replay must discard the torn tail.
+    failed_ = true;
+    (void)WriteAll(fd_, buf.data(), buf.size() / 2, path_);
+    return Status::Internal("injected torn WAL append to " + path_);
+  }
+  Status status = WriteAll(fd_, buf.data(), buf.size(), path_);
+  if (status.ok() && sync && ::fsync(fd_) != 0) {
+    status = Status::Internal("WAL fsync failed for " + path_);
+  }
+  if (!status.ok()) failed_ = true;
+  return status;
+}
+
+Status WalWriter::Sync() {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "WAL " + path_ + " failed a previous append; re-open via recovery");
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ = true;
+    return Status::Internal("WAL fsync failed for " + path_);
+  }
+  return Status::Ok();
+}
+
+StatusOr<WalReplay> ReplayWal(const std::string& path, int64_t dim) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open WAL at " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string bytes = buffer.str();
+  if (static_cast<int64_t>(bytes.size()) < kHeaderBytes ||
+      std::memcmp(bytes.data(), kWalMagic, 4) != 0) {
+    return Status::DataLoss("bad magic for WAL " + path);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != kWalVersion) {
+    return Status::DataLoss("unsupported WAL version " +
+                            std::to_string(version) + " in " + path);
+  }
+  WalReplay replay;
+  size_t pos = static_cast<size_t>(kHeaderBytes);
+  while (pos < bytes.size()) {
+    // Any shortfall or implausible field from here to the record's CRC is
+    // a torn tail: stop, report the tear, keep what came before.
+    const size_t record_start = pos;
+    WalRecord record;
+    uint8_t kind = 0;
+    if (!ReadField(bytes, &pos, &kind) ||
+        (kind != static_cast<uint8_t>(WalRecord::Kind::kAdd) &&
+         kind != static_cast<uint8_t>(WalRecord::Kind::kDelete)) ||
+        !ReadField(bytes, &pos, &record.id)) {
+      break;
+    }
+    record.kind = static_cast<WalRecord::Kind>(kind);
+    bool intact = true;
+    if (record.kind == WalRecord::Kind::kAdd) {
+      int64_t record_dim = 0;
+      if (!ReadField(bytes, &pos, &record_dim) || record_dim <= 0 ||
+          record_dim > kMaxWalDim ||
+          bytes.size() - pos < static_cast<size_t>(record_dim) * 4) {
+        intact = false;
+      } else {
+        record.row.resize(static_cast<size_t>(record_dim));
+        std::memcpy(record.row.data(), bytes.data() + pos,
+                    static_cast<size_t>(record_dim) * sizeof(float));
+        pos += static_cast<size_t>(record_dim) * sizeof(float);
+      }
+    }
+    uint32_t stored_crc = 0;
+    if (!intact || !ReadField(bytes, &pos, &stored_crc)) break;
+    io::wire::Crc32 crc;
+    crc.Update(bytes.data() + record_start,
+               pos - sizeof(stored_crc) - record_start);
+    if (crc.value() != stored_crc) break;
+    // The record is intact; a wrong dim in an intact record is corruption
+    // (or a foreign corpus's log), not a crash artefact.
+    if (record.kind == WalRecord::Kind::kAdd &&
+        static_cast<int64_t>(record.row.size()) != dim) {
+      return Status::DataLoss(
+          "WAL " + path + " add record has dim " +
+          std::to_string(record.row.size()) + " but the corpus dim is " +
+          std::to_string(dim));
+    }
+    replay.records.push_back(std::move(record));
+    replay.valid_bytes = static_cast<int64_t>(pos);
+  }
+  if (replay.valid_bytes == 0) replay.valid_bytes = kHeaderBytes;
+  replay.torn = replay.valid_bytes < static_cast<int64_t>(bytes.size());
+  return replay;
+}
+
+}  // namespace adamine::mutate

@@ -1,0 +1,85 @@
+#ifndef ADAMINE_MUTATE_WAL_H_
+#define ADAMINE_MUTATE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adamine::mutate {
+
+/// One logical mutation, as logged and as replayed. The WAL is the
+/// durability boundary of the mutable index: a mutation is acknowledged to
+/// the caller only after its record is on stable storage, so "acknowledged"
+/// and "survives kill -9" are the same set by construction.
+struct WalRecord {
+  enum class Kind : uint8_t { kAdd = 1, kDelete = 2 };
+  Kind kind = Kind::kAdd;
+  int64_t id = 0;
+  std::vector<float> row;  // [dim] embedding for kAdd; empty for kDelete.
+};
+
+/// Append-only writer over a CRC-checked log (format ADMW, see DESIGN.md,
+/// "Live mutation and crash recovery"). Every record carries its own
+/// CRC-32, so a torn tail — the expected shape of a mid-write crash — is
+/// recognised and discarded at replay instead of parsed as garbage.
+///
+/// A failed append (including the injected mutate.wal.torn tear) is sticky:
+/// the file may now end mid-record, so further appends would write past a
+/// tear that replay will truncate away. Callers re-open through recovery.
+class WalWriter {
+ public:
+  /// Creates (truncating) `path`, writes the header and fsyncs it, so a
+  /// manifest committed afterwards never names a WAL without a durable
+  /// header.
+  static StatusOr<std::unique_ptr<WalWriter>> Create(const std::string& path);
+
+  /// Opens an existing WAL for appending after its last intact record:
+  /// bytes past `valid_bytes` (from ReplayWal) are truncated away first,
+  /// discarding any torn tail.
+  static StatusOr<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, int64_t valid_bytes);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; with `sync` the record is fsynced before the call
+  /// returns and the mutation may be acknowledged. Batched writers append
+  /// with sync = false and call Sync() once at the end — nothing unsynced
+  /// may be acknowledged.
+  Status Append(const WalRecord& record, bool sync = true);
+
+  /// fsyncs everything appended so far.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(int fd, std::string path);
+
+  int fd_;
+  std::string path_;
+  bool failed_ = false;  // Sticky after any failed or torn append.
+};
+
+/// Everything replay learned from a WAL file.
+struct WalReplay {
+  std::vector<WalRecord> records;  // Every intact record, log order.
+  int64_t valid_bytes = 0;  // File offset just past the last intact record.
+  bool torn = false;        // Trailing bytes past valid_bytes were discarded.
+};
+
+/// Reads the WAL at `path`, tolerating a torn tail (truncated or
+/// CRC-corrupt trailing record): intact records up to the tear are
+/// returned and the tear is reported via `torn`/`valid_bytes` so the
+/// caller can truncate before appending again. A bad header or an intact
+/// record whose dim disagrees with `dim` is kDataLoss — that is corruption,
+/// not a crash artefact.
+StatusOr<WalReplay> ReplayWal(const std::string& path, int64_t dim);
+
+}  // namespace adamine::mutate
+
+#endif  // ADAMINE_MUTATE_WAL_H_

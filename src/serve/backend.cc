@@ -15,6 +15,7 @@
 
 #include "kernel/gemm.h"
 #include "kernel/kernel.h"
+#include "mutate/mutable_backend.h"
 #include "quant/quantized_backend.h"
 #include "serve/sharded_service.h"
 #include "util/stopwatch.h"
@@ -310,6 +311,15 @@ Registry& GlobalRegistry() {
           return quant::CreateQuantizedBackend(config);
         },
         BackendTraits{}};
+    r->entries["mutable"] = {
+        [](const BackendConfig& config)
+            -> StatusOr<std::unique_ptr<ScoringBackend>> {
+          ADAMINE_RETURN_IF_ERROR(ValidateBackendItems(config.items));
+          // WAL-backed crash-safe live mutation (src/mutate/); like
+          // quantized, registered here so dead-stripping cannot lose it.
+          return mutate::CreateMutableBackend(config);
+        },
+        BackendTraits{}};
     return r;
   }();
   return registry;
@@ -363,6 +373,20 @@ Status ScoringBackend::SetProbes(int64_t /*probes*/) {
       std::string("backend '") + name() +
       "' has no probe dial (probes apply only to backends with a coarse "
       "quantiser, e.g. ivf)");
+}
+
+StatusOr<int64_t> ScoringBackend::Add(const Tensor& /*row*/) {
+  return Status::FailedPrecondition(
+      std::string("backend '") + name() +
+      "' is immutable (live mutation needs the mutable backend; see "
+      "src/mutate/)");
+}
+
+Status ScoringBackend::Delete(int64_t /*id*/) {
+  return Status::FailedPrecondition(
+      std::string("backend '") + name() +
+      "' is immutable (live mutation needs the mutable backend; see "
+      "src/mutate/)");
 }
 
 Status RegisterBackend(const std::string& name, BackendFactory factory,

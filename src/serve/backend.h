@@ -97,6 +97,14 @@ struct BackendConfig {
   /// headroom but never change results (the verified interval selection
   /// already guarantees exactness — see src/quant/quantized_backend.cc).
   int64_t rerank_factor = 4;
+  /// Durability directory for the "mutable" backend's WAL + segments +
+  /// manifest. Empty means an ephemeral per-backend temp directory,
+  /// deleted on destruction; non-empty persists across processes, and a
+  /// recovered non-empty corpus — not `items` — is the source of truth.
+  std::string wal_dir;
+  /// Memtable rows that trigger a background seal on the "mutable"
+  /// backend (small values create compaction pressure; see src/mutate/).
+  int64_t seal_threshold = 4096;
 };
 
 /// A scoring backend: one way to turn a query batch into per-query top-k
@@ -141,6 +149,18 @@ class ScoringBackend {
   /// True when the current settings reproduce the scalar reference answer
   /// bit for bit (probed backends: every list scanned).
   virtual bool exact() const { return true; }
+
+  /// Mutation epoch: bumped by every acknowledged Add / Delete, constant 0
+  /// on immutable backends. The serving layer keys its result cache by
+  /// this, so entries cached before a mutation become unreachable after it.
+  virtual int64_t epoch() const { return 0; }
+
+  /// Live mutation. Immutable backends (everything except "mutable")
+  /// reject both with a descriptive kFailedPrecondition naming the
+  /// backend. On success Add returns the new row's global id, durable
+  /// before the call returns.
+  virtual StatusOr<int64_t> Add(const Tensor& row);
+  virtual Status Delete(int64_t id);
 
  protected:
   /// The backend's scoring body. Called with a validated non-empty batch

@@ -22,6 +22,8 @@ const char* BackendName(Backend backend) {
       return "ivf";
     case Backend::kQuantized:
       return "quantized";
+    case Backend::kMutable:
+      return "mutable";
   }
   return "unknown";
 }
@@ -35,10 +37,11 @@ StatusOr<Backend> BackendFromName(const std::string& name) {
   if (*canonical == "exhaustive") return Backend::kExhaustive;
   if (*canonical == "ivf") return Backend::kIvf;
   if (*canonical == "quantized") return Backend::kQuantized;
+  if (*canonical == "mutable") return Backend::kMutable;
   return Status::InvalidArgument(
       "backend '" + *canonical +
       "' is registered but cannot back an embedded RetrievalService "
-      "(embeddable backends: scalar, exhaustive, ivf, quantized)");
+      "(embeddable backends: scalar, exhaustive, ivf, quantized, mutable)");
 }
 
 Status ServeConfig::Validate() const {
@@ -61,6 +64,9 @@ Status ServeConfig::Validate() const {
   ADAMINE_RETURN_IF_ERROR(degradation.Validate());
   if (rerank_factor < 1) {
     return Status::InvalidArgument("rerank_factor must be >= 1");
+  }
+  if (seal_threshold < 1) {
+    return Status::InvalidArgument("seal_threshold must be >= 1");
   }
   if (backend == Backend::kIvf) {
     ADAMINE_RETURN_IF_ERROR(ivf.Validate());
@@ -130,6 +136,8 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
   backend_config.items = service->items_;
   backend_config.ivf = config.ivf;
   backend_config.rerank_factor = config.rerank_factor;
+  backend_config.wal_dir = config.wal_dir;
+  backend_config.seal_threshold = config.seal_threshold;
   auto backend = CreateBackend(BackendName(config.backend), backend_config);
   if (!backend.ok()) return backend.status();
   service->backend_ = std::move(backend.value());
@@ -152,6 +160,23 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Load(
   }
   return Status::NotFound("no tensor named '" + name + "' in " + path);
 }
+
+StatusOr<int64_t> RetrievalService::Add(const Tensor& row) {
+  if (!row.defined() || row.numel() != dim()) {
+    return Status::InvalidArgument(
+        "row must hold exactly dim = " + std::to_string(dim()) + " values");
+  }
+  // The same audit Create applies to the seed items: a non-finite or
+  // un-normalised row must never enter the live corpus.
+  Tensor audited({1, dim()});
+  std::copy(row.data(), row.data() + dim(), audited.data());
+  ADAMINE_RETURN_IF_ERROR(ValidateItems(audited));
+  // The backend bumps its epoch on success, which re-keys the cache — no
+  // explicit invalidation needed (see CacheKey).
+  return backend_->Add(audited);
+}
+
+Status RetrievalService::Delete(int64_t id) { return backend_->Delete(id); }
 
 Status RetrievalService::SetProbes(int64_t probes) {
   // The backend owns the dial (and its validation/rejection message); the
@@ -180,13 +205,21 @@ RetrievalService::TimePoint RetrievalService::DeadlineOf(
 std::string RetrievalService::CacheKey(const float* query, int64_t k,
                                        int64_t probes) const {
   // Exact-match key: the raw query bytes plus everything that selects the
-  // result (k and the probe dial; the backend is fixed per service).
+  // result — k, the probe dial, and the backend's mutation epoch. Keying
+  // by the epoch is the invalidation mechanism for live mutation: an Add /
+  // Delete bumps it, every pre-mutation entry becomes unreachable (and
+  // ages out through the LRU), and the same query re-scored observes the
+  // new row set. Immutable backends report a constant epoch, so their keys
+  // are unchanged.
+  const int64_t epoch = backend_->epoch();
   const size_t query_bytes = sizeof(float) * static_cast<size_t>(dim());
   std::string key;
-  key.resize(query_bytes + 2 * sizeof(int64_t));
+  key.resize(query_bytes + 3 * sizeof(int64_t));
   std::memcpy(key.data(), query, query_bytes);
   std::memcpy(key.data() + query_bytes, &k, sizeof(k));
   std::memcpy(key.data() + query_bytes + sizeof(k), &probes, sizeof(probes));
+  std::memcpy(key.data() + query_bytes + sizeof(k) + sizeof(probes), &epoch,
+              sizeof(epoch));
   return key;
 }
 

@@ -39,10 +39,15 @@ enum class Backend {
   /// (src/quant/). Exact — bit-identical to the scalar reference — with a
   /// ~4x smaller scan footprint; tune via ServeConfig::rerank_factor.
   kQuantized,
+  /// The "mutable" backend: a crash-safe live-mutable corpus (src/mutate/)
+  /// accepting Add / Delete while serving, WAL-acknowledged and recovered
+  /// after kill -9. Exact over the surviving rows; tune via
+  /// ServeConfig::wal_dir / seal_threshold.
+  kMutable,
 };
 
 /// The registry name of `backend` ("scalar", "exhaustive", "ivf",
-/// "quantized").
+/// "quantized", "mutable").
 const char* BackendName(Backend backend);
 
 /// Maps a registry name to the enum. Unknown names fail with the
@@ -61,6 +66,11 @@ struct ServeConfig {
   /// least min(N, rerank_factor * k) rows for the exact rerank (>= 1; see
   /// serve/backend.h).
   int64_t rerank_factor = 4;
+  /// Durability directory for Backend::kMutable (empty = ephemeral; see
+  /// serve/backend.h and src/mutate/).
+  std::string wal_dir;
+  /// Memtable seal threshold for Backend::kMutable (>= 1).
+  int64_t seal_threshold = 4096;
   /// Query rows scored per GEMM dispatch. QueryBatch splits larger inputs
   /// into micro-batches of this width.
   int64_t micro_batch = 32;
@@ -153,6 +163,14 @@ class RetrievalService {
   std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
                                                int64_t k);
 
+  /// Live mutation, forwarded to the hosted backend (immutable backends
+  /// reject both with a descriptive kFailedPrecondition). On success the
+  /// mutation is durable before the call returns, and the result cache is
+  /// epoch-keyed so entries cached before it can no longer be served —
+  /// a repeat of a cached query observes the new row set immediately.
+  StatusOr<int64_t> Add(const Tensor& row);
+  Status Delete(int64_t id);
+
   /// Runtime accuracy/latency dial, forwarded to the hosted backend
   /// (backends without probes reject it with a descriptive
   /// kFailedPrecondition naming themselves). Cached results are keyed by
@@ -177,8 +195,10 @@ class RetrievalService {
   ServeStats Snapshot() const;
   void ResetStats();
 
-  int64_t size() const { return items_.rows(); }
-  int64_t dim() const { return items_.cols(); }
+  /// Live corpus geometry, from the hosted backend: on the mutable backend
+  /// size() tracks Add / Delete, elsewhere it is the item count.
+  int64_t size() const { return backend_->size(); }
+  int64_t dim() const { return backend_->dim(); }
   const ServeConfig& config() const { return config_; }
 
  private:
@@ -188,6 +208,10 @@ class RetrievalService {
 
   static TimePoint DeadlineOf(const QueryOptions& options);
 
+  /// Exact-match cache key: the raw query bytes, k, the probe dial, and
+  /// the backend's mutation epoch — entries cached before an Add / Delete
+  /// are keyed under the old epoch and can never be served again (they age
+  /// out through the LRU).
   std::string CacheKey(const float* query, int64_t k, int64_t probes) const;
 
   /// Cache lookup; on hit moves the entry to the LRU front and fills

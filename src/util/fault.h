@@ -71,6 +71,36 @@ inline constexpr char kNetWriteStall[] = "net.write.stall";
 /// the channel drops the connection) rather than decode garbage.
 inline constexpr char kNetFrameCorrupt[] = "net.frame.corrupt";
 
+/// Fires at the two fsync sites inside io::AtomicWriteFile (temp file
+/// before rename, parent directory after): the sync is skipped and the
+/// write surfaces a descriptive error instead of silently claiming
+/// durability. Arm with skip = 0 to fail the file fsync, skip = 1 to pass
+/// it and fail the directory fsync.
+inline constexpr char kIoFsync[] = "io.fsync.fail";
+
+/// Mutable-index fault points, consulted by mutate::MutableCorpus (see
+/// DESIGN.md, "Live mutation and crash recovery"). Each models a crash at
+/// one boundary of the mutation pipeline; the recovery tests arm them,
+/// observe the failed operation, then re-open the corpus and assert every
+/// acknowledged mutation survived.
+/// Fires inside WAL append: only the first half of the record's bytes reach
+/// the file and the fsync is skipped, like a process killed mid-write().
+/// The append reports an error (the mutation is NOT acknowledged) and
+/// recovery must discard the torn tail.
+inline constexpr char kMutateWalTorn[] = "mutate.wal.torn";
+/// Fires during seal, after the sealed segment file is written but before
+/// the manifest names it: the seal aborts, leaving an orphaned segment that
+/// recovery must delete.
+inline constexpr char kMutateSealCrash[] = "mutate.seal.crash";
+/// Fires during merge, after the merged segment file is written but before
+/// the manifest names it: same orphan-cleanup contract as seal.
+inline constexpr char kMutateMergeCrash[] = "mutate.merge.crash";
+/// Fires inside manifest commit: half the new manifest's bytes are written
+/// directly to its final path (no atomic rename, no fsync) — a torn
+/// manifest that recovery must reject, falling back to the previous
+/// generation.
+inline constexpr char kMutateManifestTorn[] = "mutate.manifest.torn";
+
 /// "<point>.<shard>.<replica>": the replica-scoped variant of a serve-path
 /// fault point. ShardClient consults the scoped point first, then the bare
 /// one, so tests can take down one replica (or one whole shard, by arming

@@ -534,7 +534,8 @@ TEST(BackendRegistryTest, EnumRoundTripsThroughTheRegistry) {
   // maps to a registered name and back.
   for (const serve::Backend backend :
        {serve::Backend::kScalar, serve::Backend::kExhaustive,
-        serve::Backend::kIvf, serve::Backend::kQuantized}) {
+        serve::Backend::kIvf, serve::Backend::kQuantized,
+        serve::Backend::kMutable}) {
     const std::string name = serve::BackendName(backend);
     ASSERT_TRUE(serve::CanonicalBackendName(name).ok()) << name;
     auto round = serve::BackendFromName(name);

@@ -1,0 +1,75 @@
+// The kill -9 child of the crash-recovery suite (tests/mutate_test.cc,
+// MutateKill9Test). Usage:
+//
+//   adamine_mutate_crash <dir> <dim> <seal_threshold> <merge_threshold>
+//
+// Opens a MutableCorpus in <dir> with the background maintenance thread ON
+// (seals and merges race the mutations, exactly like production) and runs
+// the deterministic mutate_testlib::OpSim workload forever, printing
+// "ACK <t>\n" to stdout — flushed — after each op is acknowledged. The
+// parent reads the acks over a pipe and SIGKILLs this process at a chosen
+// count; everything acknowledged before the kill must be recovered.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mutate/mutable_corpus.h"
+#include "mutate_testlib.h"
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s <dir> <dim> <seal_threshold> <merge_threshold>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const int64_t dim = std::atoll(argv[2]);
+
+  adamine::mutate::MutableCorpusConfig config;
+  config.dim = dim;
+  config.seal_threshold = std::atoll(argv[3]);
+  config.merge_threshold = std::atoll(argv[4]);
+  config.background = true;
+
+  auto corpus = adamine::mutate::MutableCorpus::Open(dir, config);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  adamine::mutate_testlib::OpSim sim;
+  for (int64_t t = 0;; ++t) {
+    if (adamine::mutate_testlib::OpSim::IsDelete(t)) {
+      const int64_t target = sim.Step(t);
+      const adamine::Status status = (*corpus)->Delete(target);
+      if (!status.ok()) {
+        std::fprintf(stderr, "delete %lld failed: %s\n",
+                     static_cast<long long>(target),
+                     status.ToString().c_str());
+        return 1;
+      }
+    } else {
+      const int64_t id = sim.Step(t);
+      const auto row = adamine::mutate_testlib::RowForId(id, dim);
+      const auto added = (*corpus)->Add(row.data());
+      if (!added.ok()) {
+        std::fprintf(stderr, "add failed: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      if (*added != id) {
+        std::fprintf(stderr, "id drift: corpus %lld vs sim %lld\n",
+                     static_cast<long long>(*added),
+                     static_cast<long long>(id));
+        return 1;
+      }
+    }
+    // The ACK is the durability promise under test: the op's WAL record is
+    // on stable storage before this line prints.
+    std::printf("ACK %lld\n", static_cast<long long>(t));
+    std::fflush(stdout);
+  }
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the live-mutation tests: the deterministic workload
+// that tests/mutate_test.cc (the parent) and tests/mutate_crash_main.cc
+// (the kill -9 child) both simulate. The child executes the op sequence
+// against a real MutableCorpus and prints "ACK <t>" after each
+// acknowledged op; the parent replays the same sequence in memory, so for
+// any ack count it knows exactly which rows must have survived.
+
+#ifndef ADAMINE_TESTS_MUTATE_TESTLIB_H_
+#define ADAMINE_TESTS_MUTATE_TESTLIB_H_
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace adamine::mutate_testlib {
+
+/// The deterministic embedding row for global id `id`: a unit vector from
+/// a splitmix64-style hash, so parent and child derive identical bits with
+/// no shared state.
+inline std::vector<float> RowForId(int64_t id, int64_t dim) {
+  std::vector<float> row(static_cast<size_t>(dim));
+  uint64_t x = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  double norm_sq = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    // Map to (-1, 1); keep it away from 0 so the norm never degenerates.
+    const float v = static_cast<float>(static_cast<int64_t>(z >> 11)) /
+                        static_cast<float>(int64_t{1} << 52) -
+                    1.0f;
+    row[static_cast<size_t>(j)] = v;
+    norm_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& v : row) v *= inv;
+  return row;
+}
+
+/// The deterministic op sequence: four Adds then one Delete (of the
+/// smallest still-live id), repeating. Both processes step this
+/// simulator; the child additionally applies each op to the corpus.
+struct OpSim {
+  int64_t next_id = 0;
+  std::map<int64_t, bool> assigned;  // id -> live? (ordered for "smallest").
+
+  /// Whether op `t` is a delete (true) or an add (false).
+  static bool IsDelete(int64_t t) { return t % 5 == 4; }
+
+  /// Advances one op. For a delete returns the deleted id, for an add the
+  /// new id. Returns -1 when a delete has no live target (never happens
+  /// after op 0 with this 4:1 mix, but kept defensive).
+  int64_t Step(int64_t t) {
+    if (IsDelete(t)) {
+      for (auto& [id, live] : assigned) {
+        if (live) {
+          live = false;
+          return id;
+        }
+      }
+      return -1;
+    }
+    const int64_t id = next_id++;
+    assigned[id] = true;
+    return id;
+  }
+
+  /// Ascending live ids after the ops stepped so far.
+  std::vector<int64_t> LiveIds() const {
+    std::vector<int64_t> ids;
+    for (const auto& [id, live] : assigned) {
+      if (live) ids.push_back(id);
+    }
+    return ids;
+  }
+};
+
+}  // namespace adamine::mutate_testlib
+
+#endif  // ADAMINE_TESTS_MUTATE_TESTLIB_H_

@@ -669,8 +669,8 @@ TEST(RetrievalServiceCacheBytesTest, EvictsByByteBudget) {
   Tensor items = ClusteredUnitRows(4, 20, 8, 109);
   serve::ServeConfig config = ExhaustiveConfig(/*micro_batch=*/8,
                                                /*cache=*/1000);
-  // One entry costs key (8 floats + 2 int64 = 48 bytes) + 5 results
-  // (40 bytes) = 88 bytes; a 200-byte budget holds exactly two entries.
+  // One entry costs key (8 floats + 3 int64 = 56 bytes) + 5 results
+  // (40 bytes) = 96 bytes; a 200-byte budget holds exactly two entries.
   config.cache_capacity_bytes = 200;
   auto service = serve::RetrievalService::Create(items, config);
   ASSERT_TRUE(service.ok());
@@ -680,13 +680,13 @@ TEST(RetrievalServiceCacheBytesTest, EvictsByByteBudget) {
   (*service)->Query(q0, 5);
   (*service)->Query(q1, 5);
   serve::ServeStats stats = (*service)->Snapshot();
-  EXPECT_EQ(stats.cache_bytes, 176);
+  EXPECT_EQ(stats.cache_bytes, 192);
   EXPECT_EQ(stats.cache_evictions, 0);
   // The third entry overflows the byte budget long before the 1000-entry
   // limit: the LRU entry (q0) goes.
   (*service)->Query(q2, 5);
   stats = (*service)->Snapshot();
-  EXPECT_EQ(stats.cache_bytes, 176);
+  EXPECT_EQ(stats.cache_bytes, 192);
   EXPECT_EQ(stats.cache_evictions, 1);
   (*service)->Query(q1, 5);  // Still cached.
   (*service)->Query(q0, 5);  // Evicted: rescored.
