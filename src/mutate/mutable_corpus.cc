@@ -147,6 +147,7 @@ Status MutableCorpus::Recover() {
   }
 
   auto bitmap = std::make_shared<std::vector<uint64_t>>();
+  std::unordered_set<std::string> live_files;
   if (chosen.empty()) {
     // Fresh corpus: a durable WAL first, then the generation-0 manifest
     // naming it. A crash between the two re-enters this branch.
@@ -169,7 +170,6 @@ Status MutableCorpus::Recover() {
     generation_ = manifest.generation;
     next_id_ = manifest.next_id;
     wal_file_ = manifest.wal_file;
-    std::unordered_set<std::string> live_files;
     for (const std::string& file : manifest.segments) {
       auto segment = LoadSegmentFile(dir_ + "/" + file, config_.dim);
       if (!segment.ok()) {
@@ -224,20 +224,23 @@ Status MutableCorpus::Recover() {
     auto writer = WalWriter::OpenForAppend(wal_path, replay->valid_bytes);
     if (!writer.ok()) return writer.status();
     wal_ = std::move(writer.value());
+  }
 
-    // Everything the chosen manifest does not name is a crash artefact:
-    // orphaned segments from an interrupted seal/merge, a rotated-but-
-    // uncommitted WAL, torn or superseded manifests, temp-file debris.
-    for (const std::string& name : *names) {
-      const int64_t seq = ParseSegmentSeq(name);
-      if (seq >= 0) seg_seq_ = std::max(seg_seq_, seq + 1);
-      bool keep = name == chosen || name == wal_file_ ||
-                  (seq >= 0 && live_files.count(name) > 0);
-      if (!keep && (seq >= 0 || IsWalFileName(name) ||
-                    ParseManifestGeneration(name) >= 0 ||
-                    EndsWith(name, ".tmp"))) {
-        ::unlink((dir_ + "/" + name).c_str());
-      }
+  // Everything the live manifest does not name is a crash artefact:
+  // orphaned segments from an interrupted seal/merge, a rotated-but-
+  // uncommitted WAL, torn or superseded manifests, temp-file debris. A
+  // fresh corpus runs this too — a crash during its very first manifest
+  // commit leaves MANIFEST-00000000.tmp behind.
+  const std::string manifest_name = ManifestFileName(generation_);
+  for (const std::string& name : *names) {
+    const int64_t seq = ParseSegmentSeq(name);
+    if (seq >= 0) seg_seq_ = std::max(seg_seq_, seq + 1);
+    bool keep = name == manifest_name || name == wal_file_ ||
+                (seq >= 0 && live_files.count(name) > 0);
+    if (!keep && (seq >= 0 || IsWalFileName(name) ||
+                  ParseManifestGeneration(name) >= 0 ||
+                  EndsWith(name, ".tmp"))) {
+      ::unlink((dir_ + "/" + name).c_str());
     }
   }
   tombstones_ = std::move(bitmap);
@@ -296,6 +299,9 @@ StatusOr<int64_t> MutableCorpus::AddRows(const float* data, int64_t n) {
           "re-open it to recover");
     }
     first = next_id_;
+    // An empty batch is a no-op: nothing to log, and bumping the epoch
+    // would needlessly invalidate every epoch-keyed cached result.
+    if (n == 0) return first;
     // Log first, acknowledge after: the WAL sync on the last record is the
     // durability point for the whole batch. A failure leaves the corpus
     // read-only (the file may end mid-record) and acknowledges nothing.
@@ -462,15 +468,26 @@ Status MutableCorpus::DoSeal() {
                             ", before manifest commit");
   }
 
+  // Create the next generation's WAL before taking mu_ — maintenance_mu_
+  // pins the generation, and an uncommitted wal-(N+1) is ordinary crash
+  // debris — so appenders do not stall for its create + fsync.
+  const std::string new_wal = WalFileName(generation + 1);
+  auto writer = WalWriter::Create(dir_ + "/" + new_wal);
+  if (!writer.ok()) return writer.status();
+
   std::lock_guard<std::mutex> lock(mu_);
   // Rotate the WAL: the records that arrived after the freeze are re-
   // logged into the next generation's log, so the new manifest + new WAL
   // again hold the complete un-sealed history. Until the manifest commits,
   // the OLD manifest + OLD WAL do — every crash point is covered by one
   // complete generation or the other.
-  const std::string new_wal = WalFileName(generation + 1);
-  auto writer = WalWriter::Create(dir_ + "/" + new_wal);
-  if (!writer.ok()) return writer.status();
+  //
+  // mu_ stays held across the re-log, its sync, and the manifest's fsyncs:
+  // once MANIFEST-(N+1) might exist on disk no ack may enter wal-N, and an
+  // ack into wal-(N+1) before the manifest is durable could be lost to a
+  // fallback recovery — so appends MUST stall here. Every Add/Delete and
+  // snapshot() eats a few fsync latencies per seal; the ingest bench
+  // (BENCH_serving_ingest.json) gates the p95 this produces.
   for (size_t i = frozen_pending; i < pending_.size(); ++i) {
     ADAMINE_RETURN_IF_ERROR(
         writer.value()->Append(pending_[i], /*sync=*/false));
@@ -495,10 +512,21 @@ Status MutableCorpus::DoSeal() {
     if (BitSet(*tombstones_, id)) manifest.tombstones.push_back(id);
   }
   // On commit failure everything written so far (segment, rotated WAL, a
-  // possibly-torn manifest) is left as-is — exactly the debris of a real
-  // crash here — and the in-memory state stays at the old generation, so
-  // serving continues and recovery knows how to clean up.
-  ADAMINE_RETURN_IF_ERROR(WriteManifestFile(dir_, manifest));
+  // possibly-published manifest) is left as-is — exactly the debris of a
+  // real crash here — and the in-memory state stays at the old generation,
+  // so reads keep serving. But the failure may have come AFTER the rename
+  // published an intact MANIFEST-(N+1) (e.g. the directory fsync failed),
+  // and that manifest names wal-(N+1): if another mutation were
+  // acknowledged into the still-live wal-N and the process then crashed,
+  // recovery could choose the newer generation, replay only wal-(N+1)'s
+  // re-logged records, and lose the later ack. So a manifest-commit
+  // failure is sticky like a WAL failure: the corpus turns read-only, and
+  // either generation recovery picks holds the complete acked history.
+  const Status committed = WriteManifestFile(dir_, manifest);
+  if (!committed.ok()) {
+    wal_failed_ = true;
+    return committed;
+  }
 
   if (!ids.empty()) {
     SealedSegment sealed;
@@ -630,6 +658,13 @@ Status MutableCorpus::DoMerge() {
     // segment, so its tombstone rides the manifest (and the live WAL).
     if (BitSet(*tombstones_, id)) manifest.tombstones.push_back(id);
   }
+  // Unlike seal, a merge-commit failure does NOT turn the corpus
+  // read-only: merge keeps the live WAL, so even if the rename published
+  // an intact MANIFEST-(N+1) before the failure, that manifest names
+  // wal_file_ — a recovery that chooses it replays every mutation
+  // acknowledged after this point too. Serving and mutating continue; the
+  // debris is overwritten by the next successful commit of generation N+1
+  // or deleted at recovery.
   ADAMINE_RETURN_IF_ERROR(WriteManifestFile(dir_, manifest));
 
   std::vector<std::string> old_files;

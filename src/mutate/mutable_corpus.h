@@ -99,9 +99,11 @@ class MutableCorpus {
   MutableCorpus& operator=(const MutableCorpus&) = delete;
 
   /// Appends one embedding row ([dim] or [1, dim]) and returns its id.
-  /// On return the mutation is on stable storage. After a WAL failure the
-  /// corpus keeps serving reads but rejects further mutations with
-  /// kFailedPrecondition — re-open through recovery to resume.
+  /// On return the mutation is on stable storage. After a WAL failure (or
+  /// a failed seal manifest commit, which may leave a future-generation
+  /// manifest shadowing the live WAL) the corpus keeps serving reads but
+  /// rejects further mutations with kFailedPrecondition — re-open through
+  /// recovery to resume.
   StatusOr<int64_t> Add(const Tensor& row);
   StatusOr<int64_t> Add(const float* row);
 
@@ -174,6 +176,9 @@ class MutableCorpus {
   std::condition_variable maintenance_cv_;
   std::unique_ptr<WalWriter> wal_;
   std::string wal_file_;  // Basename of the live WAL.
+  /// Sticky read-only latch: set by a WAL append/sync failure or a failed
+  /// seal manifest commit (either can leave on-disk state a future ack
+  /// would not survive). Cleared only by re-opening through recovery.
   bool wal_failed_ = false;
   std::vector<WalRecord> pending_;  // Mirror of the live WAL's records.
   std::vector<std::shared_ptr<const SealedSegment>> sealed_;

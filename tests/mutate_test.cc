@@ -647,6 +647,35 @@ TEST_F(MutableCorpusTest, BackgroundMaintenanceSealsAndMergesUnderPressure) {
   EXPECT_EQ(LiveIdsOf(*snap), expected);
 }
 
+TEST_F(MutableCorpusTest, EmptyAddBatchDoesNotBumpTheEpoch) {
+  auto corpus = OpenCorpus();
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_TRUE((*corpus)->Add(RowTensor(0)).ok());
+  const int64_t epoch = (*corpus)->epoch();
+  // A zero-extent [0, dim] tensor is unconstructible (Tensor CHECKs every
+  // extent > 0), so the only empty batch a caller can form is an undefined
+  // tensor: rejected up front. AddRows additionally early-returns on
+  // n == 0, so no empty batch can ever bump the epoch and needlessly
+  // invalidate the epoch-keyed result cache.
+  auto rejected = (*corpus)->AddBatch(Tensor());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*corpus)->epoch(), epoch);
+  EXPECT_EQ((*corpus)->live_rows(), 1);
+}
+
+TEST_F(MutableCorpusTest, FreshCorpusCleansTempDebris) {
+  // A crash during the very first manifest commit leaves a .tmp behind
+  // (and possibly a stray WAL); a fresh corpus must sweep them too.
+  WriteFileBytes(Path("MANIFEST-00000000.tmp"), "junk");
+  WriteFileBytes(Path("wal-00000099.admw"), "junk");
+  auto corpus = OpenCorpus();
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(DirEntries(dir_),
+            (std::vector<std::string>{"MANIFEST-00000000",
+                                      "wal-00000000.admw"}));
+}
+
 // --- Fault-driven crash boundaries + recovery -----------------------------
 
 using MutableCorpusFaultTest = MutateTest;
@@ -778,6 +807,50 @@ TEST_F(MutableCorpusFaultTest, TornManifestFallsBackOneGeneration) {
             (std::vector<std::string>{"MANIFEST-00000001",
                                       "seg-00000000.adms",
                                       "wal-00000001.admw"}));
+}
+
+TEST_F(MutableCorpusFaultTest, PublishedButFailedSealCommitTurnsReadOnly) {
+  auto corpus = OpenCorpus();
+  ASSERT_TRUE(corpus.ok());
+  for (int64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE((*corpus)->Add(RowTensor(id)).ok());
+  }
+  // The generation-1 seal commit hits SyncPath four times: segment temp,
+  // segment directory, manifest temp, manifest directory. skip=3 fails
+  // only the last — the worst case, where the rename has already
+  // published an intact MANIFEST-00000001 naming the rotated
+  // wal-00000001, yet the commit reports failure and the in-memory state
+  // stays at generation 0 appending to wal-00000000.
+  fault::Arm(fault::kIoFsync, /*skip=*/3, /*fire=*/1);
+  const Status failed = (*corpus)->Flush();
+  fault::Reset();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(fs::exists(Path("MANIFEST-00000001")));
+  EXPECT_EQ((*corpus)->GetStats().generation, 0);
+
+  // Were another mutation acknowledged into the still-live wal-00000000,
+  // a crash would recover from the intact newer manifest, replay only the
+  // rotated WAL, and lose the ack. The corpus must turn read-only instead,
+  // exactly like a WAL failure; reads keep serving the acked state.
+  auto refused = (*corpus)->Add(RowTensor(4));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*corpus)->Delete(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*corpus)->Flush().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*corpus)->live_rows(), 4);
+  corpus->reset();
+
+  // Recovery — from whichever generation survives; here the published
+  // newer one — holds every acknowledged mutation, and ids keep advancing
+  // from the manifest's next_id.
+  auto reopened = OpenCorpus();
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->GetStats().generation, 1);
+  EXPECT_EQ(LiveIdsOf(*(*reopened)->snapshot()),
+            (std::vector<int64_t>{0, 1, 2, 3}));
+  auto added = (*reopened)->Add(RowTensor(4));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 4);
 }
 
 TEST_F(MutableCorpusFaultTest, EveryManifestTornIsDataLoss) {
