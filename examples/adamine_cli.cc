@@ -85,6 +85,22 @@
 //                              top-1 matches static serving because the
 //                              just-ingested rows are immediately
 //                              retrievable
+//   --memtable-max-rows=N      ingest backpressure (see DESIGN.md,
+//   --memtable-max-bytes=B     "Resource pressure and scrubbing"): bound
+//                              the mutable backend's memtable; an Add that
+//                              would breach a bound sheds with
+//                              RESOURCE_EXHAUSTED instead of growing
+//                              without limit (0 = unbounded)
+//   --max-seal-lag=G           shed when sealing falls more than G
+//                              generations behind (0 = unbounded)
+//   --admit-wait-ms=MS         block an over-budget Add up to MS for
+//                              maintenance to catch up before shedding
+//                              (0 = shed immediately); the CLI ingest loop
+//                              retries sheds, so throughput self-paces to
+//                              what maintenance sustains
+//   --scrub-interval-ms=MS     background integrity scrub cadence: re-read
+//                              sealed segments, quarantine bit-rot, keep
+//                              serving the rest (0 = off)
 //
 // `serve` loads the checkpoint, embeds the test split, exports the
 // embedding bundle, reloads it into a serve::RetrievalService and replays
@@ -111,6 +127,7 @@
 // for 15 epochs, save to /tmp/adamine_model.bin, evaluate.
 
 #include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -197,6 +214,11 @@ int main(int argc, char** argv) {
   long shard_index = 0;
   long shard_count = 1;
   std::string wal_dir;
+  long memtable_max_rows = 0;
+  long memtable_max_bytes = 0;
+  long max_seal_lag = 0;
+  double admit_wait_ms = 0.0;
+  double scrub_interval_ms = 0.0;
   bool ingest = false;
   std::string embeddings_path = "/tmp/adamine_embeddings.bin";
   std::vector<std::string> args;
@@ -301,6 +323,39 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--wal-dir=", 0) == 0) {
       wal_dir = arg.substr(std::strlen("--wal-dir="));
+    } else if (arg.rfind("--memtable-max-rows=", 0) == 0) {
+      memtable_max_rows =
+          std::atol(arg.c_str() + std::strlen("--memtable-max-rows="));
+      if (memtable_max_rows < 0) {
+        std::fprintf(stderr, "error: --memtable-max-rows must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--memtable-max-bytes=", 0) == 0) {
+      memtable_max_bytes =
+          std::atol(arg.c_str() + std::strlen("--memtable-max-bytes="));
+      if (memtable_max_bytes < 0) {
+        std::fprintf(stderr, "error: --memtable-max-bytes must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--max-seal-lag=", 0) == 0) {
+      max_seal_lag = std::atol(arg.c_str() + std::strlen("--max-seal-lag="));
+      if (max_seal_lag < 0) {
+        std::fprintf(stderr, "error: --max-seal-lag must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--admit-wait-ms=", 0) == 0) {
+      admit_wait_ms = std::atof(arg.c_str() + std::strlen("--admit-wait-ms="));
+      if (admit_wait_ms < 0.0) {
+        std::fprintf(stderr, "error: --admit-wait-ms must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--scrub-interval-ms=", 0) == 0) {
+      scrub_interval_ms =
+          std::atof(arg.c_str() + std::strlen("--scrub-interval-ms="));
+      if (scrub_interval_ms < 0.0) {
+        std::fprintf(stderr, "error: --scrub-interval-ms must be >= 0\n");
+        return 1;
+      }
     } else if (arg == "--ingest") {
       ingest = true;
     } else if (arg == "--resume") {
@@ -395,6 +450,11 @@ int main(int argc, char** argv) {
     serve_config.max_queue = max_queue;
     serve_config.rerank_factor = rerank_factor;
     serve_config.wal_dir = wal_dir;
+    serve_config.memtable_max_rows = memtable_max_rows;
+    serve_config.memtable_max_bytes = memtable_max_bytes;
+    serve_config.max_seal_lag = max_seal_lag;
+    serve_config.admit_wait_ms = admit_wait_ms;
+    serve_config.scrub_interval_ms = scrub_interval_ms;
     if (serve_config.backend == adamine::serve::Backend::kIvf) {
       serve_config.ivf.num_lists =
           std::min<int64_t>(32, test.image_emb.rows());
@@ -635,11 +695,22 @@ int main(int argc, char** argv) {
           adamine::SliceRows(corpus, 0, half), serve_config);
       if (!service.ok()) return Fail(service.status());
       adamine::Stopwatch ingest_watch;
+      int64_t retried_sheds = 0;
       for (int64_t i = half; i < corpus.rows(); ++i) {
         Tensor row({corpus.cols()});
         std::copy(corpus.data() + i * corpus.cols(),
                   corpus.data() + (i + 1) * corpus.cols(), row.data());
-        auto id = (*service)->Add(row);
+        // Backpressure sheds (kResourceExhausted under --memtable-max-* /
+        // --max-seal-lag) are transient by contract: wait briefly for
+        // maintenance to drain the memtable, then retry the same row — the
+        // loop self-paces to what sealing sustains. Any non-transient
+        // failure (read-only latch, corruption) is fatal as before.
+        adamine::StatusOr<int64_t> id = (*service)->Add(row);
+        while (!id.ok() && id.status().IsTransient()) {
+          ++retried_sheds;
+          usleep(1000);
+          id = (*service)->Add(row);
+        }
         if (!id.ok()) return Fail(id.status());
         if (*id != i) {
           std::fprintf(stderr, "error: ingested row %lld got id %lld\n",
@@ -652,9 +723,10 @@ int main(int argc, char** argv) {
       const int64_t ingested = corpus.rows() - half;
       std::printf(
           "live-ingested %lld rows in %.1f ms (%.0f acked rows/s, "
-          "wal %s)\n",
+          "%lld backpressure retries, wal %s)\n",
           static_cast<long long>(ingested), ingest_ms,
           1e3 * static_cast<double>(ingested) / ingest_ms,
+          static_cast<long long>(retried_sheds),
           wal_dir.empty() ? "ephemeral" : wal_dir.c_str());
     } else {
       service = adamine::serve::RetrievalService::Load(

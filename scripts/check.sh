@@ -34,6 +34,13 @@ ctest --test-dir build -L quant --output-on-failure
 echo "== tier-1: live mutation + crash recovery (ctest -L mutate) =="
 ctest --test-dir build -L mutate --output-on-failure
 
+# Resource-pressure battery: admission control, the ENOSPC taxonomy,
+# maintenance retry/escalation and the integrity scrubber. Runs in --fast
+# mode too — backpressure and quarantine guard the same acks the crash
+# tests do.
+echo "== tier-1: resource pressure + scrubbing (ctest -L pressure) =="
+ctest --test-dir build -L pressure --output-on-failure
+
 # The quantized backend and golden matrix promise bit-identical results at
 # every thread count; pin that against the pool-size dial explicitly.
 for threads in 1 4; do

@@ -46,6 +46,22 @@ StatusOr<int64_t> MutableBackend::Add(const Tensor& row) {
 
 Status MutableBackend::Delete(int64_t id) { return corpus_->Delete(id); }
 
+serve::MutationPressure MutableBackend::pressure() const {
+  const MutableCorpus::Stats stats = corpus_->GetStats();
+  serve::MutationPressure pressure;
+  pressure.mem_rows = stats.mem_rows;
+  pressure.mem_bytes = stats.mem_bytes;
+  pressure.seal_lag = stats.seal_lag;
+  pressure.backpressure_sheds = stats.backpressure_sheds;
+  pressure.wal_transient_failures = stats.wal_transient_failures;
+  pressure.scrubs = stats.scrubs;
+  pressure.quarantined_segments = stats.quarantined_segments;
+  pressure.quarantined_rows = stats.quarantined_rows;
+  pressure.last_scrub_unix_ms = stats.last_scrub_unix_ms;
+  pressure.read_only = stats.read_only;
+  return pressure;
+}
+
 StatusOr<serve::TopKResult> MutableBackend::ScoreTopKImpl(
     const serve::QueryBatch& batch, const serve::Filter* /*filter*/,
     int64_t k, const serve::QueryOptions& /*options*/) {
@@ -121,6 +137,11 @@ StatusOr<std::unique_ptr<serve::ScoringBackend>> CreateMutableBackend(
   MutableCorpusConfig corpus_config;
   corpus_config.dim = config.items.cols();
   corpus_config.seal_threshold = config.seal_threshold;
+  corpus_config.memtable_max_rows = config.memtable_max_rows;
+  corpus_config.memtable_max_bytes = config.memtable_max_bytes;
+  corpus_config.max_seal_lag = config.max_seal_lag;
+  corpus_config.admit_wait_ms = config.admit_wait_ms;
+  corpus_config.scrub_interval_ms = config.scrub_interval_ms;
   std::string dir = config.wal_dir;
   std::string owned_dir;
   if (dir.empty()) {

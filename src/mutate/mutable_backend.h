@@ -34,6 +34,7 @@ class MutableBackend final : public serve::ScoringBackend {
 
   StatusOr<int64_t> Add(const Tensor& row) override;
   Status Delete(int64_t id) override;
+  serve::MutationPressure pressure() const override;
 
   /// The hosted corpus, for callers that drive seals / merges explicitly
   /// (tests, the ingest bench).

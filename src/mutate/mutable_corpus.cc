@@ -24,6 +24,7 @@
 
 #include "kernel/kernel.h"
 #include "mutate/manifest.h"
+#include "util/backoff.h"
 #include "util/fault.h"
 
 namespace adamine::mutate {
@@ -59,6 +60,16 @@ void SetBit(std::vector<uint64_t>* bits, int64_t id) {
   (*bits)[word] |= uint64_t{1} << (id & 63);
 }
 
+/// Quarantined segments keep their name plus this suffix, so they survive
+/// the recovery orphan sweep (operators can inspect or salvage them) while
+/// never matching ParseSegmentSeq's exact-name check.
+constexpr char kQuarantineSuffix[] = ".quarantine";
+
+/// Salt for the maintenance thread's jittered backoff (see
+/// backoff::JitteredBackoffMs); any fixed odd-ish constant distinct from
+/// the ShardClient attempt salts works.
+constexpr uint64_t kMaintenanceSalt = 0x6d61696e74ull;
+
 StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return Status::NotFound("cannot list directory " + dir);
@@ -81,6 +92,29 @@ Status MutableCorpusConfig::Validate() const {
   if (merge_threshold < 2) {
     return Status::InvalidArgument("merge_threshold must be >= 2");
   }
+  if (memtable_max_rows < 0 || memtable_max_bytes < 0 || max_seal_lag < 0) {
+    return Status::InvalidArgument(
+        "memtable budgets and max_seal_lag must be >= 0 (0 = unbounded)");
+  }
+  if (memtable_max_rows > 0 && memtable_max_rows < seal_threshold) {
+    return Status::InvalidArgument(
+        "memtable_max_rows below seal_threshold would backpressure before "
+        "sealing can ever trigger");
+  }
+  if (admit_wait_ms < 0.0) {
+    return Status::InvalidArgument("admit_wait_ms must be >= 0");
+  }
+  if (maintenance_retry_max < 1) {
+    return Status::InvalidArgument("maintenance_retry_max must be >= 1");
+  }
+  if (maintenance_backoff_base_ms <= 0.0 ||
+      maintenance_backoff_max_ms < maintenance_backoff_base_ms) {
+    return Status::InvalidArgument(
+        "maintenance backoff needs 0 < base <= max");
+  }
+  if (scrub_interval_ms < 0.0) {
+    return Status::InvalidArgument("scrub_interval_ms must be >= 0");
+  }
   return Status::Ok();
 }
 
@@ -98,6 +132,7 @@ MutableCorpus::~MutableCorpus() {
     stop_ = true;
   }
   maintenance_cv_.notify_all();
+  capacity_cv_.notify_all();
   if (maintenance_.joinable()) maintenance_.join();
 }
 
@@ -235,6 +270,18 @@ Status MutableCorpus::Recover() {
   for (const std::string& name : *names) {
     const int64_t seq = ParseSegmentSeq(name);
     if (seq >= 0) seg_seq_ = std::max(seg_seq_, seq + 1);
+    // Quarantined segments are deliberately NOT crash debris: they keep
+    // their bytes for inspection, never rejoin a manifest, and their
+    // sequence number stays burned so a future seal cannot reuse it.
+    if (EndsWith(name, kQuarantineSuffix)) {
+      const int64_t qseq = ParseSegmentSeq(
+          name.substr(0, name.size() - std::strlen(kQuarantineSuffix)));
+      if (qseq >= 0) {
+        seg_seq_ = std::max(seg_seq_, qseq + 1);
+        ++quarantined_segments_;
+      }
+      continue;
+    }
     bool keep = name == manifest_name || name == wal_file_ ||
                 (seq >= 0 && live_files.count(name) > 0);
     if (!keep && (seq >= 0 || IsWalFileName(name) ||
@@ -285,26 +332,126 @@ MutableCorpus::Stats MutableCorpus::GetStats() const {
   stats.sealed_segments = static_cast<int64_t>(sealed_.size());
   stats.mem_rows = mem_rows_;
   stats.wal_records = static_cast<int64_t>(pending_.size());
+  stats.mem_bytes = MemBytesLocked();
+  stats.seal_lag = mem_rows_ / config_.seal_threshold;
+  stats.backpressure_sheds = backpressure_sheds_;
+  stats.wal_transient_failures = wal_transient_failures_;
+  stats.scrubs = scrubs_;
+  stats.quarantined_segments = quarantined_segments_;
+  stats.quarantined_rows = quarantined_rows_;
+  stats.last_scrub_unix_ms = last_scrub_unix_ms_;
+  stats.read_only = wal_failed_;
   return stats;
+}
+
+int64_t MutableCorpus::MemBytesLocked() const {
+  // Logical footprint: id + row per memtable entry. Chunk slabs
+  // over-allocate to kRows granularity, but the budget tracks what the
+  // caller actually inserted — the number that grows without bound when
+  // sealing falls behind.
+  const int64_t row_bytes =
+      config_.dim * static_cast<int64_t>(sizeof(float)) +
+      static_cast<int64_t>(sizeof(int64_t));
+  return mem_rows_ * row_bytes;
+}
+
+void MutableCorpus::LatchReadOnlyLocked() {
+  wal_failed_ = true;
+  // Blocked admission waits can never succeed now; fail them fast.
+  capacity_cv_.notify_all();
+}
+
+bool MutableCorpus::OverBudgetLocked(int64_t add_rows) const {
+  if (config_.max_seal_lag > 0 &&
+      mem_rows_ / config_.seal_threshold > config_.max_seal_lag) {
+    return true;
+  }
+  if (add_rows == 0) return false;  // Deletes: tiny, only the lag gates.
+  // Escape hatch: an empty memtable admits ANY batch. Without it a batch
+  // larger than the budget could never be admitted at all; with it the
+  // worst case degrades to one oversized batch in flight at a time.
+  if (mem_rows_ == 0) return false;
+  if (config_.memtable_max_rows > 0 &&
+      mem_rows_ + add_rows > config_.memtable_max_rows) {
+    return true;
+  }
+  if (config_.memtable_max_bytes > 0) {
+    const int64_t row_bytes =
+        config_.dim * static_cast<int64_t>(sizeof(float)) +
+        static_cast<int64_t>(sizeof(int64_t));
+    if (MemBytesLocked() + add_rows * row_bytes > config_.memtable_max_bytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status MutableCorpus::WaitForAdmissionLocked(
+    std::unique_lock<std::mutex>& lock, int64_t add_rows) {
+  if (!OverBudgetLocked(add_rows)) return Status::Ok();
+  // Capacity comes from a seal; make sure one is actively being made
+  // rather than waiting for the row count to cross the seal threshold.
+  maintenance_cv_.notify_all();
+  if (config_.admit_wait_ms <= 0.0) {
+    ++backpressure_sheds_;
+    return Status::ResourceExhausted(
+        "corpus at " + dir_ + " is over its memtable budget (" +
+        std::to_string(mem_rows_) + " rows, seal lag " +
+        std::to_string(mem_rows_ / config_.seal_threshold) +
+        "); retry after maintenance catches up");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(config_.admit_wait_ms));
+  while (OverBudgetLocked(add_rows)) {
+    if (stop_) {
+      return Status::Unavailable("corpus at " + dir_ + " is shutting down");
+    }
+    if (wal_failed_) {
+      return Status::FailedPrecondition(
+          "the corpus at " + dir_ + " lost its WAL and is read-only; "
+          "re-open it to recover");
+    }
+    if (capacity_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout &&
+        OverBudgetLocked(add_rows)) {
+      ++backpressure_sheds_;
+      return Status::ResourceExhausted(
+          "corpus at " + dir_ + " stayed over its memtable budget for " +
+          std::to_string(config_.admit_wait_ms) +
+          " ms; shedding the mutation");
+    }
+  }
+  return Status::Ok();
 }
 
 StatusOr<int64_t> MutableCorpus::AddRows(const float* data, int64_t n) {
   bool want_seal = false;
   int64_t first = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (wal_failed_) {
       return Status::FailedPrecondition(
           "the corpus at " + dir_ + " lost its WAL and is read-only; "
           "re-open it to recover");
     }
-    first = next_id_;
     // An empty batch is a no-op: nothing to log, and bumping the epoch
     // would needlessly invalidate every epoch-keyed cached result.
-    if (n == 0) return first;
+    if (n == 0) return next_id_;
+    ADAMINE_RETURN_IF_ERROR(WaitForAdmissionLocked(lock, n));
+    // Ids are assigned AFTER admission: the wait releases mu_, so another
+    // writer may commit (and advance next_id_) while this one blocks — a
+    // range captured before the wait could be handed out twice.
+    first = next_id_;
     // Log first, acknowledge after: the WAL sync on the last record is the
-    // durability point for the whole batch. A failure leaves the corpus
-    // read-only (the file may end mid-record) and acknowledges nothing.
+    // durability point for the whole batch, and nothing is acknowledged on
+    // failure. Transient storage exhaustion (ENOSPC-class) rolls the whole
+    // batch back to the pre-batch offset — the sync=false records of a
+    // partially-appended batch are already in the file — and the corpus
+    // keeps serving and accepting retries; any other failure latches it
+    // read-only (the tail's extent is unknown).
+    const int64_t wal_mark = wal_->tell();
     std::vector<WalRecord> records;
     records.reserve(static_cast<size_t>(n));
     for (int64_t i = 0; i < n; ++i) {
@@ -315,7 +462,17 @@ StatusOr<int64_t> MutableCorpus::AddRows(const float* data, int64_t n) {
                         data + (i + 1) * config_.dim);
       const Status appended = wal_->Append(record, /*sync=*/i + 1 == n);
       if (!appended.ok()) {
-        wal_failed_ = true;
+        if (appended.code() == StatusCode::kResourceExhausted) {
+          ++wal_transient_failures_;
+          const Status rolled = wal_->TruncateTo(wal_mark);
+          if (!rolled.ok()) {
+            LatchReadOnlyLocked();
+            return rolled;
+          }
+          // next_id_ is untouched, so a retry re-assigns the same ids.
+          return appended;
+        }
+        LatchReadOnlyLocked();
         return appended;
       }
       records.push_back(std::move(record));
@@ -367,12 +524,16 @@ StatusOr<int64_t> MutableCorpus::AddBatch(const Tensor& rows) {
 
 Status MutableCorpus::Delete(int64_t id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (wal_failed_) {
       return Status::FailedPrecondition(
           "the corpus at " + dir_ + " lost its WAL and is read-only; "
           "re-open it to recover");
     }
+    // Deletes shrink the live set but still append a WAL record the next
+    // seal must re-log, so the seal-lag watermark gates them too (the
+    // memtable budgets do not — add_rows = 0).
+    ADAMINE_RETURN_IF_ERROR(WaitForAdmissionLocked(lock, 0));
     if (live_ids_.count(id) == 0) {
       return Status::NotFound("id " + std::to_string(id) +
                               " is not a live row");
@@ -380,9 +541,19 @@ Status MutableCorpus::Delete(int64_t id) {
     WalRecord record;
     record.kind = WalRecord::Kind::kDelete;
     record.id = id;
+    const int64_t wal_mark = wal_->tell();
     const Status appended = wal_->Append(record, /*sync=*/true);
     if (!appended.ok()) {
-      wal_failed_ = true;
+      if (appended.code() == StatusCode::kResourceExhausted) {
+        ++wal_transient_failures_;
+        const Status rolled = wal_->TruncateTo(wal_mark);
+        if (!rolled.ok()) {
+          LatchReadOnlyLocked();
+          return rolled;
+        }
+        return appended;
+      }
+      LatchReadOnlyLocked();
       return appended;
     }
     live_ids_.erase(id);
@@ -524,7 +695,7 @@ Status MutableCorpus::DoSeal() {
   // either generation recovery picks holds the complete acked history.
   const Status committed = WriteManifestFile(dir_, manifest);
   if (!committed.ok()) {
-    wal_failed_ = true;
+    LatchReadOnlyLocked();
     return committed;
   }
 
@@ -569,6 +740,8 @@ Status MutableCorpus::DoSeal() {
   // Content is unchanged (the sealed rows just moved storage), so the
   // epoch stays — only the structural snapshot swaps.
   PublishSnapshotLocked();
+  // The memtable just shrank: admit whoever was blocked on the budget.
+  capacity_cv_.notify_all();
   return Status::Ok();
 }
 
@@ -689,6 +862,113 @@ Status MutableCorpus::DoMerge() {
   return Status::Ok();
 }
 
+Status MutableCorpus::DoScrub() {
+  // Caller holds maintenance_mu_, so no seal / merge can reshape the
+  // sealed set or the generation underneath the pass; only mutations (which
+  // never touch sealed segments) keep flowing.
+  std::vector<std::shared_ptr<const SealedSegment>> sealed;
+  int64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_failed_) {
+      return Status::FailedPrecondition(
+          "the corpus at " + dir_ + " lost its WAL; scrub refused");
+    }
+    sealed = sealed_;
+    generation = generation_;
+  }
+
+  // Re-read every sealed segment from disk: LoadSegmentFile verifies the
+  // full file CRC, so bit-rot since the original write is caught even
+  // though the in-memory copy is fine. The fault point condemns a segment
+  // without the test having to corrupt real bytes.
+  std::unordered_set<std::string> condemned;
+  for (const auto& segment : sealed) {
+    bool bad = fault::ShouldFail(fault::kMutateSegmentBitrot);
+    if (!bad) {
+      bad = !LoadSegmentFile(dir_ + "/" + segment->file, config_.dim).ok();
+    }
+    if (bad) condemned.insert(segment->file);
+  }
+  // The live manifest too: it is read exactly once per process lifetime
+  // (at recovery), so rot in it stays invisible until the restart that
+  // needs it. Self-heal by re-committing the same generation from the
+  // in-memory state — atomic replace, idempotent.
+  const bool manifest_bad =
+      !LoadManifestFile(dir_ + "/" + ManifestFileName(generation)).ok();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_failed_) {
+    // Latched while the pass was reading: with the WAL's disk state in
+    // doubt, committing manifests is no longer safe. Recovery re-derives
+    // everything this pass would have fixed.
+    return Status::FailedPrecondition(
+        "the corpus at " + dir_ + " lost its WAL; scrub refused");
+  }
+  const auto stamp_pass = [this] {
+    ++scrubs_;
+    last_scrub_unix_ms_ =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+  };
+  if (condemned.empty() && !manifest_bad) {
+    stamp_pass();
+    return Status::Ok();
+  }
+
+  // Quarantine ordering: commit the manifest WITHOUT the condemned
+  // segments FIRST, then rename them out of the way. A crash between the
+  // two leaves the condemned file as an ordinary orphan recovery deletes;
+  // the reverse order would leave a manifest naming a missing file, which
+  // recovery treats as unrecoverable DataLoss.
+  Manifest manifest;
+  manifest.generation = condemned.empty() ? generation : generation + 1;
+  manifest.dim = config_.dim;
+  manifest.next_id = next_id_;
+  manifest.wal_file = wal_file_;  // Scrub never touches the WAL.
+  for (const auto& segment : sealed_) {
+    if (condemned.count(segment->file) > 0) continue;
+    manifest.segments.push_back(segment->file);
+    for (const int64_t id : segment->ids) {
+      if (BitSet(*tombstones_, id)) manifest.tombstones.push_back(id);
+    }
+  }
+  // Like merge (and unlike seal), this commit keeps the live WAL, so a
+  // failure is NOT sticky: any generation recovery picks still replays
+  // every later ack. The maintenance loop retries with backoff.
+  ADAMINE_RETURN_IF_ERROR(WriteManifestFile(dir_, manifest));
+
+  if (!condemned.empty()) {
+    int64_t lost_rows = 0;
+    std::vector<std::shared_ptr<const SealedSegment>> kept;
+    for (const auto& segment : sealed_) {
+      if (condemned.count(segment->file) == 0) {
+        kept.push_back(segment);
+        continue;
+      }
+      const std::string path = dir_ + "/" + segment->file;
+      ::rename(path.c_str(), (path + kQuarantineSuffix).c_str());
+      for (const int64_t id : segment->ids) {
+        if (live_ids_.erase(id) > 0) ++lost_rows;
+      }
+    }
+    sealed_ = std::move(kept);
+    quarantined_segments_ += static_cast<int64_t>(condemned.size());
+    quarantined_rows_ += lost_rows;
+    const int64_t old_generation = generation_;
+    generation_ = manifest.generation;
+    ::unlink((dir_ + "/" + ManifestFileName(old_generation)).c_str());
+    // Unlike seal / merge, quarantine CHANGES results (rows vanished), so
+    // the epoch bumps and epoch-keyed caches drop entries that still
+    // contain the quarantined rows.
+    ++epoch_;
+    PublishSnapshotLocked();
+  }
+  stamp_pass();
+  return Status::Ok();
+}
+
 Status MutableCorpus::Flush() {
   std::lock_guard<std::mutex> lock(maintenance_mu_);
   return DoSeal();
@@ -699,39 +979,108 @@ Status MutableCorpus::Merge() {
   return DoMerge();
 }
 
+Status MutableCorpus::Scrub() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  return DoScrub();
+}
+
 void MutableCorpus::MaintenanceLoop() {
   std::unique_lock<std::mutex> lock(mu_);
+  int64_t consecutive_failures = 0;
+  const bool scrubbing = config_.scrub_interval_ms > 0.0;
+  const auto scrub_every =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.scrub_interval_ms));
+  auto next_scrub = std::chrono::steady_clock::now() + scrub_every;
   while (true) {
-    maintenance_cv_.wait(lock, [this] {
-      return stop_ || mem_rows_ >= config_.seal_threshold ||
-             static_cast<int64_t>(sealed_.size()) >= config_.merge_threshold;
-    });
+    const auto work_ready = [this] {
+      // wal_failed_ is excluded on purpose: once the corpus is read-only
+      // the trigger condition (an over-threshold memtable) can never be
+      // drained, and waking on it would busy-spin the thread.
+      return stop_ ||
+             (!wal_failed_ &&
+              (mem_rows_ >= config_.seal_threshold ||
+               static_cast<int64_t>(sealed_.size()) >=
+                   config_.merge_threshold));
+    };
+    if (scrubbing) {
+      maintenance_cv_.wait_until(lock, next_scrub, work_ready);
+    } else {
+      maintenance_cv_.wait(lock, work_ready);
+    }
     if (stop_) return;
+    if (wal_failed_) {
+      // Read-only: nothing left to maintain (scrubbing also refuses —
+      // with the WAL in doubt, committing manifests is not safe). Sleep
+      // until shutdown.
+      maintenance_cv_.wait(lock, [this] { return stop_; });
+      return;
+    }
     const bool want_seal = mem_rows_ >= config_.seal_threshold;
+    const bool due_scrub =
+        scrubbing && std::chrono::steady_clock::now() >= next_scrub;
     lock.unlock();
-    bool failed = false;
-    {
+    Status failure = Status::Ok();
+    if (want_seal) {
       std::lock_guard<std::mutex> maintenance(maintenance_mu_);
-      if (want_seal) failed = !DoSeal().ok();
+      const Status sealed = DoSeal();
+      if (!sealed.ok()) failure = sealed;
     }
     bool want_merge = false;
     {
       std::lock_guard<std::mutex> state(mu_);
-      want_merge = static_cast<int64_t>(sealed_.size()) >=
-                   config_.merge_threshold;
+      want_merge = !wal_failed_ &&
+                   static_cast<int64_t>(sealed_.size()) >=
+                       config_.merge_threshold;
     }
     if (want_merge) {
       std::lock_guard<std::mutex> maintenance(maintenance_mu_);
-      failed = !DoMerge().ok() || failed;
+      const Status merged = DoMerge();
+      if (!merged.ok()) failure = merged;
+    }
+    if (due_scrub) {
+      std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+      const Status scrubbed = DoScrub();
+      // A refused scrub (kFailedPrecondition: the latch won the race) is
+      // not a retryable fault; the next loop iteration parks on it.
+      if (!scrubbed.ok() &&
+          scrubbed.code() != StatusCode::kFailedPrecondition) {
+        failure = scrubbed;
+      }
+      next_scrub = std::chrono::steady_clock::now() + scrub_every;
     }
     lock.lock();
-    if (failed) {
-      // Back off: the trigger condition still holds (the op failed), so
-      // re-running immediately would spin against a persistent fault.
-      maintenance_cv_.wait_for(lock, std::chrono::milliseconds(200),
-                               [this] { return stop_; });
-      if (stop_) return;
+    if (failure.ok()) {
+      consecutive_failures = 0;
+      continue;
     }
+    if (failure.code() == StatusCode::kFailedPrecondition || wal_failed_) {
+      // Already latched (e.g. a sticky manifest-commit failure): retrying
+      // cannot help, and the loop top parks until shutdown.
+      consecutive_failures = 0;
+      continue;
+    }
+    // Transient-looking failure (ENOSPC while sealing, a torn write):
+    // retry with capped jittered exponential backoff — the trigger
+    // condition still holds, so without the wait this would spin against a
+    // persistent fault. After maintenance_retry_max consecutive failures
+    // the fault is evidently not transient; escalate to the sticky
+    // read-only latch so ingest fails crisply instead of timing out
+    // against a corpus that can never drain.
+    ++consecutive_failures;
+    if (consecutive_failures >= config_.maintenance_retry_max) {
+      LatchReadOnlyLocked();
+      continue;
+    }
+    const double delay_ms = backoff::JitteredBackoffMs(
+        consecutive_failures - 1, config_.maintenance_backoff_base_ms,
+        config_.maintenance_backoff_max_ms, config_.maintenance_jitter_seed,
+        kMaintenanceSalt);
+    maintenance_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(delay_ms),
+        [this] { return stop_; });
+    if (stop_) return;
   }
 }
 

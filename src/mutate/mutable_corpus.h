@@ -31,6 +31,44 @@ struct MutableCorpusConfig {
   /// deterministic.
   bool background = true;
 
+  /// Admission control (see DESIGN.md, "Resource pressure and scrubbing").
+  /// Memtable budgets: an Add that would push the memtable past either
+  /// bound is refused with kResourceExhausted (or blocks up to
+  /// admit_wait_ms) instead of growing without limit while sealing falls
+  /// behind. 0 = unbounded. A batch is always admitted into an EMPTY
+  /// memtable, so an oversized batch degrades to one-batch-at-a-time
+  /// instead of wedging forever.
+  int64_t memtable_max_rows = 0;
+  int64_t memtable_max_bytes = 0;
+  /// Seal-lag watermark: when the memtable holds more than
+  /// max_seal_lag * seal_threshold rows (i.e. sealing is that many
+  /// generations behind), BOTH Add and Delete backpressure until
+  /// maintenance catches up. 0 = unbounded.
+  int64_t max_seal_lag = 0;
+  /// How long an over-budget mutation blocks waiting for capacity before
+  /// shedding with kResourceExhausted. 0 = shed immediately (the serving
+  /// layer's bounded-queue idiom: reject at the edge, let the caller
+  /// retry).
+  double admit_wait_ms = 0.0;
+
+  /// Background maintenance retry: a failed seal / merge / scrub is
+  /// retried with capped jittered exponential backoff (the ShardClient
+  /// idiom, see util/backoff.h); after maintenance_retry_max CONSECUTIVE
+  /// failures the corpus escalates to the sticky read-only latch — at that
+  /// point the fault is evidently not transient and unbounded retry would
+  /// just mask it.
+  int64_t maintenance_retry_max = 8;
+  double maintenance_backoff_base_ms = 10.0;
+  double maintenance_backoff_max_ms = 2000.0;
+  uint64_t maintenance_jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  /// Background integrity scrub cadence: every interval the maintenance
+  /// thread re-reads each sealed segment from disk, verifying its CRCs,
+  /// and quarantines any that fail (rename to .quarantine, drop from the
+  /// next manifest generation, keep serving the rest). 0 = scrubbing off;
+  /// tests drive Scrub() explicitly.
+  double scrub_interval_ms = 0.0;
+
   Status Validate() const;
 };
 
@@ -129,6 +167,13 @@ class MutableCorpus {
   /// No-op below two segments with nothing tombstoned.
   Status Merge();
 
+  /// Synchronous integrity scrub: re-reads every sealed segment from disk
+  /// verifying its CRCs, re-validates the live manifest (rewriting it if
+  /// torn — self-heal), and quarantines corrupt segments. Returns Ok even
+  /// when segments were quarantined — the corpus is serving partial but
+  /// healthy; GetStats().quarantined_segments reports the damage.
+  Status Scrub();
+
   int64_t epoch() const;
   int64_t live_rows() const;
   int64_t dim() const { return config_.dim; }
@@ -141,6 +186,17 @@ class MutableCorpus {
     int64_t sealed_segments = 0;
     int64_t mem_rows = 0;
     int64_t wal_records = 0;  // Records in the live WAL (the seal backlog).
+    /// Pressure gauges (see DESIGN.md, "Resource pressure and scrubbing").
+    int64_t mem_bytes = 0;  // Logical memtable bytes (rows * row footprint).
+    int64_t seal_lag = 0;   // Un-sealed generations: mem_rows/seal_threshold.
+    int64_t backpressure_sheds = 0;    // Mutations refused kResourceExhausted.
+    int64_t wal_transient_failures = 0;  // Rolled-back ENOSPC-class appends.
+    /// Scrubber health.
+    int64_t scrubs = 0;  // Completed scrub passes.
+    int64_t quarantined_segments = 0;  // Includes .quarantine found at Open.
+    int64_t quarantined_rows = 0;      // Live rows lost to quarantine.
+    int64_t last_scrub_unix_ms = 0;    // 0 = never scrubbed.
+    bool read_only = false;  // The sticky latch: mutations are refused.
   };
   Stats GetStats() const;
 
@@ -156,12 +212,28 @@ class MutableCorpus {
   /// assigned contiguously from next_id_.
   StatusOr<int64_t> AddRows(const float* data, int64_t n);
 
-  /// The seal / merge bodies; callers hold maintenance_mu_.
+  /// The seal / merge / scrub bodies; callers hold maintenance_mu_.
   Status DoSeal();
   Status DoMerge();
+  Status DoScrub();
 
   void MaintenanceLoop();
   void PublishSnapshotLocked();  // Caller holds mu_.
+
+  /// True when admitting `add_rows` more rows would breach a memtable
+  /// budget or the seal-lag watermark (add_rows = 0 for Delete, which only
+  /// the lag gates). Caller holds mu_.
+  bool OverBudgetLocked(int64_t add_rows) const;
+
+  /// Blocks (up to admit_wait_ms) until `add_rows` fits, shedding with
+  /// kResourceExhausted on timeout or immediately when admit_wait_ms = 0.
+  /// Wakes the maintenance thread so capacity is actively being made.
+  /// Caller holds `lock` on mu_; held again on return.
+  Status WaitForAdmissionLocked(std::unique_lock<std::mutex>& lock,
+                                int64_t add_rows);
+
+  int64_t MemBytesLocked() const;  // Caller holds mu_.
+  void LatchReadOnlyLocked();      // Caller holds mu_.
 
   const std::string dir_;
   const MutableCorpusConfig config_;
@@ -174,6 +246,10 @@ class MutableCorpus {
   /// Guards everything below.
   mutable std::mutex mu_;
   std::condition_variable maintenance_cv_;
+  /// Signalled whenever capacity may have been freed (a seal landed) or
+  /// waiting became pointless (read-only latch, shutdown); blocked
+  /// mutations in WaitForAdmissionLocked wait on it.
+  std::condition_variable capacity_cv_;
   std::unique_ptr<WalWriter> wal_;
   std::string wal_file_;  // Basename of the live WAL.
   /// Sticky read-only latch: set by a WAL append/sync failure or a failed
@@ -192,6 +268,12 @@ class MutableCorpus {
   int64_t epoch_ = 0;
   int64_t seals_ = 0;
   int64_t merges_ = 0;
+  int64_t backpressure_sheds_ = 0;
+  int64_t wal_transient_failures_ = 0;
+  int64_t scrubs_ = 0;
+  int64_t quarantined_segments_ = 0;
+  int64_t quarantined_rows_ = 0;
+  int64_t last_scrub_unix_ms_ = 0;
   std::shared_ptr<const CorpusSnapshot> snapshot_;
   bool stop_ = false;
 

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -42,11 +43,29 @@ std::string EncodeRecord(const WalRecord& record) {
   return buf;
 }
 
+/// The WAL's slice of the IO failure taxonomy (see DESIGN.md, "Resource
+/// pressure and scrubbing"): storage exhaustion is transient — the same
+/// write may succeed once space frees — everything else is treated as
+/// permanent, because an unknown failure must not silently become retryable.
+Status IoStatus(int err, const std::string& what) {
+  const std::string msg = what + ": " + std::strerror(err);
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+      return Status::ResourceExhausted(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
 Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
   size_t written = 0;
   while (written < n) {
     const ssize_t r = ::write(fd, data + written, n - written);
-    if (r < 0) return Status::Internal("WAL write failed for " + path);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus(errno, "WAL write failed for " + path);
+    }
     written += static_cast<size_t>(r);
   }
   return Status::Ok();
@@ -62,8 +81,8 @@ bool ReadField(const std::string& bytes, size_t* pos, T* out) {
 
 }  // namespace
 
-WalWriter::WalWriter(int fd, std::string path)
-    : fd_(fd), path_(std::move(path)) {}
+WalWriter::WalWriter(int fd, std::string path, int64_t good_bytes)
+    : fd_(fd), path_(std::move(path)), good_bytes_(good_bytes) {}
 
 WalWriter::~WalWriter() {
   if (fd_ >= 0) ::close(fd_);
@@ -79,14 +98,14 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
                 sizeof(kWalVersion));
   Status status = WriteAll(fd, header.data(), header.size(), path);
   if (status.ok() && ::fsync(fd) != 0) {
-    status = Status::Internal("fsync failed for new WAL " + path);
+    status = IoStatus(errno, "fsync failed for new WAL " + path);
   }
   if (!status.ok()) {
     ::close(fd);
     ::unlink(path.c_str());
     return status;
   }
-  return std::unique_ptr<WalWriter>(new WalWriter(fd, path));
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path, kHeaderBytes));
 }
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
@@ -102,16 +121,22 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
   // The truncation must be durable before new appends land after it —
   // otherwise a crash could resurrect the discarded tear in front of them.
   if (::fsync(fd) != 0) {
+    const Status status = IoStatus(errno, "fsync failed reopening WAL " + path);
     ::close(fd);
-    return Status::Internal("fsync failed reopening WAL " + path);
+    return status;
   }
-  return std::unique_ptr<WalWriter>(new WalWriter(fd, path));
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path, valid_bytes));
 }
 
 Status WalWriter::Append(const WalRecord& record, bool sync) {
   if (failed_) {
     return Status::FailedPrecondition(
         "WAL " + path_ + " failed a previous append; re-open via recovery");
+  }
+  if (dirty_) {
+    return Status::FailedPrecondition(
+        "WAL " + path_ +
+        " has an un-rolled-back partial tail; TruncateTo first");
   }
   if (record.kind == WalRecord::Kind::kAdd && record.row.empty()) {
     return Status::InvalidArgument("WAL add record needs a row");
@@ -124,11 +149,30 @@ Status WalWriter::Append(const WalRecord& record, bool sync) {
     (void)WriteAll(fd_, buf.data(), buf.size() / 2, path_);
     return Status::Internal("injected torn WAL append to " + path_);
   }
+  if (fault::ShouldFail(fault::kMutateWalEnospc)) {
+    // write() returning ENOSPC after half the record landed. Transient:
+    // the caller rolls back to its pre-op tell() and retries once space
+    // frees, so no sticky latch.
+    (void)WriteAll(fd_, buf.data(), buf.size() / 2, path_);
+    dirty_ = true;
+    return Status::ResourceExhausted("injected ENOSPC appending to WAL " +
+                                     path_);
+  }
   Status status = WriteAll(fd_, buf.data(), buf.size(), path_);
   if (status.ok() && sync && ::fsync(fd_) != 0) {
-    status = Status::Internal("WAL fsync failed for " + path_);
+    status = IoStatus(errno, "WAL fsync failed for " + path_);
   }
-  if (!status.ok()) failed_ = true;
+  if (!status.ok()) {
+    // Storage exhaustion may have torn the record, but the tear's extent is
+    // known (everything past good_bytes_), so it is recoverable in place.
+    if (status.code() == StatusCode::kResourceExhausted) {
+      dirty_ = true;
+    } else {
+      failed_ = true;
+    }
+    return status;
+  }
+  good_bytes_ += static_cast<int64_t>(buf.size());
   return status;
 }
 
@@ -137,10 +181,48 @@ Status WalWriter::Sync() {
     return Status::FailedPrecondition(
         "WAL " + path_ + " failed a previous append; re-open via recovery");
   }
-  if (::fsync(fd_) != 0) {
-    failed_ = true;
-    return Status::Internal("WAL fsync failed for " + path_);
+  if (dirty_) {
+    return Status::FailedPrecondition(
+        "WAL " + path_ +
+        " has an un-rolled-back partial tail; TruncateTo first");
   }
+  if (::fsync(fd_) != 0) {
+    const Status status = IoStatus(errno, "WAL fsync failed for " + path_);
+    if (status.code() == StatusCode::kResourceExhausted) {
+      // The appended-but-unsynced suffix is unacknowledged; the caller rolls
+      // it back and re-appends once space frees.
+      dirty_ = true;
+    } else {
+      failed_ = true;
+    }
+    return status;
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::TruncateTo(int64_t offset) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "WAL " + path_ + " failed a previous append; re-open via recovery");
+  }
+  if (offset < kHeaderBytes || offset > good_bytes_) {
+    return Status::InvalidArgument(
+        "WAL rollback offset " + std::to_string(offset) +
+        " outside [header, " + std::to_string(good_bytes_) + "] for " + path_);
+  }
+  // ftruncate + explicit lseek: the Create-path fd is not O_APPEND, so the
+  // write position must be re-seated by hand or the next append would land
+  // at the stale (pre-rollback) offset, leaving a hole.
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0 ||
+      ::fsync(fd_) != 0) {
+    // A rollback that cannot land leaves the tail's extent unknown —
+    // permanent; recovery re-derives the intact prefix from the CRCs.
+    failed_ = true;
+    return IoStatus(errno, "WAL rollback failed for " + path_);
+  }
+  good_bytes_ = offset;
+  dirty_ = false;
   return Status::Ok();
 }
 

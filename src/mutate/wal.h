@@ -26,9 +26,18 @@ struct WalRecord {
 /// CRC-32, so a torn tail — the expected shape of a mid-write crash — is
 /// recognised and discarded at replay instead of parsed as garbage.
 ///
-/// A failed append (including the injected mutate.wal.torn tear) is sticky:
-/// the file may now end mid-record, so further appends would write past a
-/// tear that replay will truncate away. Callers re-open through recovery.
+/// Failed appends come in two classes (see DESIGN.md, "Resource pressure
+/// and scrubbing"):
+///   - *transient* (ENOSPC / EDQUOT, including the injected
+///     mutate.wal.enospc fault): the file may end mid-record, but the
+///     writer knows the offset of the last fully-appended record, so the
+///     caller rolls the tail back with TruncateTo(tell-before-the-op) and
+///     keeps appending once space frees. Reported as kResourceExhausted;
+///     until the rollback lands the writer refuses further appends.
+///   - *permanent* (any other errno, the injected mutate.wal.torn tear, or
+///     a failed rollback): sticky — further appends would write past a
+///     tear that replay will truncate away. Callers re-open through
+///     recovery.
 class WalWriter {
  public:
   /// Creates (truncating) `path`, writes the header and fsyncs it, so a
@@ -55,14 +64,29 @@ class WalWriter {
   /// fsyncs everything appended so far.
   Status Sync();
 
+  /// File offset just past the last fully-appended record (synced or not).
+  /// Callers snapshot this before a batch so a transient mid-batch failure
+  /// can roll the whole batch back with TruncateTo.
+  int64_t tell() const { return good_bytes_; }
+
+  /// Rolls the log back to `offset` (a value previously returned by
+  /// tell()): truncates any partial or unacknowledged tail, re-seats the
+  /// write position, and fsyncs the truncation so a crash cannot resurrect
+  /// the discarded bytes in front of later appends. Clears the transient
+  /// failure latch; a rollback that itself fails is permanent.
+  Status TruncateTo(int64_t offset);
+
   const std::string& path() const { return path_; }
 
  private:
-  WalWriter(int fd, std::string path);
+  WalWriter(int fd, std::string path, int64_t good_bytes);
 
   int fd_;
   std::string path_;
-  bool failed_ = false;  // Sticky after any failed or torn append.
+  int64_t good_bytes_;   // Offset past the last fully-appended record.
+  bool dirty_ = false;   // Transient failure left a partial tail; roll back
+                         // via TruncateTo before appending again.
+  bool failed_ = false;  // Sticky after a permanent failure or torn append.
 };
 
 /// Everything replay learned from a WAL file.

@@ -78,6 +78,9 @@ Status ErrnoStatus(int err, const std::string& context) {
     case ENOMEM:
     case EAGAIN:
       return Status::Unavailable(what);
+    case ENOSPC:
+    case EDQUOT:
+      return Status::ResourceExhausted(what);
     case EADDRINUSE:
     case EADDRNOTAVAIL:
     case EINVAL:

@@ -24,6 +24,9 @@ inline constexpr TimePoint kNoDeadline = TimePoint::max();
 ///     over may cure it;
 ///   - resource exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM, EAGAIN)
 ///     -> kUnavailable, transient: backoff applies;
+///   - storage exhaustion (ENOSPC, EDQUOT) -> kResourceExhausted,
+///     transient: the write may succeed once space frees (the mutable
+///     index's ingest backpressure rides this class — see src/mutate/);
 ///   - addressing/usage errors (EADDRINUSE, EADDRNOTAVAIL, EINVAL,
 ///     EBADF, EACCES, EAFNOSUPPORT) -> kInvalidArgument, permanent;
 ///   - everything else -> kInternal, permanent (an unknown failure must

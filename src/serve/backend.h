@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "index/ivf_index.h"
+#include "serve/serve_stats.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -105,6 +106,17 @@ struct BackendConfig {
   /// Memtable rows that trigger a background seal on the "mutable"
   /// backend (small values create compaction pressure; see src/mutate/).
   int64_t seal_threshold = 4096;
+  /// Ingest admission control for the "mutable" backend (see DESIGN.md,
+  /// "Resource pressure and scrubbing"): memtable budgets and the seal-lag
+  /// watermark past which mutations shed with kResourceExhausted (or block
+  /// up to admit_wait_ms). 0 = unbounded / shed immediately.
+  int64_t memtable_max_rows = 0;
+  int64_t memtable_max_bytes = 0;
+  int64_t max_seal_lag = 0;
+  double admit_wait_ms = 0.0;
+  /// Background integrity-scrub cadence for the "mutable" backend;
+  /// 0 = scrubbing off.
+  double scrub_interval_ms = 0.0;
 };
 
 /// A scoring backend: one way to turn a query batch into per-query top-k
@@ -161,6 +173,9 @@ class ScoringBackend {
   /// before the call returns.
   virtual StatusOr<int64_t> Add(const Tensor& row);
   virtual Status Delete(int64_t id);
+
+  /// Resource-pressure gauges; the all-zero default on immutable backends.
+  virtual MutationPressure pressure() const { return {}; }
 
  protected:
   /// The backend's scoring body. Called with a validated non-empty batch

@@ -68,6 +68,19 @@ Status ServeConfig::Validate() const {
   if (seal_threshold < 1) {
     return Status::InvalidArgument("seal_threshold must be >= 1");
   }
+  if (memtable_max_rows < 0 || memtable_max_bytes < 0 || max_seal_lag < 0) {
+    return Status::InvalidArgument(
+        "memtable budgets and max_seal_lag must be >= 0 (0 = unbounded)");
+  }
+  if (memtable_max_rows > 0 && memtable_max_rows < seal_threshold) {
+    return Status::InvalidArgument(
+        "memtable_max_rows below seal_threshold would backpressure before "
+        "sealing can ever trigger");
+  }
+  if (admit_wait_ms < 0.0 || scrub_interval_ms < 0.0) {
+    return Status::InvalidArgument(
+        "admit_wait_ms/scrub_interval_ms must be >= 0");
+  }
   if (backend == Backend::kIvf) {
     ADAMINE_RETURN_IF_ERROR(ivf.Validate());
     if (degradation.target_ms > 0.0 &&
@@ -138,6 +151,11 @@ StatusOr<std::unique_ptr<RetrievalService>> RetrievalService::Create(
   backend_config.rerank_factor = config.rerank_factor;
   backend_config.wal_dir = config.wal_dir;
   backend_config.seal_threshold = config.seal_threshold;
+  backend_config.memtable_max_rows = config.memtable_max_rows;
+  backend_config.memtable_max_bytes = config.memtable_max_bytes;
+  backend_config.max_seal_lag = config.max_seal_lag;
+  backend_config.admit_wait_ms = config.admit_wait_ms;
+  backend_config.scrub_interval_ms = config.scrub_interval_ms;
   auto backend = CreateBackend(BackendName(config.backend), backend_config);
   if (!backend.ok()) return backend.status();
   service->backend_ = std::move(backend.value());
@@ -487,10 +505,12 @@ void RetrievalService::RecordEmbedMillis(double ms) {
 }
 
 ServeStats RetrievalService::Snapshot() const {
-  // The admission controller and the backend's probe dial keep their own
-  // synchronisation; read both before taking mu_ so locks never nest.
+  // The admission controller and the backend's probe dial / pressure
+  // gauges keep their own synchronisation; read them before taking mu_ so
+  // locks never nest.
   const AdmissionStats admission = admission_->Snapshot();
   const int64_t current_probes = backend_->probes();
+  const MutationPressure pressure = backend_->pressure();
   std::lock_guard<std::mutex> lock(mu_);
   ServeStats stats = stats_;
   stats.admitted = admission.admitted;
@@ -500,10 +520,19 @@ ServeStats RetrievalService::Snapshot() const {
   stats.queue_peak = admission.queue_peak;
   stats.cache_bytes = cache_bytes_;
   stats.probes = current_probes;
+  stats.mutation = pressure;
   if (degradation_) {
     stats.health = degradation_->health();
     stats.probe_dial_downs = degradation_->dial_downs() - dial_downs_base_;
     stats.probe_dial_ups = degradation_->dial_ups() - dial_ups_base_;
+  }
+  // A quarantined segment (or the read-only latch) means the corpus is
+  // serving but impaired: rows are gone until re-ingested, mutations may
+  // be refused. Surface that as degraded health even without a
+  // degradation controller, so operators see it where they already look.
+  if ((pressure.quarantined_segments > 0 || pressure.read_only) &&
+      stats.health == HealthState::kHealthy) {
+    stats.health = HealthState::kDegraded;
   }
   return stats;
 }

@@ -71,6 +71,17 @@ struct ServeConfig {
   std::string wal_dir;
   /// Memtable seal threshold for Backend::kMutable (>= 1).
   int64_t seal_threshold = 4096;
+  /// Ingest admission control for Backend::kMutable (see serve/backend.h
+  /// and DESIGN.md, "Resource pressure and scrubbing"): over-budget Adds
+  /// shed with kResourceExhausted — transient, retry after maintenance
+  /// catches up — or block up to admit_wait_ms. 0 = unbounded.
+  int64_t memtable_max_rows = 0;
+  int64_t memtable_max_bytes = 0;
+  int64_t max_seal_lag = 0;
+  double admit_wait_ms = 0.0;
+  /// Background integrity-scrub cadence for Backend::kMutable
+  /// (0 = scrubbing off).
+  double scrub_interval_ms = 0.0;
   /// Query rows scored per GEMM dispatch. QueryBatch splits larger inputs
   /// into micro-batches of this width.
   int64_t micro_batch = 32;

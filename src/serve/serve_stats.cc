@@ -104,6 +104,35 @@ std::string ServeStats::ToString() const {
                 static_cast<long long>(probe_dial_downs),
                 static_cast<long long>(probe_dial_ups));
   out += line;
+  // Immutable backends keep the classic three-line header; the mutation
+  // line only appears once there is a mutable backend behind the service
+  // (any gauge nonzero, or the read-only latch set).
+  const bool mutating =
+      mutation.mem_rows != 0 || mutation.mem_bytes != 0 ||
+      mutation.seal_lag != 0 || mutation.backpressure_sheds != 0 ||
+      mutation.wal_transient_failures != 0 || mutation.scrubs != 0 ||
+      mutation.quarantined_segments != 0 || mutation.quarantined_rows != 0 ||
+      mutation.last_scrub_unix_ms != 0 || mutation.read_only;
+  if (mutating) {
+    std::snprintf(line, sizeof(line),
+                  "mutate mem %lld rows / %lld B  seal-lag %lld  "
+                  "sheds %lld  wal-transients %lld%s\n",
+                  static_cast<long long>(mutation.mem_rows),
+                  static_cast<long long>(mutation.mem_bytes),
+                  static_cast<long long>(mutation.seal_lag),
+                  static_cast<long long>(mutation.backpressure_sheds),
+                  static_cast<long long>(mutation.wal_transient_failures),
+                  mutation.read_only ? "  READ-ONLY" : "");
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "scrub  passes %lld  quarantined %lld segs / %lld rows  "
+                  "last %lld\n",
+                  static_cast<long long>(mutation.scrubs),
+                  static_cast<long long>(mutation.quarantined_segments),
+                  static_cast<long long>(mutation.quarantined_rows),
+                  static_cast<long long>(mutation.last_scrub_unix_ms));
+    out += line;
+  }
   const auto stage = [&](const char* name, const StageStats& s) {
     std::snprintf(line, sizeof(line),
                   "%-6s count %-7lld mean %8.3f ms  p50 %8.3f ms  "

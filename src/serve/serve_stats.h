@@ -61,6 +61,24 @@ struct CoverageHistogram {
   std::string ToString() const;
 };
 
+/// Mutable-backend pressure gauges (see DESIGN.md, "Resource pressure and
+/// scrubbing"), surfaced through ServeStats so an operator sees
+/// backpressure building (memtable growth, seal lag) before it turns into
+/// sheds — and scrubber health (quarantines, last pass) before a restart
+/// discovers rot the hard way. All zero on immutable backends.
+struct MutationPressure {
+  int64_t mem_rows = 0;
+  int64_t mem_bytes = 0;
+  int64_t seal_lag = 0;  // Un-sealed generations behind.
+  int64_t backpressure_sheds = 0;    // Mutations refused kResourceExhausted.
+  int64_t wal_transient_failures = 0;  // Rolled-back ENOSPC-class appends.
+  int64_t scrubs = 0;
+  int64_t quarantined_segments = 0;
+  int64_t quarantined_rows = 0;
+  int64_t last_scrub_unix_ms = 0;  // 0 = never scrubbed.
+  bool read_only = false;          // The sticky latch: mutations refused.
+};
+
 /// One consistent snapshot of a RetrievalService's counters: stage
 /// latencies for query embedding (recorded by the caller running the model
 /// forward), similarity scoring, and top-k ranking, plus query/batch/cache
@@ -87,6 +105,9 @@ struct ServeStats {
   int64_t probe_dial_ups = 0;
   int64_t probes = 0;  // Current probe dial (0 on the exhaustive backend).
   HealthState health = HealthState::kHealthy;
+
+  /// Mutable-backend ingest pressure; all zero on immutable backends.
+  MutationPressure mutation;
 
   StageStats embed;
   StageStats score;

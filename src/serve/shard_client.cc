@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "util/backoff.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -22,13 +23,6 @@ ShardClient::TimePoint AddMs(ShardClient::TimePoint t, double ms) {
   if (t == kNever) return kNever;
   return t + std::chrono::duration_cast<Clock::duration>(
                  std::chrono::duration<double, std::milli>(ms));
-}
-
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
 }
 
 /// Delivers one attempt's final verdict to its replica's breaker. Success
@@ -62,19 +56,11 @@ Status RetryPolicy::Validate() const {
 }
 
 double RetryPolicy::BackoffMs(int64_t retry, uint64_t salt) const {
-  double backoff = backoff_base_ms;
-  for (int64_t i = 0; i < retry && backoff < backoff_max_ms; ++i) {
-    backoff *= 2.0;
-  }
-  backoff = std::min(backoff, backoff_max_ms);
-  const uint64_t h = SplitMix64(jitter_seed ^
-                                SplitMix64(salt * 0x100000001b3ULL +
-                                           static_cast<uint64_t>(retry)));
-  // Top 53 bits -> uniform double in [0, 1); no RNG state, so a replay of
-  // the same (seed, shard, retry) backs off identically.
-  const double frac =
-      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
-  return backoff * (0.5 + 0.5 * frac);
+  // The shared capped-jittered-backoff helper; the formula (and its bits)
+  // are pinned by RetryPolicyTest, so the refactor onto util/backoff.h must
+  // be value-preserving.
+  return backoff::JitteredBackoffMs(retry, backoff_base_ms, backoff_max_ms,
+                                    jitter_seed, salt);
 }
 
 Status ShardClientConfig::Validate() const {

@@ -1,0 +1,44 @@
+#ifndef ADAMINE_UTIL_BACKOFF_H_
+#define ADAMINE_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace adamine::backoff {
+
+/// SplitMix64 finaliser: a cheap stateless bit mixer good enough to turn a
+/// (seed, salt, retry) triple into an independent-looking jitter fraction.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Capped exponential backoff with *deterministic* jitter, shared by every
+/// retry loop in the tree (serve::RetryPolicy for shard failover,
+/// mutate::MutableCorpus for maintenance retry). The wait before 0-based
+/// retry round `retry` lies in [backoff/2, backoff) where backoff =
+/// min(base_ms * 2^retry, max_ms); the jitter fraction is a hash of
+/// (seed, salt, retry), so replays of the same workload back off
+/// identically while distinct salts (shard index, corpus generation)
+/// still desynchronise — no thundering retry herd.
+inline double JitteredBackoffMs(int64_t retry, double base_ms, double max_ms,
+                                uint64_t seed, uint64_t salt) {
+  double backoff = base_ms;
+  for (int64_t i = 0; i < retry && backoff < max_ms; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, max_ms);
+  const uint64_t h = SplitMix64(
+      seed ^ SplitMix64(salt * 0x100000001b3ULL + static_cast<uint64_t>(retry)));
+  // Top 53 bits -> uniform double in [0, 1); no RNG state, so a replay of
+  // the same (seed, salt, retry) backs off identically.
+  const double frac =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return backoff * (0.5 + 0.5 * frac);
+}
+
+}  // namespace adamine::backoff
+
+#endif  // ADAMINE_UTIL_BACKOFF_H_

@@ -88,6 +88,20 @@ inline constexpr char kIoFsync[] = "io.fsync.fail";
 /// The append reports an error (the mutation is NOT acknowledged) and
 /// recovery must discard the torn tail.
 inline constexpr char kMutateWalTorn[] = "mutate.wal.torn";
+/// Fires inside WAL append: models write() failing with ENOSPC after half
+/// the record's bytes landed. Unlike the torn-tail point this failure is
+/// *transient* — the writer reports kResourceExhausted and the corpus rolls
+/// the WAL back to the last acknowledged record and keeps serving, resuming
+/// acks once the point disarms ("space freed") instead of latching
+/// read-only. Arm with skip/fire to shape the outage window.
+inline constexpr char kMutateWalEnospc[] = "mutate.wal.enospc";
+/// Fires inside the background scrubber, once per sealed-segment CRC check:
+/// the segment is treated as bit-rotted even though its bytes are intact,
+/// so the quarantine protocol (rename to .quarantine, drop from the next
+/// manifest generation, serve partial) runs without the test having to
+/// corrupt real bytes. Arm with skip = the index of the segment check to
+/// condemn.
+inline constexpr char kMutateSegmentBitrot[] = "mutate.segment.bitrot";
 /// Fires during seal, after the sealed segment file is written but before
 /// the manifest names it: the seal aborts, leaving an orphaned segment that
 /// recovery must delete.

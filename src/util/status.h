@@ -26,13 +26,19 @@ enum class StatusCode {
   /// so network incidents are countable separately, but equally transient:
   /// reconnecting to the same or another replica may well cure it.
   kConnectionLost,
+  /// A bounded resource ran out: disk space (ENOSPC/EDQUOT on the WAL), a
+  /// memtable row/byte budget, or a compaction-lag watermark. Distinct from
+  /// kUnavailable (a serving-side load shed) so ingest backpressure is
+  /// countable separately, but equally transient: waiting for maintenance
+  /// to catch up or for space to free may well cure it.
+  kResourceExhausted,
 };
 
 /// One past the last valid StatusCode, used by the transience pinning test
 /// to prove every code has an explicit retry classification. Keep in sync
 /// when adding codes (the test fails loudly if this drifts).
 inline constexpr int kNumStatusCodes =
-    static_cast<int>(StatusCode::kConnectionLost) + 1;
+    static_cast<int>(StatusCode::kResourceExhausted) + 1;
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
@@ -80,26 +86,31 @@ class Status {
   static Status ConnectionLost(std::string msg) {
     return Status(StatusCode::kConnectionLost, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// True for the error categories that a retry against another replica may
-  /// cure: kUnavailable (load shed, replica down), kDeadlineExceeded (slow
-  /// replica, expired per-attempt budget) and kConnectionLost (socket
-  /// reset, broken pipe, refused dial, torn frame stream). Everything else
-  /// — including kOk — is non-transient: corrupt data or a caller bug
-  /// looks exactly the same on every replica, so retrying it only
-  /// multiplies the damage. The serving layer's retry policy routes every
-  /// retry/no-retry decision through this single classification (see
-  /// serve::ShardClient), and the pinning test in tests/util_test.cc
-  /// enumerates every code so a new one cannot silently default to
-  /// non-retryable.
+  /// True for the error categories that a retry (against another replica,
+  /// or simply later) may cure: kUnavailable (load shed, replica down),
+  /// kDeadlineExceeded (slow replica, expired per-attempt budget),
+  /// kConnectionLost (socket reset, broken pipe, refused dial, torn frame
+  /// stream) and kResourceExhausted (full disk, full memtable, compaction
+  /// lag — pressure that drains). Everything else — including kOk — is
+  /// non-transient: corrupt data or a caller bug looks exactly the same on
+  /// every replica, so retrying it only multiplies the damage. The serving
+  /// layer's retry policy routes every retry/no-retry decision through
+  /// this single classification (see serve::ShardClient), and the pinning
+  /// test in tests/util_test.cc enumerates every code so a new one cannot
+  /// silently default to non-retryable.
   bool IsTransient() const {
     return code_ == StatusCode::kUnavailable ||
            code_ == StatusCode::kDeadlineExceeded ||
-           code_ == StatusCode::kConnectionLost;
+           code_ == StatusCode::kConnectionLost ||
+           code_ == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CODE>: <message>".

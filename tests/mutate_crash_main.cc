@@ -2,6 +2,7 @@
 // MutateKill9Test). Usage:
 //
 //   adamine_mutate_crash <dir> <dim> <seal_threshold> <merge_threshold>
+//       [enospc=<skip>:<fire>]
 //
 // Opens a MutableCorpus in <dir> with the background maintenance thread ON
 // (seals and merges race the mutations, exactly like production) and runs
@@ -9,6 +10,13 @@
 // "ACK <t>\n" to stdout — flushed — after each op is acknowledged. The
 // parent reads the acks over a pipe and SIGKILLs this process at a chosen
 // count; everything acknowledged before the kill must be recovered.
+//
+// The optional fifth argument arms the mutate.wal.enospc fault point: after
+// <skip> WAL appends, the next <fire> appends fail like a full disk. The
+// child rides the outage the way a real ingester would — kResourceExhausted
+// is transient, so it retries the SAME op until the ack lands (the corpus
+// re-assigns the same id after a rollback) — and never prints an ACK for
+// an op that was not durably applied.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,11 +24,13 @@
 
 #include "mutate/mutable_corpus.h"
 #include "mutate_testlib.h"
+#include "util/fault.h"
 
 int main(int argc, char** argv) {
-  if (argc != 5) {
+  if (argc != 5 && argc != 6) {
     std::fprintf(stderr,
-                 "usage: %s <dir> <dim> <seal_threshold> <merge_threshold>\n",
+                 "usage: %s <dir> <dim> <seal_threshold> <merge_threshold> "
+                 "[enospc=<skip>:<fire>]\n",
                  argv[0]);
     return 2;
   }
@@ -33,6 +43,16 @@ int main(int argc, char** argv) {
   config.merge_threshold = std::atoll(argv[4]);
   config.background = true;
 
+  if (argc == 6) {
+    long long skip = 0;
+    long long fire = 0;
+    if (std::sscanf(argv[5], "enospc=%lld:%lld", &skip, &fire) != 2) {
+      std::fprintf(stderr, "bad fault spec: %s\n", argv[5]);
+      return 2;
+    }
+    adamine::fault::Arm(adamine::fault::kMutateWalEnospc, skip, fire);
+  }
+
   auto corpus = adamine::mutate::MutableCorpus::Open(dir, config);
   if (!corpus.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -44,7 +64,10 @@ int main(int argc, char** argv) {
   for (int64_t t = 0;; ++t) {
     if (adamine::mutate_testlib::OpSim::IsDelete(t)) {
       const int64_t target = sim.Step(t);
-      const adamine::Status status = (*corpus)->Delete(target);
+      adamine::Status status = (*corpus)->Delete(target);
+      while (!status.ok() && status.IsTransient()) {
+        status = (*corpus)->Delete(target);  // ENOSPC window: retry.
+      }
       if (!status.ok()) {
         std::fprintf(stderr, "delete %lld failed: %s\n",
                      static_cast<long long>(target),
@@ -54,7 +77,10 @@ int main(int argc, char** argv) {
     } else {
       const int64_t id = sim.Step(t);
       const auto row = adamine::mutate_testlib::RowForId(id, dim);
-      const auto added = (*corpus)->Add(row.data());
+      auto added = (*corpus)->Add(row.data());
+      while (!added.ok() && added.status().IsTransient()) {
+        added = (*corpus)->Add(row.data());  // ENOSPC window: retry.
+      }
       if (!added.ok()) {
         std::fprintf(stderr, "add failed: %s\n",
                      added.status().ToString().c_str());

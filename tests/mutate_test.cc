@@ -125,8 +125,13 @@ class MutateTest : public ::testing::Test {
   void SetUp() override {
     fault::Reset();
     const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    // The pid keeps the dir unique per PROCESS: the labelled ctest
+    // batteries re-run these suites concurrently with the discovered
+    // per-test entries, and two processes in the same test must not
+    // remove_all each other's corpus.
     dir_ = (fs::temp_directory_path() /
-            (std::string("adamine_mutate_") + info->name()))
+            (std::string("adamine_mutate_") + info->name() + "_" +
+             std::to_string(::getpid())))
                .string();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
@@ -1341,6 +1346,87 @@ TEST_F(MutateKill9Test, AckedMutationsSurviveKill9AtEveryBoundary) {
 
     // Bit-identity of the recovered index: flush, then diff against a
     // freshly built exhaustive backend over the surviving rows.
+    ASSERT_TRUE((*corpus)->Flush().ok());
+    mutate::MutableBackend backend(std::move(corpus.value()), "");
+    ExpectBitIdentical(&backend, live, ItemsForIds(live),
+                       ItemsForIds({4000, 4001, 4002}), 5);
+  }
+}
+
+TEST_F(MutateKill9Test, AckedMutationsSurviveKill9ThroughAnEnospcWindow) {
+  // Same protocol, but the child rides out a simulated full-disk window
+  // first: after ~30 WAL appends the next 6 fail with ENOSPC, the child
+  // retries each shed op until it acks, and only then do we SIGKILL it.
+  // Every acked op — before, during, and after the window — must be
+  // recovered bit-identically; the rolled-back half-records must leave no
+  // scar the replay trips over.
+  const std::string binary = CrashBinaryPath();
+  ASSERT_TRUE(fs::exists(binary)) << binary;
+  const int64_t kSealThreshold = 4;
+  const int64_t kMergeThreshold = 2;
+
+  for (const int64_t kill_after : {60, 150}) {
+    const std::string dir = Path("corpus_enospc_" + std::to_string(kill_after));
+    fs::create_directories(dir);
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      ::execl(binary.c_str(), binary.c_str(), dir.c_str(),
+              std::to_string(kDim).c_str(),
+              std::to_string(kSealThreshold).c_str(),
+              std::to_string(kMergeThreshold).c_str(), "enospc=30:6",
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    FILE* acks = ::fdopen(fds[0], "r");
+    ASSERT_NE(acks, nullptr);
+    int64_t acked = -1;
+    char line[64];
+    while (acked + 1 < kill_after && std::fgets(line, sizeof(line), acks)) {
+      long long t = -1;
+      ASSERT_EQ(std::sscanf(line, "ACK %lld", &t), 1) << line;
+      acked = t;
+    }
+    ASSERT_EQ(acked + 1, kill_after)
+        << "child died early (did the ENOSPC window not clear?)";
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    std::fclose(acks);
+
+    MutableCorpusConfig config;
+    config.dim = kDim;
+    config.seal_threshold = kSealThreshold;
+    config.merge_threshold = kMergeThreshold;
+    config.background = false;
+    auto corpus = MutableCorpus::Open(dir, config);
+    ASSERT_TRUE(corpus.ok())
+        << "kill_after=" << kill_after << ": " << corpus.status().ToString();
+    EXPECT_FALSE((*corpus)->GetStats().read_only)
+        << "a transient outage must not survive recovery as a latch";
+    const std::vector<int64_t> live = LiveIdsOf(*(*corpus)->snapshot());
+
+    OpSim sim;
+    int64_t matched = -1;
+    for (int64_t t = 0; t < kill_after + 9000; ++t) {
+      if (t >= kill_after && sim.LiveIds() == live) {
+        matched = t;
+        break;
+      }
+      sim.Step(t);
+    }
+    ASSERT_GE(matched, kill_after)
+        << "kill_after=" << kill_after
+        << ": recovered state is not a prefix of the acked history "
+        << "(live rows: " << live.size() << ")";
+
     ASSERT_TRUE((*corpus)->Flush().ok());
     mutate::MutableBackend backend(std::move(corpus.value()), "");
     ExpectBitIdentical(&backend, live, ItemsForIds(live),

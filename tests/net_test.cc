@@ -391,6 +391,14 @@ TEST(NetSocketTest, ErrnoMappingPinsEveryRetryClass) {
         << std::strerror(err);
     EXPECT_FALSE(status.IsTransient()) << std::strerror(err);
   }
+  // Storage exhaustion is kResourceExhausted (transient backpressure: the
+  // condition clears when space is reclaimed, so ingest may retry).
+  for (const int err : {ENOSPC, EDQUOT}) {
+    const Status status = net::ErrnoStatus(err, "append");
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+        << std::strerror(err);
+    EXPECT_TRUE(status.IsTransient()) << std::strerror(err);
+  }
   // Anything unrecognised must not silently become retryable.
   const Status unknown = net::ErrnoStatus(EIO, "read");
   EXPECT_EQ(unknown.code(), StatusCode::kInternal);

@@ -30,9 +30,10 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 TEST(StatusTest, TransienceClassificationOfEveryCode) {
   // The serving retry policy routes every retry decision through
   // IsTransient, so this pins the classification of each code: only
-  // kUnavailable, kDeadlineExceeded and kConnectionLost may be retried
-  // against another replica — everything else (including kOk) looks the
-  // same everywhere. The table below must stay exhaustive: the size check
+  // kUnavailable, kDeadlineExceeded, kConnectionLost and
+  // kResourceExhausted may be retried (against another replica, or after
+  // backpressure drains) — everything else (including kOk) looks the same
+  // everywhere. The table below must stay exhaustive: the size check
   // against kNumStatusCodes fails the test when a code is added without an
   // explicit entry here, so a new (e.g. network) code can never silently
   // default to non-retryable.
@@ -51,6 +52,7 @@ TEST(StatusTest, TransienceClassificationOfEveryCode) {
       {StatusCode::kUnavailable, true},
       {StatusCode::kDataLoss, false},
       {StatusCode::kConnectionLost, true},
+      {StatusCode::kResourceExhausted, true},
   };
   ASSERT_EQ(static_cast<int>(std::size(pinned)), kNumStatusCodes)
       << "a StatusCode was added without pinning its retry classification";
@@ -69,6 +71,15 @@ TEST(StatusTest, ConnectionLostFactoryAndName) {
   EXPECT_EQ(s.code(), StatusCode::kConnectionLost);
   EXPECT_TRUE(s.IsTransient());
   EXPECT_EQ(s.ToString(), "CONNECTION_LOST: peer reset");
+}
+
+TEST(StatusTest, ResourceExhaustedFactoryAndName) {
+  // Backpressure shed: transient by design — callers may retry once the
+  // maintenance thread drains the memtable (or the disk gains space).
+  Status s = Status::ResourceExhausted("memtable full");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(s.ToString(), "RESOURCE_EXHAUSTED: memtable full");
 }
 
 StatusOr<int> ParsePositive(int x) {
